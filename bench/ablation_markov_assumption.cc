@@ -1,0 +1,114 @@
+// Ablation: the Lemma-3 Markov-assumption pipeline (Section 4.2) vs the
+// sampling approach. The paper shows the per-pair adapted model loses the
+// Markov property, so re-imposing it yields an approximation; this harness
+// measures that approximation error against exhaustive enumeration and
+// compares it with the sampler at 10^4 worlds.
+#include <cmath>
+
+#include "bench_common.h"
+#include "query/exact.h"
+#include "query/markov_approx.h"
+#include "util/stats.h"
+
+using namespace ust;
+using namespace ust::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const size_t states = flags.GetInt("states", 800);
+  const size_t objects = flags.GetInt("objects", 4);
+  const size_t cases = flags.GetInt("cases", 20);
+  const size_t sa_worlds = flags.GetInt("sa_worlds", 10000);
+
+  PrintConfig("Ablation: Markov-assumption P-forall-NN vs sampling", flags,
+              "states=" + std::to_string(states) + " objects=" +
+                  std::to_string(objects) + " cases=" + std::to_string(cases));
+
+  CsvTable table({"case", "exact", "markov_approx", "sampling"});
+  std::vector<double> ma_err, sa_err;
+  Rng rng(3);
+  size_t produced = 0;
+  for (uint64_t seed = 0; produced < cases && seed < cases * 20; ++seed) {
+    SyntheticConfig config;
+    config.num_states = states;
+    config.num_objects = objects;
+    config.lifetime = 8;
+    config.obs_interval = 4;
+    config.lag = 0.75;  // modest slack keeps per-object worlds enumerable
+    config.horizon = 8;
+    config.seed = 100 + seed;
+    auto world = GenerateSyntheticWorld(config);
+    UST_CHECK(world.ok());
+    const TrajectoryDatabase& db = *world.value().db;
+    // Short window so exhaustive enumeration stays feasible as the ground
+    // truth (the per-object world count is exponential in |T|).
+    TimeInterval T{3, 5};
+    std::vector<ObjectId> ids = db.AliveThroughout(T.start, T.end);
+    if (ids.size() < 3) continue;
+    // Informative queries sit between objects: aim at the centroid of two
+    // random objects' positions at the middle of T.
+    auto posterior_a = db.object(ids[rng.UniformInt(ids.size())]).Posterior();
+    auto posterior_b = db.object(ids[rng.UniformInt(ids.size())]).Posterior();
+    UST_CHECK(posterior_a.ok() && posterior_b.ok());
+    const Tic mid = (T.start + T.end) / 2;
+    Rng qrng(seed);
+    Point2 pa = db.space().coord(posterior_a.value()->SampleAt(mid, qrng));
+    Point2 pb = db.space().coord(posterior_b.value()->SampleAt(mid, qrng));
+    QueryTrajectory q =
+        QueryTrajectory::FromPoint({(pa.x + pb.x) / 2, (pa.y + pb.y) / 2});
+    auto exact = ExactPnnByEnumeration(db, ids, q, T, 1, 3000000);
+    if (!exact.ok()) continue;  // too many worlds to enumerate: skip
+    // Pick the object with the most informative exact probability.
+    size_t best = 0;
+    double best_gap = -1.0;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      double p = exact.value()[i].forall_prob;
+      double gap = std::min(p, 1.0 - p);
+      if (gap > best_gap) {
+        best_gap = gap;
+        best = i;
+      }
+    }
+    if (best_gap < 0.02) continue;  // degenerate case: nothing to compare
+    std::vector<ObjectId> competitors;
+    for (ObjectId id : ids) {
+      if (id != ids[best]) competitors.push_back(id);
+    }
+    auto ma = ApproximateForallNnMarkov(db, ids[best], competitors, q, T);
+    UST_CHECK(ma.ok());
+    MonteCarloOptions options;
+    options.num_worlds = sa_worlds;
+    options.seed = seed;
+    auto sa = EstimatePnn(db, ids, {ids[best]}, q, T, options);
+    UST_CHECK(sa.ok());
+    const double truth = exact.value()[best].forall_prob;
+    table.AddRow({static_cast<double>(produced), truth, ma.value(),
+                  sa.value()[0].forall_prob});
+    ma_err.push_back(ma.value() - truth);
+    sa_err.push_back(sa.value()[0].forall_prob - truth);
+    ++produced;
+  }
+  table.Print(std::cout, "Markov-assumption ablation (exact by enumeration)");
+  std::printf("# produced %zu informative cases\n", produced);
+  if (!ma_err.empty()) {
+    auto abs_stats = [](const std::vector<double>& errs) {
+      double mean = 0.0, max = 0.0;
+      for (double e : errs) {
+        mean += std::abs(e);
+        max = std::max(max, std::abs(e));
+      }
+      return std::make_pair(mean / static_cast<double>(errs.size()), max);
+    };
+    auto [ma_mean, ma_max] = abs_stats(ma_err);
+    auto [sa_mean, sa_max] = abs_stats(sa_err);
+    std::printf("# abs error: markov_approx mean %.2e max %.2e | sampling "
+                "mean %.2e max %.2e\n",
+                ma_mean, ma_max, sa_mean, sa_max);
+    std::printf("# (the Markov-assumption error vanishes when an observation "
+                "tic inside T collapses o's chain; adversarial instances "
+                "reach ~5e-3, see markov_approx_test)\n");
+  }
+  std::printf("# note: with one competitor the pipeline is exact (Lemma 2); "
+              "the error here is purely the re-imposed Markov assumption\n");
+  return 0;
+}

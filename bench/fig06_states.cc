@@ -1,0 +1,48 @@
+// Figure 6: varying the number of states |S|.
+// Paper series (left): CPU time of TS (model adaptation), FA (P∀NNQ
+// sampling) and EX (P∃NNQ sampling); (right): |C(q)| and |I(q)|.
+// Paper setting: |S| in {10k, 100k, 500k}, b=8, |D|=10k, |T|=10, 10k samples.
+// Scaled default: |D|=400, 1000 samples, 5 queries; |S| sweep kept.
+// Expected shape: TS grows sublinearly in |S|; |C|/|I| shrink; FA/EX shrink.
+#include "bench_common.h"
+
+using namespace ust;
+using namespace ust::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const size_t objects = flags.GetInt("objects", 400);
+  const size_t samples = flags.GetInt("samples", 1000);
+  const size_t queries = flags.GetInt("queries", 5);
+  const size_t interval = flags.GetInt("interval", 10);
+  std::vector<int64_t> sweep = {
+      flags.GetInt("states1", 10000), flags.GetInt("states2", 100000),
+      flags.GetInt("states3", 500000)};
+
+  PrintConfig("Figure 6: varying the number of states N = |S|", flags,
+              "objects=" + std::to_string(objects) +
+                  " samples=" + std::to_string(samples) +
+                  " queries=" + std::to_string(queries) + " b=8 |T|=" +
+                  std::to_string(interval));
+  CsvTable table({"states", "ts_s", "forall_s", "exists_s", "candidates",
+                  "influencers"});
+  for (int64_t n : sweep) {
+    SyntheticConfig config;
+    config.num_states = static_cast<size_t>(n);
+    config.branching = 8.0;
+    config.num_objects = objects;
+    config.lifetime = 100;
+    config.obs_interval = 10;
+    config.horizon = 1000;
+    config.seed = 7;
+    auto world = GenerateSyntheticWorld(config);
+    UST_CHECK(world.ok());
+    PnnCell cell =
+        RunPnnExperiment(*world.value().db, queries, interval, samples, 42);
+    table.AddRow({static_cast<double>(n), cell.ts_seconds, cell.forall_seconds,
+                  cell.exists_seconds, cell.avg_candidates,
+                  cell.avg_influencers});
+  }
+  table.Print(std::cout, "Figure 6 series");
+  return 0;
+}

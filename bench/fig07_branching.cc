@@ -1,0 +1,42 @@
+// Figure 7: varying the average branching factor b of the network.
+// Paper setting: b in {6, 8, 10}; everything else default.
+// Expected shape: all runtimes grow with b (denser matrices); |I(q)| grows.
+#include "bench_common.h"
+
+using namespace ust;
+using namespace ust::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const size_t states = flags.GetInt("states", 50000);
+  const size_t objects = flags.GetInt("objects", 400);
+  const size_t samples = flags.GetInt("samples", 1000);
+  const size_t queries = flags.GetInt("queries", 5);
+  const size_t interval = flags.GetInt("interval", 10);
+
+  PrintConfig("Figure 7: varying the branching factor b", flags,
+              "states=" + std::to_string(states) +
+                  " objects=" + std::to_string(objects) +
+                  " samples=" + std::to_string(samples) +
+                  " queries=" + std::to_string(queries));
+  CsvTable table({"branching", "ts_s", "forall_s", "exists_s", "candidates",
+                  "influencers"});
+  for (double b : {6.0, 8.0, 10.0}) {
+    SyntheticConfig config;
+    config.num_states = states;
+    config.branching = b;
+    config.num_objects = objects;
+    config.lifetime = 100;
+    config.obs_interval = 10;
+    config.horizon = 1000;
+    config.seed = 7;
+    auto world = GenerateSyntheticWorld(config);
+    UST_CHECK(world.ok());
+    PnnCell cell =
+        RunPnnExperiment(*world.value().db, queries, interval, samples, 43);
+    table.AddRow({b, cell.ts_seconds, cell.forall_seconds, cell.exists_seconds,
+                  cell.avg_candidates, cell.avg_influencers});
+  }
+  table.Print(std::cout, "Figure 7 series");
+  return 0;
+}

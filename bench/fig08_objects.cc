@@ -1,0 +1,44 @@
+// Figure 8: varying the number of objects |D| (synthetic data).
+// Paper setting: |D| in {1k, 10k, 20k}. Scaled default: {100, 1000, 2000}.
+// Expected shape: TS, FA, EX and |C|/|I| all grow with |D|.
+#include "bench_common.h"
+
+using namespace ust;
+using namespace ust::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const size_t states = flags.GetInt("states", 50000);
+  const size_t samples = flags.GetInt("samples", 1000);
+  const size_t queries = flags.GetInt("queries", 5);
+  const size_t interval = flags.GetInt("interval", 10);
+  std::vector<int64_t> sweep = {flags.GetInt("objects1", 100),
+                                flags.GetInt("objects2", 1000),
+                                flags.GetInt("objects3", 2000)};
+
+  PrintConfig("Figure 8: varying the number of objects |D|", flags,
+              "states=" + std::to_string(states) +
+                  " samples=" + std::to_string(samples) +
+                  " queries=" + std::to_string(queries));
+  CsvTable table({"objects", "ts_s", "forall_s", "exists_s", "candidates",
+                  "influencers"});
+  for (int64_t n : sweep) {
+    SyntheticConfig config;
+    config.num_states = states;
+    config.branching = 8.0;
+    config.num_objects = static_cast<size_t>(n);
+    config.lifetime = 100;
+    config.obs_interval = 10;
+    config.horizon = 1000;
+    config.seed = 7;
+    auto world = GenerateSyntheticWorld(config);
+    UST_CHECK(world.ok());
+    PnnCell cell =
+        RunPnnExperiment(*world.value().db, queries, interval, samples, 44);
+    table.AddRow({static_cast<double>(n), cell.ts_seconds, cell.forall_seconds,
+                  cell.exists_seconds, cell.avg_candidates,
+                  cell.avg_influencers});
+  }
+  table.Print(std::cout, "Figure 8 series");
+  return 0;
+}

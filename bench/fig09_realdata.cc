@@ -1,0 +1,49 @@
+// Figure 9: varying |D| on real data (taxi trajectories).
+// Paper setting: map-matched T-Drive taxis on a 68902-state Beijing graph,
+// l = 8, |D| in {1k, 10k, 20k}. We substitute a center-dense road network
+// with simulated taxi trips and a learned transition matrix (DESIGN.md §2).
+// Expected shape: same growth as Figure 8 but with MORE candidates and
+// influencers at equal |D| (smaller, denser state space).
+#include "bench_common.h"
+#include "gen/roadnet.h"
+
+using namespace ust;
+using namespace ust::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const size_t states = flags.GetInt("states", 8000);
+  const size_t samples = flags.GetInt("samples", 1000);
+  const size_t queries = flags.GetInt("queries", 5);
+  const size_t interval = flags.GetInt("interval", 10);
+  std::vector<int64_t> sweep = {flags.GetInt("objects1", 100),
+                                flags.GetInt("objects2", 1000),
+                                flags.GetInt("objects3", 2000)};
+
+  PrintConfig("Figure 9: real data (road-network substitute), varying |D|",
+              flags,
+              "states=" + std::to_string(states) + " l=8 samples=" +
+                  std::to_string(samples) +
+                  " queries=" + std::to_string(queries));
+  CsvTable table({"objects", "ts_s", "forall_s", "exists_s", "candidates",
+                  "influencers"});
+  for (int64_t n : sweep) {
+    RoadnetConfig config;
+    config.num_states = states;
+    config.num_objects = static_cast<size_t>(n);
+    config.num_training_trips = 300;
+    config.lifetime = 100;
+    config.obs_interval = 8;
+    config.horizon = 1000;
+    config.seed = 11;
+    auto world = GenerateRoadnetWorld(config);
+    UST_CHECK(world.ok());
+    PnnCell cell =
+        RunPnnExperiment(*world.value().db, queries, interval, samples, 45);
+    table.AddRow({static_cast<double>(n), cell.ts_seconds, cell.forall_seconds,
+                  cell.exists_seconds, cell.avg_candidates,
+                  cell.avg_influencers});
+  }
+  table.Print(std::cout, "Figure 9 series");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 10: efficiency of sampling WITHOUT the model adaptation.
+// Paper series: expected number of trajectories drawn to obtain one valid
+// sample, versus the number of observations, for
+//   TS1 — naive forward sampling, reject on any missed observation
+//         (exponential growth),
+//   TS2 — segment-wise rejection (linear growth),
+//   FB  — the forward-backward adapted model (always exactly 1).
+// TS1 is measured directly while feasible and extrapolated from per-segment
+// acceptance rates beyond that (the paper reports expectations as well).
+#include <cmath>
+
+#include "bench_common.h"
+#include "model/samplers.h"
+
+using namespace ust;
+using namespace ust::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const size_t states = flags.GetInt("states", 20000);
+  const int interval = static_cast<int>(flags.GetInt("interval", 10));
+  const int max_obs = static_cast<int>(flags.GetInt("max_obs", 6));
+  const size_t ts2_samples = flags.GetInt("ts2_samples", 50);
+  const uint64_t ts1_budget = flags.GetInt("ts1_budget", 2000000);
+
+  PrintConfig(
+      "Figure 10: sampling efficiency without model adaptation", flags,
+      "states=" + std::to_string(states) + " obs_interval=" +
+          std::to_string(interval) + " ts1_budget=" +
+          std::to_string(ts1_budget));
+
+  CsvTable table({"num_observations", "ts1_attempts_per_sample",
+                  "ts1_measured", "ts2_attempts_per_sample", "fb"});
+  for (int num_obs = 2; num_obs <= max_obs; ++num_obs) {
+    SyntheticConfig config;
+    config.num_states = states;
+    config.branching = 8.0;
+    config.num_objects = 1;
+    config.lifetime = (num_obs - 1) * interval;
+    config.obs_interval = interval;
+    config.horizon = config.lifetime;
+    config.seed = 100 + num_obs;
+    auto world = GenerateSyntheticWorld(config);
+    UST_CHECK(world.ok());
+    const UncertainObject& obj = world.value().db->object(0);
+    Rng rng(31 + num_obs);
+
+    // TS2: measure attempts per sample directly.
+    SegmentRejectionSampler ts2(obj.matrix(), obj.observations(), 100000000);
+    for (size_t i = 0; i < ts2_samples; ++i) {
+      UST_CHECK(ts2.Sample(rng).ok());
+    }
+    const double ts2_attempts = ts2.stats().AttemptsPerSample();
+
+    // Per-segment acceptance rates give the analytic TS1 expectation:
+    // E[attempts] = prod_i 1/p_i (all segments must succeed in one run).
+    double expected_ts1 = 1.0;
+    const auto& items = obj.observations().items();
+    for (size_t i = 0; i + 1 < items.size(); ++i) {
+      auto seg = ObservationSeq::Create({items[i], items[i + 1]});
+      UST_CHECK(seg.ok());
+      SegmentRejectionSampler seg_sampler(obj.matrix(), seg.value(),
+                                          100000000);
+      for (int s = 0; s < 30; ++s) UST_CHECK(seg_sampler.Sample(rng).ok());
+      expected_ts1 *= seg_sampler.stats().AttemptsPerSample();
+    }
+
+    // TS1: measure while the expectation fits the attempt budget.
+    double ts1_measured = std::nan("");
+    if (expected_ts1 * 5 < static_cast<double>(ts1_budget)) {
+      NaiveRejectionSampler ts1(obj.matrix(), obj.observations(), ts1_budget);
+      size_t got = 0;
+      for (int s = 0; s < 5; ++s) {
+        if (ts1.Sample(rng).ok()) ++got;
+      }
+      if (got > 0) ts1_measured = ts1.stats().AttemptsPerSample();
+    }
+
+    table.AddRow({static_cast<double>(num_obs), expected_ts1,
+                  std::isnan(ts1_measured) ? -1.0 : ts1_measured,
+                  ts2_attempts, 1.0});
+  }
+  table.Print(std::cout, "Figure 10 series (ts1_measured = -1: beyond budget)");
+  return 0;
+}

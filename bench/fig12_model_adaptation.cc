@@ -1,0 +1,95 @@
+// Figure 12: effectiveness of the forward-backward model adaptation on
+// (substituted) real data. For held-out taxi trajectories we compare, per
+// tic, the expected distance between each model's marginal distribution and
+// the taxi's true position:
+//   NO  — a-priori propagation from the first observation only,
+//   F   — forward-only filtering,
+//   FB  — the full forward-backward adaptation (this paper),
+//   U   — uniform distribution over the reachable states (cylinders/beads
+//         stand-in [13, 16]),
+//   FBU — forward-backward over a uniformized transition matrix (unlearned
+//         turning probabilities).
+// Expected shape: NO >> F >> FB; U > FBU > FB; F spikes right before an
+// observation while FB stays flat.
+#include "bench_common.h"
+#include "gen/roadnet.h"
+#include "model/adaptation.h"
+
+using namespace ust;
+using namespace ust::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const size_t states = flags.GetInt("states", 6000);
+  const size_t objects = flags.GetInt("objects", 40);
+  const size_t trips = flags.GetInt("training_trips", 300);
+  const int interval = static_cast<int>(flags.GetInt("interval", 10));
+  const int window = static_cast<int>(flags.GetInt("window", 30));
+
+  PrintConfig("Figure 12: effectiveness of the model adaptation", flags,
+              "states=" + std::to_string(states) + " objects=" +
+                  std::to_string(objects) + " obs_interval=" +
+                  std::to_string(interval) + " window=" +
+                  std::to_string(window) + " tics");
+
+  RoadnetConfig config;
+  config.num_states = states;
+  config.num_objects = objects;
+  config.num_training_trips = trips;
+  config.lifetime = window + interval;  // at least `window` evaluable tics
+  config.obs_interval = interval;
+  config.horizon = config.lifetime;
+  config.seed = 19;
+  auto world = GenerateRoadnetWorld(config);
+  UST_CHECK(world.ok());
+  const TrajectoryDatabase& db = *world.value().db;
+  const StateSpace& space = db.space();
+  TransitionMatrix uniformized = world.value().matrix->Uniformized();
+
+  std::vector<double> err_no(window, 0), err_f(window, 0), err_fb(window, 0),
+      err_u(window, 0), err_fbu(window, 0);
+  std::vector<double> counts(window, 0);
+  for (size_t i = 0; i < db.size(); ++i) {
+    const UncertainObject& obj = db.object(static_cast<ObjectId>(i));
+    const Trajectory& truth = world.value().ground_truth[i];
+    auto fb = obj.Posterior();
+    UST_CHECK(fb.ok());
+    auto f = ForwardFilterMarginals(obj.matrix(), obj.observations());
+    UST_CHECK(f.ok());
+    auto no = AprioriMarginals(obj.matrix(), obj.observations().first(),
+                               fb.value()->num_slices());
+    auto u = UniformReachableMarginals(*fb.value());
+    auto fbu = AdaptTransitionMatrices(uniformized, obj.observations());
+    UST_CHECK(fbu.ok());
+    for (int rel = 0; rel < window; ++rel) {
+      Tic t = truth.start + rel;
+      if (t > truth.end()) break;
+      const Point2& pos = space.coord(truth.At(t));
+      err_no[rel] += no[rel].ExpectedDistanceTo(space, pos);
+      err_f[rel] += f.value()[rel].ExpectedDistanceTo(space, pos);
+      err_fb[rel] += fb.value()->MarginalAt(t).ExpectedDistanceTo(space, pos);
+      err_u[rel] += u[rel].ExpectedDistanceTo(space, pos);
+      err_fbu[rel] +=
+          fbu.value().MarginalAt(t).ExpectedDistanceTo(space, pos);
+      counts[rel] += 1.0;
+    }
+  }
+  CsvTable table({"tic", "NO", "F", "FB", "U", "FBU"});
+  double sum_no = 0, sum_f = 0, sum_fb = 0, sum_u = 0, sum_fbu = 0;
+  for (int rel = 0; rel < window; ++rel) {
+    if (counts[rel] == 0) break;
+    table.AddRow({static_cast<double>(rel), err_no[rel] / counts[rel],
+                  err_f[rel] / counts[rel], err_fb[rel] / counts[rel],
+                  err_u[rel] / counts[rel], err_fbu[rel] / counts[rel]});
+    sum_no += err_no[rel] / counts[rel];
+    sum_f += err_f[rel] / counts[rel];
+    sum_fb += err_fb[rel] / counts[rel];
+    sum_u += err_u[rel] / counts[rel];
+    sum_fbu += err_fbu[rel] / counts[rel];
+  }
+  table.Print(std::cout, "Figure 12 series (mean error per tic)");
+  std::printf("# totals: NO %.4f  F %.4f  FB %.4f  U %.4f  FBU %.4f\n",
+              sum_no, sum_f, sum_fb, sum_u, sum_fbu);
+  std::printf("# expected ordering: FB < FBU < U and FB < F < NO\n");
+  return 0;
+}

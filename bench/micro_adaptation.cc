@@ -1,0 +1,94 @@
+// Microbenchmarks of the forward-backward model adaptation (Algorithm 2):
+// cost per object as a function of observation spacing, slack and network
+// density. The paper's complexity bound is O(|T| * |S|^2); with sparse
+// diamonds the effective cost is O(|T| * W * deg) for diamond width W.
+#include <benchmark/benchmark.h>
+
+#include "gen/synthetic.h"
+#include "model/adaptation.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ust;
+
+struct AdaptationFixture {
+  SyntheticWorld world;
+  explicit AdaptationFixture(int obs_interval, double lag = 0.5,
+                             double branching = 8.0) {
+    SyntheticConfig config;
+    config.num_states = 20000;
+    config.branching = branching;
+    config.num_objects = 16;
+    config.lifetime = 96;
+    config.obs_interval = obs_interval;
+    config.lag = lag;
+    config.horizon = 96;
+    config.seed = 5;
+    auto result = GenerateSyntheticWorld(config);
+    UST_CHECK(result.ok());
+    world = result.MoveValue();
+  }
+};
+
+void BM_AdaptObsInterval(benchmark::State& state) {
+  AdaptationFixture fixture(static_cast<int>(state.range(0)));
+  const auto& db = *fixture.world.db;
+  size_t i = 0;
+  for (auto _ : state) {
+    const UncertainObject& obj = db.object(i++ % db.size());
+    auto model = AdaptTransitionMatrices(obj.matrix(), obj.observations());
+    UST_CHECK(model.ok());
+    benchmark::DoNotOptimize(model.value());
+  }
+  state.SetLabel("obs_interval=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_AdaptObsInterval)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AdaptSlack(benchmark::State& state) {
+  // lag v: smaller v = more slack = wider diamonds = more work.
+  AdaptationFixture fixture(12, state.range(0) / 100.0);
+  const auto& db = *fixture.world.db;
+  size_t i = 0;
+  for (auto _ : state) {
+    const UncertainObject& obj = db.object(i++ % db.size());
+    auto model = AdaptTransitionMatrices(obj.matrix(), obj.observations());
+    UST_CHECK(model.ok());
+    benchmark::DoNotOptimize(model.value());
+  }
+  state.SetLabel("v=0." + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_AdaptSlack)->Arg(25)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ForwardFilterOnly(benchmark::State& state) {
+  AdaptationFixture fixture(12);
+  const auto& db = *fixture.world.db;
+  size_t i = 0;
+  for (auto _ : state) {
+    const UncertainObject& obj = db.object(i++ % db.size());
+    auto marginals = ForwardFilterMarginals(obj.matrix(), obj.observations());
+    UST_CHECK(marginals.ok());
+    benchmark::DoNotOptimize(marginals.value());
+  }
+}
+BENCHMARK(BM_ForwardFilterOnly)->Unit(benchmark::kMillisecond);
+
+void BM_AdaptBranching(benchmark::State& state) {
+  AdaptationFixture fixture(12, 0.5, static_cast<double>(state.range(0)));
+  const auto& db = *fixture.world.db;
+  size_t i = 0;
+  for (auto _ : state) {
+    const UncertainObject& obj = db.object(i++ % db.size());
+    auto model = AdaptTransitionMatrices(obj.matrix(), obj.observations());
+    UST_CHECK(model.ok());
+    benchmark::DoNotOptimize(model.value());
+  }
+  state.SetLabel("b=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_AdaptBranching)->Arg(6)->Arg(8)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,77 @@
+// Microbenchmarks of the R*-tree substrate: insertion and window queries
+// over (x, y, t) boxes shaped like UST-tree diamond MBRs.
+#include <benchmark/benchmark.h>
+
+#include "index/rstar_tree.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ust;
+
+Rect3 DiamondLikeBox(Rng& rng) {
+  double x = rng.Uniform(), y = rng.Uniform(), t = rng.Uniform(0, 1000);
+  Rect3 r;
+  r.lo = {x, y, t};
+  r.hi = {x + rng.Uniform(0.005, 0.05), y + rng.Uniform(0.005, 0.05),
+          t + 10.0};
+  return r;
+}
+
+void BM_Insert(benchmark::State& state) {
+  Rng rng(1);
+  RStarTree tree;
+  uint64_t payload = 0;
+  for (auto _ : state) {
+    tree.Insert(DiamondLikeBox(rng), payload++);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(payload));
+}
+BENCHMARK(BM_Insert);
+
+void BM_TimeSlabQuery(benchmark::State& state) {
+  Rng rng(2);
+  RStarTree tree;
+  for (int i = 0; i < state.range(0); ++i) {
+    tree.Insert(DiamondLikeBox(rng), static_cast<uint64_t>(i));
+  }
+  Rect2 space = MakeRect2(0, 0, 1.1, 1.1);
+  for (auto _ : state) {
+    double t0 = rng.Uniform(0, 990);
+    auto hits = tree.Query(WithTimeInterval(space, t0, t0 + 10));
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " entries");
+}
+BENCHMARK(BM_TimeSlabQuery)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SpatialWindowQuery(benchmark::State& state) {
+  Rng rng(3);
+  RStarTree tree;
+  for (int i = 0; i < 50000; ++i) {
+    tree.Insert(DiamondLikeBox(rng), static_cast<uint64_t>(i));
+  }
+  for (auto _ : state) {
+    double x = rng.Uniform(), y = rng.Uniform();
+    auto hits = tree.Query(
+        WithTimeInterval(MakeRect2(x, y, x + 0.05, y + 0.05), 0, 1000));
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_SpatialWindowQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_InsertNoReinsert(benchmark::State& state) {
+  Rng rng(4);
+  RStarTree::Options options;
+  options.forced_reinsert = false;
+  RStarTree tree(options);
+  uint64_t payload = 0;
+  for (auto _ : state) {
+    tree.Insert(DiamondLikeBox(rng), payload++);
+  }
+}
+BENCHMARK(BM_InsertNoReinsert);
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Microbenchmarks of trajectory sampling and the per-world NN kernel: the
+// inner loops of the Monte-Carlo estimators.
+#include <benchmark/benchmark.h>
+
+#include "gen/synthetic.h"
+#include "gen/workload.h"
+#include "query/monte_carlo.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ust;
+
+struct SamplingFixture {
+  SyntheticWorld world;
+  TimeInterval T{0, 0};
+  SamplingFixture() {
+    SyntheticConfig config;
+    config.num_states = 20000;
+    config.num_objects = 64;
+    config.lifetime = 96;
+    config.obs_interval = 12;
+    config.horizon = 120;
+    config.seed = 6;
+    auto result = GenerateSyntheticWorld(config);
+    UST_CHECK(result.ok());
+    world = result.MoveValue();
+    UST_CHECK(world.db->EnsureAllPosteriors().ok());
+    T = BusiestInterval(*world.db, 10);
+  }
+};
+
+SamplingFixture& Fixture() {
+  static SamplingFixture fixture;
+  return fixture;
+}
+
+void BM_SampleFullTrajectory(benchmark::State& state) {
+  auto& fixture = Fixture();
+  auto posterior = fixture.world.db->object(0).Posterior();
+  UST_CHECK(posterior.ok());
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(posterior.value()->SampleTrajectory(rng));
+  }
+}
+BENCHMARK(BM_SampleFullTrajectory);
+
+void BM_SampleWindow(benchmark::State& state) {
+  auto& fixture = Fixture();
+  // Pick an object alive over T.
+  auto alive = fixture.world.db->AliveThroughout(fixture.T.start,
+                                                 fixture.T.end);
+  UST_CHECK(!alive.empty());
+  auto posterior = fixture.world.db->object(alive[0]).Posterior();
+  UST_CHECK(posterior.ok());
+  Rng rng(2);
+  for (auto _ : state) {
+    auto traj =
+        posterior.value()->SampleWindow(fixture.T.start, fixture.T.end, rng);
+    UST_CHECK(traj.ok());
+    benchmark::DoNotOptimize(traj.value());
+  }
+}
+BENCHMARK(BM_SampleWindow);
+
+void BM_NnTable(benchmark::State& state) {
+  auto& fixture = Fixture();
+  const auto& db = *fixture.world.db;
+  auto ids = db.AliveSometime(fixture.T.start, fixture.T.end);
+  UST_CHECK(!ids.empty());
+  Rng rng(3);
+  QueryTrajectory q = RandomQueryState(db.space(), rng);
+  MonteCarloOptions options;
+  options.num_worlds = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto table = ComputeNnTable(db, ids, q, fixture.T, options);
+    UST_CHECK(table.ok());
+    benchmark::DoNotOptimize(table.value());
+  }
+  state.SetLabel(std::to_string(ids.size()) + " participants");
+}
+BENCHMARK(BM_NnTable)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_ForallProbFromTable(benchmark::State& state) {
+  auto& fixture = Fixture();
+  const auto& db = *fixture.world.db;
+  auto ids = db.AliveSometime(fixture.T.start, fixture.T.end);
+  Rng rng(4);
+  QueryTrajectory q = RandomQueryState(db.space(), rng);
+  MonteCarloOptions options;
+  options.num_worlds = 1000;
+  auto table = ComputeNnTable(db, ids, q, fixture.T, options);
+  UST_CHECK(table.ok());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.value().ForallProb(i++ % ids.size()));
+  }
+}
+BENCHMARK(BM_ForallProbFromTable);
+
+}  // namespace

@@ -1,0 +1,180 @@
+#include "gen/roadnet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/dijkstra.h"
+#include "markov/builders.h"
+#include "state/grid_index.h"
+#include "util/check.h"
+
+namespace ust {
+
+std::shared_ptr<const StateSpace> GenerateRoadStates(size_t num_states,
+                                                     double center_decay,
+                                                     Rng& rng) {
+  std::vector<Point2> coords;
+  coords.reserve(num_states);
+  const Point2 center{0.5, 0.5};
+  while (coords.size() < num_states) {
+    Point2 p{rng.Uniform(), rng.Uniform()};
+    double r = Distance(p, center);
+    double keep = std::exp(-r / center_decay);
+    if (rng.Uniform() < keep) coords.push_back(p);
+  }
+  return std::make_shared<const StateSpace>(std::move(coords));
+}
+
+CsrGraph ConnectKnn(const StateSpace& space, size_t k) {
+  const size_t n = space.size();
+  GridIndex grid = GridIndex::Build(space);
+  std::vector<std::vector<Edge>> adj(n);
+  // Expand the search radius until k neighbors are found; edges are made
+  // symmetric afterwards so roads are drivable in both directions.
+  const double base_radius = 2.0 / std::sqrt(static_cast<double>(n) + 1.0);
+  for (StateId s = 0; s < n; ++s) {
+    std::vector<StateId> nearby;
+    double radius = base_radius;
+    while (true) {
+      nearby = grid.WithinRadius(space.coord(s), radius);
+      if (nearby.size() > k) break;  // > k: includes s itself
+      radius *= 2.0;
+      if (radius > 4.0) break;
+    }
+    std::sort(nearby.begin(), nearby.end(), [&](StateId a, StateId b) {
+      return SquaredDistance(space.coord(s), space.coord(a)) <
+             SquaredDistance(space.coord(s), space.coord(b));
+    });
+    size_t added = 0;
+    for (StateId nb : nearby) {
+      if (nb == s) continue;
+      adj[s].push_back({nb, space.Distance(s, nb)});
+      if (++added >= k) break;
+    }
+  }
+  // Symmetrize.
+  std::vector<std::vector<Edge>> sym(n);
+  for (StateId s = 0; s < n; ++s) {
+    for (const Edge& e : adj[s]) {
+      sym[s].push_back(e);
+      sym[e.to].push_back({s, e.weight});
+    }
+  }
+  for (auto& edges : sym) {
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge& a, const Edge& b) { return a.to < b.to; });
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const Edge& a, const Edge& b) {
+                              return a.to == b.to;
+                            }),
+                edges.end());
+  }
+  return CsrGraph::FromAdjacency(sym);
+}
+
+Result<Trajectory> SimulateTrip(const StateSpace& space, const CsrGraph& graph,
+                                int lifetime, double pause_prob, Tic start_tic,
+                                Rng& rng) {
+  UST_CHECK(lifetime >= 1);
+  Trajectory traj;
+  traj.start = start_tic;
+  traj.states.reserve(static_cast<size_t>(lifetime));
+  StateId cur = static_cast<StateId>(rng.UniformInt(space.size()));
+  traj.states.push_back(cur);
+  std::vector<StateId> route;  // remaining nodes to drive, in order
+  size_t route_pos = 0;
+  int failures = 0;
+  while (traj.states.size() < static_cast<size_t>(lifetime)) {
+    if (route_pos >= route.size()) {
+      // Pick a fresh destination and route to it.
+      StateId dest = static_cast<StateId>(rng.UniformInt(space.size()));
+      if (dest == cur) continue;
+      auto sp = ShortestPath(graph, cur, dest);
+      if (!sp.ok()) {
+        ++failures;
+        if (failures > 256) {
+          return Status::NotFound("road network too disconnected for a trip");
+        }
+        if (failures % 8 == 0) {
+          // The taxi spawned in (or drove into) a small disconnected pocket
+          // of the kNN road graph; restart the trip from a fresh state.
+          cur = static_cast<StateId>(rng.UniformInt(space.size()));
+          traj.states.clear();
+          traj.states.push_back(cur);
+          route.clear();
+          route_pos = 0;
+        }
+        continue;
+      }
+      route.assign(sp.value().begin() + 1, sp.value().end());
+      route_pos = 0;
+      continue;
+    }
+    if (rng.Uniform() < pause_prob) {
+      traj.states.push_back(cur);  // taxi stands still this tic
+    } else {
+      cur = route[route_pos++];
+      traj.states.push_back(cur);
+    }
+  }
+  return traj;
+}
+
+Result<RoadnetWorld> GenerateRoadnetWorld(const RoadnetConfig& config) {
+  if (config.num_states == 0 || config.num_objects == 0) {
+    return Status::InvalidArgument("empty world requested");
+  }
+  if (config.obs_interval < 1 || config.lifetime <= config.obs_interval) {
+    return Status::InvalidArgument("lifetime must cover one obs interval");
+  }
+  Rng rng(config.seed);
+  RoadnetWorld world;
+  world.space =
+      GenerateRoadStates(config.num_states, config.center_decay, rng);
+  world.graph = ConnectKnn(*world.space, config.knn_edges);
+
+  // Training phase: simulate trips and learn turning probabilities
+  // (the map-matching + aggregation step of the paper).
+  std::vector<std::vector<StateId>> training;
+  training.reserve(config.num_training_trips);
+  for (size_t i = 0; i < config.num_training_trips; ++i) {
+    auto trip = SimulateTrip(*world.space, world.graph, config.lifetime,
+                             config.pause_prob, 0, rng);
+    if (!trip.ok()) return trip.status();
+    training.push_back(std::move(trip.value().states));
+  }
+  auto learned = LearnTransitionMatrix(*world.space, world.graph, training,
+                                       config.smoothing);
+  if (!learned.ok()) return learned.status();
+  world.matrix =
+      std::make_shared<const TransitionMatrix>(learned.MoveValue());
+
+  // Evaluation phase: fresh trips (disjoint from training), thinned to
+  // observations; the discarded tics are the ground truth.
+  world.db = std::make_shared<TrajectoryDatabase>(world.space);
+  const Tic max_start = std::max<Tic>(0, config.horizon - config.lifetime);
+  for (size_t o = 0; o < config.num_objects; ++o) {
+    const Tic start =
+        static_cast<Tic>(rng.UniformInt(static_cast<uint64_t>(max_start) + 1));
+    auto trip = SimulateTrip(*world.space, world.graph, config.lifetime,
+                             config.pause_prob, start, rng);
+    if (!trip.ok()) return trip.status();
+    const Trajectory& truth = trip.value();
+    std::vector<Observation> observations;
+    for (size_t k = 0; k < truth.states.size(); k += config.obs_interval) {
+      observations.push_back(
+          {truth.start + static_cast<Tic>(k), truth.states[k]});
+    }
+    // Always observe the final position so the alive span covers the trip.
+    if ((truth.states.size() - 1) % config.obs_interval != 0) {
+      observations.push_back({truth.end(), truth.states.back()});
+    }
+    auto seq = ObservationSeq::Create(std::move(observations));
+    if (!seq.ok()) return seq.status();
+    world.db->AddObject(seq.MoveValue(), world.matrix);
+    world.ground_truth.push_back(truth);
+  }
+  return world;
+}
+
+}  // namespace ust

@@ -1,0 +1,77 @@
+// Real-data substitute (Section 7, "Real Data"). The paper map-matches
+// T-Drive taxi GPS logs onto a reduced OpenStreetMap graph of Beijing
+// (68 902 states), learns one shared transition matrix from turning
+// statistics, takes every l-th point as an observation, and uses the
+// discarded points as ground truth.
+//
+// We reproduce that pipeline on synthetic inputs (substitution documented in
+// DESIGN.md):
+//  * a center-dense road network — node density decays with the distance
+//    from the city center, reproducing the paper's observation that queries
+//    near the center see more candidates/influencers;
+//  * a trip simulator whose vehicles follow shortest paths with random
+//    pauses (standing taxis!), so the true motion is NOT the first-order
+//    Markov model used for querying — the same out-of-model relationship
+//    real GPS data has;
+//  * a transition matrix learned by aggregating turning counts of training
+//    trips, disjoint from the evaluation trips (the paper's leave-one-out).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gen/synthetic.h"
+#include "graph/csr_graph.h"
+#include "markov/transition_matrix.h"
+#include "model/trajectory_database.h"
+#include "state/state_space.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ust {
+
+/// \brief Parameters of the road-network world.
+struct RoadnetConfig {
+  size_t num_states = 8000;      ///< intersections (paper: 68902)
+  double center_decay = 0.30;    ///< radial density scale (smaller = denser core)
+  size_t knn_edges = 4;          ///< road connections per intersection
+  size_t num_objects = 100;      ///< evaluation taxis
+  size_t num_training_trips = 300;  ///< trips used to learn the matrix
+  int lifetime = 100;            ///< tics per taxi (paper: capped at 100)
+  int obs_interval = 8;          ///< l: keep every l-th point (paper: l = 8)
+  Tic horizon = 1000;
+  double pause_prob = 0.25;      ///< probability a taxi stands still per tic
+  double smoothing = 0.5;        ///< Laplace smoothing of learned matrix
+  uint64_t seed = 11;
+};
+
+/// \brief A generated road-network world; ground-truth trajectories are kept
+/// for the model-effectiveness experiments (Figure 12).
+struct RoadnetWorld {
+  std::shared_ptr<const StateSpace> space;
+  CsrGraph graph;
+  TransitionMatrixPtr matrix;                ///< learned from training trips
+  std::shared_ptr<TrajectoryDatabase> db;    ///< observations of eval taxis
+  std::vector<Trajectory> ground_truth;      ///< aligned with db object ids
+};
+
+/// Sample intersections with density exp(-r / center_decay) around (0.5,0.5).
+std::shared_ptr<const StateSpace> GenerateRoadStates(size_t num_states,
+                                                     double center_decay,
+                                                     Rng& rng);
+
+/// Symmetric k-nearest-neighbor road connections.
+CsrGraph ConnectKnn(const StateSpace& space, size_t k);
+
+/// Simulate one taxi trip of `lifetime` tics starting at `start_tic`:
+/// shortest-path driving with per-tic pauses; re-routes to fresh
+/// destinations until the lifetime is exhausted.
+Result<Trajectory> SimulateTrip(const StateSpace& space, const CsrGraph& graph,
+                                int lifetime, double pause_prob, Tic start_tic,
+                                Rng& rng);
+
+/// Build the full world: network, training trips, learned matrix, evaluation
+/// taxis with thinned observations plus ground truth.
+Result<RoadnetWorld> GenerateRoadnetWorld(const RoadnetConfig& config);
+
+}  // namespace ust

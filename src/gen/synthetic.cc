@@ -1,0 +1,135 @@
+#include "gen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/dijkstra.h"
+#include "markov/builders.h"
+#include "state/grid_index.h"
+#include "util/check.h"
+
+namespace ust {
+
+std::shared_ptr<const StateSpace> GenerateStates(size_t num_states, Rng& rng) {
+  std::vector<Point2> coords;
+  coords.reserve(num_states);
+  for (size_t i = 0; i < num_states; ++i) {
+    coords.push_back({rng.Uniform(), rng.Uniform()});
+  }
+  return std::make_shared<const StateSpace>(std::move(coords));
+}
+
+CsrGraph ConnectByRadius(const StateSpace& space, double branching) {
+  const size_t n = space.size();
+  UST_CHECK(n > 0);
+  const double radius =
+      std::sqrt(branching / (static_cast<double>(n) * M_PI));
+  GridIndex grid = GridIndex::Build(space);
+  std::vector<std::vector<Edge>> adj(n);
+  for (StateId s = 0; s < n; ++s) {
+    for (StateId nb : grid.WithinRadius(space.coord(s), radius)) {
+      if (nb == s) continue;
+      adj[s].push_back({nb, space.Distance(s, nb)});
+    }
+  }
+  return CsrGraph::FromAdjacency(adj);
+}
+
+Result<ObservationSeq> GenerateObjectObservations(const StateSpace& space,
+                                                  const CsrGraph& graph,
+                                                  const GridIndex* grid,
+                                                  const SyntheticConfig& config,
+                                                  Tic start_tic, Rng& rng) {
+  const int i = config.obs_interval;
+  UST_CHECK(i >= 1);
+  const int l = std::max(1, static_cast<int>(std::lround(i * config.lag)));
+  const size_t num_obs = static_cast<size_t>(config.lifetime / i) + 1;
+  const size_t path_nodes_needed = (num_obs - 1) * static_cast<size_t>(l) + 1;
+
+  // Waypoint walk: concatenate shortest paths until enough nodes exist.
+  // Random geometric graphs can contain small disconnected pockets; after a
+  // few unroutable waypoints the walk restarts from a fresh random state,
+  // which lands in the giant component with overwhelming probability.
+  std::vector<StateId> path;
+  StateId cur = static_cast<StateId>(rng.UniformInt(space.size()));
+  path.push_back(cur);
+  int failures = 0;
+  auto draw_waypoint = [&](StateId from) -> StateId {
+    if (grid != nullptr && config.waypoint_radius > 0.0) {
+      auto nearby =
+          grid->WithinRadius(space.coord(from), config.waypoint_radius);
+      if (nearby.size() > 1) {
+        return nearby[rng.UniformInt(nearby.size())];
+      }
+    }
+    return static_cast<StateId>(rng.UniformInt(space.size()));
+  };
+  while (path.size() < path_nodes_needed) {
+    StateId waypoint = draw_waypoint(cur);
+    if (waypoint == cur) continue;
+    auto sp = ShortestPath(graph, cur, waypoint);
+    if (!sp.ok()) {
+      ++failures;
+      if (failures > 256) {
+        return Status::NotFound(
+            "network too disconnected to route an object");
+      }
+      if (failures % 8 == 0) {
+        // The current state is likely stuck in a small component.
+        path.clear();
+        cur = static_cast<StateId>(rng.UniformInt(space.size()));
+        path.push_back(cur);
+      }
+      continue;
+    }
+    const auto& nodes = sp.value();
+    path.insert(path.end(), nodes.begin() + 1, nodes.end());
+    cur = waypoint;
+  }
+
+  // Every l-th node becomes an observation, spaced obs_interval tics apart.
+  // Since l <= i and the model keeps a self-loop, a path of exactly i tics
+  // between consecutive observed states always has nonzero probability.
+  std::vector<Observation> observations;
+  observations.reserve(num_obs);
+  for (size_t k = 0; k < num_obs; ++k) {
+    observations.push_back({start_tic + static_cast<Tic>(k) * i,
+                            path[k * static_cast<size_t>(l)]});
+  }
+  return ObservationSeq::Create(std::move(observations));
+}
+
+Result<SyntheticWorld> GenerateSyntheticWorld(const SyntheticConfig& config) {
+  if (config.num_states == 0 || config.num_objects == 0) {
+    return Status::InvalidArgument("empty world requested");
+  }
+  if (config.lag <= 0.0 || config.lag > 1.0) {
+    return Status::InvalidArgument("lag v must be in (0, 1]");
+  }
+  if (config.lifetime < config.obs_interval || config.obs_interval < 1) {
+    return Status::InvalidArgument("lifetime must cover one obs interval");
+  }
+  Rng rng(config.seed);
+  SyntheticWorld world;
+  world.space = GenerateStates(config.num_states, rng);
+  world.graph = ConnectByRadius(*world.space, config.branching);
+  auto matrix =
+      DistanceInverseMatrix(*world.space, world.graph, config.self_loop);
+  if (!matrix.ok()) return matrix.status();
+  world.matrix =
+      std::make_shared<const TransitionMatrix>(matrix.MoveValue());
+  world.db = std::make_shared<TrajectoryDatabase>(world.space);
+  GridIndex grid = GridIndex::Build(*world.space);
+  const Tic max_start = std::max<Tic>(0, config.horizon - config.lifetime);
+  for (size_t o = 0; o < config.num_objects; ++o) {
+    const Tic start =
+        static_cast<Tic>(rng.UniformInt(static_cast<uint64_t>(max_start) + 1));
+    auto obs = GenerateObjectObservations(*world.space, world.graph, &grid,
+                                          config, start, rng);
+    if (!obs.ok()) return obs.status();
+    world.db->AddObject(obs.MoveValue(), world.matrix);
+  }
+  return world;
+}
+
+}  // namespace ust

@@ -1,0 +1,71 @@
+// Synthetic workload generator (Section 7, "Artificial Data"):
+//  1. N states drawn uniformly from [0,1]^2.
+//  2. Edges between states within distance r = sqrt(b / (N * pi)), giving an
+//     average branching factor b independent of N.
+//  3. Transition probabilities indirectly proportional to edge length
+//     (plus a self-loop absorbing slack time).
+//  4. Objects: a sequence of waypoints connected by shortest paths; every
+//     l-th path node (l = round(i * v)) becomes an observation, spaced i
+//     tics apart — v < 1 leaves slack for deviations from the shortest path.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "markov/transition_matrix.h"
+#include "model/trajectory_database.h"
+#include "state/grid_index.h"
+#include "state/state_space.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ust {
+
+/// \brief Parameters of the synthetic world (paper defaults in comments).
+struct SyntheticConfig {
+  size_t num_states = 10000;      ///< N (paper default 100k)
+  double branching = 8.0;         ///< b, average node degree
+  size_t num_objects = 100;       ///< |D| (paper default 10k)
+  int lifetime = 100;             ///< tics between first and last observation
+  int obs_interval = 10;          ///< i, tics between consecutive observations
+  double lag = 0.5;               ///< v in (0,1]: path nodes per interval l = round(i*v)
+  Tic horizon = 1000;             ///< database time horizon
+  double self_loop = 0.1;         ///< self-loop probability mass per state
+  /// Waypoints are drawn within this radius of the current position (objects
+  /// move locally instead of teleporting across the map); <= 0 draws
+  /// waypoints uniformly from the whole space.
+  double waypoint_radius = 0.15;
+  uint64_t seed = 7;
+};
+
+/// \brief A generated world: space, network, shared a-priori model, database.
+struct SyntheticWorld {
+  std::shared_ptr<const StateSpace> space;
+  CsrGraph graph;
+  TransitionMatrixPtr matrix;
+  std::shared_ptr<TrajectoryDatabase> db;
+};
+
+/// Build the state space and network only (steps 1-2).
+std::shared_ptr<const StateSpace> GenerateStates(size_t num_states, Rng& rng);
+
+/// Connect states within radius r = sqrt(b / (N pi)); bidirectional edges
+/// weighted by Euclidean length.
+CsrGraph ConnectByRadius(const StateSpace& space, double branching);
+
+/// Generate the full world (steps 1-4). Observation sequences are consistent
+/// with the generated model by construction.
+Result<SyntheticWorld> GenerateSyntheticWorld(const SyntheticConfig& config);
+
+/// \brief Generate one object's observations: waypoint walk via shortest
+/// paths starting at `start_tic`. `grid` (optional) enables local waypoint
+/// selection per config.waypoint_radius. Returns kNotFound if the network
+/// region is too disconnected to produce enough path nodes.
+Result<ObservationSeq> GenerateObjectObservations(const StateSpace& space,
+                                                  const CsrGraph& graph,
+                                                  const GridIndex* grid,
+                                                  const SyntheticConfig& config,
+                                                  Tic start_tic, Rng& rng);
+
+}  // namespace ust

@@ -1,0 +1,56 @@
+#include "gen/workload.h"
+
+#include <algorithm>
+
+#include "model/samplers.h"
+#include "util/check.h"
+
+namespace ust {
+
+QueryTrajectory RandomQueryState(const StateSpace& space, Rng& rng) {
+  StateId s = static_cast<StateId>(rng.UniformInt(space.size()));
+  return QueryTrajectory::FromPoint(space.coord(s));
+}
+
+QueryTrajectory RandomQueryTrajectory(const StateSpace& space,
+                                      const TransitionMatrix& matrix,
+                                      Tic start, size_t length, Rng& rng) {
+  UST_CHECK(length >= 1);
+  std::vector<Point2> points;
+  points.reserve(length);
+  StateId cur = static_cast<StateId>(rng.UniformInt(space.size()));
+  points.push_back(space.coord(cur));
+  for (size_t i = 1; i < length; ++i) {
+    cur = SampleTransition(matrix, cur, rng);
+    points.push_back(space.coord(cur));
+  }
+  return QueryTrajectory::FromPoints(start, std::move(points));
+}
+
+TimeInterval RandomInterval(Tic horizon, size_t length, Rng& rng) {
+  UST_CHECK(length >= 1);
+  Tic max_start = std::max<Tic>(0, horizon - static_cast<Tic>(length) + 1);
+  Tic start =
+      static_cast<Tic>(rng.UniformInt(static_cast<uint64_t>(max_start) + 1));
+  return {start, start + static_cast<Tic>(length) - 1};
+}
+
+TimeInterval BusiestInterval(const TrajectoryDatabase& db, size_t length) {
+  UST_CHECK(length >= 1);
+  Tic horizon = 0;
+  for (const auto& o : db.objects()) horizon = std::max(horizon, o.last_tic());
+  TimeInterval best{0, static_cast<Tic>(length) - 1};
+  size_t best_count = 0;
+  for (Tic start = 0; start + static_cast<Tic>(length) - 1 <= horizon;
+       ++start) {
+    TimeInterval T{start, start + static_cast<Tic>(length) - 1};
+    size_t count = db.AliveThroughout(T.start, T.end).size();
+    if (count > best_count) {
+      best_count = count;
+      best = T;
+    }
+  }
+  return best;
+}
+
+}  // namespace ust

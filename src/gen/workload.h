@@ -1,0 +1,30 @@
+// Query workload helpers shared by the experiment harnesses: query reference
+// states are drawn uniformly from the underlying state space (Section 7) and
+// query intervals are placed where the database is populated.
+#pragma once
+
+#include <vector>
+
+#include "model/trajectory_database.h"
+#include "query/query.h"
+#include "util/rng.h"
+
+namespace ust {
+
+/// Uniformly drawn query state (the paper's default query shape).
+QueryTrajectory RandomQueryState(const StateSpace& space, Rng& rng);
+
+/// A random query trajectory of `length` tics following the motion model
+/// support (one graph hop per tic), starting at tic `start`.
+QueryTrajectory RandomQueryTrajectory(const StateSpace& space,
+                                      const TransitionMatrix& matrix,
+                                      Tic start, size_t length, Rng& rng);
+
+/// Query interval of `length` tics placed uniformly inside [0, horizon].
+TimeInterval RandomInterval(Tic horizon, size_t length, Rng& rng);
+
+/// Query interval of `length` tics maximizing the number of objects alive
+/// throughout (deterministic; used to make experiments comparable).
+TimeInterval BusiestInterval(const TrajectoryDatabase& db, size_t length);
+
+}  // namespace ust

@@ -1,0 +1,30 @@
+// 2-D points and Euclidean distance — the spatial domain of the paper's
+// state space S ⊂ R².
+#pragma once
+
+#include <cmath>
+
+namespace ust {
+
+/// \brief Point in the 2-D Euclidean plane.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point2& a, const Point2& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Squared Euclidean distance (cheaper; monotone in the true distance).
+inline double SquaredDistance(const Point2& a, const Point2& b) {
+  double dx = a.x - b.x, dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance d(x, y) used by all query definitions.
+inline double Distance(const Point2& a, const Point2& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+}  // namespace ust

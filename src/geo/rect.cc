@@ -1,0 +1,29 @@
+#include "geo/rect.h"
+
+namespace ust {
+
+double MinDistance(const Point2& p, const Rect2& r) {
+  double dx = std::max({r.lo[0] - p.x, 0.0, p.x - r.hi[0]});
+  double dy = std::max({r.lo[1] - p.y, 0.0, p.y - r.hi[1]});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double MaxDistance(const Point2& p, const Rect2& r) {
+  double dx = std::max(std::abs(p.x - r.lo[0]), std::abs(p.x - r.hi[0]));
+  double dy = std::max(std::abs(p.y - r.lo[1]), std::abs(p.y - r.hi[1]));
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double MinDistance(const Rect2& a, const Rect2& b) {
+  double dx = std::max({b.lo[0] - a.hi[0], 0.0, a.lo[0] - b.hi[0]});
+  double dy = std::max({b.lo[1] - a.hi[1], 0.0, a.lo[1] - b.hi[1]});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double MaxDistance(const Rect2& a, const Rect2& b) {
+  double dx = std::max(std::abs(a.hi[0] - b.lo[0]), std::abs(b.hi[0] - a.lo[0]));
+  double dy = std::max(std::abs(a.hi[1] - b.lo[1]), std::abs(b.hi[1] - a.lo[1]));
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace ust

@@ -1,0 +1,36 @@
+#include "graph/csr_graph.h"
+
+namespace ust {
+
+CsrGraph CsrGraph::FromAdjacency(const std::vector<std::vector<Edge>>& adj) {
+  CsrGraph g;
+  g.row_offsets_.reserve(adj.size() + 1);
+  g.row_offsets_.push_back(0);
+  size_t total = 0;
+  for (const auto& edges : adj) total += edges.size();
+  g.edges_.reserve(total);
+  for (const auto& edges : adj) {
+    g.edges_.insert(g.edges_.end(), edges.begin(), edges.end());
+    g.row_offsets_.push_back(g.edges_.size());
+  }
+  return g;
+}
+
+bool CsrGraph::HasEdge(StateId v, StateId u) const {
+  for (const Edge* e = begin(v); e != end(v); ++e) {
+    if (e->to == u) return true;
+  }
+  return false;
+}
+
+CsrGraph CsrGraph::Reversed() const {
+  std::vector<std::vector<Edge>> adj(num_nodes());
+  for (StateId v = 0; v < num_nodes(); ++v) {
+    for (const Edge* e = begin(v); e != end(v); ++e) {
+      adj[e->to].push_back({v, e->weight});
+    }
+  }
+  return FromAdjacency(adj);
+}
+
+}  // namespace ust

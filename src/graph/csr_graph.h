@@ -1,0 +1,61 @@
+// Weighted directed graph in compressed-sparse-row form. This is the network
+// substrate for both workload generators (objects move along edges, one hop
+// per tic) and the support structure of the a-priori Markov chain: transition
+// matrices have nonzeros exactly on graph edges (plus self-loops).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "state/state_space.h"
+#include "util/status.h"
+
+namespace ust {
+
+/// \brief One outgoing edge.
+struct Edge {
+  StateId to;
+  double weight;  ///< length/cost for shortest paths
+};
+
+/// \brief Immutable CSR adjacency structure over StateIds.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Build from per-node adjacency lists; `adj.size()` is the node count.
+  static CsrGraph FromAdjacency(const std::vector<std::vector<Edge>>& adj);
+
+  size_t num_nodes() const {
+    return row_offsets_.empty() ? 0 : row_offsets_.size() - 1;
+  }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Outgoing edges of `v` as a contiguous span.
+  const Edge* begin(StateId v) const { return edges_.data() + row_offsets_[v]; }
+  const Edge* end(StateId v) const {
+    return edges_.data() + row_offsets_[v + 1];
+  }
+  size_t degree(StateId v) const {
+    return row_offsets_[v + 1] - row_offsets_[v];
+  }
+
+  /// True when an edge v -> u exists.
+  bool HasEdge(StateId v, StateId u) const;
+
+  /// Average out-degree over all nodes.
+  double AverageDegree() const {
+    return num_nodes() == 0
+               ? 0.0
+               : static_cast<double>(num_edges()) / static_cast<double>(num_nodes());
+  }
+
+  /// The reverse graph (edge directions flipped, weights kept).
+  CsrGraph Reversed() const;
+
+ private:
+  std::vector<size_t> row_offsets_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace ust

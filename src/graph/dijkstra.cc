@@ -1,0 +1,77 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+
+namespace ust {
+
+namespace {
+struct QueueEntry {
+  double dist;
+  StateId node;
+  bool operator>(const QueueEntry& other) const { return dist > other.dist; }
+};
+}  // namespace
+
+Result<std::vector<StateId>> ShortestPath(const CsrGraph& graph,
+                                          StateId source, StateId target) {
+  const size_t n = graph.num_nodes();
+  UST_CHECK(source < n && target < n);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::vector<StateId> parent(n, kInvalidState);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  dist[source] = 0.0;
+  pq.push({0.0, source});
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;
+    if (v == target) break;
+    for (const Edge* e = graph.begin(v); e != graph.end(v); ++e) {
+      UST_DCHECK(e->weight >= 0.0);
+      double nd = d + e->weight;
+      if (nd < dist[e->to]) {
+        dist[e->to] = nd;
+        parent[e->to] = v;
+        pq.push({nd, e->to});
+      }
+    }
+  }
+  if (dist[target] == kInf) {
+    return Status::NotFound("target unreachable from source");
+  }
+  std::vector<StateId> path;
+  for (StateId v = target; v != kInvalidState; v = parent[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  UST_DCHECK(path.front() == source);
+  return path;
+}
+
+std::vector<double> ShortestDistances(const CsrGraph& graph, StateId source) {
+  const size_t n = graph.num_nodes();
+  UST_CHECK(source < n);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  dist[source] = 0.0;
+  pq.push({0.0, source});
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;
+    for (const Edge* e = graph.begin(v); e != graph.end(v); ++e) {
+      double nd = d + e->weight;
+      if (nd < dist[e->to]) {
+        dist[e->to] = nd;
+        pq.push({nd, e->to});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace ust

@@ -1,0 +1,24 @@
+// Dijkstra shortest paths. The synthetic workload generator models object
+// motion as shortest paths between waypoints (Section 7, "Artificial Data").
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "util/status.h"
+
+namespace ust {
+
+/// \brief Shortest path from `source` to `target`.
+///
+/// Returns the node sequence including both endpoints, or NotFound when
+/// `target` is unreachable. Edge weights must be non-negative.
+Result<std::vector<StateId>> ShortestPath(const CsrGraph& graph, StateId source,
+                                          StateId target);
+
+/// \brief Single-source shortest path distances (hop count uses weight 1).
+///
+/// Entries unreachable from `source` hold +infinity.
+std::vector<double> ShortestDistances(const CsrGraph& graph, StateId source);
+
+}  // namespace ust

@@ -1,0 +1,51 @@
+#include "graph/reachability.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ust {
+
+std::vector<std::vector<StateId>> ForwardReachability(const CsrGraph& graph,
+                                                      StateId source,
+                                                      int steps) {
+  UST_CHECK(source < graph.num_nodes());
+  UST_CHECK(steps >= 0);
+  std::vector<std::vector<StateId>> result;
+  result.reserve(steps + 1);
+  result.push_back({source});
+  std::vector<char> mark(graph.num_nodes(), 0);
+  for (int k = 1; k <= steps; ++k) {
+    std::vector<StateId> next;
+    for (StateId v : result[k - 1]) {
+      for (const Edge* e = graph.begin(v); e != graph.end(v); ++e) {
+        if (!mark[e->to]) {
+          mark[e->to] = 1;
+          next.push_back(e->to);
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    for (StateId v : next) mark[v] = 0;
+    result.push_back(std::move(next));
+  }
+  return result;
+}
+
+std::vector<std::vector<StateId>> DiamondReachability(const CsrGraph& graph,
+                                                      const CsrGraph& reversed,
+                                                      StateId from, StateId to,
+                                                      int steps) {
+  auto fwd = ForwardReachability(graph, from, steps);
+  auto bwd = ForwardReachability(reversed, to, steps);
+  std::vector<std::vector<StateId>> diamond(steps + 1);
+  for (int k = 0; k <= steps; ++k) {
+    const auto& a = fwd[k];
+    const auto& b = bwd[steps - k];
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(diamond[k]));
+  }
+  return diamond;
+}
+
+}  // namespace ust

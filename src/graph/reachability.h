@@ -1,0 +1,30 @@
+// Per-step reachability sets over a graph (transition-matrix support).
+// These are the "diamonds" of the UST-tree (Section 6): the states an object
+// can occupy at tic t between two observations are the intersection of the
+// forward-reachable set from the earlier observation and the
+// backward-reachable set from the later one.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "state/state_space.h"
+
+namespace ust {
+
+/// \brief Sets of states reachable in exactly 0, 1, ..., `steps` transitions
+/// from `source` (index k holds the k-step set, each sorted ascending).
+std::vector<std::vector<StateId>> ForwardReachability(const CsrGraph& graph,
+                                                      StateId source,
+                                                      int steps);
+
+/// \brief The per-tic "diamond" between two observations:
+/// result[k] = {states reachable from `from` in k steps AND able to reach
+/// `to` in (steps - k) steps}, k = 0..steps. `reversed` must be
+/// graph.Reversed(). Empty sets indicate contradicting observations.
+std::vector<std::vector<StateId>> DiamondReachability(const CsrGraph& graph,
+                                                      const CsrGraph& reversed,
+                                                      StateId from, StateId to,
+                                                      int steps);
+
+}  // namespace ust

@@ -1,0 +1,411 @@
+#include "index/rstar_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+
+namespace ust {
+
+RStarTree::RStarTree() : RStarTree(Options()) {}
+
+RStarTree::RStarTree(Options options) : options_(options) {
+  UST_CHECK(options_.max_entries >= 4);
+  UST_CHECK(options_.min_entries >= 2 &&
+            options_.min_entries <= options_.max_entries / 2 + 1);
+  root_ = new Node();
+}
+
+RStarTree::~RStarTree() {
+  if (root_ != nullptr) FreeSubtree(root_);
+}
+
+RStarTree::RStarTree(RStarTree&& other) noexcept
+    : options_(other.options_), root_(other.root_), size_(other.size_) {
+  other.root_ = nullptr;
+  other.size_ = 0;
+}
+
+RStarTree& RStarTree::operator=(RStarTree&& other) noexcept {
+  if (this != &other) {
+    if (root_ != nullptr) FreeSubtree(root_);
+    options_ = other.options_;
+    root_ = other.root_;
+    size_ = other.size_;
+    other.root_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void RStarTree::FreeSubtree(Node* node) {
+  if (!node->leaf()) {
+    for (const Entry& e : node->entries) FreeSubtree(e.child);
+  }
+  delete node;
+}
+
+Rect3 RStarTree::NodeBox(const Node* node) {
+  Rect3 box;
+  for (const Entry& e : node->entries) box.Extend(e.box);
+  return box;
+}
+
+RStarTree::Entry* RStarTree::ParentEntryOf(Node* node) const {
+  Node* parent = node->parent;
+  UST_CHECK(parent != nullptr);
+  for (Entry& e : parent->entries) {
+    if (e.child == node) return &e;
+  }
+  UST_CHECK(false && "node missing from its parent");
+  return nullptr;
+}
+
+int RStarTree::height() const { return root_->level; }
+
+RStarTree::Node* RStarTree::ChooseSubtree(const Rect3& box,
+                                          int target_level) const {
+  Node* node = root_;
+  while (node->level > target_level) {
+    const bool children_are_leaves = node->level == 1;
+    size_t best = 0;
+    if (children_are_leaves && target_level == 0) {
+      // R* criterion: minimize overlap enlargement; ties by area
+      // enlargement, then by area.
+      double best_overlap = std::numeric_limits<double>::infinity();
+      double best_enlarge = best_overlap, best_area = best_overlap;
+      for (size_t i = 0; i < node->entries.size(); ++i) {
+        Rect3 enlarged = Rect3::Union(node->entries[i].box, box);
+        double overlap_delta = 0.0;
+        for (size_t j = 0; j < node->entries.size(); ++j) {
+          if (j == i) continue;
+          overlap_delta += enlarged.OverlapArea(node->entries[j].box) -
+                           node->entries[i].box.OverlapArea(node->entries[j].box);
+        }
+        double enlarge = node->entries[i].box.Enlargement(box);
+        double area = node->entries[i].box.Area();
+        if (overlap_delta < best_overlap ||
+            (overlap_delta == best_overlap &&
+             (enlarge < best_enlarge ||
+              (enlarge == best_enlarge && area < best_area)))) {
+          best_overlap = overlap_delta;
+          best_enlarge = enlarge;
+          best_area = area;
+          best = i;
+        }
+      }
+    } else {
+      // Classic criterion: minimize area enlargement; ties by area.
+      double best_enlarge = std::numeric_limits<double>::infinity();
+      double best_area = best_enlarge;
+      for (size_t i = 0; i < node->entries.size(); ++i) {
+        double enlarge = node->entries[i].box.Enlargement(box);
+        double area = node->entries[i].box.Area();
+        if (enlarge < best_enlarge ||
+            (enlarge == best_enlarge && area < best_area)) {
+          best_enlarge = enlarge;
+          best_area = area;
+          best = i;
+        }
+      }
+    }
+    node = node->entries[best].child;
+  }
+  return node;
+}
+
+void RStarTree::Insert(const Rect3& box, uint64_t payload) {
+  overflow_treated_.assign(static_cast<size_t>(root_->level) + 2, 0);
+  Entry entry;
+  entry.box = box;
+  entry.payload = payload;
+  InsertEntry(entry, 0);
+  ++size_;
+}
+
+void RStarTree::InsertEntry(Entry entry, int target_level) {
+  Node* node = ChooseSubtree(entry.box, target_level);
+  UST_CHECK(node->level == target_level);
+  if (entry.child != nullptr) entry.child->parent = node;
+  node->entries.push_back(entry);
+  UpdateBoxesUpward(node);
+  if (node->entries.size() > options_.max_entries) HandleOverflow(node);
+}
+
+void RStarTree::HandleOverflow(Node* node) {
+  while (node != nullptr && node->entries.size() > options_.max_entries) {
+    const size_t level = static_cast<size_t>(node->level);
+    if (node != root_ && options_.forced_reinsert &&
+        level < overflow_treated_.size() && !overflow_treated_[level]) {
+      overflow_treated_[level] = 1;
+      ReinsertEntries(node);
+      return;  // reinsertion handles any follow-up overflows recursively
+    }
+    Node* sibling = SplitNode(node);
+    if (node == root_) {
+      Node* new_root = new Node();
+      new_root->level = node->level + 1;
+      Entry left, right;
+      left.box = NodeBox(node);
+      left.child = node;
+      right.box = NodeBox(sibling);
+      right.child = sibling;
+      new_root->entries = {left, right};
+      node->parent = new_root;
+      sibling->parent = new_root;
+      root_ = new_root;
+      if (overflow_treated_.size() < static_cast<size_t>(root_->level) + 2) {
+        overflow_treated_.resize(static_cast<size_t>(root_->level) + 2, 0);
+      }
+      return;
+    }
+    Node* parent = node->parent;
+    Entry* pe = ParentEntryOf(node);
+    pe->box = NodeBox(node);
+    Entry sibling_entry;
+    sibling_entry.box = NodeBox(sibling);
+    sibling_entry.child = sibling;
+    sibling->parent = parent;
+    parent->entries.push_back(sibling_entry);
+    UpdateBoxesUpward(parent);
+    node = parent;
+  }
+}
+
+void RStarTree::ReinsertEntries(Node* node) {
+  // Remove the p entries whose centers are farthest from the node center and
+  // reinsert them (far-reinsert variant of the R* paper).
+  const size_t p = std::max<size_t>(
+      1, static_cast<size_t>(std::floor(options_.reinsert_fraction *
+                                        static_cast<double>(node->entries.size()))));
+  Rect3 box = NodeBox(node);
+  auto center = box.Center();
+  std::vector<std::pair<double, size_t>> by_distance;
+  by_distance.reserve(node->entries.size());
+  for (size_t i = 0; i < node->entries.size(); ++i) {
+    auto c = node->entries[i].box.Center();
+    double d2 = 0.0;
+    for (int d = 0; d < 3; ++d) d2 += (c[d] - center[d]) * (c[d] - center[d]);
+    by_distance.push_back({d2, i});
+  }
+  std::sort(by_distance.begin(), by_distance.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<Entry> removed;
+  std::vector<char> remove_mark(node->entries.size(), 0);
+  for (size_t i = 0; i < p; ++i) {
+    remove_mark[by_distance[i].second] = 1;
+    removed.push_back(node->entries[by_distance[i].second]);
+  }
+  std::vector<Entry> kept;
+  kept.reserve(node->entries.size() - p);
+  for (size_t i = 0; i < node->entries.size(); ++i) {
+    if (!remove_mark[i]) kept.push_back(node->entries[i]);
+  }
+  node->entries = std::move(kept);
+  UpdateBoxesUpward(node);
+  const int level = node->level;
+  for (Entry& e : removed) InsertEntry(e, level);
+}
+
+RStarTree::Node* RStarTree::SplitNode(Node* node) {
+  // R* split: choose the axis minimizing the total margin over all
+  // distributions, then the distribution minimizing overlap (ties: area).
+  const size_t total = node->entries.size();
+  const size_t m = options_.min_entries;
+  UST_CHECK(total >= 2 * m);
+  int best_axis = 0;
+  bool best_axis_by_hi = false;
+  double best_margin_sum = std::numeric_limits<double>::infinity();
+  std::vector<size_t> order(total);
+  for (int axis = 0; axis < 3; ++axis) {
+    for (int by_hi = 0; by_hi < 2; ++by_hi) {
+      for (size_t i = 0; i < total; ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        const Rect3& ra = node->entries[a].box;
+        const Rect3& rb = node->entries[b].box;
+        double ka = by_hi ? ra.hi[axis] : ra.lo[axis];
+        double kb = by_hi ? rb.hi[axis] : rb.lo[axis];
+        return ka < kb;
+      });
+      double margin_sum = 0.0;
+      for (size_t split = m; split <= total - m; ++split) {
+        Rect3 left, right;
+        for (size_t i = 0; i < split; ++i) left.Extend(node->entries[order[i]].box);
+        for (size_t i = split; i < total; ++i) {
+          right.Extend(node->entries[order[i]].box);
+        }
+        margin_sum += left.Margin() + right.Margin();
+      }
+      if (margin_sum < best_margin_sum) {
+        best_margin_sum = margin_sum;
+        best_axis = axis;
+        best_axis_by_hi = by_hi != 0;
+      }
+    }
+  }
+  // Sort along the chosen axis and pick the best distribution.
+  for (size_t i = 0; i < total; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const Rect3& ra = node->entries[a].box;
+    const Rect3& rb = node->entries[b].box;
+    double ka = best_axis_by_hi ? ra.hi[best_axis] : ra.lo[best_axis];
+    double kb = best_axis_by_hi ? rb.hi[best_axis] : rb.lo[best_axis];
+    return ka < kb;
+  });
+  size_t best_split = m;
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = best_overlap;
+  for (size_t split = m; split <= total - m; ++split) {
+    Rect3 left, right;
+    for (size_t i = 0; i < split; ++i) left.Extend(node->entries[order[i]].box);
+    for (size_t i = split; i < total; ++i) {
+      right.Extend(node->entries[order[i]].box);
+    }
+    double overlap = left.OverlapArea(right);
+    double area = left.Area() + right.Area();
+    if (overlap < best_overlap ||
+        (overlap == best_overlap && area < best_area)) {
+      best_overlap = overlap;
+      best_area = area;
+      best_split = split;
+    }
+  }
+  Node* sibling = new Node();
+  sibling->level = node->level;
+  std::vector<Entry> left_entries, right_entries;
+  left_entries.reserve(best_split);
+  right_entries.reserve(total - best_split);
+  for (size_t i = 0; i < best_split; ++i) {
+    left_entries.push_back(node->entries[order[i]]);
+  }
+  for (size_t i = best_split; i < total; ++i) {
+    right_entries.push_back(node->entries[order[i]]);
+  }
+  node->entries = std::move(left_entries);
+  sibling->entries = std::move(right_entries);
+  if (!sibling->leaf()) {
+    for (Entry& e : sibling->entries) e.child->parent = sibling;
+  }
+  return sibling;
+}
+
+void RStarTree::UpdateBoxesUpward(Node* node) {
+  while (node != root_) {
+    Entry* pe = ParentEntryOf(node);
+    pe->box = NodeBox(node);
+    node = node->parent;
+  }
+}
+
+std::vector<uint64_t> RStarTree::Query(const Rect3& box) const {
+  std::vector<uint64_t> out;
+  QueryVisit(box, [&out](const Rect3&, uint64_t payload) {
+    out.push_back(payload);
+  });
+  return out;
+}
+
+void RStarTree::QueryVisit(
+    const Rect3& box,
+    const std::function<void(const Rect3&, uint64_t)>& visit) const {
+  std::vector<const Node*> stack = {root_};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (const Entry& e : node->entries) {
+      if (!e.box.Intersects(box)) continue;
+      if (node->leaf()) {
+        visit(e.box, e.payload);
+      } else {
+        stack.push_back(e.child);
+      }
+    }
+  }
+}
+
+namespace {
+
+// Squared Euclidean distance from a 3-D point to the closest point of a box.
+double MinDist2(const std::array<double, 3>& p, const Rect3& box) {
+  double d2 = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    double d = std::max({box.lo[i] - p[i], 0.0, p[i] - box.hi[i]});
+    d2 += d * d;
+  }
+  return d2;
+}
+
+}  // namespace
+
+std::vector<std::pair<double, uint64_t>> RStarTree::Nearest(
+    const std::array<double, 3>& point, size_t k) const {
+  std::vector<std::pair<double, uint64_t>> result;
+  if (k == 0 || size_ == 0) return result;
+  // Best-first search: expand the frontier element with the smallest box
+  // lower bound; a popped data entry is final (its bound is exact).
+  struct Frontier {
+    double dist2;
+    const Node* node;      // nullptr for data entries
+    uint64_t payload;
+    bool operator>(const Frontier& other) const {
+      return dist2 > other.dist2;
+    }
+  };
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>> queue;
+  queue.push({0.0, root_, 0});
+  while (!queue.empty() && result.size() < k) {
+    Frontier top = queue.top();
+    queue.pop();
+    if (top.node == nullptr) {
+      result.push_back({std::sqrt(top.dist2), top.payload});
+      continue;
+    }
+    for (const Entry& e : top.node->entries) {
+      double d2 = MinDist2(point, e.box);
+      if (top.node->leaf()) {
+        queue.push({d2, nullptr, e.payload});
+      } else {
+        queue.push({d2, e.child, 0});
+      }
+    }
+  }
+  return result;
+}
+
+Status RStarTree::CheckNode(const Node* node, int expected_leaf_level) const {
+  if (node->leaf() && node->level != expected_leaf_level) {
+    return Status::Internal("leaves at differing depths");
+  }
+  if (node != root_ && node->entries.size() < options_.min_entries) {
+    return Status::Internal("underfilled node");
+  }
+  if (node->entries.size() > options_.max_entries) {
+    return Status::Internal("overfilled node");
+  }
+  if (node->leaf()) return Status::OK();
+  for (const Entry& e : node->entries) {
+    if (e.child->parent != node) {
+      return Status::Internal("broken parent pointer");
+    }
+    if (e.child->level != node->level - 1) {
+      return Status::Internal("level mismatch between parent and child");
+    }
+    Rect3 actual = NodeBox(e.child);
+    for (int d = 0; d < 3; ++d) {
+      if (actual.lo[d] != e.box.lo[d] || actual.hi[d] != e.box.hi[d]) {
+        return Status::Internal("stale bounding box");
+      }
+    }
+    UST_RETURN_NOT_OK(CheckNode(e.child, expected_leaf_level));
+  }
+  return Status::OK();
+}
+
+Status RStarTree::CheckInvariants() const {
+  if (root_ == nullptr) return Status::Internal("missing root");
+  return CheckNode(root_, 0);
+}
+
+}  // namespace ust

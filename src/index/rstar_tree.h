@@ -1,0 +1,92 @@
+// R*-tree (Beckmann, Kriegel, Schneider, Seeger, SIGMOD 1990) over 3-D
+// (x, y, time) boxes — the index substrate of the UST-tree (Section 6).
+// Implements the full R* insertion heuristics: ChooseSubtree with minimum
+// overlap enlargement at the leaf level, margin-driven split axis selection,
+// overlap-driven split distribution selection, and forced reinsertion.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "geo/rect.h"
+#include "util/status.h"
+
+namespace ust {
+
+/// \brief R*-tree storing (Rect3, uint64 payload) pairs.
+class RStarTree {
+ public:
+  struct Options {
+    size_t max_entries = 16;       ///< node capacity M
+    size_t min_entries = 6;        ///< minimum fill m (R*: ~40% of M)
+    bool forced_reinsert = true;   ///< R* forced reinsertion on first overflow
+    double reinsert_fraction = 0.3;  ///< p = 30% of M entries reinserted
+  };
+
+  RStarTree();  ///< default Options
+  explicit RStarTree(Options options);
+  ~RStarTree();
+
+  RStarTree(const RStarTree&) = delete;
+  RStarTree& operator=(const RStarTree&) = delete;
+  RStarTree(RStarTree&&) noexcept;
+  RStarTree& operator=(RStarTree&&) noexcept;
+
+  /// Insert one data entry.
+  void Insert(const Rect3& box, uint64_t payload);
+
+  /// Payloads of all data entries whose box intersects `box`.
+  std::vector<uint64_t> Query(const Rect3& box) const;
+
+  /// Visit (box, payload) of intersecting data entries.
+  void QueryVisit(const Rect3& box,
+                  const std::function<void(const Rect3&, uint64_t)>& visit) const;
+
+  /// The k data entries with smallest Euclidean min-distance between their
+  /// box and `point`, ascending (best-first search with box lower bounds).
+  /// Fewer than k pairs are returned when the tree is smaller than k.
+  std::vector<std::pair<double, uint64_t>> Nearest(
+      const std::array<double, 3>& point, size_t k) const;
+
+  size_t size() const { return size_; }
+  /// Leaf depth; 0 for a tree that only has the (leaf) root.
+  int height() const;
+
+  /// Structural checks for tests: parent boxes cover children exactly, all
+  /// leaves at the same depth, fill factors respected (root excepted).
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Entry {
+    Rect3 box;
+    Node* child = nullptr;   ///< internal nodes
+    uint64_t payload = 0;    ///< leaf nodes
+  };
+  struct Node {
+    int level = 0;           ///< 0 = leaf
+    Node* parent = nullptr;
+    std::vector<Entry> entries;
+    bool leaf() const { return level == 0; }
+  };
+
+  Node* ChooseSubtree(const Rect3& box, int target_level) const;
+  void InsertEntry(Entry entry, int target_level);
+  void HandleOverflow(Node* node);
+  void ReinsertEntries(Node* node);
+  Node* SplitNode(Node* node);
+  void UpdateBoxesUpward(Node* node);
+  static Rect3 NodeBox(const Node* node);
+  Entry* ParentEntryOf(Node* node) const;
+  void FreeSubtree(Node* node);
+  Status CheckNode(const Node* node, int expected_leaf_level) const;
+
+  Options options_;
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+  std::vector<char> overflow_treated_;  ///< per level, reset per Insert
+};
+
+}  // namespace ust

@@ -1,0 +1,217 @@
+#include "index/ust_tree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/reachability.h"
+
+#include "util/check.h"
+
+namespace ust {
+
+Result<UstTree> UstTree::Build(const TrajectoryDatabase& db) {
+  return Build(db, RStarTree::Options());
+}
+
+Result<UstTree> UstTree::Build(const TrajectoryDatabase& db,
+                               RStarTree::Options options) {
+  UstTree tree(options);
+  tree.db_ = &db;
+  tree.space_bounds_ = db.space().BoundingBox();
+  // Support graphs are shared between objects using the same matrix.
+  std::map<const TransitionMatrix*, std::pair<CsrGraph, CsrGraph>> graphs;
+  for (const UncertainObject& obj : db.objects()) {
+    const TransitionMatrix* matrix = &obj.matrix();
+    auto it = graphs.find(matrix);
+    if (it == graphs.end()) {
+      CsrGraph forward = matrix->SupportGraph();
+      CsrGraph reversed = forward.Reversed();
+      it = graphs.emplace(matrix, std::make_pair(std::move(forward),
+                                                 std::move(reversed)))
+               .first;
+    }
+    const auto& [forward, reversed] = it->second;
+    const auto& items = obj.observations().items();
+    if (items.size() == 1 && obj.last_tic() == items[0].time) {
+      SegmentEntry entry;
+      entry.object = obj.id();
+      entry.t_lo = entry.t_hi = items[0].time;
+      const Point2& p = db.space().coord(items[0].state);
+      entry.mbr = MakeRect2(p.x, p.y, p.x, p.y);
+      tree.rtree_.Insert(
+          WithTimeInterval(entry.mbr, entry.t_lo, entry.t_hi),
+          tree.entries_.size());
+      tree.entries_.push_back(entry);
+      continue;
+    }
+    for (size_t i = 0; i + 1 < items.size(); ++i) {
+      const int steps = static_cast<int>(items[i + 1].time - items[i].time);
+      auto diamond = DiamondReachability(forward, reversed, items[i].state,
+                                         items[i + 1].state, steps);
+      Rect2 mbr;
+      bool contradiction = false;
+      for (const auto& slice : diamond) {
+        if (slice.empty()) {
+          contradiction = true;
+          break;
+        }
+        for (StateId s : slice) {
+          const Point2& p = db.space().coord(s);
+          mbr.Extend({p.x, p.y});
+        }
+      }
+      if (contradiction) {
+        return Status::Contradiction(
+            "object " + std::to_string(obj.id()) +
+            " has contradicting observations in segment " + std::to_string(i));
+      }
+      SegmentEntry entry;
+      entry.object = obj.id();
+      entry.t_lo = items[i].time;
+      entry.t_hi = items[i + 1].time;
+      entry.mbr = mbr;
+      tree.rtree_.Insert(WithTimeInterval(mbr, entry.t_lo, entry.t_hi),
+                         tree.entries_.size());
+      tree.entries_.push_back(entry);
+    }
+    // Lifetime extension past the last observation: the bound is the plain
+    // forward-reachable cone (no later observation caps it).
+    if (obj.last_tic() > items.back().time) {
+      const int steps = static_cast<int>(obj.last_tic() - items.back().time);
+      auto cone = ForwardReachability(forward, items.back().state, steps);
+      Rect2 mbr;
+      for (const auto& slice : cone) {
+        for (StateId s : slice) {
+          const Point2& p = db.space().coord(s);
+          mbr.Extend({p.x, p.y});
+        }
+      }
+      SegmentEntry entry;
+      entry.object = obj.id();
+      entry.t_lo = items.back().time;
+      entry.t_hi = obj.last_tic();
+      entry.mbr = mbr;
+      tree.rtree_.Insert(WithTimeInterval(mbr, entry.t_lo, entry.t_hi),
+                         tree.entries_.size());
+      tree.entries_.push_back(entry);
+    }
+  }
+  return tree;
+}
+
+std::vector<UstTree::DistanceProfile> UstTree::BuildProfiles(
+    const QueryTrajectory& q, const TimeInterval& T) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const size_t len = T.length();
+  // Fetch all segment rectangles overlapping the query time slab through the
+  // R*-tree (prunes by time; space is left open since dmax bounds require
+  // every alive object).
+  Rect3 slab = WithTimeInterval(space_bounds_, static_cast<double>(T.start),
+                                static_cast<double>(T.end));
+  std::vector<uint64_t> hits = rtree_.Query(slab);
+  std::map<ObjectId, std::vector<const SegmentEntry*>> per_object;
+  for (uint64_t idx : hits) {
+    const SegmentEntry& e = entries_[idx];
+    per_object[e.object].push_back(&e);
+  }
+  std::vector<DistanceProfile> profiles;
+  profiles.reserve(per_object.size());
+  for (auto& [object, segments] : per_object) {
+    DistanceProfile profile;
+    profile.object = object;
+    const UncertainObject& obj = db_->object(object);
+    profile.first_tic = obj.first_tic();
+    profile.last_tic = obj.last_tic();
+    profile.dmin.assign(len, kInf);
+    profile.dmax.assign(len, kInf);
+    for (const SegmentEntry* seg : segments) {
+      Tic lo = std::max(T.start, seg->t_lo);
+      Tic hi = std::min(T.end, seg->t_hi);
+      for (Tic t = lo; t <= hi; ++t) {
+        const size_t rel = static_cast<size_t>(t - T.start);
+        double dmin = MinDistance(q.At(t), seg->mbr);
+        double dmax = MaxDistance(q.At(t), seg->mbr);
+        // Multiple rectangles can cover an observation tic; both bounds hold,
+        // so keep the tighter of each.
+        if (profile.dmin[rel] == kInf) {
+          profile.dmin[rel] = dmin;
+          profile.dmax[rel] = dmax;
+        } else {
+          profile.dmin[rel] = std::max(profile.dmin[rel], dmin);
+          profile.dmax[rel] = std::min(profile.dmax[rel], dmax);
+        }
+      }
+    }
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
+namespace {
+
+// k-th smallest finite dmax at each tic; +inf where fewer than k objects are
+// alive (then nothing can be pruned at that tic).
+std::vector<double> PruningDistances(
+    const std::vector<UstTree::DistanceProfile>& profiles, size_t len, int k) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> prune(len, kInf);
+  std::vector<double> values;
+  for (size_t rel = 0; rel < len; ++rel) {
+    values.clear();
+    for (const auto& p : profiles) {
+      if (p.dmax[rel] != kInf) values.push_back(p.dmax[rel]);
+    }
+    if (values.size() >= static_cast<size_t>(k)) {
+      std::nth_element(values.begin(), values.begin() + (k - 1), values.end());
+      prune[rel] = values[k - 1];
+    }
+  }
+  return prune;
+}
+
+}  // namespace
+
+PruneResult UstTree::PruneForall(const QueryTrajectory& q,
+                                 const TimeInterval& T, int k) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  auto profiles = BuildProfiles(q, T);
+  const size_t len = T.length();
+  auto prune = PruningDistances(profiles, len, k);
+  PruneResult result;
+  for (const auto& p : profiles) {
+    bool influencer = false;
+    bool candidate = p.first_tic <= T.start && p.last_tic >= T.end;
+    for (size_t rel = 0; rel < len; ++rel) {
+      if (p.dmin[rel] == kInf) continue;  // not alive at this tic
+      if (p.dmin[rel] <= prune[rel]) {
+        influencer = true;
+      } else {
+        candidate = false;  // beaten for sure at this tic
+      }
+    }
+    if (candidate && influencer) result.candidates.push_back(p.object);
+    if (influencer) result.influencers.push_back(p.object);
+  }
+  return result;
+}
+
+PruneResult UstTree::PruneExists(const QueryTrajectory& q,
+                                 const TimeInterval& T, int k) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  auto profiles = BuildProfiles(q, T);
+  const size_t len = T.length();
+  auto prune = PruningDistances(profiles, len, k);
+  PruneResult result;
+  for (const auto& p : profiles) {
+    for (size_t rel = 0; rel < len; ++rel) {
+      if (p.dmin[rel] != kInf && p.dmin[rel] <= prune[rel]) {
+        result.candidates.push_back(p.object);
+        result.influencers.push_back(p.object);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ust

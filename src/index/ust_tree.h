@@ -1,0 +1,82 @@
+// UST-tree (Emrich et al., CIKM 2012 [25]) as used for spatial pruning in
+// Section 6: for every pair of consecutive observations of an object, the
+// set of possibly visited (location, time) pairs — the reachability
+// "diamond" — is bounded by a minimum bounding rectangle over the time
+// interval, and all such rectangles are indexed in an R*-tree.
+//
+// Query-time pruning computes, per query tic t, each object's dmin/dmax to
+// q(t) from its covering rectangles and derives:
+//   C∀(q) = {o alive throughout T : ∀t ∈ T, dmin_o(t) <= min_o' dmax_o'(t)}
+//   I∀(q) = {o : ∃t ∈ T, dmin_o(t) <= min_o' dmax_o'(t)}
+// For P∃NNQ no candidate/influence distinction exists: every object in I may
+// be a result. The pruning distance generalizes to the k-th smallest dmax
+// for kNN queries (Section 8).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "index/rstar_tree.h"
+#include "model/trajectory_database.h"
+#include "query/query.h"
+#include "util/status.h"
+
+namespace ust {
+
+/// \brief Pruning output: result candidates and influence objects.
+struct PruneResult {
+  std::vector<ObjectId> candidates;   ///< may satisfy the query predicate
+  std::vector<ObjectId> influencers;  ///< may affect others' probabilities
+};
+
+/// \brief The UST-tree index over an uncertain trajectory database.
+class UstTree {
+ public:
+  /// One leaf rectangle: an object's conservative (space x time) bound
+  /// between two consecutive observations.
+  struct SegmentEntry {
+    ObjectId object;
+    Tic t_lo, t_hi;
+    Rect2 mbr;
+  };
+
+  /// Build diamonds for every observation segment of every object.
+  /// Reachability is computed on the support of each object's a-priori
+  /// matrix, so the bound is conservative (independent of probabilities).
+  static Result<UstTree> Build(const TrajectoryDatabase& db);
+  static Result<UstTree> Build(const TrajectoryDatabase& db,
+                               RStarTree::Options options);
+
+  /// Candidates and influencers for P∀(k)NN queries.
+  PruneResult PruneForall(const QueryTrajectory& q, const TimeInterval& T,
+                          int k = 1) const;
+
+  /// Candidates (== influencers) for P∃(k)NN queries.
+  PruneResult PruneExists(const QueryTrajectory& q, const TimeInterval& T,
+                          int k = 1) const;
+
+  const std::vector<SegmentEntry>& entries() const { return entries_; }
+  const RStarTree& rtree() const { return rtree_; }
+
+  /// Per-object dmin/dmax profile over T, +inf where the object is not
+  /// alive. Exposed for white-box tests; not part of the stable API.
+  struct DistanceProfile {
+    ObjectId object;
+    Tic first_tic, last_tic;  // object alive span
+    std::vector<double> dmin, dmax;  // indexed by t - T.start
+  };
+
+ private:
+  UstTree(RStarTree::Options options) : rtree_(options) {}
+
+  std::vector<DistanceProfile> BuildProfiles(const QueryTrajectory& q,
+                                             const TimeInterval& T) const;
+
+  std::vector<SegmentEntry> entries_;
+  RStarTree rtree_;
+  Rect2 space_bounds_;
+  const TrajectoryDatabase* db_ = nullptr;
+};
+
+}  // namespace ust

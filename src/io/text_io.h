@@ -1,0 +1,60 @@
+// Plain-text serialization of the library's artifacts: state spaces,
+// transition matrices, observation databases and certain trajectories.
+// The format is line-based, versioned and diff-friendly, so generated worlds
+// and learned models can be checked in, shared between experiments, or
+// inspected by hand.
+//
+//   ustq-statespace v1        ustq-matrix v1         ustq-observations v1
+//   <count>                   <states> <nnz>         <objects>
+//   <x> <y>                   <from> <to> <prob>     <end_tic> <num_obs>
+//   ...                       ...                    <t> <state>
+//                                                    ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "markov/transition_matrix.h"
+#include "model/trajectory_database.h"
+#include "state/state_space.h"
+#include "util/status.h"
+
+namespace ust {
+
+// ---------------------------------------------------------------- streams --
+
+Status SaveStateSpace(const StateSpace& space, std::ostream& os);
+Result<StateSpace> LoadStateSpace(std::istream& is);
+
+Status SaveTransitionMatrix(const TransitionMatrix& matrix, std::ostream& os);
+Result<TransitionMatrix> LoadTransitionMatrix(std::istream& is);
+
+/// Saves every object's observations plus lifetime end (matrices are saved
+/// separately; the paper's experiments share one matrix across objects).
+Status SaveObservations(const TrajectoryDatabase& db, std::ostream& os);
+
+/// Rebuilds a database over `space`, attaching `matrix` to every object.
+Result<TrajectoryDatabase> LoadObservations(
+    std::istream& is, std::shared_ptr<const StateSpace> space,
+    TransitionMatrixPtr matrix);
+
+/// Certain trajectories (e.g. ground truth of the road-network generator).
+Status SaveTrajectories(const std::vector<Trajectory>& trajectories,
+                        std::ostream& os);
+Result<std::vector<Trajectory>> LoadTrajectories(std::istream& is);
+
+// ------------------------------------------------------------------ files --
+
+Status SaveStateSpaceFile(const StateSpace& space, const std::string& path);
+Result<StateSpace> LoadStateSpaceFile(const std::string& path);
+Status SaveTransitionMatrixFile(const TransitionMatrix& matrix,
+                                const std::string& path);
+Result<TransitionMatrix> LoadTransitionMatrixFile(const std::string& path);
+Status SaveObservationsFile(const TrajectoryDatabase& db,
+                            const std::string& path);
+Result<TrajectoryDatabase> LoadObservationsFile(
+    const std::string& path, std::shared_ptr<const StateSpace> space,
+    TransitionMatrixPtr matrix);
+
+}  // namespace ust

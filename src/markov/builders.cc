@@ -1,0 +1,89 @@
+#include "markov/builders.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace ust {
+
+Result<TransitionMatrix> DistanceInverseMatrix(const StateSpace& space,
+                                               const CsrGraph& graph,
+                                               double self_loop_fraction) {
+  if (graph.num_nodes() != space.size()) {
+    return Status::InvalidArgument("graph/state-space size mismatch");
+  }
+  if (self_loop_fraction < 0.0 || self_loop_fraction >= 1.0) {
+    return Status::InvalidArgument("self_loop_fraction must be in [0, 1)");
+  }
+  const size_t n = space.size();
+  std::vector<std::vector<TransitionMatrix::Entry>> rows(n);
+  for (StateId s = 0; s < n; ++s) {
+    double total = 0.0;
+    auto& row = rows[s];
+    for (const Edge* e = graph.begin(s); e != graph.end(s); ++e) {
+      if (e->to == s) continue;  // self-loop handled below
+      double len = space.Distance(s, e->to);
+      double w = 1.0 / std::max(len, 1e-9);
+      row.push_back({e->to, w});
+      total += w;
+    }
+    if (row.empty()) {
+      row.push_back({s, 1.0});  // isolated node: stays put
+      continue;
+    }
+    double edge_mass = 1.0 - self_loop_fraction;
+    for (auto& [to, p] : row) p = p / total * edge_mass;
+    if (self_loop_fraction > 0.0) row.push_back({s, self_loop_fraction});
+  }
+  return TransitionMatrix::FromRows(n, std::move(rows));
+}
+
+Result<TransitionMatrix> LearnTransitionMatrix(
+    const StateSpace& space, const CsrGraph& graph,
+    const std::vector<std::vector<StateId>>& trajectories, double alpha) {
+  if (graph.num_nodes() != space.size()) {
+    return Status::InvalidArgument("graph/state-space size mismatch");
+  }
+  if (alpha < 0.0) {
+    return Status::InvalidArgument("smoothing alpha must be >= 0");
+  }
+  const size_t n = space.size();
+  // Transition counts, keyed (from, to); kept sparse.
+  std::vector<std::unordered_map<StateId, double>> counts(n);
+  for (const auto& traj : trajectories) {
+    for (size_t i = 0; i + 1 < traj.size(); ++i) {
+      UST_CHECK(traj[i] < n && traj[i + 1] < n);
+      counts[traj[i]][traj[i + 1]] += 1.0;
+    }
+  }
+  std::vector<std::vector<TransitionMatrix::Entry>> rows(n);
+  for (StateId s = 0; s < n; ++s) {
+    auto& row = rows[s];
+    // Support: graph neighbors plus self-loop.
+    double total = 0.0;
+    bool has_self = false;
+    for (const Edge* e = graph.begin(s); e != graph.end(s); ++e) {
+      if (e->to == s) has_self = true;
+      auto it = counts[s].find(e->to);
+      double c = (it == counts[s].end() ? 0.0 : it->second) + alpha;
+      row.push_back({e->to, c});
+      total += c;
+    }
+    if (!has_self) {
+      auto it = counts[s].find(s);
+      double c = (it == counts[s].end() ? 0.0 : it->second) + alpha;
+      row.push_back({s, c});
+      total += c;
+    }
+    if (total <= 0.0) {
+      row.clear();
+      row.push_back({s, 1.0});
+      continue;
+    }
+    for (auto& [to, p] : row) p /= total;
+  }
+  return TransitionMatrix::FromRows(n, std::move(rows));
+}
+
+}  // namespace ust

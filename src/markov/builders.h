@@ -1,0 +1,40 @@
+// Constructors of a-priori transition matrices:
+//  * DistanceInverseMatrix — the synthetic-data model of Section 7: edge
+//    probability indirectly proportional to edge length, plus a self-loop.
+//  * LearnTransitionMatrix — the real-data model of Section 7: turning
+//    probabilities aggregated from training trajectories.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "markov/transition_matrix.h"
+#include "state/state_space.h"
+
+namespace ust {
+
+/// \brief Distance-inverse a-priori model over a spatial network.
+///
+/// For each node, every outgoing edge (u, v) receives weight 1/len(u, v)
+/// (capped for degenerate zero-length edges) and the node receives a
+/// self-loop with `self_loop_fraction` of the total probability mass.
+/// Self-loops let objects absorb slack time (standing taxis, traffic), and
+/// guarantee that any i >= shortest-path-length observation spacing is
+/// consistent with the model.
+Result<TransitionMatrix> DistanceInverseMatrix(const StateSpace& space,
+                                               const CsrGraph& graph,
+                                               double self_loop_fraction = 0.1);
+
+/// \brief Learn turning probabilities from observed state sequences.
+///
+/// Counts transitions in `trajectories` (each a per-tic state sequence) and
+/// normalizes per source state. Laplace smoothing `alpha` is applied over the
+/// support of `graph` (plus self-loop) so unseen-but-possible turns keep
+/// nonzero probability — without it, held-out trajectories would contradict
+/// the learned model. States never visited fall back to the uniform
+/// distribution over their graph neighbors.
+Result<TransitionMatrix> LearnTransitionMatrix(
+    const StateSpace& space, const CsrGraph& graph,
+    const std::vector<std::vector<StateId>>& trajectories, double alpha = 0.5);
+
+}  // namespace ust

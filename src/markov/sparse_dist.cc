@@ -1,0 +1,118 @@
+#include "markov/sparse_dist.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ust {
+
+SparseDist::SparseDist(std::vector<Entry> entries) : entries_(std::move(entries)) {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.first < b.first; });
+  // Merge duplicates in place.
+  size_t out = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (out > 0 && entries_[out - 1].first == entries_[i].first) {
+      entries_[out - 1].second += entries_[i].second;
+    } else {
+      entries_[out++] = entries_[i];
+    }
+  }
+  entries_.resize(out);
+}
+
+SparseDist SparseDist::Indicator(StateId s) {
+  SparseDist d;
+  d.entries_.push_back({s, 1.0});
+  return d;
+}
+
+SparseDist SparseDist::Uniform(const std::vector<StateId>& states) {
+  SparseDist d;
+  if (states.empty()) return d;
+  double p = 1.0 / static_cast<double>(states.size());
+  d.entries_.reserve(states.size());
+  for (StateId s : states) d.entries_.push_back({s, p});
+  std::sort(d.entries_.begin(), d.entries_.end());
+  return d;
+}
+
+double SparseDist::Prob(StateId s) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), s,
+      [](const Entry& e, StateId v) { return e.first < v; });
+  if (it != entries_.end() && it->first == s) return it->second;
+  return 0.0;
+}
+
+double SparseDist::Mass() const {
+  double m = 0.0;
+  for (const auto& [s, p] : entries_) m += p;
+  return m;
+}
+
+void SparseDist::Normalize() {
+  double m = Mass();
+  if (m <= 0.0) return;
+  for (auto& [s, p] : entries_) p /= m;
+}
+
+void SparseDist::Compact(double eps) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [eps](const Entry& e) { return e.second <= eps; }),
+                 entries_.end());
+  Normalize();
+}
+
+std::vector<StateId> SparseDist::Support() const {
+  std::vector<StateId> support;
+  support.reserve(entries_.size());
+  for (const auto& [s, p] : entries_) support.push_back(s);
+  return support;
+}
+
+StateId SparseDist::Sample(Rng& rng) const {
+  UST_CHECK(!entries_.empty());
+  double m = Mass();
+  UST_CHECK(m > 0.0);
+  double u = rng.Uniform() * m;
+  double acc = 0.0;
+  for (const auto& [s, p] : entries_) {
+    acc += p;
+    if (u < acc) return s;
+  }
+  return entries_.back().first;
+}
+
+double SparseDist::L1Distance(const SparseDist& a, const SparseDist& b) {
+  double sum = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.entries_.size() || j < b.entries_.size()) {
+    if (j >= b.entries_.size() ||
+        (i < a.entries_.size() && a.entries_[i].first < b.entries_[j].first)) {
+      sum += std::abs(a.entries_[i].second);
+      ++i;
+    } else if (i >= a.entries_.size() ||
+               b.entries_[j].first < a.entries_[i].first) {
+      sum += std::abs(b.entries_[j].second);
+      ++j;
+    } else {
+      sum += std::abs(a.entries_[i].second - b.entries_[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  return sum;
+}
+
+double SparseDist::ExpectedDistanceTo(const StateSpace& space,
+                                      const Point2& p) const {
+  double sum = 0.0;
+  for (const auto& [s, prob] : entries_) {
+    sum += prob * Distance(p, space.coord(s));
+  }
+  return sum;
+}
+
+}  // namespace ust

@@ -1,0 +1,65 @@
+// Sparse probability distributions over states. Distribution vectors of
+// uncertain objects are extremely sparse (their support is bounded by the
+// reachability "diamond" between observations), so all model computations
+// operate on sorted (state, probability) vectors rather than dense arrays.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "state/state_space.h"
+#include "util/rng.h"
+
+namespace ust {
+
+/// \brief Sparse distribution vector: entries sorted by state id, all
+/// probabilities > 0 (zero entries are dropped by Normalize/Compact).
+class SparseDist {
+ public:
+  using Entry = std::pair<StateId, double>;
+
+  SparseDist() = default;
+  /// Entries need not be sorted; duplicates are merged.
+  explicit SparseDist(std::vector<Entry> entries);
+
+  /// Point mass at `s`.
+  static SparseDist Indicator(StateId s);
+
+  /// Uniform distribution over `states` (must be non-empty unless empty dist
+  /// is desired).
+  static SparseDist Uniform(const std::vector<StateId>& states);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Probability of state `s` (0 when absent).
+  double Prob(StateId s) const;
+
+  /// Sum of all probabilities.
+  double Mass() const;
+
+  /// Scale so the mass becomes 1. No-op on the empty distribution.
+  void Normalize();
+
+  /// Remove entries with probability <= eps, then renormalize.
+  void Compact(double eps = 0.0);
+
+  /// Support as a sorted state vector.
+  std::vector<StateId> Support() const;
+
+  /// Draw a state proportionally to probability. Mass must be > 0.
+  StateId Sample(Rng& rng) const;
+
+  /// L1 distance between two distributions (total variation * 2).
+  static double L1Distance(const SparseDist& a, const SparseDist& b);
+
+  /// Expected Euclidean distance from a fixed point under this distribution.
+  double ExpectedDistanceTo(const StateSpace& space, const Point2& p) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ust

@@ -1,0 +1,103 @@
+#include "markov/transition_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/check.h"
+
+namespace ust {
+
+Result<TransitionMatrix> TransitionMatrix::FromRows(
+    size_t num_states, std::vector<std::vector<Entry>> rows, double tolerance) {
+  if (rows.size() != num_states) {
+    return Status::InvalidArgument("row count does not match state count");
+  }
+  TransitionMatrix m;
+  m.row_offsets_.reserve(num_states + 1);
+  m.row_offsets_.push_back(0);
+  size_t total = 0;
+  for (const auto& row : rows) total += std::max<size_t>(row.size(), 1);
+  m.entries_.reserve(total);
+  for (StateId s = 0; s < num_states; ++s) {
+    auto& row = rows[s];
+    if (row.empty()) {
+      m.entries_.push_back({s, 1.0});  // absorbing state: implicit self-loop
+      m.row_offsets_.push_back(m.entries_.size());
+      continue;
+    }
+    std::sort(row.begin(), row.end());
+    double sum = 0.0;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (row[i].first >= num_states) {
+        return Status::InvalidArgument("transition target out of range");
+      }
+      if (row[i].second < 0.0) {
+        return Status::InvalidArgument("negative transition probability");
+      }
+      if (i > 0 && row[i].first == row[i - 1].first) {
+        return Status::InvalidArgument("duplicate transition target in row " +
+                                       std::to_string(s));
+      }
+      sum += row[i].second;
+    }
+    if (std::abs(sum - 1.0) > tolerance) {
+      return Status::InvalidArgument("row " + std::to_string(s) +
+                                     " does not sum to 1 (sum=" +
+                                     std::to_string(sum) + ")");
+    }
+    // Renormalize exactly to reduce drift over long chains.
+    for (auto& [to, p] : row) p /= sum;
+    m.entries_.insert(m.entries_.end(), row.begin(), row.end());
+    m.row_offsets_.push_back(m.entries_.size());
+  }
+  return m;
+}
+
+double TransitionMatrix::Prob(StateId from, StateId to) const {
+  const Entry* lo = begin(from);
+  const Entry* hi = end(from);
+  auto it = std::lower_bound(lo, hi, to, [](const Entry& e, StateId v) {
+    return e.first < v;
+  });
+  if (it != hi && it->first == to) return it->second;
+  return 0.0;
+}
+
+SparseDist TransitionMatrix::Propagate(const SparseDist& dist) const {
+  std::vector<SparseDist::Entry> out;
+  out.reserve(dist.size() * 4);
+  for (const auto& [from, p] : dist.entries()) {
+    for (const Entry* e = begin(from); e != end(from); ++e) {
+      out.push_back({e->first, e->second * p});
+    }
+  }
+  return SparseDist(std::move(out));
+}
+
+CsrGraph TransitionMatrix::SupportGraph() const {
+  std::vector<std::vector<Edge>> adj(num_states());
+  for (StateId s = 0; s < num_states(); ++s) {
+    adj[s].reserve(row_size(s));
+    for (const Entry* e = begin(s); e != end(s); ++e) {
+      adj[s].push_back({e->first, e->second});
+    }
+  }
+  return CsrGraph::FromAdjacency(adj);
+}
+
+TransitionMatrix TransitionMatrix::Uniformized() const {
+  TransitionMatrix m;
+  m.row_offsets_ = row_offsets_;
+  m.entries_ = entries_;
+  for (StateId s = 0; s < num_states(); ++s) {
+    size_t n = row_size(s);
+    double p = 1.0 / static_cast<double>(n);
+    for (size_t i = row_offsets_[s]; i < row_offsets_[s + 1]; ++i) {
+      m.entries_[i].second = p;
+    }
+  }
+  return m;
+}
+
+}  // namespace ust

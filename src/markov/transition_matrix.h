@@ -1,0 +1,70 @@
+// Row-sparse stochastic transition matrices M_ij = P(o(t+1) = s_j | o(t) = s_i)
+// (Section 3.1 of the paper). The experiments of the paper use one
+// time-homogeneous matrix shared by all objects; this class models that case.
+// Time-inhomogeneity enters through the forward-backward adaptation, which
+// produces per-tic matrices (see model/posterior_model.h).
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "markov/sparse_dist.h"
+#include "state/state_space.h"
+#include "util/status.h"
+
+namespace ust {
+
+/// \brief Immutable row-stochastic sparse matrix over a state space.
+class TransitionMatrix {
+ public:
+  using Entry = std::pair<StateId, double>;  ///< (target state, probability)
+
+  TransitionMatrix() = default;
+
+  /// Build from per-row entry lists. Rows are sorted by target id.
+  /// Fails unless every non-empty row sums to 1 within `tolerance`
+  /// (empty rows are treated as absorbing and get an implicit self-loop).
+  static Result<TransitionMatrix> FromRows(
+      size_t num_states, std::vector<std::vector<Entry>> rows,
+      double tolerance = 1e-9);
+
+  size_t num_states() const {
+    return row_offsets_.empty() ? 0 : row_offsets_.size() - 1;
+  }
+  size_t num_nonzeros() const { return entries_.size(); }
+
+  /// Row of `s` as a contiguous span.
+  const Entry* begin(StateId s) const {
+    return entries_.data() + row_offsets_[s];
+  }
+  const Entry* end(StateId s) const {
+    return entries_.data() + row_offsets_[s + 1];
+  }
+  size_t row_size(StateId s) const {
+    return row_offsets_[s + 1] - row_offsets_[s];
+  }
+
+  /// P(o(t+1) = to | o(t) = from); 0 when no entry exists.
+  double Prob(StateId from, StateId to) const;
+
+  /// One forward time transition: returns M^T * dist (sparse).
+  SparseDist Propagate(const SparseDist& dist) const;
+
+  /// Support graph: an edge per nonzero entry (weight = probability).
+  CsrGraph SupportGraph() const;
+
+  /// Same support, but probabilities replaced by a uniform distribution over
+  /// each row (the paper's FBU ablation in Figure 12).
+  TransitionMatrix Uniformized() const;
+
+ private:
+  std::vector<size_t> row_offsets_;
+  std::vector<Entry> entries_;
+};
+
+/// Shared ownership alias: many objects reference one matrix.
+using TransitionMatrixPtr = std::shared_ptr<const TransitionMatrix>;
+
+}  // namespace ust

@@ -1,0 +1,42 @@
+#include "markov/transition_model.h"
+
+#include <algorithm>
+
+namespace ust {
+
+Result<PiecewiseModel> PiecewiseModel::Create(
+    std::vector<std::pair<Tic, TransitionMatrixPtr>> pieces) {
+  if (pieces.empty()) {
+    return Status::InvalidArgument("piecewise model needs >= 1 piece");
+  }
+  for (const auto& [tic, matrix] : pieces) {
+    if (matrix == nullptr) {
+      return Status::InvalidArgument("null matrix in piecewise model");
+    }
+  }
+  const size_t n = pieces.front().second->num_states();
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (pieces[i].second->num_states() != n) {
+      return Status::InvalidArgument(
+          "piecewise model matrices disagree on the state space size");
+    }
+    if (i > 0 && pieces[i].first <= pieces[i - 1].first) {
+      return Status::InvalidArgument(
+          "piecewise model switch tics must be strictly increasing");
+    }
+  }
+  PiecewiseModel model;
+  model.pieces_ = std::move(pieces);
+  return model;
+}
+
+const TransitionMatrix& PiecewiseModel::At(Tic t) const {
+  // Last piece whose switch tic is <= t (first piece covers earlier tics).
+  auto it = std::upper_bound(
+      pieces_.begin(), pieces_.end(), t,
+      [](Tic v, const auto& piece) { return v < piece.first; });
+  if (it == pieces_.begin()) return *pieces_.front().second;
+  return *(it - 1)->second;
+}
+
+}  // namespace ust

@@ -1,0 +1,65 @@
+// Time-inhomogeneous a-priori models. The paper defines one transition
+// matrix M^o(t) per object *and* tic (Section 3.1) — the NP-hardness proof
+// of Lemma 1 explicitly builds time-inhomogeneous chains. The experiments
+// use a single shared homogeneous matrix; both cases implement this
+// interface, and the forward-backward adaptation accepts either.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "markov/transition_matrix.h"
+#include "state/state_space.h"
+#include "util/status.h"
+
+namespace ust {
+
+/// \brief A-priori motion model: which transition matrix governs the step
+/// from tic `t` to `t + 1`.
+class TransitionModel {
+ public:
+  virtual ~TransitionModel() = default;
+
+  /// Matrix applied to the transition t -> t+1.
+  virtual const TransitionMatrix& At(Tic t) const = 0;
+
+  /// Size of the state space (identical for all tics).
+  virtual size_t num_states() const = 0;
+};
+
+/// \brief The homogeneous case: one matrix for all tics.
+class HomogeneousModel final : public TransitionModel {
+ public:
+  explicit HomogeneousModel(TransitionMatrixPtr matrix)
+      : matrix_(std::move(matrix)) {}
+
+  const TransitionMatrix& At(Tic) const override { return *matrix_; }
+  size_t num_states() const override { return matrix_->num_states(); }
+
+ private:
+  TransitionMatrixPtr matrix_;
+};
+
+/// \brief Piecewise-constant inhomogeneous model: matrix `i` governs all
+/// transitions from tics in [switch_tic[i], switch_tic[i+1]).
+class PiecewiseModel final : public TransitionModel {
+ public:
+  /// `pieces` = (first tic the matrix applies to, matrix), strictly
+  /// increasing tics, all matrices over the same state space. Transitions
+  /// before the first switch tic use the first matrix.
+  static Result<PiecewiseModel> Create(
+      std::vector<std::pair<Tic, TransitionMatrixPtr>> pieces);
+
+  const TransitionMatrix& At(Tic t) const override;
+  size_t num_states() const override {
+    return pieces_.front().second->num_states();
+  }
+
+  size_t num_pieces() const { return pieces_.size(); }
+
+ private:
+  std::vector<std::pair<Tic, TransitionMatrixPtr>> pieces_;
+};
+
+}  // namespace ust

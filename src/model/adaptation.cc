@@ -1,0 +1,287 @@
+#include "model/adaptation.h"
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include "util/check.h"
+
+namespace ust {
+
+namespace {
+
+// One time-reversed matrix R(t): rows keyed by the (pre-collapse) forward
+// support at tic t; each row is a distribution over states at tic t-1.
+struct ReverseSlice {
+  std::vector<StateId> states;                       // sorted row keys
+  std::vector<uint32_t> row_offsets;                 // size states.size()+1
+  std::vector<std::pair<StateId, double>> entries;   // (state at t-1, prob)
+};
+
+using Triple = std::tuple<StateId, StateId, double>;  // (group key, member, value)
+
+// Groups (key, member, value) triples by key: emits sorted unique keys, the
+// per-key value sums, and normalized per-key member lists.
+template <typename MemberT>
+void GroupNormalize(std::vector<std::tuple<StateId, MemberT, double>>* triples,
+                    std::vector<StateId>* keys, std::vector<double>* sums,
+                    std::vector<uint32_t>* row_offsets,
+                    std::vector<std::pair<MemberT, double>>* entries) {
+  std::sort(triples->begin(), triples->end());
+  keys->clear();
+  sums->clear();
+  row_offsets->clear();
+  entries->clear();
+  row_offsets->push_back(0);
+  size_t i = 0;
+  while (i < triples->size()) {
+    StateId key = std::get<0>((*triples)[i]);
+    double sum = 0.0;
+    size_t begin = i;
+    while (i < triples->size() && std::get<0>((*triples)[i]) == key) {
+      sum += std::get<2>((*triples)[i]);
+      ++i;
+    }
+    if (sum <= 0.0) continue;  // numerically extinct state: drop
+    keys->push_back(key);
+    sums->push_back(sum);
+    // Merge duplicate members (same (key, member) can appear via multiple
+    // paths only if the input had duplicates; keep defensive merging cheap).
+    for (size_t j = begin; j < i; ++j) {
+      double v = std::get<2>((*triples)[j]) / sum;
+      if (!entries->empty() && row_offsets->back() < entries->size() &&
+          entries->back().first == std::get<1>((*triples)[j])) {
+        entries->back().second += v;
+      } else {
+        entries->push_back({std::get<1>((*triples)[j]), v});
+      }
+    }
+    row_offsets->push_back(static_cast<uint32_t>(entries->size()));
+  }
+}
+
+std::string ContradictionMessage(const Observation& o) {
+  return "observation at tic " + std::to_string(o.time) + " (state " +
+         std::to_string(o.state) + ") unreachable under a-priori model";
+}
+
+}  // namespace
+
+namespace {
+
+// Append `extra` slices past the last slice by plain a-priori propagation;
+// transition rows are the matrix rows themselves (they already sum to 1 and
+// every target is in the next support by construction). `last_tic` is the
+// absolute tic of the current final slice (needed to pick M(t)).
+void ExtendWithApriori(const TransitionModel& model, Tic last_tic,
+                       size_t extra,
+                       std::vector<PosteriorModel::Slice>* slices) {
+  for (size_t step = 0; step < extra; ++step) {
+    const TransitionMatrix& matrix = model.At(last_tic + static_cast<Tic>(step));
+    PosteriorModel::Slice& prev = slices->back();
+    // Gather successor states and marginals.
+    std::vector<SparseDist::Entry> acc;
+    for (size_t i = 0; i < prev.support.size(); ++i) {
+      const StateId s = prev.support[i];
+      for (const auto* e = matrix.begin(s); e != matrix.end(s); ++e) {
+        acc.push_back({e->first, e->second * prev.marginal[i]});
+      }
+    }
+    SparseDist next_dist(std::move(acc));
+    next_dist.Normalize();
+    PosteriorModel::Slice next;
+    next.support = next_dist.Support();
+    next.marginal.reserve(next.support.size());
+    for (const auto& [s, p] : next_dist.entries()) next.marginal.push_back(p);
+    // Fill prev's transition rows, mapping targets to next-slice indices.
+    prev.row_offsets.clear();
+    prev.transitions.clear();
+    prev.row_offsets.push_back(0);
+    for (StateId s : prev.support) {
+      for (const auto* e = matrix.begin(s); e != matrix.end(s); ++e) {
+        auto it = std::lower_bound(next.support.begin(), next.support.end(),
+                                   e->first);
+        UST_CHECK(it != next.support.end() && *it == e->first);
+        prev.transitions.push_back(
+            {static_cast<uint32_t>(it - next.support.begin()), e->second});
+      }
+      prev.row_offsets.push_back(static_cast<uint32_t>(prev.transitions.size()));
+    }
+    slices->push_back(std::move(next));
+  }
+}
+
+}  // namespace
+
+Result<PosteriorModel> AdaptTransitionMatrices(const TransitionMatrix& matrix,
+                                               const ObservationSeq& obs) {
+  return AdaptTransitionMatrices(matrix, obs, obs.last_tic());
+}
+
+Result<PosteriorModel> AdaptTransitionMatrices(const TransitionMatrix& matrix,
+                                               const ObservationSeq& obs,
+                                               Tic extend_until) {
+  // Non-owning homogeneous view over the caller's matrix.
+  HomogeneousModel model(
+      std::shared_ptr<const TransitionMatrix>(&matrix, [](const auto*) {}));
+  return AdaptTransitionMatrices(model, obs, extend_until);
+}
+
+Result<PosteriorModel> AdaptTransitionMatrices(const TransitionModel& model,
+                                               const ObservationSeq& obs) {
+  return AdaptTransitionMatrices(model, obs, obs.last_tic());
+}
+
+Result<PosteriorModel> AdaptTransitionMatrices(const TransitionModel& model,
+                                               const ObservationSeq& obs,
+                                               Tic extend_until) {
+  const Tic t0 = obs.first_tic();
+  const Tic t1 = obs.last_tic();
+  const size_t num_tics = static_cast<size_t>(t1 - t0) + 1;
+  if (obs.first().state >= model.num_states()) {
+    return Status::InvalidArgument("observation state outside matrix domain");
+  }
+  if (extend_until < t1) {
+    return Status::InvalidArgument(
+        "extend_until before the last observation");
+  }
+  const size_t extra = static_cast<size_t>(extend_until - t1);
+
+  if (num_tics == 1) {
+    PosteriorModel::Slice slice;
+    slice.support = {obs.first().state};
+    slice.marginal = {1.0};
+    std::vector<PosteriorModel::Slice> slices = {std::move(slice)};
+    ExtendWithApriori(model, t1, extra, &slices);
+    return PosteriorModel(t0, std::move(slices));
+  }
+
+  // ---- Forward phase: distribution filtering + reversed matrices R(t). ----
+  std::vector<ReverseSlice> reverse(num_tics);  // reverse[k] = R(t0 + k), k>=1
+  std::vector<SparseDist::Entry> cur = {{obs.first().state, 1.0}};
+  std::vector<Triple> triples;
+  for (size_t k = 1; k < num_tics; ++k) {
+    const Tic t = t0 + static_cast<Tic>(k);
+    const TransitionMatrix& matrix = model.At(t - 1);
+    triples.clear();
+    for (const auto& [from, p] : cur) {
+      for (const auto* e = matrix.begin(from); e != matrix.end(from); ++e) {
+        triples.emplace_back(e->first, from, e->second * p);
+      }
+    }
+    ReverseSlice& r = reverse[k];
+    std::vector<double> sums;
+    GroupNormalize(&triples, &r.states, &sums, &r.row_offsets, &r.entries);
+    if (r.states.empty()) {
+      return Status::Contradiction("forward support died out at tic " +
+                                   std::to_string(t));
+    }
+    // New filtered distribution (normalized to fight fp drift).
+    double total = 0.0;
+    for (double s : sums) total += s;
+    cur.clear();
+    cur.reserve(r.states.size());
+    for (size_t i = 0; i < r.states.size(); ++i) {
+      cur.push_back({r.states[i], sums[i] / total});
+    }
+    if (const Observation* o = obs.At(t)) {
+      // Incorporate the observation: collapse to the observed state.
+      auto it = std::lower_bound(r.states.begin(), r.states.end(), o->state);
+      if (it == r.states.end() || *it != o->state) {
+        return Status::Contradiction(ContradictionMessage(*o));
+      }
+      cur.clear();
+      cur.push_back({o->state, 1.0});
+    }
+  }
+
+  // ---- Backward phase: posterior slices + forward matrices F(t). ----
+  std::vector<PosteriorModel::Slice> slices(num_tics);
+  {
+    PosteriorModel::Slice& last = slices[num_tics - 1];
+    last.support = {obs.last().state};
+    last.marginal = {1.0};
+  }
+  // Triples here: (state at t, local index into slice t+1, joint probability).
+  std::vector<std::tuple<StateId, uint32_t, double>> btriples;
+  for (size_t k = num_tics - 1; k >= 1; --k) {
+    const PosteriorModel::Slice& next = slices[k];
+    const ReverseSlice& r = reverse[k];
+    btriples.clear();
+    for (uint32_t i = 0; i < next.support.size(); ++i) {
+      const StateId si = next.support[i];
+      const double pi = next.marginal[i];
+      auto it = std::lower_bound(r.states.begin(), r.states.end(), si);
+      UST_CHECK(it != r.states.end() && *it == si);
+      const auto row = static_cast<size_t>(it - r.states.begin());
+      for (uint32_t e = r.row_offsets[row]; e < r.row_offsets[row + 1]; ++e) {
+        btriples.emplace_back(r.entries[e].first, i, r.entries[e].second * pi);
+      }
+    }
+    PosteriorModel::Slice& slice = slices[k - 1];
+    std::vector<double> sums;
+    GroupNormalize(&btriples, &slice.support, &sums, &slice.row_offsets,
+                   &slice.transitions);
+    UST_CHECK(!slice.support.empty());
+    double total = 0.0;
+    for (double s : sums) total += s;
+    slice.marginal.reserve(sums.size());
+    for (double s : sums) slice.marginal.push_back(s / total);
+  }
+  UST_DCHECK(slices.front().support.size() == 1 &&
+             slices.front().support[0] == obs.first().state);
+  ExtendWithApriori(model, t1, extra, &slices);
+  return PosteriorModel(t0, std::move(slices));
+}
+
+Result<std::vector<SparseDist>> ForwardFilterMarginals(
+    const TransitionMatrix& matrix, const ObservationSeq& obs) {
+  const Tic t0 = obs.first_tic();
+  const Tic t1 = obs.last_tic();
+  const size_t num_tics = static_cast<size_t>(t1 - t0) + 1;
+  std::vector<SparseDist> result;
+  result.reserve(num_tics);
+  SparseDist cur = SparseDist::Indicator(obs.first().state);
+  result.push_back(cur);
+  for (size_t k = 1; k < num_tics; ++k) {
+    const Tic t = t0 + static_cast<Tic>(k);
+    cur = matrix.Propagate(cur);
+    cur.Normalize();
+    if (const Observation* o = obs.At(t)) {
+      if (cur.Prob(o->state) <= 0.0) {
+        return Status::Contradiction(
+            "observation at tic " + std::to_string(t) +
+            " unreachable under forward filtering");
+      }
+      cur = SparseDist::Indicator(o->state);
+    }
+    result.push_back(cur);
+  }
+  return result;
+}
+
+std::vector<SparseDist> AprioriMarginals(const TransitionMatrix& matrix,
+                                         const Observation& first,
+                                         size_t num_tics) {
+  std::vector<SparseDist> result;
+  result.reserve(num_tics);
+  SparseDist cur = SparseDist::Indicator(first.state);
+  result.push_back(cur);
+  for (size_t k = 1; k < num_tics; ++k) {
+    cur = matrix.Propagate(cur);
+    cur.Normalize();
+    result.push_back(cur);
+  }
+  return result;
+}
+
+std::vector<SparseDist> UniformReachableMarginals(const PosteriorModel& model) {
+  std::vector<SparseDist> result;
+  result.reserve(model.num_slices());
+  for (Tic t = model.first_tic(); t <= model.last_tic(); ++t) {
+    result.push_back(SparseDist::Uniform(model.SliceAt(t).support));
+  }
+  return result;
+}
+
+}  // namespace ust

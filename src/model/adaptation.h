@@ -1,0 +1,72 @@
+// Forward-backward adaptation of an a-priori Markov chain to a set of
+// observations (Algorithm 2, Section 5.2 of the paper):
+//
+//  * Forward phase — run the a-priori chain from the first observation,
+//    collapsing the distribution at every observation, and use Bayes'
+//    theorem to record the time-reversed matrices
+//    R(t)_ij = P(o(t-1)=s_j | o(t)=s_i, past observations).
+//  * Backward phase — traverse time backwards from the last observation via
+//    R(t), which conditions on future observations too, yielding the
+//    a-posteriori transition matrices
+//    F(t)_ij = P(o(t+1)=s_j | o(t)=s_i, all observations Θ)
+//    and the posterior marginals.
+//
+// All computations are sparse: complexity O(|T| * W * deg) where W is the
+// diamond width (reachable states per tic), matching the paper's
+// O(|T| * |S|^2) bound with W << |S| in practice.
+#pragma once
+
+#include <vector>
+
+#include "markov/sparse_dist.h"
+#include "markov/transition_matrix.h"
+#include "markov/transition_model.h"
+#include "model/observation.h"
+#include "model/posterior_model.h"
+#include "util/status.h"
+
+namespace ust {
+
+/// \brief Algorithm 2: build the a-posteriori model F^o(t) for one object.
+///
+/// When `extend_until` exceeds the last observation tic, the model is
+/// continued past it with plain a-priori propagation (no future observation
+/// exists to condition on) — e.g. the paper's Example 1, where objects move
+/// on after their only observation.
+///
+/// Fails with StatusCode::kContradiction when an observation is unreachable
+/// under the a-priori model (zero forward probability).
+Result<PosteriorModel> AdaptTransitionMatrices(const TransitionMatrix& matrix,
+                                               const ObservationSeq& obs);
+Result<PosteriorModel> AdaptTransitionMatrices(const TransitionMatrix& matrix,
+                                               const ObservationSeq& obs,
+                                               Tic extend_until);
+
+/// Time-inhomogeneous variants: `model.At(t)` governs the step t -> t+1
+/// (Section 3.1 allows a different matrix per tic; the Lemma-1 construction
+/// requires it).
+Result<PosteriorModel> AdaptTransitionMatrices(const TransitionModel& model,
+                                               const ObservationSeq& obs);
+Result<PosteriorModel> AdaptTransitionMatrices(const TransitionModel& model,
+                                               const ObservationSeq& obs,
+                                               Tic extend_until);
+
+/// \brief Forward-only filtering (the paper's "F" ablation in Figure 12):
+/// marginals P(o(t) | observations with time <= t) for every tic in the
+/// alive span. Entry k corresponds to tic first_tic + k.
+Result<std::vector<SparseDist>> ForwardFilterMarginals(
+    const TransitionMatrix& matrix, const ObservationSeq& obs);
+
+/// \brief A-priori propagation from the first observation only (the "NO"
+/// ablation in Figure 12): marginals P(o(t) | first observation) for
+/// `num_tics` tics starting at `first.time`.
+std::vector<SparseDist> AprioriMarginals(const TransitionMatrix& matrix,
+                                         const Observation& first,
+                                         size_t num_tics);
+
+/// \brief Uniform-over-reachable-states model (the "U" ablation in Figure 12,
+/// standing in for the cylinder/bead approximations [13, 16]): uniform
+/// distribution over each posterior support slice.
+std::vector<SparseDist> UniformReachableMarginals(const PosteriorModel& model);
+
+}  // namespace ust

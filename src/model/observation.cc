@@ -1,0 +1,54 @@
+#include "model/observation.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ust {
+
+Result<ObservationSeq> ObservationSeq::Create(
+    std::vector<Observation> observations) {
+  if (observations.empty()) {
+    return Status::InvalidArgument("observation sequence must be non-empty");
+  }
+  for (size_t i = 0; i < observations.size(); ++i) {
+    if (observations[i].state == kInvalidState) {
+      return Status::InvalidArgument("observation has invalid state");
+    }
+    if (i > 0 && observations[i].time <= observations[i - 1].time) {
+      return Status::InvalidArgument(
+          "observation times must be strictly increasing");
+    }
+  }
+  ObservationSeq seq;
+  seq.observations_ = std::move(observations);
+  return seq;
+}
+
+const Observation* ObservationSeq::At(Tic t) const {
+  auto it = std::lower_bound(
+      observations_.begin(), observations_.end(), t,
+      [](const Observation& o, Tic v) { return o.time < v; });
+  if (it != observations_.end() && it->time == t) return &*it;
+  return nullptr;
+}
+
+const Observation& ObservationSeq::Previous(Tic t) const {
+  UST_CHECK(Covers(t));
+  auto it = std::upper_bound(
+      observations_.begin(), observations_.end(), t,
+      [](Tic v, const Observation& o) { return v < o.time; });
+  UST_DCHECK(it != observations_.begin());
+  return *(it - 1);
+}
+
+const Observation& ObservationSeq::Next(Tic t) const {
+  UST_CHECK(Covers(t));
+  auto it = std::lower_bound(
+      observations_.begin(), observations_.end(), t,
+      [](const Observation& o, Tic v) { return o.time < v; });
+  UST_DCHECK(it != observations_.end());
+  return *it;
+}
+
+}  // namespace ust

@@ -1,0 +1,58 @@
+// Observations Θ^o = {(t_i, θ_i)}: certain (time, location) sightings of an
+// object (Section 3.1). Between observations the position is uncertain.
+#pragma once
+
+#include <vector>
+
+#include "state/state_space.h"
+#include "util/status.h"
+
+namespace ust {
+
+/// \brief One certain sighting: object was at state `state` at tic `time`.
+struct Observation {
+  Tic time = 0;
+  StateId state = kInvalidState;
+
+  friend bool operator==(const Observation& a, const Observation& b) {
+    return a.time == b.time && a.state == b.state;
+  }
+};
+
+/// \brief Strictly time-increasing, non-empty sequence of observations.
+class ObservationSeq {
+ public:
+  ObservationSeq() = default;
+
+  /// Validates: non-empty, strictly increasing times, valid states.
+  static Result<ObservationSeq> Create(std::vector<Observation> observations);
+
+  size_t size() const { return observations_.size(); }
+  const Observation& operator[](size_t i) const { return observations_[i]; }
+  const std::vector<Observation>& items() const { return observations_; }
+
+  const Observation& first() const { return observations_.front(); }
+  const Observation& last() const { return observations_.back(); }
+
+  /// First observation tic (the object's birth).
+  Tic first_tic() const { return observations_.front().time; }
+  /// Last observation tic (the object's death).
+  Tic last_tic() const { return observations_.back().time; }
+
+  /// True when `t` lies in [first_tic, last_tic].
+  bool Covers(Tic t) const { return t >= first_tic() && t <= last_tic(); }
+
+  /// Observation at exactly tic `t`, or nullptr.
+  const Observation* At(Tic t) const;
+
+  /// Most recent observation with time <= t. Requires Covers(t).
+  const Observation& Previous(Tic t) const;
+
+  /// Soonest observation with time >= t. Requires Covers(t).
+  const Observation& Next(Tic t) const;
+
+ private:
+  std::vector<Observation> observations_;
+};
+
+}  // namespace ust

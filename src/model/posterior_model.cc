@@ -1,0 +1,131 @@
+#include "model/posterior_model.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ust {
+
+SparseDist PosteriorModel::MarginalAt(Tic t) const {
+  UST_CHECK(AliveAt(t));
+  const Slice& slice = SliceAt(t);
+  std::vector<SparseDist::Entry> entries;
+  entries.reserve(slice.support.size());
+  for (size_t i = 0; i < slice.support.size(); ++i) {
+    entries.push_back({slice.support[i], slice.marginal[i]});
+  }
+  return SparseDist(std::move(entries));
+}
+
+double PosteriorModel::TransitionProb(Tic t, StateId from, StateId to) const {
+  UST_CHECK(AliveAt(t) && AliveAt(t + 1));
+  const Slice& slice = SliceAt(t);
+  const Slice& next = SliceAt(t + 1);
+  auto it = std::lower_bound(slice.support.begin(), slice.support.end(), from);
+  if (it == slice.support.end() || *it != from) return 0.0;
+  auto local = static_cast<uint32_t>(it - slice.support.begin());
+  for (uint32_t e = slice.row_offsets[local]; e < slice.row_offsets[local + 1];
+       ++e) {
+    if (next.support[slice.transitions[e].first] == to) {
+      return slice.transitions[e].second;
+    }
+  }
+  return 0.0;
+}
+
+StateId PosteriorModel::SampleAt(Tic t, Rng& rng) const {
+  UST_CHECK(AliveAt(t));
+  const Slice& slice = SliceAt(t);
+  double u = rng.Uniform();
+  double acc = 0.0;
+  for (size_t i = 0; i < slice.support.size(); ++i) {
+    acc += slice.marginal[i];
+    if (u < acc) return slice.support[i];
+  }
+  return slice.support.back();
+}
+
+uint32_t PosteriorModel::SampleSuccessor(const Slice& slice, uint32_t local,
+                                         Rng& rng) const {
+  uint32_t lo = slice.row_offsets[local];
+  uint32_t hi = slice.row_offsets[local + 1];
+  UST_CHECK(hi > lo);
+  double u = rng.Uniform();
+  double acc = 0.0;
+  for (uint32_t e = lo; e < hi; ++e) {
+    acc += slice.transitions[e].second;
+    if (u < acc) return slice.transitions[e].first;
+  }
+  return slice.transitions[hi - 1].first;
+}
+
+Trajectory PosteriorModel::SampleTrajectory(Rng& rng) const {
+  Trajectory traj;
+  traj.start = first_tic_;
+  traj.states.reserve(slices_.size());
+  // The first slice is the first observation: a point mass.
+  uint32_t local = 0;
+  {
+    const Slice& first = slices_.front();
+    double u = rng.Uniform();
+    double acc = 0.0;
+    for (size_t i = 0; i < first.support.size(); ++i) {
+      acc += first.marginal[i];
+      if (u < acc) {
+        local = static_cast<uint32_t>(i);
+        break;
+      }
+    }
+  }
+  traj.states.push_back(slices_.front().support[local]);
+  for (size_t k = 0; k + 1 < slices_.size(); ++k) {
+    local = SampleSuccessor(slices_[k], local, rng);
+    traj.states.push_back(slices_[k + 1].support[local]);
+  }
+  return traj;
+}
+
+Result<Trajectory> PosteriorModel::SampleWindow(Tic ts, Tic te,
+                                                Rng& rng) const {
+  if (!CoversWindow(ts, te)) {
+    return Status::OutOfRange("sampling window outside alive span");
+  }
+  Trajectory traj;
+  traj.start = ts;
+  traj.states.reserve(static_cast<size_t>(te - ts) + 1);
+  const Slice& start_slice = SliceAt(ts);
+  // Sample the window start from the posterior marginal.
+  uint32_t local = 0;
+  {
+    double u = rng.Uniform();
+    double acc = 0.0;
+    for (size_t i = 0; i < start_slice.support.size(); ++i) {
+      acc += start_slice.marginal[i];
+      if (u < acc) {
+        local = static_cast<uint32_t>(i);
+        break;
+      }
+      local = static_cast<uint32_t>(i);  // fall back to last on fp slack
+    }
+  }
+  traj.states.push_back(start_slice.support[local]);
+  for (Tic t = ts; t < te; ++t) {
+    local = SampleSuccessor(SliceAt(t), local, rng);
+    traj.states.push_back(SliceAt(t + 1).support[local]);
+  }
+  return traj;
+}
+
+size_t PosteriorModel::TotalSupportSize() const {
+  size_t total = 0;
+  for (const Slice& s : slices_) total += s.support.size();
+  return total;
+}
+
+size_t PosteriorModel::MaxSupportSize() const {
+  size_t m = 0;
+  for (const Slice& s : slices_) m = std::max(m, s.support.size());
+  return m;
+}
+
+}  // namespace ust

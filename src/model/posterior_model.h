@@ -1,0 +1,94 @@
+// The a-posteriori motion model produced by the forward-backward adaptation
+// (Algorithm 2 of the paper): per-tic sparse transition matrices
+// F^o(t)_ij = P(o(t+1) = s_j | o(t) = s_i, Θ^o) together with the posterior
+// marginals P(o(t) = s_i | Θ^o). Sampling from this model yields trajectories
+// that are consistent with *all* observations in a single attempt.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "markov/sparse_dist.h"
+#include "state/state_space.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ust {
+
+/// \brief A certain trajectory: one state per tic starting at `start`.
+struct Trajectory {
+  Tic start = 0;
+  std::vector<StateId> states;
+
+  Tic end() const { return start + static_cast<Tic>(states.size()) - 1; }
+  bool Covers(Tic t) const { return t >= start && t <= end(); }
+  StateId At(Tic t) const { return states[static_cast<size_t>(t - start)]; }
+};
+
+/// \brief Posterior model over the object's alive span [first_tic, last_tic].
+///
+/// Internal layout: one Slice per tic. Slice `k` (tic = first_tic + k) holds
+/// the sorted posterior support, the aligned marginal probabilities, and CSR
+/// rows of transition probabilities into slice k+1 (targets are *indices into
+/// the next slice's support*, which makes sampling a pair of array lookups).
+class PosteriorModel {
+ public:
+  /// \brief Per-tic slice of the adapted model.
+  struct Slice {
+    std::vector<StateId> support;            ///< sorted posterior support
+    std::vector<double> marginal;            ///< aligned with support
+    std::vector<uint32_t> row_offsets;       ///< size support.size()+1; empty in last slice
+    std::vector<std::pair<uint32_t, double>> transitions;  ///< (next-slice index, prob)
+  };
+
+  PosteriorModel() = default;
+  PosteriorModel(Tic first_tic, std::vector<Slice> slices)
+      : first_tic_(first_tic), slices_(std::move(slices)) {}
+
+  Tic first_tic() const { return first_tic_; }
+  Tic last_tic() const {
+    return first_tic_ + static_cast<Tic>(slices_.size()) - 1;
+  }
+  bool AliveAt(Tic t) const { return t >= first_tic() && t <= last_tic(); }
+  bool CoversWindow(Tic ts, Tic te) const {
+    return ts <= te && AliveAt(ts) && AliveAt(te);
+  }
+
+  size_t num_slices() const { return slices_.size(); }
+  const Slice& SliceAt(Tic t) const {
+    return slices_[static_cast<size_t>(t - first_tic_)];
+  }
+
+  /// Posterior marginal P(o(t) = · | Θ) as a sparse distribution.
+  SparseDist MarginalAt(Tic t) const;
+
+  /// Posterior transition probability P(o(t+1)=to | o(t)=from, Θ).
+  double TransitionProb(Tic t, StateId from, StateId to) const;
+
+  /// Draw a state from the posterior marginal at `t`.
+  StateId SampleAt(Tic t, Rng& rng) const;
+
+  /// Draw a full trajectory over the alive span; hits every observation by
+  /// construction and needs exactly one attempt.
+  Trajectory SampleTrajectory(Rng& rng) const;
+
+  /// Draw a trajectory restricted to [ts, te] ⊆ alive span: the state at `ts`
+  /// comes from the posterior marginal, the rest from the adapted chain.
+  /// (Valid because the adapted process is Markov given all observations.)
+  Result<Trajectory> SampleWindow(Tic ts, Tic te, Rng& rng) const;
+
+  /// Total number of (state, tic) pairs with nonzero posterior probability.
+  size_t TotalSupportSize() const;
+
+  /// Largest per-tic support (the widest point of the diamonds).
+  size_t MaxSupportSize() const;
+
+ private:
+  /// Index into slice-at-t support of a sampled successor of `local` state.
+  uint32_t SampleSuccessor(const Slice& slice, uint32_t local, Rng& rng) const;
+
+  Tic first_tic_ = 0;
+  std::vector<Slice> slices_;
+};
+
+}  // namespace ust

@@ -1,0 +1,89 @@
+#include "model/samplers.h"
+
+#include "util/check.h"
+
+namespace ust {
+
+StateId SampleTransition(const TransitionMatrix& matrix, StateId from,
+                         Rng& rng) {
+  const auto* lo = matrix.begin(from);
+  const auto* hi = matrix.end(from);
+  UST_DCHECK(lo != hi);
+  double u = rng.Uniform();
+  double acc = 0.0;
+  for (const auto* e = lo; e != hi; ++e) {
+    acc += e->second;
+    if (u < acc) return e->first;
+  }
+  return (hi - 1)->first;
+}
+
+Trajectory PosteriorSampler::Sample(Rng& rng) {
+  ++stats_.attempts;
+  ++stats_.accepted;
+  return model_->SampleTrajectory(rng);
+}
+
+Result<Trajectory> NaiveRejectionSampler::Sample(Rng& rng) {
+  const Tic t0 = obs_->first_tic();
+  const Tic t1 = obs_->last_tic();
+  const size_t num_tics = static_cast<size_t>(t1 - t0) + 1;
+  for (uint64_t attempt = 0; attempt < max_attempts_; ++attempt) {
+    ++stats_.attempts;
+    Trajectory traj;
+    traj.start = t0;
+    traj.states.reserve(num_tics);
+    traj.states.push_back(obs_->first().state);
+    bool valid = true;
+    StateId cur = obs_->first().state;
+    for (Tic t = t0 + 1; t <= t1; ++t) {
+      cur = SampleTransition(*matrix_, cur, rng);
+      if (const Observation* o = obs_->At(t); o != nullptr && o->state != cur) {
+        valid = false;
+        break;
+      }
+      traj.states.push_back(cur);
+    }
+    if (valid) {
+      ++stats_.accepted;
+      return traj;
+    }
+  }
+  return Status::ResourceLimit("TS1 exceeded max attempts");
+}
+
+Result<Trajectory> SegmentRejectionSampler::Sample(Rng& rng) {
+  const auto& items = obs_->items();
+  Trajectory traj;
+  traj.start = obs_->first_tic();
+  traj.states.push_back(items[0].state);
+  std::vector<StateId> segment;
+  for (size_t i = 0; i + 1 < items.size(); ++i) {
+    const Observation& from = items[i];
+    const Observation& to = items[i + 1];
+    const size_t steps = static_cast<size_t>(to.time - from.time);
+    bool matched = false;
+    for (uint64_t attempt = 0; attempt < max_attempts_per_segment_;
+         ++attempt) {
+      ++stats_.attempts;
+      segment.clear();
+      StateId cur = from.state;
+      for (size_t s = 0; s < steps; ++s) {
+        cur = SampleTransition(*matrix_, cur, rng);
+        segment.push_back(cur);
+      }
+      if (cur == to.state) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      return Status::ResourceLimit("TS2 exceeded max attempts in segment");
+    }
+    traj.states.insert(traj.states.end(), segment.begin(), segment.end());
+  }
+  ++stats_.accepted;
+  return traj;
+}
+
+}  // namespace ust

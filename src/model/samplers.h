@@ -1,0 +1,91 @@
+// Trajectory samplers (Section 5):
+//  * PosteriorSampler  — draws from the adapted model F^o(t); every draw is a
+//    valid trajectory (exactly one attempt per sample).
+//  * NaiveRejectionSampler (TS1, Section 5.1) — forward simulation with the
+//    a-priori chain; rejects any trajectory missing an observation. Expected
+//    attempts grow exponentially in the number of observations.
+//  * SegmentRejectionSampler (TS2) — rejection per observation segment; by
+//    the Markov property the pieced-together trajectory has the correct
+//    posterior law, with attempts linear in the number of observations.
+#pragma once
+
+#include <cstdint>
+
+#include "markov/transition_matrix.h"
+#include "model/observation.h"
+#include "model/posterior_model.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ust {
+
+/// \brief Attempt accounting for rejection-style samplers.
+struct SampleStats {
+  uint64_t attempts = 0;   ///< trajectories (or segments) generated
+  uint64_t accepted = 0;   ///< samples returned
+  double AttemptsPerSample() const {
+    return accepted == 0 ? 0.0 : static_cast<double>(attempts) / accepted;
+  }
+};
+
+/// \brief Samples from the a-posteriori model; one attempt per sample.
+class PosteriorSampler {
+ public:
+  explicit PosteriorSampler(const PosteriorModel& model) : model_(&model) {}
+
+  Trajectory Sample(Rng& rng);
+
+  const SampleStats& stats() const { return stats_; }
+
+ private:
+  const PosteriorModel* model_;
+  SampleStats stats_;
+};
+
+/// \brief TS1: forward-simulate with the a-priori chain, reject on any
+/// missed observation. `max_attempts` bounds one Sample call.
+class NaiveRejectionSampler {
+ public:
+  NaiveRejectionSampler(const TransitionMatrix& matrix,
+                        const ObservationSeq& obs, uint64_t max_attempts)
+      : matrix_(&matrix), obs_(&obs), max_attempts_(max_attempts) {}
+
+  /// One valid trajectory or kResourceLimit after `max_attempts` rejections.
+  Result<Trajectory> Sample(Rng& rng);
+
+  const SampleStats& stats() const { return stats_; }
+
+ private:
+  const TransitionMatrix* matrix_;
+  const ObservationSeq* obs_;
+  uint64_t max_attempts_;
+  SampleStats stats_;
+};
+
+/// \brief TS2: segment-wise rejection between consecutive observations.
+/// `attempts` counts generated segments (the unit the paper's Figure 10
+/// compares: trajectories drawn to obtain one valid sample).
+class SegmentRejectionSampler {
+ public:
+  SegmentRejectionSampler(const TransitionMatrix& matrix,
+                          const ObservationSeq& obs,
+                          uint64_t max_attempts_per_segment)
+      : matrix_(&matrix), obs_(&obs),
+        max_attempts_per_segment_(max_attempts_per_segment) {}
+
+  Result<Trajectory> Sample(Rng& rng);
+
+  const SampleStats& stats() const { return stats_; }
+
+ private:
+  const TransitionMatrix* matrix_;
+  const ObservationSeq* obs_;
+  uint64_t max_attempts_per_segment_;
+  SampleStats stats_;
+};
+
+/// Draw a successor of `from` under matrix row (linear scan; rows are short).
+StateId SampleTransition(const TransitionMatrix& matrix, StateId from,
+                         Rng& rng);
+
+}  // namespace ust

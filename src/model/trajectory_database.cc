@@ -1,0 +1,49 @@
+#include "model/trajectory_database.h"
+
+namespace ust {
+
+ObjectId TrajectoryDatabase::AddObject(ObservationSeq observations,
+                                       TransitionMatrixPtr matrix) {
+  ObjectId id = static_cast<ObjectId>(objects_.size());
+  objects_.emplace_back(id, std::move(observations), std::move(matrix));
+  return id;
+}
+
+ObjectId TrajectoryDatabase::AddObject(ObservationSeq observations,
+                                       TransitionMatrixPtr matrix,
+                                       Tic end_tic) {
+  ObjectId id = static_cast<ObjectId>(objects_.size());
+  objects_.emplace_back(id, std::move(observations), std::move(matrix),
+                        end_tic);
+  return id;
+}
+
+std::vector<ObjectId> TrajectoryDatabase::AliveThroughout(Tic ts,
+                                                          Tic te) const {
+  std::vector<ObjectId> ids;
+  for (const auto& o : objects_) {
+    if (o.AliveThroughout(ts, te)) ids.push_back(o.id());
+  }
+  return ids;
+}
+
+std::vector<ObjectId> TrajectoryDatabase::AliveSometime(Tic ts, Tic te) const {
+  std::vector<ObjectId> ids;
+  for (const auto& o : objects_) {
+    if (o.first_tic() <= te && o.last_tic() >= ts) ids.push_back(o.id());
+  }
+  return ids;
+}
+
+Status TrajectoryDatabase::EnsureAllPosteriors() const {
+  for (const auto& o : objects_) {
+    UST_RETURN_NOT_OK(o.EnsurePosterior());
+  }
+  return Status::OK();
+}
+
+void TrajectoryDatabase::InvalidatePosteriors() const {
+  for (const auto& o : objects_) o.InvalidatePosterior();
+}
+
+}  // namespace ust

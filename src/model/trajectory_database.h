@@ -1,0 +1,52 @@
+// The uncertain trajectory database D (Section 3.1): a state space plus a
+// collection of uncertain objects.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "model/uncertain_object.h"
+#include "state/state_space.h"
+#include "util/status.h"
+
+namespace ust {
+
+/// \brief Database of uncertain moving objects over a shared state space.
+class TrajectoryDatabase {
+ public:
+  explicit TrajectoryDatabase(std::shared_ptr<const StateSpace> space)
+      : space_(std::move(space)) {}
+
+  const StateSpace& space() const { return *space_; }
+  std::shared_ptr<const StateSpace> space_ptr() const { return space_; }
+
+  /// Add an object; returns its id. Observations must be valid for `matrix`.
+  /// `end_tic` optionally extends the lifetime past the last observation.
+  ObjectId AddObject(ObservationSeq observations, TransitionMatrixPtr matrix);
+  ObjectId AddObject(ObservationSeq observations, TransitionMatrixPtr matrix,
+                     Tic end_tic);
+
+  size_t size() const { return objects_.size(); }
+  bool empty() const { return objects_.empty(); }
+  const UncertainObject& object(ObjectId id) const { return objects_[id]; }
+  const std::vector<UncertainObject>& objects() const { return objects_; }
+
+  /// Ids of objects alive at every tic of [ts, te].
+  std::vector<ObjectId> AliveThroughout(Tic ts, Tic te) const;
+
+  /// Ids of objects alive at at least one tic of [ts, te].
+  std::vector<ObjectId> AliveSometime(Tic ts, Tic te) const;
+
+  /// Build every object's posterior model (the "TS" phase of the paper's
+  /// experiments); stops at the first adaptation failure.
+  Status EnsureAllPosteriors() const;
+
+  /// Drop all cached posteriors (for timing experiments).
+  void InvalidatePosteriors() const;
+
+ private:
+  std::shared_ptr<const StateSpace> space_;
+  std::vector<UncertainObject> objects_;
+};
+
+}  // namespace ust

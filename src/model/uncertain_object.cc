@@ -1,0 +1,22 @@
+#include "model/uncertain_object.h"
+
+#include "model/adaptation.h"
+
+namespace ust {
+
+Result<std::shared_ptr<const PosteriorModel>> UncertainObject::Posterior()
+    const {
+  if (!posterior_) {
+    auto result = AdaptTransitionMatrices(*matrix_, observations_, end_tic_);
+    if (!result.ok()) return result.status();
+    posterior_ = std::make_shared<const PosteriorModel>(result.MoveValue());
+  }
+  return posterior_;
+}
+
+Status UncertainObject::EnsurePosterior() const {
+  auto result = Posterior();
+  return result.ok() ? Status::OK() : result.status();
+}
+
+}  // namespace ust

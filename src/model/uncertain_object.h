@@ -1,0 +1,67 @@
+// An uncertain moving object: its observations plus the a-priori Markov
+// model, with a lazily built a-posteriori model (Algorithm 2).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+
+#include "markov/transition_matrix.h"
+#include "model/observation.h"
+#include "model/posterior_model.h"
+#include "util/status.h"
+
+namespace ust {
+
+/// Dense object identifier within a TrajectoryDatabase.
+using ObjectId = uint32_t;
+
+/// \brief One uncertain moving object o ∈ D.
+///
+/// The posterior model is built on first use and cached (single-threaded use;
+/// call EnsurePosterior() up front from concurrent contexts).
+class UncertainObject {
+ public:
+  /// `end_tic` extends the object's lifetime past its last observation (the
+  /// a-posteriori model continues with a-priori propagation there); it
+  /// defaults to the last observation tic.
+  UncertainObject(ObjectId id, ObservationSeq observations,
+                  TransitionMatrixPtr matrix)
+      : UncertainObject(id, std::move(observations), std::move(matrix), -1) {}
+  UncertainObject(ObjectId id, ObservationSeq observations,
+                  TransitionMatrixPtr matrix, Tic end_tic)
+      : id_(id), observations_(std::move(observations)),
+        matrix_(std::move(matrix)),
+        end_tic_(std::max(end_tic, observations_.last_tic())) {}
+
+  ObjectId id() const { return id_; }
+  const ObservationSeq& observations() const { return observations_; }
+  const TransitionMatrix& matrix() const { return *matrix_; }
+  TransitionMatrixPtr matrix_ptr() const { return matrix_; }
+
+  Tic first_tic() const { return observations_.first_tic(); }
+  /// Last tic the object exists at (>= last observation tic).
+  Tic last_tic() const { return end_tic_; }
+  bool AliveAt(Tic t) const { return t >= first_tic() && t <= end_tic_; }
+  bool AliveThroughout(Tic ts, Tic te) const {
+    return first_tic() <= ts && te <= end_tic_;
+  }
+
+  /// Build (or fetch the cached) a-posteriori model.
+  Result<std::shared_ptr<const PosteriorModel>> Posterior() const;
+
+  /// Eagerly build the posterior; returns the adaptation status.
+  Status EnsurePosterior() const;
+
+  /// Drop the cached posterior (e.g. for timing experiments).
+  void InvalidatePosterior() const { posterior_.reset(); }
+
+ private:
+  ObjectId id_;
+  ObservationSeq observations_;
+  TransitionMatrixPtr matrix_;
+  Tic end_tic_;
+  mutable std::shared_ptr<const PosteriorModel> posterior_;
+};
+
+}  // namespace ust

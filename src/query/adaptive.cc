@@ -1,0 +1,165 @@
+#include "query/adaptive.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace ust {
+
+namespace {
+
+// Indices of `targets` within `participants`; InvalidArgument when missing.
+Result<std::vector<size_t>> ResolveTargets(
+    const std::vector<ObjectId>& participants,
+    const std::vector<ObjectId>& targets) {
+  std::vector<size_t> indices;
+  indices.reserve(targets.size());
+  for (ObjectId t : targets) {
+    auto it = std::find(participants.begin(), participants.end(), t);
+    if (it == participants.end()) {
+      return Status::InvalidArgument("target not among participants");
+    }
+    indices.push_back(static_cast<size_t>(it - participants.begin()));
+  }
+  return indices;
+}
+
+// Updates per-target forall/exists success counts from one world's marks.
+void Accumulate(const uint8_t* is_nn, const std::vector<size_t>& target_index,
+                size_t interval_length, std::vector<size_t>* forall_hits,
+                std::vector<size_t>* exists_hits) {
+  for (size_t ti = 0; ti < target_index.size(); ++ti) {
+    const uint8_t* row = is_nn + target_index[ti] * interval_length;
+    bool all = true, any = false;
+    for (size_t r = 0; r < interval_length; ++r) {
+      if (row[r]) {
+        any = true;
+      } else {
+        all = false;
+      }
+    }
+    (*forall_hits)[ti] += all ? 1 : 0;
+    (*exists_hits)[ti] += any ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+Result<SequentialPnnResult> EstimatePnnSequential(
+    const TrajectoryDatabase& db, const std::vector<ObjectId>& participants,
+    const std::vector<ObjectId>& targets, const QueryTrajectory& q,
+    const TimeInterval& T, const SequentialOptions& options) {
+  if (options.epsilon <= 0.0 || options.delta <= 0.0 || options.delta >= 1.0) {
+    return Status::InvalidArgument("epsilon/delta out of range");
+  }
+  if (options.batch_size == 0 || options.max_worlds == 0) {
+    return Status::InvalidArgument("batch_size/max_worlds must be positive");
+  }
+  auto target_index = ResolveTargets(participants, targets);
+  if (!target_index.ok()) return target_index.status();
+  auto sampler =
+      WorldSampler::Create(db, participants, q, T, options.k, options.seed);
+  if (!sampler.ok()) return sampler.status();
+
+  const size_t len = T.length();
+  std::vector<uint8_t> is_nn(participants.size() * len);
+  std::vector<size_t> forall_hits(targets.size(), 0);
+  std::vector<size_t> exists_hits(targets.size(), 0);
+  size_t worlds = 0;
+  while (worlds < options.max_worlds) {
+    const size_t batch =
+        std::min(options.batch_size, options.max_worlds - worlds);
+    for (size_t b = 0; b < batch; ++b) {
+      sampler.value().NextWorld(is_nn.data());
+      Accumulate(is_nn.data(), target_index.value(), len, &forall_hits,
+                 &exists_hits);
+    }
+    worlds += batch;
+    if (HoeffdingEpsilon(worlds, options.delta) <= options.epsilon) break;
+  }
+
+  SequentialPnnResult result;
+  result.worlds_used = worlds;
+  result.epsilon_achieved = HoeffdingEpsilon(worlds, options.delta);
+  result.estimates.reserve(targets.size());
+  for (size_t ti = 0; ti < targets.size(); ++ti) {
+    result.estimates.push_back(
+        {targets[ti],
+         static_cast<double>(forall_hits[ti]) / static_cast<double>(worlds),
+         static_cast<double>(exists_hits[ti]) / static_cast<double>(worlds)});
+  }
+  return result;
+}
+
+Result<ThresholdQueryResult> DecideThresholdSequential(
+    const TrajectoryDatabase& db, const std::vector<ObjectId>& participants,
+    const std::vector<ObjectId>& targets, const QueryTrajectory& q,
+    const TimeInterval& T, double tau, PnnSemantics semantics,
+    const SequentialOptions& options) {
+  if (tau < 0.0 || tau > 1.0) {
+    return Status::InvalidArgument("tau out of [0, 1]");
+  }
+  if (options.batch_size == 0 || options.max_worlds == 0) {
+    return Status::InvalidArgument("batch_size/max_worlds must be positive");
+  }
+  if (options.delta <= 0.0 || options.delta >= 1.0) {
+    return Status::InvalidArgument("delta out of range");
+  }
+  auto target_index = ResolveTargets(participants, targets);
+  if (!target_index.ok()) return target_index.status();
+  auto sampler =
+      WorldSampler::Create(db, participants, q, T, options.k, options.seed);
+  if (!sampler.ok()) return sampler.status();
+
+  // Bonferroni: each per-object interval at confidence 1 - delta/#targets so
+  // the joint decision holds at 1 - delta.
+  const double per_object_delta =
+      options.delta / static_cast<double>(std::max<size_t>(1, targets.size()));
+  const size_t len = T.length();
+  std::vector<uint8_t> is_nn(participants.size() * len);
+  std::vector<size_t> forall_hits(targets.size(), 0);
+  std::vector<size_t> exists_hits(targets.size(), 0);
+
+  ThresholdQueryResult result;
+  result.decisions.resize(targets.size());
+  std::vector<char> decided(targets.size(), 0);
+  size_t undecided = targets.size();
+  size_t worlds = 0;
+  while (worlds < options.max_worlds && undecided > 0) {
+    const size_t batch =
+        std::min(options.batch_size, options.max_worlds - worlds);
+    for (size_t b = 0; b < batch; ++b) {
+      sampler.value().NextWorld(is_nn.data());
+      Accumulate(is_nn.data(), target_index.value(), len, &forall_hits,
+                 &exists_hits);
+    }
+    worlds += batch;
+    for (size_t ti = 0; ti < targets.size(); ++ti) {
+      if (decided[ti]) continue;
+      const size_t hits = semantics == PnnSemantics::kForall
+                              ? forall_hits[ti]
+                              : exists_hits[ti];
+      Interval ci = WilsonInterval(hits, worlds, per_object_delta);
+      if (ci.lo >= tau || ci.hi < tau) {
+        decided[ti] = 1;
+        --undecided;
+        result.decisions[ti] = {targets[ti], ci.lo >= tau, /*decided=*/true,
+                                static_cast<double>(hits) / worlds, worlds};
+      }
+    }
+  }
+  // Undecided targets: fall back to the point estimate, flagged as such.
+  for (size_t ti = 0; ti < targets.size(); ++ti) {
+    if (decided[ti]) continue;
+    const size_t hits = semantics == PnnSemantics::kForall ? forall_hits[ti]
+                                                           : exists_hits[ti];
+    const double estimate = static_cast<double>(hits) / worlds;
+    result.decisions[ti] = {targets[ti], estimate >= tau, /*decided=*/false,
+                            estimate, worlds};
+  }
+  result.worlds_used = worlds;
+  return result;
+}
+
+}  // namespace ust

@@ -1,0 +1,75 @@
+// Sequential (adaptive) Monte-Carlo estimation. The paper sizes its sample
+// count a priori with Hoeffding's inequality [29]; sequential sampling goes
+// further: it draws worlds in batches and stops as soon as the estimates are
+// provably good enough, which for threshold queries (P >= tau) is usually
+// orders of magnitude earlier than the worst-case Hoeffding count —
+// probabilities far from tau are decided after a few hundred worlds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/trajectory_database.h"
+#include "query/monte_carlo.h"
+#include "query/query.h"
+#include "util/status.h"
+
+namespace ust {
+
+/// \brief Which probability a threshold decision is about.
+enum class PnnSemantics {
+  kForall,  ///< P∀NN (Definition 2)
+  kExists,  ///< P∃NN (Definition 1)
+};
+
+/// \brief Stopping parameters of the sequential estimators.
+struct SequentialOptions {
+  double epsilon = 0.01;       ///< absolute error target (estimate variant)
+  double delta = 0.05;         ///< failure probability
+  size_t batch_size = 256;     ///< worlds sampled between stopping checks
+  size_t max_worlds = 1 << 20; ///< hard cap
+  int k = 1;                   ///< kNN parameter
+  uint64_t seed = 42;
+};
+
+/// \brief Estimates with the achieved (Hoeffding) error bound.
+struct SequentialPnnResult {
+  std::vector<PnnEstimate> estimates;
+  size_t worlds_used = 0;
+  double epsilon_achieved = 0.0;  ///< two-sided bound at confidence 1-delta
+};
+
+/// \brief Sample until the Hoeffding bound reaches `options.epsilon` (or
+/// max_worlds). Equivalent in distribution to EstimatePnn with the matching
+/// world count, but self-sizing.
+Result<SequentialPnnResult> EstimatePnnSequential(
+    const TrajectoryDatabase& db, const std::vector<ObjectId>& participants,
+    const std::vector<ObjectId>& targets, const QueryTrajectory& q,
+    const TimeInterval& T, const SequentialOptions& options);
+
+/// \brief Per-object outcome of a sequential threshold query.
+struct ThresholdDecision {
+  ObjectId object;
+  bool qualifies;      ///< estimate of [P >= tau] (exact when decided)
+  bool decided;        ///< confidence interval cleared tau before max_worlds
+  double estimate;     ///< point estimate of the probability
+  size_t worlds_used;  ///< worlds drawn when this object was decided
+};
+
+struct ThresholdQueryResult {
+  std::vector<ThresholdDecision> decisions;
+  size_t worlds_used = 0;  ///< total worlds drawn
+};
+
+/// \brief Decide `P(o) >= tau` per target with Wilson confidence intervals
+/// (confidence 1 - delta, Bonferroni-corrected across targets): an object is
+/// decided once its interval lies entirely above or below tau. Undecided
+/// objects (probability ~ tau) fall back to the point estimate at
+/// max_worlds with decided = false.
+Result<ThresholdQueryResult> DecideThresholdSequential(
+    const TrajectoryDatabase& db, const std::vector<ObjectId>& participants,
+    const std::vector<ObjectId>& targets, const QueryTrajectory& q,
+    const TimeInterval& T, double tau, PnnSemantics semantics,
+    const SequentialOptions& options);
+
+}  // namespace ust

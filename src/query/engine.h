@@ -1,0 +1,74 @@
+// High-level query engine: combines UST-tree pruning (filter step) with the
+// Monte-Carlo estimators (refinement step) for all three query semantics —
+// the full evaluation pipeline of Section 3.3.
+#pragma once
+
+#include <vector>
+
+#include "index/ust_tree.h"
+#include "model/trajectory_database.h"
+#include "query/monte_carlo.h"
+#include "query/pcnn.h"
+#include "query/query.h"
+#include "util/status.h"
+
+namespace ust {
+
+/// \brief One qualifying object with its estimated probability.
+struct PnnResultEntry {
+  ObjectId object;
+  double prob;
+};
+
+/// \brief Result of a P∃NNQ / P∀NNQ evaluation plus work statistics.
+struct PnnQueryResult {
+  std::vector<PnnResultEntry> results;  ///< objects with prob >= tau
+  size_t num_candidates = 0;            ///< |C(q)| after pruning
+  size_t num_influencers = 0;           ///< |I(q)| after pruning
+  double prune_millis = 0.0;
+  double sampling_millis = 0.0;
+};
+
+/// \brief PCNNQ result plus work statistics.
+struct PcnnQueryResult {
+  PcnnResult pcnn;
+  size_t num_candidates = 0;
+  size_t num_influencers = 0;
+  double prune_millis = 0.0;
+  double sampling_millis = 0.0;
+};
+
+/// \brief Query evaluation framework over a database and an optional index.
+///
+/// Without an index, pruning degenerates to alive-time filtering (every alive
+/// object is a candidate/influencer).
+class QueryEngine {
+ public:
+  explicit QueryEngine(const TrajectoryDatabase& db,
+                       const UstTree* index = nullptr)
+      : db_(&db), index_(index) {}
+
+  /// P∀(k)NNQ(q, D, T, tau) — Definition 2 (Section 8 for k > 1).
+  Result<PnnQueryResult> Forall(const QueryTrajectory& q, const TimeInterval& T,
+                                double tau,
+                                const MonteCarloOptions& options) const;
+
+  /// P∃(k)NNQ(q, D, T, tau) — Definition 1.
+  Result<PnnQueryResult> Exists(const QueryTrajectory& q, const TimeInterval& T,
+                                double tau,
+                                const MonteCarloOptions& options) const;
+
+  /// PC(k)NNQ(q, D, T, tau) — Definition 3 via Algorithm 1.
+  Result<PcnnQueryResult> Continuous(const QueryTrajectory& q,
+                                     const TimeInterval& T, double tau,
+                                     const MonteCarloOptions& options) const;
+
+ private:
+  PruneResult PruneOrFallback(const QueryTrajectory& q, const TimeInterval& T,
+                              int k, bool forall) const;
+
+  const TrajectoryDatabase* db_;
+  const UstTree* index_;
+};
+
+}  // namespace ust

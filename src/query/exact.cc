@@ -1,0 +1,195 @@
+#include "query/exact.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace ust {
+
+Result<std::vector<WeightedTrajectory>> EnumerateWindowTrajectories(
+    const PosteriorModel& model, Tic ts, Tic te, size_t max_worlds) {
+  if (!model.CoversWindow(ts, te)) {
+    return Status::OutOfRange("window outside alive span");
+  }
+  std::vector<WeightedTrajectory> result;
+  // Iterative DFS over (tic, local support index) with the running prefix.
+  struct Frame {
+    Tic t;
+    uint32_t local;
+    double prob;
+  };
+  // Each work item carries its depth; `states` holds the current DFS path
+  // (ancestors of the frame being expanded are never overwritten before all
+  // of its descendants have been emitted, by LIFO order).
+  std::vector<std::pair<Frame, size_t>> work;
+  const PosteriorModel::Slice& first = model.SliceAt(ts);
+  for (size_t i = first.support.size(); i-- > 0;) {
+    if (first.marginal[i] > 0.0) {
+      work.push_back({{ts, static_cast<uint32_t>(i), first.marginal[i]}, 0});
+    }
+  }
+  std::vector<StateId> states(static_cast<size_t>(te - ts) + 1);
+  while (!work.empty()) {
+    auto [frame, depth] = work.back();
+    work.pop_back();
+    states[depth] = model.SliceAt(frame.t).support[frame.local];
+    if (frame.t == te) {
+      if (result.size() >= max_worlds) {
+        return Status::ResourceLimit("trajectory enumeration exceeded cap");
+      }
+      Trajectory traj;
+      traj.start = ts;
+      traj.states.assign(states.begin(), states.begin() + depth + 1);
+      result.push_back({std::move(traj), frame.prob});
+      continue;
+    }
+    const PosteriorModel::Slice& slice = model.SliceAt(frame.t);
+    for (uint32_t e = slice.row_offsets[frame.local];
+         e < slice.row_offsets[frame.local + 1]; ++e) {
+      const auto& [next_local, p] = slice.transitions[e];
+      if (p <= 0.0) continue;
+      work.push_back(
+          {{frame.t + 1, next_local, frame.prob * p}, depth + 1});
+    }
+  }
+  return result;
+}
+
+Result<std::vector<PnnEstimate>> ExactPnnByEnumeration(
+    const TrajectoryDatabase& db, const std::vector<ObjectId>& participants,
+    const QueryTrajectory& q, const TimeInterval& T, int k,
+    size_t max_worlds) {
+  if (!T.valid()) return Status::InvalidArgument("empty query interval");
+  // Per-object window trajectory sets (empty marker = not alive during T).
+  std::vector<std::vector<WeightedTrajectory>> worlds(participants.size());
+  double total_combinations = 1.0;
+  for (size_t i = 0; i < participants.size(); ++i) {
+    const UncertainObject& obj = db.object(participants[i]);
+    auto posterior = obj.Posterior();
+    if (!posterior.ok()) return posterior.status();
+    const PosteriorModel& model = *posterior.value();
+    Tic ws = std::max(T.start, model.first_tic());
+    Tic we = std::min(T.end, model.last_tic());
+    if (ws > we) continue;  // not alive in T: zero possible positions
+    auto enumerated = EnumerateWindowTrajectories(model, ws, we, max_worlds);
+    if (!enumerated.ok()) return enumerated.status();
+    worlds[i] = enumerated.MoveValue();
+    total_combinations *= static_cast<double>(std::max<size_t>(
+        worlds[i].size(), 1));
+    if (total_combinations > static_cast<double>(max_worlds)) {
+      return Status::ResourceLimit("possible-world cross product too large");
+    }
+  }
+
+  const size_t n = participants.size();
+  const size_t len = T.length();
+  std::vector<double> forall(n, 0.0), exists(n, 0.0);
+  std::vector<size_t> choice(n, 0);
+  std::vector<WorldTrajectory> world(n);
+  std::vector<uint8_t> is_nn(n * len);
+  while (true) {
+    double world_prob = 1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (worlds[i].empty()) {
+        world[i].alive = false;
+      } else {
+        world[i].alive = true;
+        world[i].traj = worlds[i][choice[i]].traj;
+        world_prob *= worlds[i][choice[i]].prob;
+      }
+    }
+    MarkNearestNeighbors(db.space(), world, q, T, k, is_nn.data());
+    for (size_t i = 0; i < n; ++i) {
+      bool all = true, any = false;
+      for (size_t r = 0; r < len; ++r) {
+        if (is_nn[i * len + r]) {
+          any = true;
+        } else {
+          all = false;
+        }
+      }
+      if (all) forall[i] += world_prob;
+      if (any) exists[i] += world_prob;
+    }
+    // Advance the mixed-radix counter over per-object choices.
+    size_t pos = 0;
+    while (pos < n) {
+      if (worlds[pos].empty() || ++choice[pos] >= worlds[pos].size()) {
+        choice[pos] = 0;
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    if (pos == n) break;
+  }
+  std::vector<PnnEstimate> estimates;
+  estimates.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    estimates.push_back({participants[i], forall[i], exists[i]});
+  }
+  return estimates;
+}
+
+Result<double> DominationProbability(const StateSpace& space,
+                                     const PosteriorModel& a,
+                                     const PosteriorModel& b,
+                                     const QueryTrajectory& q,
+                                     const TimeInterval& T, bool strict) {
+  if (!T.valid()) return Status::InvalidArgument("empty query interval");
+  if (!a.CoversWindow(T.start, T.end) || !b.CoversWindow(T.start, T.end)) {
+    return Status::OutOfRange("objects must be alive throughout T");
+  }
+  auto satisfies = [&](StateId sa, StateId sb, Tic t) {
+    double da = SquaredDistance(space.coord(sa), q.At(t));
+    double db2 = SquaredDistance(space.coord(sb), q.At(t));
+    return strict ? da < db2 : da <= db2;
+  };
+  auto pack = [](uint32_t ia, uint32_t ib) {
+    return (static_cast<uint64_t>(ia) << 32) | ib;
+  };
+  // Joint distribution over (local index in a's slice, local index in b's
+  // slice), filtered by the domination predicate at each tic.
+  std::unordered_map<uint64_t, double> joint;
+  {
+    const auto& sa = a.SliceAt(T.start);
+    const auto& sb = b.SliceAt(T.start);
+    for (uint32_t i = 0; i < sa.support.size(); ++i) {
+      for (uint32_t j = 0; j < sb.support.size(); ++j) {
+        if (!satisfies(sa.support[i], sb.support[j], T.start)) continue;
+        double p = sa.marginal[i] * sb.marginal[j];
+        if (p > 0.0) joint[pack(i, j)] = p;
+      }
+    }
+  }
+  for (Tic t = T.start; t < T.end; ++t) {
+    const auto& sa = a.SliceAt(t);
+    const auto& sb = b.SliceAt(t);
+    const auto& na = a.SliceAt(t + 1);
+    const auto& nb = b.SliceAt(t + 1);
+    std::unordered_map<uint64_t, double> next;
+    next.reserve(joint.size() * 2);
+    for (const auto& [key, p] : joint) {
+      const uint32_t ia = static_cast<uint32_t>(key >> 32);
+      const uint32_t ib = static_cast<uint32_t>(key & 0xffffffffu);
+      for (uint32_t ea = sa.row_offsets[ia]; ea < sa.row_offsets[ia + 1];
+           ++ea) {
+        for (uint32_t eb = sb.row_offsets[ib]; eb < sb.row_offsets[ib + 1];
+             ++eb) {
+          const auto& [ja, pa] = sa.transitions[ea];
+          const auto& [jb, pb] = sb.transitions[eb];
+          if (!satisfies(na.support[ja], nb.support[jb], t + 1)) continue;
+          next[pack(ja, jb)] += p * pa * pb;
+        }
+      }
+    }
+    joint = std::move(next);
+    if (joint.empty()) return 0.0;
+  }
+  double total = 0.0;
+  for (const auto& [key, p] : joint) total += p;
+  return total;
+}
+
+}  // namespace ust

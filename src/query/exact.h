@@ -1,0 +1,49 @@
+// Exact reference computations:
+//  * Possible-world enumeration (Example 1 of the paper) — exponential, used
+//    to validate the Monte-Carlo estimators on small inputs.
+//  * Pairwise domination probability P(o ≺_q^T o_a) via the joint transition
+//    matrix on S × S (Lemma 2) — PTIME, exact for two-object databases.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/posterior_model.h"
+#include "model/trajectory_database.h"
+#include "query/monte_carlo.h"
+#include "query/query.h"
+#include "util/status.h"
+
+namespace ust {
+
+/// \brief A possible trajectory with its posterior probability.
+struct WeightedTrajectory {
+  Trajectory traj;
+  double prob;
+};
+
+/// \brief Enumerate all posterior trajectories of `model` restricted to the
+/// window [ts, te] (must lie inside the alive span). Fails with
+/// kResourceLimit when more than `max_worlds` trajectories exist.
+Result<std::vector<WeightedTrajectory>> EnumerateWindowTrajectories(
+    const PosteriorModel& model, Tic ts, Tic te, size_t max_worlds = 100000);
+
+/// \brief Exact P∀NN / P∃NN by full possible-world enumeration over
+/// `participants` (probability estimates for the same objects).
+/// The product of per-object world counts must not exceed `max_worlds`.
+Result<std::vector<PnnEstimate>> ExactPnnByEnumeration(
+    const TrajectoryDatabase& db, const std::vector<ObjectId>& participants,
+    const QueryTrajectory& q, const TimeInterval& T, int k = 1,
+    size_t max_worlds = 2000000);
+
+/// \brief Lemma 2: P(∀t ∈ T: d(q(t), a(t)) OP d(q(t), b(t))) where OP is
+/// `<=` (strict = false) or `<` (strict = true), computed exactly on the
+/// joint chain of the two posterior models. Both objects must be alive
+/// throughout T.
+Result<double> DominationProbability(const StateSpace& space,
+                                     const PosteriorModel& a,
+                                     const PosteriorModel& b,
+                                     const QueryTrajectory& q,
+                                     const TimeInterval& T, bool strict);
+
+}  // namespace ust

@@ -1,0 +1,317 @@
+#include "query/markov_approx.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ust {
+
+namespace {
+
+// Pseudo-state marking tics where a competitor does not exist: it never
+// undercuts anybody (the domination predicate is vacuously true there).
+constexpr StateId kDead = kInvalidState;
+
+// Augment a competitor's posterior to the window [ts, te]: outside its alive
+// span it occupies the single pseudo-state; it enters its real chain through
+// its marginal at the first alive tic and leaves into the pseudo-state.
+ModelStrip AugmentToWindow(const PosteriorModel& model, Tic ts, Tic te) {
+  ModelStrip strip;
+  strip.start = ts;
+  const size_t len = static_cast<size_t>(te - ts) + 1;
+  strip.slices.resize(len);
+  for (size_t rel = 0; rel < len; ++rel) {
+    const Tic t = ts + static_cast<Tic>(rel);
+    PosteriorModel::Slice& slice = strip.slices[rel];
+    const bool alive_now = model.AliveAt(t);
+    const bool alive_next =
+        rel + 1 < len && model.AliveAt(t + 1);
+    if (alive_now) {
+      slice = model.SliceAt(t);
+      slice.row_offsets.clear();
+      slice.transitions.clear();
+    } else {
+      slice.support = {kDead};
+      slice.marginal = {1.0};
+    }
+    if (rel + 1 == len) continue;
+    // Transition rows into the next (possibly pseudo) slice.
+    slice.row_offsets.push_back(0);
+    if (alive_now && alive_next) {
+      const PosteriorModel::Slice& real = model.SliceAt(t);
+      slice.row_offsets = real.row_offsets;
+      slice.transitions = real.transitions;
+    } else if (alive_now && !alive_next) {
+      for (size_t i = 0; i < slice.support.size(); ++i) {
+        slice.transitions.push_back({0, 1.0});  // everyone dies into kDead
+        slice.row_offsets.push_back(
+            static_cast<uint32_t>(slice.transitions.size()));
+      }
+    } else if (!alive_now && alive_next) {
+      // Entry: pseudo-state fans out into the competitor's first marginal.
+      const PosteriorModel::Slice& entry = model.SliceAt(t + 1);
+      for (uint32_t j = 0; j < entry.support.size(); ++j) {
+        if (entry.marginal[j] > 0.0) {
+          slice.transitions.push_back({j, entry.marginal[j]});
+        }
+      }
+      slice.row_offsets.push_back(
+          static_cast<uint32_t>(slice.transitions.size()));
+    } else {
+      slice.transitions.push_back({0, 1.0});  // stay dead
+      slice.row_offsets.push_back(1);
+    }
+  }
+  return strip;
+}
+
+}  // namespace
+
+Result<ModelStrip> StripFromPosterior(const PosteriorModel& model, Tic ts,
+                                      Tic te) {
+  if (!model.CoversWindow(ts, te)) {
+    return Status::OutOfRange("strip window outside alive span");
+  }
+  ModelStrip strip;
+  strip.start = ts;
+  strip.slices.reserve(static_cast<size_t>(te - ts) + 1);
+  for (Tic t = ts; t <= te; ++t) {
+    strip.slices.push_back(model.SliceAt(t));
+  }
+  // The final slice carries no transitions within the window.
+  strip.slices.back().row_offsets.clear();
+  strip.slices.back().transitions.clear();
+  return strip;
+}
+
+Result<std::pair<double, ModelStrip>> ConditionOnDomination(
+    const StateSpace& space, const ModelStrip& o_strip,
+    const ModelStrip& other_strip, const QueryTrajectory& q) {
+  if (o_strip.start != other_strip.start ||
+      o_strip.slices.size() != other_strip.slices.size()) {
+    return Status::InvalidArgument("strips must share the window");
+  }
+  const size_t L = o_strip.slices.size();
+  if (L == 0) return Status::InvalidArgument("empty strips");
+
+  // Domination predicate at tic index rel: o at state i (of o's support),
+  // other at state j (of the augmented support). Ties favor o (<=).
+  auto satisfied = [&](size_t rel, StateId so, StateId sa) {
+    if (sa == kDead) return true;
+    const Point2& qt = q.At(o_strip.start + static_cast<Tic>(rel));
+    return SquaredDistance(space.coord(so), qt) <=
+           SquaredDistance(space.coord(sa), qt);
+  };
+
+  // ---- Forward pass: alpha[rel](i, j), unnormalized filtered joints. ----
+  std::vector<std::vector<double>> alpha(L);
+  for (size_t rel = 0; rel < L; ++rel) {
+    alpha[rel].assign(o_strip.slices[rel].support.size() *
+                          other_strip.slices[rel].support.size(),
+                      0.0);
+  }
+  {
+    const auto& so = o_strip.slices[0];
+    const auto& sa = other_strip.slices[0];
+    for (size_t i = 0; i < so.support.size(); ++i) {
+      for (size_t j = 0; j < sa.support.size(); ++j) {
+        if (!satisfied(0, so.support[i], sa.support[j])) continue;
+        alpha[0][i * sa.support.size() + j] = so.marginal[i] * sa.marginal[j];
+      }
+    }
+  }
+  for (size_t rel = 0; rel + 1 < L; ++rel) {
+    const auto& so = o_strip.slices[rel];
+    const auto& sa = other_strip.slices[rel];
+    const auto& no = o_strip.slices[rel + 1];
+    const auto& na = other_strip.slices[rel + 1];
+    const size_t wa = sa.support.size();
+    const size_t nwa = na.support.size();
+    for (size_t i = 0; i < so.support.size(); ++i) {
+      for (size_t j = 0; j < wa; ++j) {
+        const double mass = alpha[rel][i * wa + j];
+        if (mass <= 0.0) continue;
+        for (uint32_t eo = so.row_offsets[i]; eo < so.row_offsets[i + 1];
+             ++eo) {
+          const auto& [ni, po] = so.transitions[eo];
+          for (uint32_t ea = sa.row_offsets[j]; ea < sa.row_offsets[j + 1];
+               ++ea) {
+            const auto& [nj, pa] = sa.transitions[ea];
+            if (!satisfied(rel + 1, no.support[ni], na.support[nj])) continue;
+            alpha[rel + 1][ni * nwa + nj] += mass * po * pa;
+          }
+        }
+      }
+    }
+  }
+  double prob = 0.0;
+  for (double v : alpha[L - 1]) prob += v;
+  if (prob <= 0.0) {
+    return std::make_pair(0.0, ModelStrip{});  // domination impossible
+  }
+
+  // ---- Backward pass: beta[rel](i, j) = survival probability. ----
+  std::vector<std::vector<double>> beta(L);
+  beta[L - 1].assign(alpha[L - 1].size(), 1.0);
+  for (size_t rel = L - 1; rel-- > 0;) {
+    const auto& so = o_strip.slices[rel];
+    const auto& sa = other_strip.slices[rel];
+    const auto& no = o_strip.slices[rel + 1];
+    const auto& na = other_strip.slices[rel + 1];
+    const size_t wa = sa.support.size();
+    const size_t nwa = na.support.size();
+    beta[rel].assign(so.support.size() * wa, 0.0);
+    for (size_t i = 0; i < so.support.size(); ++i) {
+      for (size_t j = 0; j < wa; ++j) {
+        double sum = 0.0;
+        for (uint32_t eo = so.row_offsets[i]; eo < so.row_offsets[i + 1];
+             ++eo) {
+          const auto& [ni, po] = so.transitions[eo];
+          for (uint32_t ea = sa.row_offsets[j]; ea < sa.row_offsets[j + 1];
+               ++ea) {
+            const auto& [nj, pa] = sa.transitions[ea];
+            if (!satisfied(rel + 1, no.support[ni], na.support[nj])) continue;
+            sum += po * pa * beta[rel + 1][ni * nwa + nj];
+          }
+        }
+        beta[rel][i * wa + j] = sum;
+      }
+    }
+  }
+
+  // ---- Reduce: marginals + Markov-reimposed transitions for o alone. ----
+  // gamma(i, j) ∝ alpha * beta is the conditioned joint at each tic.
+  ModelStrip adapted;
+  adapted.start = o_strip.start;
+  adapted.slices.resize(L);
+  // Per tic: conditioned marginal of o (over the old support).
+  std::vector<std::vector<double>> marginal(L);
+  for (size_t rel = 0; rel < L; ++rel) {
+    const auto& so = o_strip.slices[rel];
+    const size_t wa = other_strip.slices[rel].support.size();
+    marginal[rel].assign(so.support.size(), 0.0);
+    double z = 0.0;
+    for (size_t i = 0; i < so.support.size(); ++i) {
+      for (size_t j = 0; j < wa; ++j) {
+        double g = alpha[rel][i * wa + j] * beta[rel][i * wa + j];
+        marginal[rel][i] += g;
+        z += g;
+      }
+    }
+    UST_CHECK(z > 0.0);
+    for (double& m : marginal[rel]) m /= z;
+  }
+  // Keep only states with positive conditioned marginal.
+  std::vector<std::vector<uint32_t>> remap(L);
+  for (size_t rel = 0; rel < L; ++rel) {
+    const auto& so = o_strip.slices[rel];
+    auto& slice = adapted.slices[rel];
+    remap[rel].assign(so.support.size(), static_cast<uint32_t>(-1));
+    for (size_t i = 0; i < so.support.size(); ++i) {
+      if (marginal[rel][i] <= 1e-15) continue;
+      remap[rel][i] = static_cast<uint32_t>(slice.support.size());
+      slice.support.push_back(so.support[i]);
+      slice.marginal.push_back(marginal[rel][i]);
+    }
+    // Renormalize after dropping numerically extinct states.
+    double z = 0.0;
+    for (double m : slice.marginal) z += m;
+    for (double& m : slice.marginal) m /= z;
+  }
+  // Transitions (the Lemma-3 reduction):
+  //   M'_{k,i'}(t) = sum_l P(other=l | o=k, dom)
+  //                  sum_j Fo_{k,i'} Fa_{l,j} [pred] beta_{t+1}(i',j) / beta_t(k,l)
+  for (size_t rel = 0; rel + 1 < L; ++rel) {
+    const auto& so = o_strip.slices[rel];
+    const auto& sa = other_strip.slices[rel];
+    const auto& no = o_strip.slices[rel + 1];
+    const auto& na = other_strip.slices[rel + 1];
+    const size_t wa = sa.support.size();
+    const size_t nwa = na.support.size();
+    auto& slice = adapted.slices[rel];
+    slice.row_offsets.assign(1, 0);
+    std::vector<double> row(no.support.size());
+    for (size_t k = 0; k < so.support.size(); ++k) {
+      if (remap[rel][k] == static_cast<uint32_t>(-1)) continue;
+      std::fill(row.begin(), row.end(), 0.0);
+      // Conditional weight of the competitor position given o's position.
+      double z_k = 0.0;
+      for (size_t l = 0; l < wa; ++l) {
+        z_k += alpha[rel][k * wa + l] * beta[rel][k * wa + l];
+      }
+      UST_CHECK(z_k > 0.0);
+      for (size_t l = 0; l < wa; ++l) {
+        const double g = alpha[rel][k * wa + l] * beta[rel][k * wa + l];
+        if (g <= 0.0) continue;
+        const double weight = g / z_k / beta[rel][k * wa + l];
+        for (uint32_t eo = so.row_offsets[k]; eo < so.row_offsets[k + 1];
+             ++eo) {
+          const auto& [ni, po] = so.transitions[eo];
+          double inner = 0.0;
+          for (uint32_t ea = sa.row_offsets[l]; ea < sa.row_offsets[l + 1];
+               ++ea) {
+            const auto& [nj, pa] = sa.transitions[ea];
+            if (!satisfied(rel + 1, no.support[ni], na.support[nj])) continue;
+            inner += pa * beta[rel + 1][ni * nwa + nj];
+          }
+          row[ni] += weight * po * inner;
+        }
+      }
+      // Emit the row over surviving next-slice states, normalized.
+      double row_sum = 0.0;
+      for (size_t ni = 0; ni < row.size(); ++ni) {
+        if (remap[rel + 1][ni] != static_cast<uint32_t>(-1)) {
+          row_sum += row[ni];
+        }
+      }
+      UST_CHECK(row_sum > 0.0);
+      for (size_t ni = 0; ni < row.size(); ++ni) {
+        if (row[ni] <= 0.0) continue;
+        const uint32_t target = remap[rel + 1][ni];
+        if (target == static_cast<uint32_t>(-1)) continue;
+        slice.transitions.push_back({target, row[ni] / row_sum});
+      }
+      slice.row_offsets.push_back(
+          static_cast<uint32_t>(slice.transitions.size()));
+    }
+  }
+  return std::make_pair(prob, std::move(adapted));
+}
+
+Result<double> ApproximateForallNnMarkov(
+    const TrajectoryDatabase& db, ObjectId target,
+    const std::vector<ObjectId>& competitors, const QueryTrajectory& q,
+    const TimeInterval& T) {
+  if (!T.valid()) return Status::InvalidArgument("empty query interval");
+  const UncertainObject& obj = db.object(target);
+  if (!obj.AliveThroughout(T.start, T.end)) {
+    return 0.0;  // cannot be the NN at tics where it does not exist
+  }
+  auto posterior = obj.Posterior();
+  if (!posterior.ok()) return posterior.status();
+  auto strip = StripFromPosterior(*posterior.value(), T.start, T.end);
+  if (!strip.ok()) return strip.status();
+  ModelStrip current = strip.MoveValue();
+  double result = 1.0;
+  for (ObjectId other_id : competitors) {
+    if (other_id == target) continue;
+    const UncertainObject& other = db.object(other_id);
+    if (other.last_tic() < T.start || other.first_tic() > T.end) {
+      continue;  // never alive inside T: vacuous factor
+    }
+    auto other_posterior = other.Posterior();
+    if (!other_posterior.ok()) return other_posterior.status();
+    ModelStrip augmented =
+        AugmentToWindow(*other_posterior.value(), T.start, T.end);
+    auto conditioned =
+        ConditionOnDomination(db.space(), current, augmented, q);
+    if (!conditioned.ok()) return conditioned.status();
+    result *= conditioned.value().first;
+    if (result <= 0.0) return 0.0;
+    current = std::move(conditioned.value().second);
+  }
+  return result;
+}
+
+}  // namespace ust

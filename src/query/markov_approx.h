@@ -1,0 +1,58 @@
+// The Lemma-3 pipeline of Section 4.2: computing
+//   P∀NN(o, q, D, T) = P(∧_a o ≺_q^T o_a)
+// by the chain rule — one exact pairwise domination (Lemma 2) at a time,
+// re-adapting o's model to each domination event before conditioning on the
+// next. The paper proves that the reduced single-object model LOSES the
+// Markov property, so treating it as a Markov chain (which keeps the
+// computation polynomial) yields an *approximation*, not the true
+// probability. This module implements that approximation:
+//
+//  * with a single competitor the result is exact (it is just Lemma 2);
+//  * with several competitors it is generally biased — the bias the paper
+//    uses to motivate the sampling approach (see
+//    bench/ablation_markov_assumption and markov_approx_test).
+#pragma once
+
+#include <vector>
+
+#include "model/posterior_model.h"
+#include "model/trajectory_database.h"
+#include "query/query.h"
+#include "util/status.h"
+
+namespace ust {
+
+/// \brief A windowed single-object model: one slice per tic of [start,
+/// start + slices.size() - 1], with transitions targeting the next slice
+/// (same layout as PosteriorModel slices).
+struct ModelStrip {
+  Tic start = 0;
+  std::vector<PosteriorModel::Slice> slices;
+
+  Tic end() const { return start + static_cast<Tic>(slices.size()) - 1; }
+};
+
+/// Restrict a posterior model to the window [ts, te] ⊆ alive span.
+Result<ModelStrip> StripFromPosterior(const PosteriorModel& model, Tic ts,
+                                      Tic te);
+
+/// \brief One conditioning step: the probability that `o` dominates `other`
+/// throughout the strip window (d(q, o(t)) <= d(q, other(t)) for all t),
+/// plus o's model conditioned on that event *with the Markov property
+/// forcibly re-imposed* (the Lemma-3 reduction).
+/// Both strips must share the same window.
+Result<std::pair<double, ModelStrip>> ConditionOnDomination(
+    const StateSpace& space, const ModelStrip& o_strip,
+    const ModelStrip& other_strip, const QueryTrajectory& q);
+
+/// \brief The full approximation: multiply the per-competitor domination
+/// probabilities, re-adapting o's model after each factor.
+/// `target` must be alive throughout T; competitors not alive throughout T
+/// are conditioned only over their alive sub-window (they cannot undercut o
+/// while they do not exist).
+Result<double> ApproximateForallNnMarkov(
+    const TrajectoryDatabase& db, ObjectId target,
+    const std::vector<ObjectId>& competitors, const QueryTrajectory& q,
+    const TimeInterval& T);
+
+}  // namespace ust

@@ -1,0 +1,137 @@
+#include "query/monte_carlo.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ust {
+
+size_t NnTable::IndexOf(ObjectId o) const {
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    if (objects_[i] == o) return i;
+  }
+  return npos;
+}
+
+double NnTable::ForallProb(size_t obj_index,
+                           const std::vector<Tic>& tics) const {
+  UST_CHECK(obj_index < objects_.size());
+  if (num_worlds_ == 0) return 0.0;
+  size_t count = 0;
+  for (size_t w = 0; w < num_worlds_; ++w) {
+    bool all = true;
+    for (Tic t : tics) {
+      UST_DCHECK(interval_.Contains(t));
+      if (!IsNn(obj_index, w, t)) {
+        all = false;
+        break;
+      }
+    }
+    count += all ? 1 : 0;
+  }
+  return static_cast<double>(count) / static_cast<double>(num_worlds_);
+}
+
+double NnTable::ExistsProb(size_t obj_index,
+                           const std::vector<Tic>& tics) const {
+  UST_CHECK(obj_index < objects_.size());
+  if (num_worlds_ == 0) return 0.0;
+  size_t count = 0;
+  for (size_t w = 0; w < num_worlds_; ++w) {
+    for (Tic t : tics) {
+      UST_DCHECK(interval_.Contains(t));
+      if (IsNn(obj_index, w, t)) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(count) / static_cast<double>(num_worlds_);
+}
+
+Result<WorldSampler> WorldSampler::Create(const TrajectoryDatabase& db,
+                                          std::vector<ObjectId> participants,
+                                          const QueryTrajectory& q,
+                                          const TimeInterval& T, int k,
+                                          uint64_t seed) {
+  if (!T.valid()) return Status::InvalidArgument("empty query interval");
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  for (Tic t = T.start; t <= T.end; ++t) {
+    if (!q.Covers(t)) {
+      return Status::InvalidArgument(
+          "query trajectory does not cover the query interval");
+    }
+  }
+  WorldSampler sampler;
+  sampler.db_ = &db;
+  sampler.participants_ = std::move(participants);
+  sampler.q_ = q;
+  sampler.interval_ = T;
+  sampler.k_ = k;
+  sampler.rng_ = Rng(seed);
+  sampler.resolved_.reserve(sampler.participants_.size());
+  for (ObjectId id : sampler.participants_) {
+    const UncertainObject& obj = db.object(id);
+    auto posterior = obj.Posterior();
+    if (!posterior.ok()) return posterior.status();
+    Participant p;
+    p.model = posterior.value();
+    p.ws = std::max(T.start, p.model->first_tic());
+    p.we = std::min(T.end, p.model->last_tic());
+    p.alive = p.ws <= p.we;
+    sampler.resolved_.push_back(std::move(p));
+  }
+  sampler.world_.resize(sampler.resolved_.size());
+  return sampler;
+}
+
+void WorldSampler::NextWorld(uint8_t* is_nn) {
+  for (size_t i = 0; i < resolved_.size(); ++i) {
+    WorldTrajectory& wt = world_[i];
+    if (!resolved_[i].alive) {
+      wt.alive = false;
+      continue;
+    }
+    auto traj =
+        resolved_[i].model->SampleWindow(resolved_[i].ws, resolved_[i].we, rng_);
+    UST_CHECK(traj.ok());  // window validated at Create()
+    wt.alive = true;
+    wt.traj = traj.MoveValue();
+  }
+  MarkNearestNeighbors(db_->space(), world_, q_, interval_, k_, is_nn);
+}
+
+Result<NnTable> ComputeNnTable(const TrajectoryDatabase& db,
+                               const std::vector<ObjectId>& participants,
+                               const QueryTrajectory& q, const TimeInterval& T,
+                               const MonteCarloOptions& options) {
+  auto sampler =
+      WorldSampler::Create(db, participants, q, T, options.k, options.seed);
+  if (!sampler.ok()) return sampler.status();
+  NnTable table(participants, T, options.num_worlds);
+  for (size_t w = 0; w < options.num_worlds; ++w) {
+    sampler.value().NextWorld(table.WorldRow(w));
+  }
+  return table;
+}
+
+Result<std::vector<PnnEstimate>> EstimatePnn(
+    const TrajectoryDatabase& db, const std::vector<ObjectId>& participants,
+    const std::vector<ObjectId>& targets, const QueryTrajectory& q,
+    const TimeInterval& T, const MonteCarloOptions& options) {
+  auto table_result = ComputeNnTable(db, participants, q, T, options);
+  if (!table_result.ok()) return table_result.status();
+  const NnTable& table = table_result.value();
+  std::vector<PnnEstimate> estimates;
+  estimates.reserve(targets.size());
+  for (ObjectId o : targets) {
+    size_t idx = table.IndexOf(o);
+    if (idx == NnTable::npos) {
+      return Status::InvalidArgument("target not among participants");
+    }
+    estimates.push_back({o, table.ForallProb(idx), table.ExistsProb(idx)});
+  }
+  return estimates;
+}
+
+}  // namespace ust

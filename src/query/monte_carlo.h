@@ -1,0 +1,137 @@
+// Monte-Carlo estimation of PNN probabilities (Section 5): sample W possible
+// worlds from the objects' a-posteriori models, run the certain-trajectory
+// NN kernel in each world, and average. The per-world per-tic indicator table
+// is kept so that P∃NN, P∀NN, P∀kNN, P∃kNN and every PCNN validation reuse
+// the same W worlds (one consistent sample of possible worlds per query).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/trajectory_database.h"
+#include "query/nn_kernel.h"
+#include "query/query.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ust {
+
+/// \brief Options of the Monte-Carlo engine.
+struct MonteCarloOptions {
+  size_t num_worlds = 1000;  ///< samples per query (paper default: 10000)
+  int k = 1;                 ///< kNN parameter (Section 8)
+  uint64_t seed = 42;        ///< RNG seed; same seed => same worlds
+};
+
+/// \brief The "is o a (k)NN of q at tic t in world w" table.
+class NnTable {
+ public:
+  NnTable(std::vector<ObjectId> objects, TimeInterval T, size_t num_worlds)
+      : objects_(std::move(objects)), interval_(T), num_worlds_(num_worlds),
+        bits_(objects_.size() * num_worlds * T.length(), 0) {}
+
+  const std::vector<ObjectId>& objects() const { return objects_; }
+  const TimeInterval& interval() const { return interval_; }
+  size_t num_worlds() const { return num_worlds_; }
+
+  /// Index of `o` within objects(), or npos.
+  size_t IndexOf(ObjectId o) const;
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  uint8_t* WorldRow(size_t world) {
+    return bits_.data() + world * objects_.size() * interval_.length();
+  }
+
+  bool IsNn(size_t obj_index, size_t world, Tic t) const {
+    const size_t len = interval_.length();
+    return bits_[world * objects_.size() * len + obj_index * len +
+                 static_cast<size_t>(t - interval_.start)] != 0;
+  }
+
+  /// Fraction of worlds where the object is NN at *every* tic of `tics`.
+  /// `tics` must be a subset of the table interval.
+  double ForallProb(size_t obj_index, const std::vector<Tic>& tics) const;
+
+  /// Fraction of worlds where the object is NN at *some* tic of `tics`.
+  double ExistsProb(size_t obj_index, const std::vector<Tic>& tics) const;
+
+  /// P∀NN over the full table interval.
+  double ForallProb(size_t obj_index) const {
+    return ForallProb(obj_index, interval_.Tics());
+  }
+  /// P∃NN over the full table interval.
+  double ExistsProb(size_t obj_index) const {
+    return ExistsProb(obj_index, interval_.Tics());
+  }
+
+ private:
+  std::vector<ObjectId> objects_;
+  TimeInterval interval_;
+  size_t num_worlds_;
+  std::vector<uint8_t> bits_;  // [world][object][rel tic]
+};
+
+/// \brief Incremental possible-world sampler: each call to NextWorld() draws
+/// one world (a trajectory per participant, restricted to T) and marks which
+/// participants are (k)NNs of q at each tic. ComputeNnTable and the
+/// sequential estimators (query/adaptive.h) share this machinery.
+class WorldSampler {
+ public:
+  /// Validates inputs and resolves the posterior models.
+  static Result<WorldSampler> Create(const TrajectoryDatabase& db,
+                                     std::vector<ObjectId> participants,
+                                     const QueryTrajectory& q,
+                                     const TimeInterval& T, int k,
+                                     uint64_t seed);
+
+  /// Samples the next world into `is_nn` (participant-major, size
+  /// num_participants() * interval().length(); layout as MarkNearestNeighbors).
+  void NextWorld(uint8_t* is_nn);
+
+  size_t num_participants() const { return participants_.size(); }
+  const std::vector<ObjectId>& participants() const { return participants_; }
+  const TimeInterval& interval() const { return interval_; }
+
+ private:
+  struct Participant {
+    std::shared_ptr<const PosteriorModel> model;
+    Tic ws, we;   // sampling window = alive span ∩ T
+    bool alive;   // alive at some tic of T
+  };
+
+  const TrajectoryDatabase* db_ = nullptr;
+  std::vector<ObjectId> participants_;
+  std::vector<Participant> resolved_;
+  QueryTrajectory q_ = QueryTrajectory::FromPoint({0, 0});
+  TimeInterval interval_{0, 0};
+  int k_ = 1;
+  Rng rng_{0};
+  std::vector<WorldTrajectory> world_;
+};
+
+/// \brief Sample `options.num_worlds` possible worlds over `participants` and
+/// fill the NN indicator table.
+///
+/// Participants not alive at any tic of T are kept in the table but never
+/// marked. Fails when a posterior model cannot be built (contradicting
+/// observations) or T is invalid.
+Result<NnTable> ComputeNnTable(const TrajectoryDatabase& db,
+                               const std::vector<ObjectId>& participants,
+                               const QueryTrajectory& q, const TimeInterval& T,
+                               const MonteCarloOptions& options);
+
+/// \brief Per-object probability estimates for the P∃NNQ / P∀NNQ queries.
+struct PnnEstimate {
+  ObjectId object;
+  double forall_prob;
+  double exists_prob;
+};
+
+/// \brief Estimate P∀NN and P∃NN for every object in `targets`, sampling
+/// worlds over `participants` (targets ⊆ participants required).
+Result<std::vector<PnnEstimate>> EstimatePnn(
+    const TrajectoryDatabase& db, const std::vector<ObjectId>& participants,
+    const std::vector<ObjectId>& targets, const QueryTrajectory& q,
+    const TimeInterval& T, const MonteCarloOptions& options);
+
+}  // namespace ust

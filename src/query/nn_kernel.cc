@@ -1,0 +1,46 @@
+#include "query/nn_kernel.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ust {
+
+void MarkNearestNeighbors(const StateSpace& space,
+                          const std::vector<WorldTrajectory>& participants,
+                          const QueryTrajectory& q, const TimeInterval& T,
+                          int k, uint8_t* is_nn) {
+  UST_CHECK(k >= 1);
+  const size_t n = participants.size();
+  const size_t len = T.length();
+  std::vector<double> dists(n);
+  std::vector<double> alive_dists;
+  alive_dists.reserve(n);
+  for (Tic t = T.start; t <= T.end; ++t) {
+    const size_t rel = static_cast<size_t>(t - T.start);
+    alive_dists.clear();
+    for (size_t i = 0; i < n; ++i) {
+      dists[i] = WorldSquaredDistance(space, participants[i], q, t);
+      if (dists[i] != std::numeric_limits<double>::infinity()) {
+        alive_dists.push_back(dists[i]);
+      }
+    }
+    double kth = std::numeric_limits<double>::infinity();
+    if (!alive_dists.empty()) {
+      const size_t kk = std::min<size_t>(static_cast<size_t>(k),
+                                         alive_dists.size());
+      std::nth_element(alive_dists.begin(), alive_dists.begin() + (kk - 1),
+                       alive_dists.end());
+      kth = alive_dists[kk - 1];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      is_nn[i * len + rel] =
+          (dists[i] <= kth &&
+           dists[i] != std::numeric_limits<double>::infinity())
+              ? 1
+              : 0;
+    }
+  }
+}
+
+}  // namespace ust

@@ -1,0 +1,44 @@
+// Nearest-neighbor kernel over *certain* trajectories: given one sampled
+// possible world, decide per tic which objects are among the k nearest
+// neighbors of q. This is the classical certain-trajectory NN machinery
+// ([5, 6, 8]) that the Monte-Carlo estimators run in every sampled world.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "query/query.h"
+#include "state/state_space.h"
+
+namespace ust {
+
+/// \brief One participant's trajectory within a sampled world. The window may
+/// cover only part of T when the object is alive for part of it.
+struct WorldTrajectory {
+  Trajectory traj;       ///< states over [traj.start, traj.end()] ⊆ T
+  bool alive = true;     ///< false: object exists nowhere in T
+
+  bool CoversTic(Tic t) const { return alive && traj.Covers(t); }
+};
+
+/// \brief Per-tic k-nearest-neighbor decision for one world.
+///
+/// Writes `is_nn[i * T.length() + rel_t] = 1` iff participant `i` is alive at
+/// `t` and its distance to q(t) is <= the k-th smallest distance among alive
+/// participants (ties count for every tied object, matching the paper's `<=`
+/// semantics). `is_nn` must have size participants.size() * T.length().
+void MarkNearestNeighbors(const StateSpace& space,
+                          const std::vector<WorldTrajectory>& participants,
+                          const QueryTrajectory& q, const TimeInterval& T,
+                          int k, uint8_t* is_nn);
+
+/// \brief Squared distance of a world trajectory to q at tic t;
+/// +infinity when the object does not cover t.
+inline double WorldSquaredDistance(const StateSpace& space,
+                                   const WorldTrajectory& wt,
+                                   const QueryTrajectory& q, Tic t) {
+  if (!wt.CoversTic(t)) return std::numeric_limits<double>::infinity();
+  return SquaredDistance(space.coord(wt.traj.At(t)), q.At(t));
+}
+
+}  // namespace ust

@@ -1,0 +1,4 @@
+#include "query/query.h"
+
+// QueryTrajectory and TimeInterval are header-only; this translation unit
+// exists to anchor the module and keep the build layout uniform.

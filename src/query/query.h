@@ -1,0 +1,87 @@
+// Query-side types: the certain reference state/trajectory q and the query
+// time interval T (Section 3.2). A query state is a trivial query trajectory.
+#pragma once
+
+#include <vector>
+
+#include "geo/point.h"
+#include "model/posterior_model.h"
+#include "state/state_space.h"
+#include "util/check.h"
+
+namespace ust {
+
+/// \brief Contiguous query time interval T = {start, ..., end}.
+struct TimeInterval {
+  Tic start = 0;
+  Tic end = 0;
+
+  size_t length() const { return static_cast<size_t>(end - start) + 1; }
+  bool Contains(Tic t) const { return t >= start && t <= end; }
+  bool valid() const { return start <= end; }
+
+  /// All tics in the interval, ascending.
+  std::vector<Tic> Tics() const {
+    std::vector<Tic> tics;
+    tics.reserve(length());
+    for (Tic t = start; t <= end; ++t) tics.push_back(t);
+    return tics;
+  }
+
+  friend bool operator==(const TimeInterval& a, const TimeInterval& b) {
+    return a.start == b.start && a.end == b.end;
+  }
+};
+
+/// \brief The certain query reference: a fixed point (e.g. the bank in the
+/// paper's robbery scenario) or a full trajectory (the escape car).
+class QueryTrajectory {
+ public:
+  /// Constant query state: q(t) = p for all t.
+  static QueryTrajectory FromPoint(const Point2& p) {
+    QueryTrajectory q;
+    q.constant_ = true;
+    q.points_ = {p};
+    return q;
+  }
+
+  /// Per-tic query positions starting at `start`.
+  static QueryTrajectory FromPoints(Tic start, std::vector<Point2> points) {
+    UST_CHECK(!points.empty());
+    QueryTrajectory q;
+    q.constant_ = false;
+    q.start_ = start;
+    q.points_ = std::move(points);
+    return q;
+  }
+
+  /// Map a certain state trajectory into the plane via `space`.
+  static QueryTrajectory FromTrajectory(const StateSpace& space,
+                                        const Trajectory& traj) {
+    std::vector<Point2> points;
+    points.reserve(traj.states.size());
+    for (StateId s : traj.states) points.push_back(space.coord(s));
+    return FromPoints(traj.start, std::move(points));
+  }
+
+  bool constant() const { return constant_; }
+
+  bool Covers(Tic t) const {
+    if (constant_) return true;
+    return t >= start_ && t < start_ + static_cast<Tic>(points_.size());
+  }
+
+  /// Query position at tic `t`; must be covered.
+  const Point2& At(Tic t) const {
+    if (constant_) return points_[0];
+    UST_DCHECK(Covers(t));
+    return points_[static_cast<size_t>(t - start_)];
+  }
+
+ private:
+  bool constant_ = true;
+  Tic start_ = 0;
+  std::vector<Point2> points_;
+};
+
+}  // namespace ust

@@ -1,0 +1,102 @@
+#include "query/snapshot.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ust {
+
+namespace {
+
+// Distance distribution of one object at a fixed tic: sorted squared
+// distances with suffix probability sums, supporting
+// P(d >= x) = SurvivalAtLeast(x).
+struct DistanceDistribution {
+  std::vector<double> dist2;        // ascending
+  std::vector<double> suffix_prob;  // suffix_prob[i] = P(dist2 >= dist2[i])
+  bool alive = false;
+
+  double SurvivalAtLeast(double x) const {
+    if (!alive) return 1.0;  // a dead object never undercuts anyone
+    auto it = std::lower_bound(dist2.begin(), dist2.end(), x);
+    if (it == dist2.end()) return 0.0;
+    return suffix_prob[static_cast<size_t>(it - dist2.begin())];
+  }
+};
+
+}  // namespace
+
+Result<std::vector<double>> SnapshotNnProbabilities(
+    const TrajectoryDatabase& db, const std::vector<ObjectId>& participants,
+    const QueryTrajectory& q, Tic t) {
+  if (!q.Covers(t)) {
+    return Status::InvalidArgument("query trajectory does not cover tic");
+  }
+  const Point2& qt = q.At(t);
+  const size_t n = participants.size();
+  std::vector<DistanceDistribution> dists(n);
+  std::vector<SparseDist> marginals(n);
+  for (size_t i = 0; i < n; ++i) {
+    const UncertainObject& obj = db.object(participants[i]);
+    if (!obj.AliveAt(t)) continue;
+    auto posterior = obj.Posterior();
+    if (!posterior.ok()) return posterior.status();
+    marginals[i] = posterior.value()->MarginalAt(t);
+    auto& dd = dists[i];
+    dd.alive = true;
+    std::vector<std::pair<double, double>> pairs;  // (dist2, prob)
+    pairs.reserve(marginals[i].size());
+    for (const auto& [s, p] : marginals[i].entries()) {
+      pairs.push_back({SquaredDistance(db.space().coord(s), qt), p});
+    }
+    std::sort(pairs.begin(), pairs.end());
+    dd.dist2.reserve(pairs.size());
+    dd.suffix_prob.assign(pairs.size(), 0.0);
+    for (const auto& [d2, p] : pairs) dd.dist2.push_back(d2);
+    double acc = 0.0;
+    for (size_t j = pairs.size(); j-- > 0;) {
+      acc += pairs[j].second;
+      dd.suffix_prob[j] = acc;
+    }
+  }
+  std::vector<double> win(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (!dists[i].alive) continue;
+    double total = 0.0;
+    for (const auto& [s, p] : marginals[i].entries()) {
+      double d2 = SquaredDistance(db.space().coord(s), qt);
+      double others = 1.0;
+      for (size_t j = 0; j < n && others > 0.0; ++j) {
+        if (j == i) continue;
+        others *= dists[j].SurvivalAtLeast(d2);
+      }
+      total += p * others;
+    }
+    win[i] = total;
+  }
+  return win;
+}
+
+Result<std::vector<PnnEstimate>> SnapshotEstimatePnn(
+    const TrajectoryDatabase& db, const std::vector<ObjectId>& participants,
+    const QueryTrajectory& q, const TimeInterval& T) {
+  if (!T.valid()) return Status::InvalidArgument("empty query interval");
+  const size_t n = participants.size();
+  std::vector<double> forall(n, 1.0), miss(n, 1.0);
+  for (Tic t = T.start; t <= T.end; ++t) {
+    auto win = SnapshotNnProbabilities(db, participants, q, t);
+    if (!win.ok()) return win.status();
+    for (size_t i = 0; i < n; ++i) {
+      forall[i] *= win.value()[i];
+      miss[i] *= 1.0 - win.value()[i];
+    }
+  }
+  std::vector<PnnEstimate> estimates;
+  estimates.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    estimates.push_back({participants[i], forall[i], 1.0 - miss[i]});
+  }
+  return estimates;
+}
+
+}  // namespace ust

@@ -1,0 +1,32 @@
+// The snapshot competitor (Section 7.1, adapted from Xu et al. [19]):
+// evaluates an independent snapshot query P∀NNQ(q, D, {t}) per tic and
+// aggregates under a (wrong) temporal-independence assumption:
+//   P∀NN(o, T) ≈ Π_t P_NN(o, {t}),
+//   P∃NN(o, T) ≈ 1 - Π_t (1 - P_NN(o, {t})).
+// Each snapshot probability is computed *exactly* from the posterior
+// marginals (objects are mutually independent at a fixed tic), so the
+// remaining error is exactly the ignored temporal correlation — the bias the
+// paper's Figure 11 demonstrates.
+#pragma once
+
+#include <vector>
+
+#include "model/trajectory_database.h"
+#include "query/monte_carlo.h"
+#include "query/query.h"
+#include "util/status.h"
+
+namespace ust {
+
+/// \brief Exact single-tic NN probabilities P(o is NN of q at t) for every
+/// participant (0 for objects not alive at t), from posterior marginals.
+Result<std::vector<double>> SnapshotNnProbabilities(
+    const TrajectoryDatabase& db, const std::vector<ObjectId>& participants,
+    const QueryTrajectory& q, Tic t);
+
+/// \brief Snapshot-based P∀NN / P∃NN estimates over T for every participant.
+Result<std::vector<PnnEstimate>> SnapshotEstimatePnn(
+    const TrajectoryDatabase& db, const std::vector<ObjectId>& participants,
+    const QueryTrajectory& q, const TimeInterval& T);
+
+}  // namespace ust

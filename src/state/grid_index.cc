@@ -1,0 +1,95 @@
+#include "state/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace ust {
+
+GridIndex::GridIndex(const StateSpace& space, Rect2 bounds, int nx, int ny)
+    : space_(&space), bounds_(bounds), nx_(nx), ny_(ny) {
+  cell_w_ = (bounds_.hi[0] - bounds_.lo[0]) / nx_;
+  cell_h_ = (bounds_.hi[1] - bounds_.lo[1]) / ny_;
+  if (cell_w_ <= 0.0) cell_w_ = 1.0;
+  if (cell_h_ <= 0.0) cell_h_ = 1.0;
+  cells_.assign(static_cast<size_t>(nx_) * ny_, {});
+  for (StateId s = 0; s < space.size(); ++s) {
+    const Point2& p = space.coord(s);
+    cells_[static_cast<size_t>(CellY(p.y)) * nx_ + CellX(p.x)].push_back(s);
+  }
+}
+
+GridIndex GridIndex::Build(const StateSpace& space, double target_per_cell) {
+  Rect2 bounds = space.BoundingBox();
+  if (bounds.empty()) bounds = MakeRect2(0, 0, 1, 1);
+  double n = std::max<double>(1.0, static_cast<double>(space.size()));
+  int side = std::max(1, static_cast<int>(std::sqrt(n / target_per_cell)));
+  return GridIndex(space, bounds, side, side);
+}
+
+int GridIndex::CellX(double x) const {
+  int c = static_cast<int>((x - bounds_.lo[0]) / cell_w_);
+  return std::clamp(c, 0, nx_ - 1);
+}
+
+int GridIndex::CellY(double y) const {
+  int c = static_cast<int>((y - bounds_.lo[1]) / cell_h_);
+  return std::clamp(c, 0, ny_ - 1);
+}
+
+std::vector<StateId> GridIndex::WithinRadius(const Point2& p,
+                                             double radius) const {
+  UST_DCHECK(radius >= 0.0);
+  std::vector<StateId> result;
+  int cx_lo = CellX(p.x - radius), cx_hi = CellX(p.x + radius);
+  int cy_lo = CellY(p.y - radius), cy_hi = CellY(p.y + radius);
+  double r2 = radius * radius;
+  for (int cy = cy_lo; cy <= cy_hi; ++cy) {
+    for (int cx = cx_lo; cx <= cx_hi; ++cx) {
+      for (StateId s : Cell(cx, cy)) {
+        if (SquaredDistance(p, space_->coord(s)) <= r2) result.push_back(s);
+      }
+    }
+  }
+  return result;
+}
+
+StateId GridIndex::Nearest(const Point2& p) const {
+  if (space_->empty()) return kInvalidState;
+  // Expand ring by ring around p's cell until a candidate is found, then one
+  // extra ring to guarantee correctness near cell boundaries.
+  StateId best = kInvalidState;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  int cx = CellX(p.x), cy = CellY(p.y);
+  int max_ring = std::max(nx_, ny_);
+  bool found_ring = false;
+  int stop_ring = max_ring;
+  for (int ring = 0; ring <= stop_ring; ++ring) {
+    bool any_cell = false;
+    for (int dy = -ring; dy <= ring; ++dy) {
+      for (int dx = -ring; dx <= ring; ++dx) {
+        if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;
+        int x = cx + dx, y = cy + dy;
+        if (x < 0 || x >= nx_ || y < 0 || y >= ny_) continue;
+        any_cell = true;
+        for (StateId s : Cell(x, y)) {
+          double d2 = SquaredDistance(p, space_->coord(s));
+          if (d2 < best_d2) {
+            best_d2 = d2;
+            best = s;
+          }
+        }
+      }
+    }
+    if (best != kInvalidState && !found_ring) {
+      found_ring = true;
+      stop_ring = std::min(max_ring, ring + 2);
+    }
+    if (!any_cell && ring > 0 && found_ring) break;
+  }
+  return best;
+}
+
+}  // namespace ust

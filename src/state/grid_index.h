@@ -1,0 +1,46 @@
+// Uniform grid over a StateSpace for radius and nearest-state lookups. Used
+// by the synthetic network generator (neighbor edges within radius r) and by
+// map-matching in the road-network generator.
+#pragma once
+
+#include <vector>
+
+#include "state/state_space.h"
+
+namespace ust {
+
+/// \brief Uniform bucket grid over the bounding box of a state space.
+///
+/// The grid keeps only ids; coordinates are read from the StateSpace, which
+/// must outlive the index and must not change size after Build().
+class GridIndex {
+ public:
+  /// Build over `space` with roughly `target_per_cell` states per cell.
+  static GridIndex Build(const StateSpace& space, double target_per_cell = 4.0);
+
+  /// All states within Euclidean distance `radius` of `p` (inclusive).
+  std::vector<StateId> WithinRadius(const Point2& p, double radius) const;
+
+  /// Nearest state to `p`; kInvalidState for an empty space.
+  StateId Nearest(const Point2& p) const;
+
+  int cells_x() const { return nx_; }
+  int cells_y() const { return ny_; }
+
+ private:
+  GridIndex(const StateSpace& space, Rect2 bounds, int nx, int ny);
+
+  int CellX(double x) const;
+  int CellY(double y) const;
+  const std::vector<StateId>& Cell(int cx, int cy) const {
+    return cells_[static_cast<size_t>(cy) * nx_ + cx];
+  }
+
+  const StateSpace* space_;
+  Rect2 bounds_;
+  int nx_ = 1, ny_ = 1;
+  double cell_w_ = 1.0, cell_h_ = 1.0;
+  std::vector<std::vector<StateId>> cells_;
+};
+
+}  // namespace ust

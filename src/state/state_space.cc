@@ -1,0 +1,35 @@
+#include "state/state_space.h"
+
+#include <limits>
+
+namespace ust {
+
+Rect2 StateSpace::BoundingBox() const {
+  Rect2 box;
+  for (const Point2& p : coords_) box.Extend({p.x, p.y});
+  return box;
+}
+
+Rect2 StateSpace::BoundingBoxOf(const std::vector<StateId>& states) const {
+  Rect2 box;
+  for (StateId s : states) {
+    const Point2& p = coords_[s];
+    box.Extend({p.x, p.y});
+  }
+  return box;
+}
+
+StateId StateSpace::NearestLinear(const Point2& p) const {
+  StateId best = kInvalidState;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (StateId s = 0; s < coords_.size(); ++s) {
+    double d = SquaredDistance(p, coords_[s]);
+    if (d < best_d) {
+      best_d = d;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace ust

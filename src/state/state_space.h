@@ -1,0 +1,69 @@
+// Discrete spatial state space S = {s_1, ..., s_|S|} ⊂ R² (Section 3 of the
+// paper). States are identified by dense 32-bit ids; coordinates are stored
+// contiguously.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "geo/rect.h"
+#include "util/status.h"
+
+namespace ust {
+
+/// Dense identifier of a state in the discretized space.
+using StateId = uint32_t;
+
+/// Sentinel for "no state".
+inline constexpr StateId kInvalidState = static_cast<StateId>(-1);
+
+/// Discrete time tic (the paper's T = {0, ..., n}).
+using Tic = int32_t;
+
+/// \brief The finite alphabet of possible locations.
+///
+/// How space is discretized is application dependent (road crossings, RFID
+/// tracker positions, grid cells); this class only stores the embedding of
+/// each state into R².
+class StateSpace {
+ public:
+  StateSpace() = default;
+  explicit StateSpace(std::vector<Point2> coords) : coords_(std::move(coords)) {}
+
+  /// Append a state; returns its id.
+  StateId Add(const Point2& p) {
+    coords_.push_back(p);
+    return static_cast<StateId>(coords_.size() - 1);
+  }
+
+  size_t size() const { return coords_.size(); }
+  bool empty() const { return coords_.empty(); }
+
+  const Point2& coord(StateId s) const { return coords_[s]; }
+  const std::vector<Point2>& coords() const { return coords_; }
+
+  /// Euclidean distance between two states.
+  double Distance(StateId a, StateId b) const {
+    return ust::Distance(coords_[a], coords_[b]);
+  }
+
+  /// Euclidean distance from a free point to a state.
+  double Distance(const Point2& p, StateId s) const {
+    return ust::Distance(p, coords_[s]);
+  }
+
+  /// Bounding box of all states (empty box for an empty space).
+  Rect2 BoundingBox() const;
+
+  /// Bounding box of a subset of states.
+  Rect2 BoundingBoxOf(const std::vector<StateId>& states) const;
+
+  /// Linear-scan nearest state to `p`; kInvalidState when empty.
+  StateId NearestLinear(const Point2& p) const;
+
+ private:
+  std::vector<Point2> coords_;
+};
+
+}  // namespace ust

@@ -1,0 +1,18 @@
+// Internal invariant checks. These abort on violation (programming errors),
+// unlike Status which reports recoverable/user-input failures.
+#pragma once
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#define UST_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "UST_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define UST_DCHECK(cond) assert(cond)

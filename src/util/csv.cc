@@ -1,0 +1,46 @@
+#include "util/csv.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace ust {
+
+std::string FormatDouble(double v) {
+  if (std::floor(v) == v && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void CsvTable::AddRow(std::vector<std::string> cells) {
+  UST_CHECK(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void CsvTable::AddRow(const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double c : cells) formatted.push_back(FormatDouble(c));
+  AddRow(std::move(formatted));
+}
+
+void CsvTable::Print(std::ostream& os, const std::string& title) const {
+  os << "# " << title << "\n";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    os << columns_[i] << (i + 1 < columns_.size() ? "," : "\n");
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << row[i] << (i + 1 < row.size() ? "," : "\n");
+    }
+  }
+}
+
+}  // namespace ust

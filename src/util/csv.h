@@ -1,0 +1,37 @@
+// Tiny table printer used by the figure-reproduction harnesses: emits a
+// commented header plus comma-separated rows, the format EXPERIMENTS.md
+// references.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ust {
+
+/// \brief Accumulates rows of a results table and prints them as CSV.
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Append one row; size must match the number of columns.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with 6 significant digits, integers as-is.
+  void AddRow(const std::vector<double>& cells);
+
+  /// Write `# <title>` then `column1,column2,...` then all rows to `os`.
+  void Print(std::ostream& os, const std::string& title) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double compactly (trailing zero trimming, 6 significant digits).
+std::string FormatDouble(double v);
+
+}  // namespace ust

@@ -1,0 +1,49 @@
+#include "util/rng.h"
+
+#include "util/check.h"
+
+namespace ust {
+
+double Rng::Uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  UST_DCHECK(n > 0);
+  return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::Normal() {
+  return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  UST_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  UST_CHECK(total > 0.0);
+  double u = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  return weights.size() - 1;  // numerical slack: return last nonzero slot
+}
+
+Rng Rng::Fork() {
+  uint64_t child_seed = engine_();
+  return Rng(child_seed);
+}
+
+}  // namespace ust

@@ -1,0 +1,46 @@
+// Deterministic random number generation. All randomized components take an
+// explicit Rng (or seed) so experiments and tests are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ust {
+
+/// \brief Seedable RNG wrapper around xoshiro-quality std engine.
+///
+/// A thin layer over std::mt19937_64 providing the handful of draw shapes the
+/// library needs. Pass by reference; copying is allowed (forks the stream).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n-1]. n must be > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p);
+
+  /// Standard normal draw.
+  double Normal();
+
+  /// Index drawn from unnormalized weights (linear scan; weights.size() small).
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Derive an independent child RNG (for per-object streams).
+  Rng Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ust

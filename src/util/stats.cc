@@ -1,0 +1,120 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ust {
+
+size_t HoeffdingSampleCount(double epsilon, double delta) {
+  UST_CHECK(epsilon > 0.0 && delta > 0.0 && delta < 1.0);
+  double n = std::log(2.0 / delta) / (2.0 * epsilon * epsilon);
+  return static_cast<size_t>(std::ceil(n));
+}
+
+double HoeffdingEpsilon(size_t n, double delta) {
+  UST_CHECK(n > 0 && delta > 0.0 && delta < 1.0);
+  return std::sqrt(std::log(2.0 / delta) / (2.0 * static_cast<double>(n)));
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double mu = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mu) * (x - mu);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double Rmse(const std::vector<double>& a, const std::vector<double>& b) {
+  UST_CHECK(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double ss = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) ss += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(ss / static_cast<double>(a.size()));
+}
+
+double MeanSignedError(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  UST_CHECK(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] - b[i];
+  return sum / static_cast<double>(a.size());
+}
+
+double NormalQuantile(double p) {
+  UST_CHECK(p > 0.0 && p < 1.0);
+  // Acklam's algorithm: rational approximations on three regions.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    double q = p - 0.5;
+    double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+          c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley step against the normal CDF sharpens the tails.
+  double e = 0.5 * std::erfc(-x / std::sqrt(2.0)) - p;
+  double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+Interval WilsonInterval(size_t successes, size_t n, double delta) {
+  UST_CHECK(n >= 1 && successes <= n);
+  UST_CHECK(delta > 0.0 && delta < 1.0);
+  const double z = NormalQuantile(1.0 - delta / 2.0);
+  const double nn = static_cast<double>(n);
+  const double phat = static_cast<double>(successes) / nn;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  const double center = (phat + z2 / (2.0 * nn)) / denom;
+  const double spread =
+      z * std::sqrt(phat * (1.0 - phat) / nn + z2 / (4.0 * nn * nn)) / denom;
+  return {std::max(0.0, center - spread), std::min(1.0, center + spread)};
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  UST_CHECK(a.size() == b.size());
+  if (a.size() < 2) return 0.0;
+  double ma = Mean(a), mb = Mean(b);
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sab += (a[i] - ma) * (b[i] - mb);
+    saa += (a[i] - ma) * (a[i] - ma);
+    sbb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (saa == 0.0 || sbb == 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+}  // namespace ust

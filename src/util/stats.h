@@ -1,0 +1,51 @@
+// Statistical helpers: Hoeffding sample sizing for Monte-Carlo estimators and
+// simple descriptive statistics used by the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ust {
+
+/// \brief Number of Monte-Carlo samples so that a Binomial proportion
+/// estimate deviates by more than `epsilon` with probability at most `delta`
+/// (two-sided Hoeffding bound [Hoeffding 1963]): n >= ln(2/delta)/(2 eps^2).
+size_t HoeffdingSampleCount(double epsilon, double delta);
+
+/// \brief Two-sided Hoeffding error bound for `n` samples at confidence
+/// 1 - delta: epsilon = sqrt(ln(2/delta) / (2 n)).
+double HoeffdingEpsilon(size_t n, double delta);
+
+/// \brief Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// \brief Unbiased sample standard deviation; 0 for n < 2.
+double StdDev(const std::vector<double>& xs);
+
+/// \brief Root mean squared error between paired series (sizes must match).
+double Rmse(const std::vector<double>& a, const std::vector<double>& b);
+
+/// \brief Mean signed error (a - b); positive means `a` overestimates `b`.
+double MeanSignedError(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// \brief Pearson correlation coefficient; 0 when either side is constant.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// \brief Closed interval [lo, hi] ⊆ [0, 1].
+struct Interval {
+  double lo;
+  double hi;
+};
+
+/// \brief Quantile function (probit) of the standard normal distribution,
+/// accurate to ~1e-9 (Acklam's rational approximation). p in (0, 1).
+double NormalQuantile(double p);
+
+/// \brief Wilson score interval for a Binomial proportion: covers the true
+/// probability with confidence 1 - delta. Valid for all n >= 1 including
+/// successes = 0 or n (where Wald intervals degenerate).
+Interval WilsonInterval(size_t successes, size_t n, double delta);
+
+}  // namespace ust

@@ -1,0 +1,113 @@
+// Status / Result error model, in the spirit of RocksDB/Arrow: library code
+// reports recoverable failures through return values instead of exceptions.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ust {
+
+/// \brief Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kContradiction,   ///< observations incompatible with the motion model
+  kResourceLimit,   ///< explicit enumeration/size cap exceeded
+  kInternal,
+};
+
+/// \brief Lightweight status object: either OK or a code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Contradiction(std::string msg) {
+    return Status(StatusCode::kContradiction, std::move(msg));
+  }
+  static Status ResourceLimit(std::string msg) {
+    return Status(StatusCode::kResourceLimit, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "CODE: message" string.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Value-or-Status, analogous to arrow::Result.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    assert(!status_.ok() && "OK status requires a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& MoveValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace ust
+
+/// Propagate a non-OK Status from the current function.
+#define UST_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::ust::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+/// Assign from a Result or propagate its error Status.
+#define UST_ASSIGN_OR_RETURN(lhs, rexpr)   \
+  auto UST_CONCAT_(_res_, __LINE__) = (rexpr);              \
+  if (!UST_CONCAT_(_res_, __LINE__).ok())                   \
+    return UST_CONCAT_(_res_, __LINE__).status();           \
+  lhs = UST_CONCAT_(_res_, __LINE__).MoveValue()
+
+#define UST_CONCAT_IMPL_(a, b) a##b
+#define UST_CONCAT_(a, b) UST_CONCAT_IMPL_(a, b)

@@ -1,0 +1,28 @@
+// Wall-clock stopwatch for the experiment harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace ust {
+
+/// \brief Simple wall-clock timer; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction/Reset.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction/Reset.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ust

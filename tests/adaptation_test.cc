@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "model/adaptation.h"
+#include "query/exact.h"
+#include "test_world.h"
+#include "util/rng.h"
+
+namespace ust {
+namespace {
+
+using testing::MakeLineWorld;
+using testing::MakeMatrix;
+
+ObservationSeq Obs(std::vector<Observation> v) {
+  auto r = ObservationSeq::Create(std::move(v));
+  UST_CHECK(r.ok());
+  return r.MoveValue();
+}
+
+// Exhaustively enumerate a-priori paths consistent with the observations and
+// return the renormalized conditional distribution over paths. This is the
+// ground truth the forward-backward adaptation must reproduce.
+std::map<std::vector<StateId>, double> BruteForcePosterior(
+    const TransitionMatrix& m, const ObservationSeq& obs) {
+  std::map<std::vector<StateId>, double> result;
+  const Tic t0 = obs.first_tic(), t1 = obs.last_tic();
+  std::vector<std::pair<std::vector<StateId>, double>> frontier = {
+      {{obs.first().state}, 1.0}};
+  for (Tic t = t0 + 1; t <= t1; ++t) {
+    std::vector<std::pair<std::vector<StateId>, double>> next;
+    for (auto& [path, p] : frontier) {
+      StateId cur = path.back();
+      for (const auto* e = m.begin(cur); e != m.end(cur); ++e) {
+        if (const Observation* o = obs.At(t);
+            o != nullptr && o->state != e->first) {
+          continue;
+        }
+        auto extended = path;
+        extended.push_back(e->first);
+        next.push_back({std::move(extended), p * e->second});
+      }
+    }
+    frontier = std::move(next);
+  }
+  double total = 0.0;
+  for (const auto& [path, p] : frontier) total += p;
+  for (auto& [path, p] : frontier) result[path] = p / total;
+  return result;
+}
+
+TEST(AdaptationTest, SingleObservationIsPointMass) {
+  auto world = MakeLineWorld(5);
+  auto model = AdaptTransitionMatrices(*world.matrix, Obs({{3, 2}}));
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value().first_tic(), 3);
+  EXPECT_EQ(model.value().last_tic(), 3);
+  EXPECT_DOUBLE_EQ(model.value().MarginalAt(3).Prob(2), 1.0);
+}
+
+TEST(AdaptationTest, MarginalsAreIndicatorAtEveryObservation) {
+  auto world = MakeLineWorld(12);
+  ObservationSeq obs = Obs({{0, 2}, {4, 5}, {9, 3}});
+  auto model = AdaptTransitionMatrices(*world.matrix, obs);
+  ASSERT_TRUE(model.ok());
+  for (const Observation& o : obs.items()) {
+    SparseDist marginal = model.value().MarginalAt(o.time);
+    EXPECT_NEAR(marginal.Prob(o.state), 1.0, 1e-9)
+        << "observation at t=" << o.time;
+    EXPECT_EQ(marginal.size(), 1u);
+  }
+}
+
+TEST(AdaptationTest, TransitionRowsAreStochastic) {
+  auto world = MakeLineWorld(10);
+  auto model =
+      AdaptTransitionMatrices(*world.matrix, Obs({{0, 1}, {6, 7}, {10, 5}}));
+  ASSERT_TRUE(model.ok());
+  const PosteriorModel& pm = model.value();
+  for (Tic t = pm.first_tic(); t < pm.last_tic(); ++t) {
+    const auto& slice = pm.SliceAt(t);
+    ASSERT_EQ(slice.row_offsets.size(), slice.support.size() + 1);
+    for (size_t i = 0; i < slice.support.size(); ++i) {
+      double sum = 0.0;
+      for (uint32_t e = slice.row_offsets[i]; e < slice.row_offsets[i + 1];
+           ++e) {
+        EXPECT_GT(slice.transitions[e].second, 0.0);
+        sum += slice.transitions[e].second;
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9) << "t=" << t << " state " << slice.support[i];
+    }
+  }
+}
+
+TEST(AdaptationTest, MarginalsSumToOneEveryTic) {
+  auto world = MakeLineWorld(15, 0.3, 0.4);
+  auto model =
+      AdaptTransitionMatrices(*world.matrix, Obs({{0, 7}, {5, 10}, {12, 4}}));
+  ASSERT_TRUE(model.ok());
+  for (Tic t = model.value().first_tic(); t <= model.value().last_tic(); ++t) {
+    EXPECT_NEAR(model.value().MarginalAt(t).Mass(), 1.0, 1e-9);
+  }
+}
+
+TEST(AdaptationTest, MarginalConsistencyWithTransitions) {
+  // marginal(t+1) must equal marginal(t) pushed through F(t).
+  auto world = MakeLineWorld(10, 0.2, 0.5);
+  auto model = AdaptTransitionMatrices(*world.matrix, Obs({{0, 2}, {8, 6}}));
+  ASSERT_TRUE(model.ok());
+  const PosteriorModel& pm = model.value();
+  for (Tic t = pm.first_tic(); t < pm.last_tic(); ++t) {
+    const auto& slice = pm.SliceAt(t);
+    const auto& next = pm.SliceAt(t + 1);
+    std::vector<double> pushed(next.support.size(), 0.0);
+    for (size_t i = 0; i < slice.support.size(); ++i) {
+      for (uint32_t e = slice.row_offsets[i]; e < slice.row_offsets[i + 1];
+           ++e) {
+        pushed[slice.transitions[e].first] +=
+            slice.marginal[i] * slice.transitions[e].second;
+      }
+    }
+    for (size_t j = 0; j < next.support.size(); ++j) {
+      EXPECT_NEAR(pushed[j], next.marginal[j], 1e-9);
+    }
+  }
+}
+
+TEST(AdaptationTest, PosteriorSupportRespectsAprioriSupport) {
+  auto world = MakeLineWorld(9, 0.25, 0.5);
+  auto model = AdaptTransitionMatrices(*world.matrix, Obs({{0, 4}, {6, 4}}));
+  ASSERT_TRUE(model.ok());
+  const PosteriorModel& pm = model.value();
+  for (Tic t = pm.first_tic(); t < pm.last_tic(); ++t) {
+    const auto& slice = pm.SliceAt(t);
+    const auto& next = pm.SliceAt(t + 1);
+    for (size_t i = 0; i < slice.support.size(); ++i) {
+      for (uint32_t e = slice.row_offsets[i]; e < slice.row_offsets[i + 1];
+           ++e) {
+        StateId from = slice.support[i];
+        StateId to = next.support[slice.transitions[e].first];
+        EXPECT_GT(world.matrix->Prob(from, to), 0.0)
+            << from << "->" << to << " not in the a-priori support";
+      }
+    }
+  }
+}
+
+TEST(AdaptationTest, PosteriorEqualsBruteForceConditional) {
+  // The key correctness property of Algorithm 2: trajectory probabilities
+  // under the adapted model equal the renormalized a-priori probabilities of
+  // observation-consistent paths.
+  auto world = MakeLineWorld(6, 0.3, 0.3);
+  ObservationSeq obs = Obs({{0, 2}, {3, 4}, {5, 3}});
+  auto truth = BruteForcePosterior(*world.matrix, obs);
+  auto model = AdaptTransitionMatrices(*world.matrix, obs);
+  ASSERT_TRUE(model.ok());
+  auto enumerated = EnumerateWindowTrajectories(model.value(), 0, 5);
+  ASSERT_TRUE(enumerated.ok());
+  ASSERT_EQ(enumerated.value().size(), truth.size());
+  for (const auto& wt : enumerated.value()) {
+    auto it = truth.find(wt.traj.states);
+    ASSERT_NE(it, truth.end());
+    EXPECT_NEAR(wt.prob, it->second, 1e-9);
+  }
+}
+
+TEST(AdaptationTest, PosteriorEqualsBruteForceWithIrregularObservations) {
+  auto world = MakeLineWorld(7, 0.2, 0.45);
+  ObservationSeq obs = Obs({{2, 1}, {4, 3}, {8, 2}, {9, 1}});
+  auto truth = BruteForcePosterior(*world.matrix, obs);
+  auto model = AdaptTransitionMatrices(*world.matrix, obs);
+  ASSERT_TRUE(model.ok());
+  auto enumerated = EnumerateWindowTrajectories(model.value(), 2, 9);
+  ASSERT_TRUE(enumerated.ok());
+  ASSERT_EQ(enumerated.value().size(), truth.size());
+  double total = 0.0;
+  for (const auto& wt : enumerated.value()) {
+    auto it = truth.find(wt.traj.states);
+    ASSERT_NE(it, truth.end());
+    EXPECT_NEAR(wt.prob, it->second, 1e-9);
+    total += wt.prob;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(AdaptationTest, ContradictingObservationReported) {
+  auto world = MakeLineWorld(20);
+  // 10 hops needed in 2 tics: impossible.
+  auto model = AdaptTransitionMatrices(*world.matrix, Obs({{0, 0}, {2, 10}}));
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kContradiction);
+}
+
+TEST(AdaptationTest, ObservationOutsideDomainRejected) {
+  auto world = MakeLineWorld(4);
+  auto model = AdaptTransitionMatrices(*world.matrix, Obs({{0, 99}}));
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AdaptationTest, ExtensionPastLastObservationUsesApriori) {
+  auto world = MakeLineWorld(9, 0.25, 0.5);
+  ObservationSeq obs = Obs({{0, 4}});
+  auto model = AdaptTransitionMatrices(*world.matrix, obs, /*extend_until=*/3);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value().last_tic(), 3);
+  // Marginals must match plain a-priori propagation.
+  auto apriori = AprioriMarginals(*world.matrix, obs.first(), 4);
+  for (Tic t = 0; t <= 3; ++t) {
+    EXPECT_NEAR(
+        SparseDist::L1Distance(model.value().MarginalAt(t), apriori[t]), 0.0,
+        1e-9)
+        << "t=" << t;
+  }
+}
+
+TEST(AdaptationTest, ExtensionAfterMultiObservationChain) {
+  auto world = MakeLineWorld(9, 0.25, 0.5);
+  ObservationSeq obs = Obs({{0, 4}, {3, 6}});
+  auto model = AdaptTransitionMatrices(*world.matrix, obs, /*extend_until=*/6);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value().last_tic(), 6);
+  // At the last observation the marginal collapses, after it mass spreads.
+  EXPECT_EQ(model.value().MarginalAt(3).size(), 1u);
+  EXPECT_GT(model.value().MarginalAt(5).size(), 1u);
+  // Rows remain stochastic in the extension.
+  for (Tic t = 3; t < 6; ++t) {
+    const auto& slice = model.value().SliceAt(t);
+    for (size_t i = 0; i < slice.support.size(); ++i) {
+      double sum = 0.0;
+      for (uint32_t e = slice.row_offsets[i]; e < slice.row_offsets[i + 1]; ++e)
+        sum += slice.transitions[e].second;
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(AdaptationTest, ExtendUntilBeforeLastObservationRejected) {
+  auto world = MakeLineWorld(5);
+  auto model =
+      AdaptTransitionMatrices(*world.matrix, Obs({{0, 1}, {4, 2}}), 2);
+  EXPECT_FALSE(model.ok());
+}
+
+TEST(AdaptationTest, ForwardFilterCollapsesOnlyAtPastObservations) {
+  auto world = MakeLineWorld(11, 0.25, 0.5);
+  ObservationSeq obs = Obs({{0, 5}, {4, 7}, {8, 5}});
+  auto marginals = ForwardFilterMarginals(*world.matrix, obs);
+  ASSERT_TRUE(marginals.ok());
+  ASSERT_EQ(marginals.value().size(), 9u);
+  // Collapsed at each observation time.
+  EXPECT_DOUBLE_EQ(marginals.value()[0].Prob(5), 1.0);
+  EXPECT_DOUBLE_EQ(marginals.value()[4].Prob(7), 1.0);
+  EXPECT_DOUBLE_EQ(marginals.value()[8].Prob(5), 1.0);
+  // In-between the forward filter is wider than the posterior: it ignores the
+  // future observation.
+  auto posterior = AdaptTransitionMatrices(*world.matrix, obs);
+  ASSERT_TRUE(posterior.ok());
+  for (Tic t : {2, 6}) {
+    EXPECT_GE(marginals.value()[t].size(),
+              posterior.value().MarginalAt(t).size());
+  }
+}
+
+TEST(AdaptationTest, PosteriorTightensTowardsNextObservation) {
+  // Just before an observation, the posterior support must collapse towards
+  // the observed state while the forward filter stays wide (the paper's
+  // Figure 4 narrative).
+  auto world = MakeLineWorld(21, 0.25, 0.5);
+  ObservationSeq obs = Obs({{0, 10}, {10, 15}});
+  auto posterior = AdaptTransitionMatrices(*world.matrix, obs);
+  auto forward = ForwardFilterMarginals(*world.matrix, obs);
+  ASSERT_TRUE(posterior.ok());
+  ASSERT_TRUE(forward.ok());
+  size_t post_size = posterior.value().MarginalAt(9).size();
+  size_t fwd_size = forward.value()[9].size();
+  EXPECT_LT(post_size, fwd_size);
+}
+
+TEST(AdaptationTest, UniformReachableMatchesSupport) {
+  auto world = MakeLineWorld(9, 0.25, 0.5);
+  auto model = AdaptTransitionMatrices(*world.matrix, Obs({{0, 4}, {4, 6}}));
+  ASSERT_TRUE(model.ok());
+  auto uniform = UniformReachableMarginals(model.value());
+  ASSERT_EQ(uniform.size(), model.value().num_slices());
+  for (Tic t = 0; t <= 4; ++t) {
+    const auto& slice = model.value().SliceAt(t);
+    EXPECT_EQ(uniform[t].Support(), slice.support);
+    if (!slice.support.empty()) {
+      EXPECT_NEAR(uniform[t].Prob(slice.support[0]),
+                  1.0 / slice.support.size(), 1e-12);
+    }
+  }
+}
+
+TEST(AdaptationTest, AprioriMarginalsSpread) {
+  auto world = MakeLineWorld(15, 0.25, 0.5);
+  auto marginals = AprioriMarginals(*world.matrix, {0, 7}, 6);
+  ASSERT_EQ(marginals.size(), 6u);
+  // Support grows by one to each side per tic.
+  for (size_t k = 0; k + 1 < marginals.size(); ++k) {
+    EXPECT_LT(marginals[k].size(), marginals[k + 1].size());
+  }
+  EXPECT_EQ(marginals[5].size(), 11u);
+}
+
+// Parameterized sweep: for random observation patterns on the line world the
+// posterior must be a valid distribution everywhere and match brute force.
+class AdaptationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdaptationSweep, RandomObservationPatterns) {
+  Rng rng(500 + GetParam());
+  auto world = MakeLineWorld(8, 0.3, 0.4);
+  // Random walk ground truth to produce consistent observations.
+  std::vector<StateId> walk;
+  StateId cur = static_cast<StateId>(rng.UniformInt(8));
+  walk.push_back(cur);
+  for (int t = 1; t <= 9; ++t) {
+    std::vector<double> weights;
+    std::vector<StateId> targets;
+    for (const auto* e = world.matrix->begin(cur); e != world.matrix->end(cur);
+         ++e) {
+      targets.push_back(e->first);
+      weights.push_back(e->second);
+    }
+    cur = targets[rng.Categorical(weights)];
+    walk.push_back(cur);
+  }
+  // Observe a random subset of tics (always 0 and 9).
+  std::vector<Observation> observations = {{0, walk[0]}};
+  for (Tic t = 1; t < 9; ++t) {
+    if (rng.Bernoulli(0.3)) observations.push_back({t, walk[t]});
+  }
+  observations.push_back({9, walk[9]});
+  ObservationSeq obs = Obs(std::move(observations));
+
+  auto model = AdaptTransitionMatrices(*world.matrix, obs);
+  ASSERT_TRUE(model.ok());
+  auto truth = BruteForcePosterior(*world.matrix, obs);
+  auto enumerated = EnumerateWindowTrajectories(model.value(), 0, 9, 1000000);
+  ASSERT_TRUE(enumerated.ok());
+  ASSERT_EQ(enumerated.value().size(), truth.size());
+  for (const auto& wt : enumerated.value()) {
+    auto it = truth.find(wt.traj.states);
+    ASSERT_NE(it, truth.end());
+    EXPECT_NEAR(wt.prob, it->second, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdaptationSweep, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace ust

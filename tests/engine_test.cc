@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "gen/synthetic.h"
+#include "gen/workload.h"
+#include "index/ust_tree.h"
+#include "query/engine.h"
+#include "util/rng.h"
+
+namespace ust {
+namespace {
+
+MonteCarloOptions Opts(size_t worlds, uint64_t seed = 21) {
+  MonteCarloOptions o;
+  o.num_worlds = worlds;
+  o.seed = seed;
+  return o;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticConfig config;
+    config.num_states = 600;
+    config.num_objects = 25;
+    config.lifetime = 24;
+    config.obs_interval = 6;
+    config.horizon = 40;
+    config.seed = 77;
+    auto world = GenerateSyntheticWorld(config);
+    ASSERT_TRUE(world.ok());
+    world_ = std::make_unique<SyntheticWorld>(world.MoveValue());
+    auto tree = UstTree::Build(*world_->db);
+    ASSERT_TRUE(tree.ok());
+    index_ = std::make_unique<UstTree>(tree.MoveValue());
+    T_ = BusiestInterval(*world_->db, 6);
+    Rng rng(5);
+    q_ = RandomQueryState(*world_->space, rng);
+  }
+
+  std::unique_ptr<SyntheticWorld> world_;
+  std::unique_ptr<UstTree> index_;
+  TimeInterval T_{0, 0};
+  QueryTrajectory q_ = QueryTrajectory::FromPoint({0, 0});
+};
+
+TEST_F(EngineTest, IndexedAndUnindexedForallAgree) {
+  QueryEngine with_index(*world_->db, index_.get());
+  QueryEngine without_index(*world_->db);
+  auto a = with_index.Forall(q_, T_, 0.05, Opts(3000));
+  auto b = without_index.Forall(q_, T_, 0.05, Opts(3000));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Same qualifying objects; probabilities agree within MC noise.
+  std::map<ObjectId, double> probs_a, probs_b;
+  for (const auto& r : a.value().results) probs_a[r.object] = r.prob;
+  for (const auto& r : b.value().results) probs_b[r.object] = r.prob;
+  for (const auto& [o, p] : probs_b) {
+    ASSERT_TRUE(probs_a.count(o)) << "object " << o << " lost by pruning";
+    EXPECT_NEAR(probs_a[o], p, 0.06);
+  }
+  for (const auto& [o, p] : probs_a) EXPECT_TRUE(probs_b.count(o));
+  // Pruning reduces the work.
+  EXPECT_LE(a.value().num_candidates, b.value().num_candidates);
+  EXPECT_LE(a.value().num_influencers, b.value().num_influencers);
+  EXPECT_GT(a.value().num_candidates, 0u);
+}
+
+TEST_F(EngineTest, IndexedAndUnindexedExistsAgree) {
+  QueryEngine with_index(*world_->db, index_.get());
+  QueryEngine without_index(*world_->db);
+  auto a = with_index.Exists(q_, T_, 0.05, Opts(3000));
+  auto b = without_index.Exists(q_, T_, 0.05, Opts(3000));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::map<ObjectId, double> probs_a, probs_b;
+  for (const auto& r : a.value().results) probs_a[r.object] = r.prob;
+  for (const auto& r : b.value().results) probs_b[r.object] = r.prob;
+  for (const auto& [o, p] : probs_b) {
+    ASSERT_TRUE(probs_a.count(o)) << "object " << o << " lost by pruning";
+    EXPECT_NEAR(probs_a[o], p, 0.06);
+  }
+}
+
+TEST_F(EngineTest, TauFiltersResults) {
+  QueryEngine engine(*world_->db, index_.get());
+  auto low = engine.Forall(q_, T_, 0.0, Opts(1000));
+  auto high = engine.Forall(q_, T_, 0.6, Opts(1000));
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_GE(low.value().results.size(), high.value().results.size());
+  for (const auto& r : high.value().results) EXPECT_GE(r.prob, 0.6);
+}
+
+TEST_F(EngineTest, ForallResultsAreSubsetOfExists) {
+  QueryEngine engine(*world_->db, index_.get());
+  auto forall = engine.Forall(q_, T_, 0.2, Opts(2000));
+  auto exists = engine.Exists(q_, T_, 0.2, Opts(2000));
+  ASSERT_TRUE(forall.ok());
+  ASSERT_TRUE(exists.ok());
+  std::map<ObjectId, double> exists_probs;
+  for (const auto& r : exists.value().results) exists_probs[r.object] = r.prob;
+  for (const auto& r : forall.value().results) {
+    ASSERT_TRUE(exists_probs.count(r.object));
+    EXPECT_LE(r.prob, exists_probs[r.object] + 0.05);
+  }
+}
+
+TEST_F(EngineTest, ContinuousQueryEntriesRespectTau) {
+  QueryEngine engine(*world_->db, index_.get());
+  auto result = engine.Continuous(q_, T_, 0.4, Opts(1000));
+  ASSERT_TRUE(result.ok());
+  for (const auto& e : result.value().pcnn.entries) {
+    EXPECT_GE(e.prob, 0.4);
+    EXPECT_FALSE(e.tics.empty());
+    for (Tic t : e.tics) EXPECT_TRUE(T_.Contains(t));
+  }
+}
+
+TEST_F(EngineTest, ContinuousConsistentWithForall) {
+  // If o qualifies for the full interval in PCNN, its P∀NN over T must also
+  // pass tau (they are the same probability).
+  QueryEngine engine(*world_->db, index_.get());
+  auto pcnn = engine.Continuous(q_, T_, 0.3, Opts(3000, 9));
+  auto forall = engine.Forall(q_, T_, 0.3, Opts(3000, 9));
+  ASSERT_TRUE(pcnn.ok());
+  ASSERT_TRUE(forall.ok());
+  std::vector<Tic> full = T_.Tics();
+  std::map<ObjectId, double> forall_probs;
+  for (const auto& r : forall.value().results) forall_probs[r.object] = r.prob;
+  for (const auto& e : pcnn.value().pcnn.entries) {
+    if (e.tics == full) {
+      EXPECT_TRUE(forall_probs.count(e.object));
+      EXPECT_NEAR(forall_probs[e.object], e.prob, 1e-9);  // same table & seed
+    }
+  }
+}
+
+TEST_F(EngineTest, EmptyCandidateSetShortCircuits) {
+  QueryEngine engine(*world_->db, index_.get());
+  // Query far in the future: nobody is alive.
+  auto result = engine.Forall(q_, {5000, 5010}, 0.0, Opts(100));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().results.empty());
+  EXPECT_EQ(result.value().num_candidates, 0u);
+}
+
+TEST_F(EngineTest, TimingCountersPopulated) {
+  QueryEngine engine(*world_->db, index_.get());
+  auto result = engine.Forall(q_, T_, 0.0, Opts(500));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result.value().prune_millis, 0.0);
+  EXPECT_GT(result.value().sampling_millis, 0.0);
+}
+
+}  // namespace
+}  // namespace ust

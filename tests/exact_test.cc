@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "model/adaptation.h"
+#include "query/exact.h"
+#include "test_world.h"
+#include "util/rng.h"
+
+namespace ust {
+namespace {
+
+using testing::Figure1World;
+using testing::MakeFigure1World;
+using testing::MakeLineWorld;
+
+ObservationSeq Obs(std::vector<Observation> v) {
+  auto r = ObservationSeq::Create(std::move(v));
+  UST_CHECK(r.ok());
+  return r.MoveValue();
+}
+
+TEST(EnumerationTest, Figure1ObjectWorlds) {
+  Figure1World world = MakeFigure1World();
+  auto p1 = world.db->object(world.o1).Posterior();
+  auto p2 = world.db->object(world.o2).Posterior();
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  auto worlds1 = EnumerateWindowTrajectories(*p1.value(), 1, 3);
+  auto worlds2 = EnumerateWindowTrajectories(*p2.value(), 1, 3);
+  ASSERT_TRUE(worlds1.ok());
+  ASSERT_TRUE(worlds2.ok());
+  // Exactly the trajectory sets from the paper's Figure 1.
+  ASSERT_EQ(worlds1.value().size(), 3u);
+  ASSERT_EQ(worlds2.value().size(), 2u);
+  double total1 = 0.0;
+  for (const auto& wt : worlds1.value()) {
+    total1 += wt.prob;
+    if (wt.traj.states == std::vector<StateId>{world.s2, world.s1, world.s1}) {
+      EXPECT_NEAR(wt.prob, 0.5, 1e-12);
+    } else {
+      EXPECT_NEAR(wt.prob, 0.25, 1e-12);
+    }
+  }
+  EXPECT_NEAR(total1, 1.0, 1e-12);
+  for (const auto& wt : worlds2.value()) EXPECT_NEAR(wt.prob, 0.5, 1e-12);
+}
+
+TEST(EnumerationTest, WindowRestriction) {
+  Figure1World world = MakeFigure1World();
+  auto p1 = world.db->object(world.o1).Posterior();
+  ASSERT_TRUE(p1.ok());
+  // Window {2,3}: suffixes s1s1 (.5), s3s1 (.25), s3s3 (.25).
+  auto worlds = EnumerateWindowTrajectories(*p1.value(), 2, 3);
+  ASSERT_TRUE(worlds.ok());
+  ASSERT_EQ(worlds.value().size(), 3u);
+  // Single-tic window.
+  auto single = EnumerateWindowTrajectories(*p1.value(), 3, 3);
+  ASSERT_TRUE(single.ok());
+  double prob_s1 = 0.0;
+  for (const auto& wt : single.value()) {
+    if (wt.traj.states[0] == world.s1) prob_s1 += wt.prob;
+  }
+  EXPECT_NEAR(prob_s1, 0.75, 1e-12);
+}
+
+TEST(EnumerationTest, CapTriggersResourceLimit) {
+  auto world = MakeLineWorld(9, 0.3, 0.4);
+  auto model = AdaptTransitionMatrices(*world.matrix, Obs({{0, 4}, {8, 4}}));
+  ASSERT_TRUE(model.ok());
+  auto worlds = EnumerateWindowTrajectories(model.value(), 0, 8, /*max=*/2);
+  ASSERT_FALSE(worlds.ok());
+  EXPECT_EQ(worlds.status().code(), StatusCode::kResourceLimit);
+}
+
+TEST(ExactPnnTest, Figure1GroundTruth) {
+  Figure1World world = MakeFigure1World();
+  auto estimates = ExactPnnByEnumeration(
+      *world.db, {world.o1, world.o2}, world.q, world.T);
+  ASSERT_TRUE(estimates.ok());
+  const auto& e = estimates.value();
+  ASSERT_EQ(e.size(), 2u);
+  // The paper's worked example: P∀NN(o1) = 0.75, P∃NN(o2) = 0.25.
+  EXPECT_NEAR(e[0].forall_prob, 0.75, 1e-12);
+  EXPECT_NEAR(e[1].exists_prob, 0.25, 1e-12);
+  // Complements within this 2-object world (no ties occur).
+  EXPECT_NEAR(e[0].exists_prob, 1.0, 1e-12);
+  EXPECT_NEAR(e[1].forall_prob, 0.0, 1e-12);
+}
+
+TEST(ExactPnnTest, ForallAndExistsSumRules) {
+  Figure1World world = MakeFigure1World();
+  auto estimates = ExactPnnByEnumeration(
+      *world.db, {world.o1, world.o2}, world.q, world.T);
+  ASSERT_TRUE(estimates.ok());
+  double sum_forall = 0.0, sum_exists = 0.0;
+  for (const auto& e : estimates.value()) {
+    EXPECT_LE(e.forall_prob, e.exists_prob + 1e-12);
+    sum_forall += e.forall_prob;
+    sum_exists += e.exists_prob;
+  }
+  // Some object is always NN at every tic; with no ties forall-probabilities
+  // sum to at most 1 while exists-probabilities sum to at least 1.
+  EXPECT_LE(sum_forall, 1.0 + 1e-12);
+  EXPECT_GE(sum_exists, 1.0 - 1e-12);
+}
+
+TEST(DominationTest, MatchesEnumerationOnFigure1) {
+  Figure1World world = MakeFigure1World();
+  auto p1 = world.db->object(world.o1).Posterior();
+  auto p2 = world.db->object(world.o2).Posterior();
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  auto dom = DominationProbability(world.db->space(), *p1.value(),
+                                   *p2.value(), world.q, world.T,
+                                   /*strict=*/false);
+  ASSERT_TRUE(dom.ok());
+  // o1 dominates o2 throughout T in exactly the P∀NN(o1) worlds.
+  EXPECT_NEAR(dom.value(), 0.75, 1e-12);
+  auto dom_rev = DominationProbability(world.db->space(), *p2.value(),
+                                       *p1.value(), world.q, world.T, false);
+  ASSERT_TRUE(dom_rev.ok());
+  EXPECT_NEAR(dom_rev.value(), 0.0, 1e-12);
+}
+
+TEST(DominationTest, StrictVersusNonStrict) {
+  // Two identical single-state objects tie everywhere: non-strict domination
+  // is certain, strict is impossible.
+  auto space = std::make_shared<const StateSpace>(
+      std::vector<Point2>{{0, 1}, {0, 2}});
+  auto matrix = testing::MakeMatrix(2, {{{0, 1.0}}, {{1, 1.0}}});
+  TrajectoryDatabase db(space);
+  ObjectId a = db.AddObject(Obs({{0, 0}}), matrix, 3);
+  ObjectId b = db.AddObject(Obs({{0, 0}}), matrix, 3);
+  auto pa = db.object(a).Posterior();
+  auto pb = db.object(b).Posterior();
+  ASSERT_TRUE(pa.ok() && pb.ok());
+  QueryTrajectory q = QueryTrajectory::FromPoint({0, 0});
+  TimeInterval T{0, 3};
+  auto nonstrict = DominationProbability(*space, *pa.value(), *pb.value(), q,
+                                         T, false);
+  auto strict =
+      DominationProbability(*space, *pa.value(), *pb.value(), q, T, true);
+  ASSERT_TRUE(nonstrict.ok() && strict.ok());
+  EXPECT_DOUBLE_EQ(nonstrict.value(), 1.0);
+  EXPECT_DOUBLE_EQ(strict.value(), 0.0);
+}
+
+TEST(DominationTest, MonotoneInIntervalLength) {
+  Figure1World world = MakeFigure1World();
+  auto p1 = world.db->object(world.o1).Posterior();
+  auto p2 = world.db->object(world.o2).Posterior();
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  double prev = 1.0;
+  for (Tic end = 1; end <= 3; ++end) {
+    auto dom = DominationProbability(world.db->space(), *p1.value(),
+                                     *p2.value(), world.q, {1, end}, false);
+    ASSERT_TRUE(dom.ok());
+    EXPECT_LE(dom.value(), prev + 1e-12);
+    prev = dom.value();
+  }
+}
+
+TEST(DominationTest, RequiresAliveness) {
+  Figure1World world = MakeFigure1World();
+  auto p1 = world.db->object(world.o1).Posterior();
+  auto p2 = world.db->object(world.o2).Posterior();
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  auto dom = DominationProbability(world.db->space(), *p1.value(),
+                                   *p2.value(), world.q, {0, 3}, false);
+  EXPECT_FALSE(dom.ok());
+}
+
+TEST(DominationTest, AgreesWithEnumerationOnRandomLineWorlds) {
+  Rng rng(41);
+  for (int iter = 0; iter < 5; ++iter) {
+    auto world = MakeLineWorld(6, 0.3, 0.4);
+    auto space = world.space;
+    TrajectoryDatabase db(space);
+    StateId sa = static_cast<StateId>(rng.UniformInt(6));
+    StateId sb = static_cast<StateId>(rng.UniformInt(6));
+    ObjectId a = db.AddObject(Obs({{0, sa}}), world.matrix, 4);
+    ObjectId b = db.AddObject(Obs({{0, sb}}), world.matrix, 4);
+    QueryTrajectory q = QueryTrajectory::FromPoint(
+        {rng.Uniform(0, 5), rng.Uniform(-1, 1)});
+    TimeInterval T{0, 4};
+    auto pa = db.object(a).Posterior();
+    auto pb = db.object(b).Posterior();
+    ASSERT_TRUE(pa.ok() && pb.ok());
+    auto dom = DominationProbability(*space, *pa.value(), *pb.value(), q, T,
+                                     /*strict=*/false);
+    ASSERT_TRUE(dom.ok());
+    // In a 2-object DB, P∀NN(a) equals non-strict domination of a over b.
+    auto exact = ExactPnnByEnumeration(db, {a, b}, q, T);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_NEAR(dom.value(), exact.value()[0].forall_prob, 1e-9)
+        << "iter " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace ust

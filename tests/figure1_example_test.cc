@@ -1,0 +1,123 @@
+// End-to-end validation of the paper's Example 1 (Figure 1): all three query
+// semantics on the worked two-object world, evaluated exactly, by Monte-Carlo
+// sampling, and through the full query engine with and without the UST-tree.
+#include <gtest/gtest.h>
+
+#include "index/ust_tree.h"
+#include "query/engine.h"
+#include "query/exact.h"
+#include "query/pcnn.h"
+#include "test_world.h"
+#include "util/stats.h"
+
+namespace ust {
+namespace {
+
+using testing::Figure1World;
+using testing::MakeFigure1World;
+
+MonteCarloOptions Opts(size_t worlds) {
+  MonteCarloOptions o;
+  o.num_worlds = worlds;
+  o.seed = 1234;
+  return o;
+}
+
+class Figure1Test : public ::testing::Test {
+ protected:
+  Figure1World world_ = MakeFigure1World();
+};
+
+TEST_F(Figure1Test, PossibleWorldCountsMatchPaper) {
+  auto p1 = world_.db->object(world_.o1).Posterior();
+  auto p2 = world_.db->object(world_.o2).Posterior();
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  auto w1 = EnumerateWindowTrajectories(*p1.value(), 1, 3);
+  auto w2 = EnumerateWindowTrajectories(*p2.value(), 1, 3);
+  ASSERT_TRUE(w1.ok() && w2.ok());
+  EXPECT_EQ(w1.value().size(), 3u);  // tr1,1 tr1,2 tr1,3
+  EXPECT_EQ(w2.value().size(), 2u);  // tr2,1 tr2,2
+}
+
+TEST_F(Figure1Test, ExactProbabilitiesMatchPaper) {
+  auto exact = ExactPnnByEnumeration(*world_.db, {world_.o1, world_.o2},
+                                     world_.q, world_.T);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(exact.value()[0].forall_prob, 0.75, 1e-12);   // P∀NN(o1)
+  EXPECT_NEAR(exact.value()[1].exists_prob, 0.25, 1e-12);   // P∃NN(o2)
+}
+
+TEST_F(Figure1Test, EngineForallQueryWithoutIndex) {
+  QueryEngine engine(*world_.db);
+  auto result = engine.Forall(world_.q, world_.T, 0.1, Opts(20000));
+  ASSERT_TRUE(result.ok());
+  // Only o1 passes tau = 0.1 for the whole interval.
+  ASSERT_EQ(result.value().results.size(), 1u);
+  EXPECT_EQ(result.value().results[0].object, world_.o1);
+  EXPECT_NEAR(result.value().results[0].prob, 0.75,
+              HoeffdingEpsilon(20000, 0.01));
+}
+
+TEST_F(Figure1Test, EngineExistsQueryWithoutIndex) {
+  QueryEngine engine(*world_.db);
+  auto result = engine.Exists(world_.q, world_.T, 0.1, Opts(20000));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().results.size(), 2u);
+  double p_o2 = 0.0;
+  for (const auto& r : result.value().results) {
+    if (r.object == world_.o2) p_o2 = r.prob;
+  }
+  EXPECT_NEAR(p_o2, 0.25, HoeffdingEpsilon(20000, 0.01));
+}
+
+TEST_F(Figure1Test, EngineMatchesWithUstTreeIndex) {
+  auto index = UstTree::Build(*world_.db);
+  ASSERT_TRUE(index.ok());
+  QueryEngine with_index(*world_.db, &index.value());
+  QueryEngine without_index(*world_.db);
+  auto a = with_index.Forall(world_.q, world_.T, 0.1, Opts(20000));
+  auto b = without_index.Forall(world_.q, world_.T, 0.1, Opts(20000));
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a.value().results.size(), b.value().results.size());
+  for (size_t i = 0; i < a.value().results.size(); ++i) {
+    EXPECT_EQ(a.value().results[i].object, b.value().results[i].object);
+    EXPECT_NEAR(a.value().results[i].prob, b.value().results[i].prob, 0.02);
+  }
+  EXPECT_LE(a.value().num_candidates, b.value().num_candidates);
+}
+
+TEST_F(Figure1Test, PcnnMatchesPaperResultSet) {
+  QueryEngine engine(*world_.db);
+  auto result = engine.Continuous(world_.q, world_.T, 0.1, Opts(20000));
+  ASSERT_TRUE(result.ok());
+  auto maximal = FilterMaximal(result.value().pcnn.entries);
+  // "PCNNQ(q, D, {1,2,3}, 0.1) will return the object o1 together with the
+  //  interval {1,2,3} and o2 together with the interval {2,3}."
+  ASSERT_EQ(maximal.size(), 2u);
+  bool saw_o1 = false, saw_o2 = false;
+  for (const auto& e : maximal) {
+    if (e.object == world_.o1) {
+      saw_o1 = true;
+      EXPECT_EQ(e.tics, (std::vector<Tic>{1, 2, 3}));
+    }
+    if (e.object == world_.o2) {
+      saw_o2 = true;
+      EXPECT_EQ(e.tics, (std::vector<Tic>{2, 3}));
+      EXPECT_NEAR(e.prob, 0.125, HoeffdingEpsilon(20000, 0.01));
+    }
+  }
+  EXPECT_TRUE(saw_o1);
+  EXPECT_TRUE(saw_o2);
+}
+
+TEST_F(Figure1Test, HigherTauDropsO2) {
+  QueryEngine engine(*world_.db);
+  auto result = engine.Continuous(world_.q, world_.T, 0.3, Opts(5000));
+  ASSERT_TRUE(result.ok());
+  for (const auto& e : result.value().pcnn.entries) {
+    EXPECT_EQ(e.object, world_.o1);  // o2's best set has P = 0.125 < 0.3
+  }
+}
+
+}  // namespace
+}  // namespace ust

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/roadnet.h"
+#include "gen/synthetic.h"
+#include "gen/workload.h"
+#include "markov/builders.h"
+#include "util/rng.h"
+
+namespace ust {
+namespace {
+
+TEST(SyntheticTest, StatesUniformInUnitSquare) {
+  Rng rng(1);
+  auto space = GenerateStates(2000, rng);
+  ASSERT_EQ(space->size(), 2000u);
+  Rect2 box = space->BoundingBox();
+  EXPECT_GE(box.lo[0], 0.0);
+  EXPECT_LE(box.hi[1], 1.0);
+  // Quadrant counts are roughly balanced.
+  int q1 = 0;
+  for (const Point2& p : space->coords()) q1 += (p.x < 0.5 && p.y < 0.5);
+  EXPECT_NEAR(q1 / 2000.0, 0.25, 0.05);
+}
+
+TEST(SyntheticTest, BranchingFactorCloseToTarget) {
+  Rng rng(2);
+  for (double b : {6.0, 8.0, 10.0}) {
+    auto space = GenerateStates(3000, rng);
+    CsrGraph graph = ConnectByRadius(*space, b);
+    // Boundary effects reduce the average degree slightly below b.
+    EXPECT_NEAR(graph.AverageDegree(), b, b * 0.25) << "b=" << b;
+  }
+}
+
+TEST(SyntheticTest, WorldObservationsAreModelConsistent) {
+  SyntheticConfig config;
+  config.num_states = 500;
+  config.num_objects = 20;
+  config.lifetime = 30;
+  config.obs_interval = 6;
+  config.seed = 5;
+  auto world = GenerateSyntheticWorld(config);
+  ASSERT_TRUE(world.ok());
+  EXPECT_EQ(world.value().db->size(), 20u);
+  // Adaptation succeeds for every object: no contradicting observations.
+  EXPECT_TRUE(world.value().db->EnsureAllPosteriors().ok());
+}
+
+TEST(SyntheticTest, ObservationSpacingMatchesConfig) {
+  SyntheticConfig config;
+  config.num_states = 500;
+  config.num_objects = 5;
+  config.lifetime = 40;
+  config.obs_interval = 10;
+  config.seed = 6;
+  auto world = GenerateSyntheticWorld(config);
+  ASSERT_TRUE(world.ok());
+  for (const auto& obj : world.value().db->objects()) {
+    const auto& items = obj.observations().items();
+    ASSERT_EQ(items.size(), 5u);  // lifetime/interval + 1
+    for (size_t i = 0; i + 1 < items.size(); ++i) {
+      EXPECT_EQ(items[i + 1].time - items[i].time, 10);
+    }
+    EXPECT_LE(obj.first_tic() + config.lifetime,
+              config.horizon + config.lifetime);
+  }
+}
+
+TEST(SyntheticTest, LagControlsSlack) {
+  // v = 1: observations exactly along the shortest path (l = i).
+  // v = 0.5: only half the path nodes consumed per interval, more slack.
+  SyntheticConfig tight;
+  tight.num_states = 500;
+  tight.num_objects = 10;
+  tight.lifetime = 20;
+  tight.obs_interval = 4;
+  tight.lag = 1.0;
+  tight.seed = 7;
+  SyntheticConfig loose = tight;
+  loose.lag = 0.5;
+  auto world_tight = GenerateSyntheticWorld(tight);
+  auto world_loose = GenerateSyntheticWorld(loose);
+  ASSERT_TRUE(world_tight.ok());
+  ASSERT_TRUE(world_loose.ok());
+  auto total_support = [](const TrajectoryDatabase& db) {
+    size_t total = 0;
+    for (const auto& obj : db.objects()) {
+      auto p = obj.Posterior();
+      UST_CHECK(p.ok());
+      total += p.value()->TotalSupportSize();
+    }
+    return total;
+  };
+  // More slack (smaller v) => wider diamonds.
+  EXPECT_GT(total_support(*world_loose.value().db),
+            total_support(*world_tight.value().db));
+}
+
+TEST(SyntheticTest, InvalidConfigsRejected) {
+  SyntheticConfig config;
+  config.num_states = 0;
+  EXPECT_FALSE(GenerateSyntheticWorld(config).ok());
+  config = SyntheticConfig();
+  config.lag = 0.0;
+  EXPECT_FALSE(GenerateSyntheticWorld(config).ok());
+  config = SyntheticConfig();
+  config.lifetime = 2;
+  config.obs_interval = 10;
+  EXPECT_FALSE(GenerateSyntheticWorld(config).ok());
+}
+
+TEST(RoadnetTest, CenterIsDenserThanPeriphery) {
+  Rng rng(8);
+  auto space = GenerateRoadStates(3000, 0.3, rng);
+  int center = 0, edge = 0;
+  for (const Point2& p : space->coords()) {
+    double r = Distance(p, {0.5, 0.5});
+    if (r < 0.15) ++center;
+    if (r > 0.45) ++edge;
+  }
+  // Compare densities (counts per unit area): the central disk has area
+  // pi*0.15^2 ~ 0.0707, the outer region ~ 1 - pi*0.45^2 ~ 0.364.
+  double center_density = center / 0.0707;
+  double edge_density = edge / 0.364;
+  EXPECT_GT(center_density, 2.0 * edge_density);
+}
+
+TEST(RoadnetTest, TripsFollowRoadEdges) {
+  Rng rng(9);
+  auto space = GenerateRoadStates(800, 0.3, rng);
+  CsrGraph graph = ConnectKnn(*space, 4);
+  auto trip = SimulateTrip(*space, graph, 50, 0.25, 0, rng);
+  ASSERT_TRUE(trip.ok());
+  ASSERT_EQ(trip.value().states.size(), 50u);
+  for (size_t i = 0; i + 1 < trip.value().states.size(); ++i) {
+    StateId a = trip.value().states[i], b = trip.value().states[i + 1];
+    EXPECT_TRUE(a == b || graph.HasEdge(a, b))
+        << "illegal hop " << a << "->" << b;
+  }
+}
+
+TEST(RoadnetTest, PausesOccurAtRequestedRate) {
+  Rng rng(10);
+  auto space = GenerateRoadStates(800, 0.3, rng);
+  CsrGraph graph = ConnectKnn(*space, 4);
+  int pauses = 0, steps = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto trip = SimulateTrip(*space, graph, 60, 0.3, 0, rng);
+    ASSERT_TRUE(trip.ok());
+    for (size_t j = 0; j + 1 < trip.value().states.size(); ++j) {
+      ++steps;
+      pauses += trip.value().states[j] == trip.value().states[j + 1];
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(pauses) / steps, 0.3, 0.05);
+}
+
+TEST(RoadnetTest, WorldGroundTruthConsistentWithLearnedModel) {
+  RoadnetConfig config;
+  config.num_states = 600;
+  config.num_objects = 10;
+  config.num_training_trips = 50;
+  config.lifetime = 40;
+  config.obs_interval = 8;
+  config.seed = 11;
+  auto world = GenerateRoadnetWorld(config);
+  ASSERT_TRUE(world.ok());
+  ASSERT_EQ(world.value().ground_truth.size(), 10u);
+  // Observations are thinned ground truth.
+  for (size_t i = 0; i < world.value().db->size(); ++i) {
+    const auto& obj = world.value().db->object(static_cast<ObjectId>(i));
+    const Trajectory& truth = world.value().ground_truth[i];
+    for (const Observation& o : obj.observations().items()) {
+      EXPECT_EQ(truth.At(o.time), o.state);
+    }
+    EXPECT_EQ(obj.first_tic(), truth.start);
+    EXPECT_EQ(obj.observations().last_tic(), truth.end());
+  }
+  // The learned (smoothed) model never contradicts held-out trajectories.
+  EXPECT_TRUE(world.value().db->EnsureAllPosteriors().ok());
+  // Ground truth states have nonzero posterior probability at each tic.
+  for (size_t i = 0; i < world.value().db->size(); ++i) {
+    const auto& obj = world.value().db->object(static_cast<ObjectId>(i));
+    const Trajectory& truth = world.value().ground_truth[i];
+    auto posterior = obj.Posterior();
+    ASSERT_TRUE(posterior.ok());
+    for (Tic t = truth.start; t <= truth.end(); ++t) {
+      EXPECT_GT(posterior.value()->MarginalAt(t).Prob(truth.At(t)), 0.0)
+          << "object " << i << " t=" << t;
+    }
+  }
+}
+
+TEST(RoadnetTest, InvalidConfigsRejected) {
+  RoadnetConfig config;
+  config.num_states = 0;
+  EXPECT_FALSE(GenerateRoadnetWorld(config).ok());
+  config = RoadnetConfig();
+  config.lifetime = 5;
+  config.obs_interval = 8;
+  EXPECT_FALSE(GenerateRoadnetWorld(config).ok());
+}
+
+TEST(WorkloadTest, RandomQueryStateInsideSpace) {
+  Rng rng(12);
+  auto space = GenerateStates(100, rng);
+  for (int i = 0; i < 20; ++i) {
+    QueryTrajectory q = RandomQueryState(*space, rng);
+    EXPECT_TRUE(q.constant());
+    const Point2& p = q.At(0);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.y, 1.0);
+  }
+}
+
+TEST(WorkloadTest, RandomIntervalWithinHorizon) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    TimeInterval T = RandomInterval(100, 10, rng);
+    EXPECT_GE(T.start, 0);
+    EXPECT_LE(T.end, 100);
+    EXPECT_EQ(T.length(), 10u);
+  }
+}
+
+TEST(WorkloadTest, BusiestIntervalMaximizesAliveCount) {
+  SyntheticConfig config;
+  config.num_states = 300;
+  config.num_objects = 15;
+  config.lifetime = 20;
+  config.obs_interval = 5;
+  config.horizon = 60;
+  config.seed = 14;
+  auto world = GenerateSyntheticWorld(config);
+  ASSERT_TRUE(world.ok());
+  const TrajectoryDatabase& db = *world.value().db;
+  TimeInterval best = BusiestInterval(db, 5);
+  size_t best_count = db.AliveThroughout(best.start, best.end).size();
+  Rng rng(15);
+  for (int i = 0; i < 30; ++i) {
+    TimeInterval T = RandomInterval(55, 5, rng);
+    EXPECT_LE(db.AliveThroughout(T.start, T.end).size(), best_count);
+  }
+}
+
+TEST(WorkloadTest, RandomQueryTrajectoryFollowsModel) {
+  Rng rng(16);
+  auto space = GenerateStates(300, rng);
+  CsrGraph graph = ConnectByRadius(*space, 8.0);
+  auto matrix = DistanceInverseMatrix(*space, graph, 0.1);
+  ASSERT_TRUE(matrix.ok());
+  QueryTrajectory q =
+      RandomQueryTrajectory(*space, matrix.value(), 5, 8, rng);
+  EXPECT_FALSE(q.constant());
+  EXPECT_TRUE(q.Covers(5));
+  EXPECT_TRUE(q.Covers(12));
+  EXPECT_FALSE(q.Covers(13));
+}
+
+}  // namespace
+}  // namespace ust

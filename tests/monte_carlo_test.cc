@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "query/exact.h"
+#include "query/monte_carlo.h"
+#include "test_world.h"
+#include "util/stats.h"
+
+namespace ust {
+namespace {
+
+using testing::Figure1World;
+using testing::MakeFigure1World;
+using testing::MakeLineWorld;
+
+ObservationSeq Obs(std::vector<Observation> v) {
+  auto r = ObservationSeq::Create(std::move(v));
+  UST_CHECK(r.ok());
+  return r.MoveValue();
+}
+
+MonteCarloOptions Opts(size_t worlds, uint64_t seed = 42, int k = 1) {
+  MonteCarloOptions o;
+  o.num_worlds = worlds;
+  o.seed = seed;
+  o.k = k;
+  return o;
+}
+
+TEST(MonteCarloTest, MatchesExactOnFigure1) {
+  Figure1World world = MakeFigure1World();
+  auto estimates = EstimatePnn(*world.db, {world.o1, world.o2},
+                               {world.o1, world.o2}, world.q, world.T,
+                               Opts(20000));
+  ASSERT_TRUE(estimates.ok());
+  // Hoeffding bound at 20000 samples, 99% confidence: eps ~ 0.0115.
+  const double eps = HoeffdingEpsilon(20000, 0.01);
+  EXPECT_NEAR(estimates.value()[0].forall_prob, 0.75, eps);
+  EXPECT_NEAR(estimates.value()[1].exists_prob, 0.25, eps);
+  EXPECT_NEAR(estimates.value()[0].exists_prob, 1.0, eps);
+  EXPECT_NEAR(estimates.value()[1].forall_prob, 0.0, eps);
+}
+
+TEST(MonteCarloTest, DeterministicForSameSeed) {
+  Figure1World world = MakeFigure1World();
+  auto a = EstimatePnn(*world.db, {world.o1, world.o2}, {world.o1}, world.q,
+                       world.T, Opts(500, 7));
+  auto b = EstimatePnn(*world.db, {world.o1, world.o2}, {world.o1}, world.q,
+                       world.T, Opts(500, 7));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a.value()[0].forall_prob, b.value()[0].forall_prob);
+  EXPECT_DOUBLE_EQ(a.value()[0].exists_prob, b.value()[0].exists_prob);
+}
+
+TEST(MonteCarloTest, ForallNeverExceedsExists) {
+  Figure1World world = MakeFigure1World();
+  auto estimates = EstimatePnn(*world.db, {world.o1, world.o2},
+                               {world.o1, world.o2}, world.q, world.T,
+                               Opts(2000));
+  ASSERT_TRUE(estimates.ok());
+  for (const auto& e : estimates.value()) {
+    EXPECT_LE(e.forall_prob, e.exists_prob);
+  }
+}
+
+TEST(MonteCarloTest, IntervalShrinkingRaisesForallProb) {
+  Figure1World world = MakeFigure1World();
+  double prev = 0.0;
+  for (Tic end = 3; end >= 1; --end) {
+    auto estimates = EstimatePnn(*world.db, {world.o1, world.o2}, {world.o1},
+                                 world.q, {1, end}, Opts(5000));
+    ASSERT_TRUE(estimates.ok());
+    EXPECT_GE(estimates.value()[0].forall_prob + 0.02, prev);
+    prev = estimates.value()[0].forall_prob;
+  }
+}
+
+TEST(MonteCarloTest, MatchesExactOnRandomLineWorlds) {
+  // Cross-validation on 3-object worlds: MC vs exhaustive enumeration.
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    Rng rng(900 + seed);
+    auto world = MakeLineWorld(6, 0.3, 0.4);
+    TrajectoryDatabase db(world.space);
+    std::vector<ObjectId> ids;
+    for (int i = 0; i < 3; ++i) {
+      StateId s = static_cast<StateId>(rng.UniformInt(6));
+      ids.push_back(db.AddObject(Obs({{0, s}}), world.matrix, 3));
+    }
+    QueryTrajectory q =
+        QueryTrajectory::FromPoint({rng.Uniform(0, 5), rng.Uniform(-1, 1)});
+    TimeInterval T{0, 3};
+    auto exact = ExactPnnByEnumeration(db, ids, q, T);
+    ASSERT_TRUE(exact.ok());
+    auto mc = EstimatePnn(db, ids, ids, q, T, Opts(20000, seed + 1));
+    ASSERT_TRUE(mc.ok());
+    const double eps = HoeffdingEpsilon(20000, 0.01);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_NEAR(mc.value()[i].forall_prob, exact.value()[i].forall_prob, eps)
+          << "seed " << seed << " object " << i;
+      EXPECT_NEAR(mc.value()[i].exists_prob, exact.value()[i].exists_prob, eps)
+          << "seed " << seed << " object " << i;
+    }
+  }
+}
+
+TEST(MonteCarloTest, PartiallyAliveObjectCompetesOnlyWhenAlive) {
+  // Object b exists only in the second half of T; object a must win the
+  // first half unconditionally.
+  auto space = std::make_shared<const StateSpace>(
+      std::vector<Point2>{{0, 2}, {0, 1}});
+  auto matrix = testing::MakeMatrix(2, {{{0, 1.0}}, {{1, 1.0}}});
+  TrajectoryDatabase db(space);
+  ObjectId a = db.AddObject(Obs({{0, 0}}), matrix, 3);      // far, alive 0..3
+  ObjectId b = db.AddObject(Obs({{2, 1}}), matrix, 3);      // near, alive 2..3
+  QueryTrajectory q = QueryTrajectory::FromPoint({0, 0});
+  auto estimates = EstimatePnn(db, {a, b}, {a, b}, q, {0, 3}, Opts(200));
+  ASSERT_TRUE(estimates.ok());
+  // a is NN at t=0,1 (alone) but loses t=2,3 to b => exists 1, forall 0.
+  EXPECT_DOUBLE_EQ(estimates.value()[0].exists_prob, 1.0);
+  EXPECT_DOUBLE_EQ(estimates.value()[0].forall_prob, 0.0);
+  // b is NN whenever alive but not alive at t=0 => forall 0, exists 1.
+  EXPECT_DOUBLE_EQ(estimates.value()[1].forall_prob, 0.0);
+  EXPECT_DOUBLE_EQ(estimates.value()[1].exists_prob, 1.0);
+}
+
+TEST(MonteCarloTest, DeadObjectNeverWins) {
+  auto space = std::make_shared<const StateSpace>(
+      std::vector<Point2>{{0, 1}, {0, 2}});
+  auto matrix = testing::MakeMatrix(2, {{{0, 1.0}}, {{1, 1.0}}});
+  TrajectoryDatabase db(space);
+  ObjectId dead = db.AddObject(Obs({{10, 0}}), matrix);  // alive only at 10
+  ObjectId live = db.AddObject(Obs({{0, 1}}), matrix, 5);
+  QueryTrajectory q = QueryTrajectory::FromPoint({0, 0});
+  auto estimates =
+      EstimatePnn(db, {dead, live}, {dead, live}, q, {0, 5}, Opts(100));
+  ASSERT_TRUE(estimates.ok());
+  EXPECT_DOUBLE_EQ(estimates.value()[0].exists_prob, 0.0);
+  EXPECT_DOUBLE_EQ(estimates.value()[1].forall_prob, 1.0);
+}
+
+TEST(MonteCarloTest, TiesCountForAllTiedObjects) {
+  // Both objects pinned to the same state: each is a (tied) NN always.
+  auto space = std::make_shared<const StateSpace>(
+      std::vector<Point2>{{0, 1}});
+  auto matrix = testing::MakeMatrix(1, {{{0, 1.0}}});
+  TrajectoryDatabase db(space);
+  ObjectId a = db.AddObject(Obs({{0, 0}}), matrix, 2);
+  ObjectId b = db.AddObject(Obs({{0, 0}}), matrix, 2);
+  QueryTrajectory q = QueryTrajectory::FromPoint({0, 0});
+  auto estimates = EstimatePnn(db, {a, b}, {a, b}, q, {0, 2}, Opts(100));
+  ASSERT_TRUE(estimates.ok());
+  EXPECT_DOUBLE_EQ(estimates.value()[0].forall_prob, 1.0);
+  EXPECT_DOUBLE_EQ(estimates.value()[1].forall_prob, 1.0);
+}
+
+TEST(MonteCarloTest, InvalidInputsRejected) {
+  Figure1World world = MakeFigure1World();
+  // Empty interval.
+  auto bad_interval = EstimatePnn(*world.db, {world.o1}, {world.o1}, world.q,
+                                  {3, 1}, Opts(10));
+  EXPECT_FALSE(bad_interval.ok());
+  // Target outside participants.
+  auto bad_target = EstimatePnn(*world.db, {world.o1}, {world.o2}, world.q,
+                                world.T, Opts(10));
+  EXPECT_FALSE(bad_target.ok());
+  // Moving query trajectory not covering T.
+  QueryTrajectory moving = QueryTrajectory::FromPoints(1, {{0, 0}, {0, 1}});
+  auto bad_coverage = EstimatePnn(*world.db, {world.o1}, {world.o1}, moving,
+                                  world.T, Opts(10));
+  EXPECT_FALSE(bad_coverage.ok());
+}
+
+TEST(NnTableTest, AccessorsAndSubsetProbabilities) {
+  Figure1World world = MakeFigure1World();
+  auto table = ComputeNnTable(*world.db, {world.o1, world.o2}, world.q,
+                              world.T, Opts(5000));
+  ASSERT_TRUE(table.ok());
+  const NnTable& t = table.value();
+  EXPECT_EQ(t.num_worlds(), 5000u);
+  EXPECT_EQ(t.objects().size(), 2u);
+  EXPECT_EQ(t.IndexOf(world.o2), 1u);
+  EXPECT_EQ(t.IndexOf(9999), NnTable::npos);
+  // o1 is certain at t=1 (distance 2 vs 3).
+  EXPECT_DOUBLE_EQ(t.ForallProb(0, {1}), 1.0);
+  EXPECT_DOUBLE_EQ(t.ForallProb(1, {1}), 0.0);
+  // Subset monotonicity.
+  EXPECT_GE(t.ForallProb(0, {2}), t.ForallProb(0, {2, 3}));
+  EXPECT_LE(t.ExistsProb(1, {2}), t.ExistsProb(1, {2, 3}));
+  // P∀NN(o2, {2,3}) = 0.125 from the worked example.
+  EXPECT_NEAR(t.ForallProb(1, {2, 3}), 0.125, HoeffdingEpsilon(5000, 0.01));
+}
+
+TEST(MonteCarloTest, MovingQueryTrajectory) {
+  // Query follows o2's certain start then moves away; probabilities shift
+  // towards the object that tracks the query.
+  Figure1World world = MakeFigure1World();
+  QueryTrajectory moving = QueryTrajectory::FromPoints(
+      1, {{0, 3}, {0, 4}, {0, 4}});  // on top of s3 then s4
+  auto estimates = EstimatePnn(*world.db, {world.o1, world.o2},
+                               {world.o1, world.o2}, moving, world.T,
+                               Opts(5000));
+  ASSERT_TRUE(estimates.ok());
+  // o2 starts at s3 = q(1): certain NN at t=1, and follows s4 with p=.5.
+  EXPECT_GT(estimates.value()[1].exists_prob, 0.99);
+  EXPECT_GT(estimates.value()[1].forall_prob, 0.4);
+}
+
+}  // namespace
+}  // namespace ust

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "index/rstar_tree.h"
+#include "util/rng.h"
+
+namespace ust {
+namespace {
+
+Rect3 RandomBox(Rng& rng, double extent = 0.1) {
+  double x = rng.Uniform(), y = rng.Uniform(), t = rng.Uniform(0, 100);
+  Rect3 r;
+  r.lo = {x, y, t};
+  r.hi = {x + rng.Uniform(0, extent), y + rng.Uniform(0, extent),
+          t + rng.Uniform(0, 10.0)};
+  return r;
+}
+
+TEST(RStarTreeTest, EmptyTree) {
+  RStarTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 0);
+  Rect3 everything;
+  everything.lo = {-1e9, -1e9, -1e9};
+  everything.hi = {1e9, 1e9, 1e9};
+  EXPECT_TRUE(tree.Query(everything).empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RStarTreeTest, SingleInsertAndQuery) {
+  RStarTree tree;
+  Rect3 box = WithTimeInterval(MakeRect2(0, 0, 1, 1), 5, 10);
+  tree.Insert(box, 42);
+  EXPECT_EQ(tree.size(), 1u);
+  auto hits = tree.Query(WithTimeInterval(MakeRect2(0.5, 0.5, 0.6, 0.6), 7, 8));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 42u);
+  // Disjoint in time.
+  EXPECT_TRUE(
+      tree.Query(WithTimeInterval(MakeRect2(0.5, 0.5, 0.6, 0.6), 11, 12))
+          .empty());
+  // Disjoint in space.
+  EXPECT_TRUE(
+      tree.Query(WithTimeInterval(MakeRect2(2, 2, 3, 3), 7, 8)).empty());
+}
+
+TEST(RStarTreeTest, GrowsAndKeepsInvariants) {
+  RStarTree tree;
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    tree.Insert(RandomBox(rng), static_cast<uint64_t>(i));
+    if (i % 50 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "after insert " << i;
+    }
+  }
+  EXPECT_EQ(tree.size(), 500u);
+  EXPECT_GE(tree.height(), 2);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RStarTreeTest, QueryMatchesBruteForce) {
+  RStarTree tree;
+  Rng rng(6);
+  std::vector<Rect3> boxes;
+  for (int i = 0; i < 800; ++i) {
+    Rect3 box = RandomBox(rng);
+    boxes.push_back(box);
+    tree.Insert(box, static_cast<uint64_t>(i));
+  }
+  for (int iter = 0; iter < 50; ++iter) {
+    Rect3 query = RandomBox(rng, 0.3);
+    auto got = tree.Query(query);
+    std::sort(got.begin(), got.end());
+    std::vector<uint64_t> expected;
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      if (boxes[i].Intersects(query)) expected.push_back(i);
+    }
+    EXPECT_EQ(got, expected) << "query " << iter;
+  }
+}
+
+TEST(RStarTreeTest, QueryVisitReportsBoxes) {
+  RStarTree tree;
+  Rect3 box = WithTimeInterval(MakeRect2(0, 0, 1, 1), 0, 1);
+  tree.Insert(box, 7);
+  size_t visits = 0;
+  tree.QueryVisit(box, [&](const Rect3& b, uint64_t payload) {
+    ++visits;
+    EXPECT_EQ(payload, 7u);
+    EXPECT_EQ(b.lo[0], 0.0);
+    EXPECT_EQ(b.hi[2], 1.0);
+  });
+  EXPECT_EQ(visits, 1u);
+}
+
+TEST(RStarTreeTest, DuplicateBoxesAllRetrieved) {
+  RStarTree tree;
+  Rect3 box = WithTimeInterval(MakeRect2(0.4, 0.4, 0.6, 0.6), 1, 2);
+  for (uint64_t i = 0; i < 60; ++i) tree.Insert(box, i);
+  auto hits = tree.Query(box);
+  EXPECT_EQ(hits.size(), 60u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RStarTreeTest, MoveSemantics) {
+  RStarTree tree;
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) tree.Insert(RandomBox(rng), i);
+  RStarTree moved = std::move(tree);
+  EXPECT_EQ(moved.size(), 100u);
+  EXPECT_TRUE(moved.CheckInvariants().ok());
+  RStarTree assigned;
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.size(), 100u);
+  EXPECT_TRUE(assigned.CheckInvariants().ok());
+}
+
+TEST(RStarTreeTest, PointBoxesWork) {
+  // Degenerate boxes (single observations) must be indexable and findable.
+  RStarTree tree;
+  for (int i = 0; i < 100; ++i) {
+    double v = i / 100.0;
+    tree.Insert(WithTimeInterval(MakeRect2(v, v, v, v), i, i), i);
+  }
+  auto hits = tree.Query(WithTimeInterval(MakeRect2(0.2, 0.2, 0.3, 0.3), 0, 99));
+  EXPECT_EQ(hits.size(), 11u);  // 0.20 .. 0.30 inclusive
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+// Parameterized over node capacities and reinsert on/off: correctness must
+// not depend on tuning.
+struct TreeParams {
+  size_t max_entries;
+  size_t min_entries;
+  bool forced_reinsert;
+};
+
+class RStarTreeParamTest : public ::testing::TestWithParam<TreeParams> {};
+
+TEST_P(RStarTreeParamTest, InvariantsAndQueriesUnderAllConfigs) {
+  RStarTree::Options options;
+  options.max_entries = GetParam().max_entries;
+  options.min_entries = GetParam().min_entries;
+  options.forced_reinsert = GetParam().forced_reinsert;
+  RStarTree tree(options);
+  Rng rng(17 + GetParam().max_entries);
+  std::vector<Rect3> boxes;
+  for (int i = 0; i < 400; ++i) {
+    Rect3 box = RandomBox(rng);
+    boxes.push_back(box);
+    tree.Insert(box, static_cast<uint64_t>(i));
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (int iter = 0; iter < 20; ++iter) {
+    Rect3 query = RandomBox(rng, 0.4);
+    auto got = tree.Query(query);
+    std::sort(got.begin(), got.end());
+    std::vector<uint64_t> expected;
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      if (boxes[i].Intersects(query)) expected.push_back(i);
+    }
+    EXPECT_EQ(got, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, RStarTreeParamTest,
+    ::testing::Values(TreeParams{4, 2, true}, TreeParams{4, 2, false},
+                      TreeParams{8, 3, true}, TreeParams{16, 6, true},
+                      TreeParams{16, 6, false}, TreeParams{32, 13, true}));
+
+TEST(RStarTreeTest, NearestMatchesBruteForce) {
+  RStarTree tree;
+  Rng rng(41);
+  std::vector<Rect3> boxes;
+  for (int i = 0; i < 600; ++i) {
+    Rect3 box = RandomBox(rng);
+    boxes.push_back(box);
+    tree.Insert(box, static_cast<uint64_t>(i));
+  }
+  auto mindist = [](const std::array<double, 3>& p, const Rect3& box) {
+    double d2 = 0;
+    for (int i = 0; i < 3; ++i) {
+      double d = std::max({box.lo[i] - p[i], 0.0, p[i] - box.hi[i]});
+      d2 += d * d;
+    }
+    return std::sqrt(d2);
+  };
+  for (int iter = 0; iter < 25; ++iter) {
+    std::array<double, 3> p = {rng.Uniform(), rng.Uniform(),
+                               rng.Uniform(0, 100)};
+    for (size_t k : {1u, 5u, 20u}) {
+      auto got = tree.Nearest(p, k);
+      ASSERT_EQ(got.size(), k);
+      // Distances ascending and correct.
+      std::vector<double> all;
+      for (const Rect3& box : boxes) all.push_back(mindist(p, box));
+      std::sort(all.begin(), all.end());
+      for (size_t i = 0; i < k; ++i) {
+        EXPECT_NEAR(got[i].first, all[i], 1e-12);
+        if (i > 0) EXPECT_GE(got[i].first, got[i - 1].first);
+        EXPECT_NEAR(got[i].first, mindist(p, boxes[got[i].second]), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(RStarTreeTest, NearestOnSmallTrees) {
+  RStarTree tree;
+  EXPECT_TRUE(tree.Nearest({0, 0, 0}, 3).empty());
+  tree.Insert(WithTimeInterval(MakeRect2(1, 1, 2, 2), 0, 1), 7);
+  auto one = tree.Nearest({0, 0, 0}, 3);
+  ASSERT_EQ(one.size(), 1u);  // fewer than k entries exist
+  EXPECT_EQ(one[0].second, 7u);
+  EXPECT_NEAR(one[0].first, std::sqrt(2.0), 1e-12);
+  EXPECT_TRUE(tree.Nearest({0, 0, 0}, 0).empty());
+}
+
+TEST(RStarTreeTest, NearestInsideBoxIsZero) {
+  RStarTree tree;
+  tree.Insert(WithTimeInterval(MakeRect2(0, 0, 2, 2), 0, 10), 1);
+  auto hits = tree.Nearest({1, 1, 5}, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_DOUBLE_EQ(hits[0].first, 0.0);
+}
+
+TEST(RStarTreeTest, SkewedDataKeepsBalance) {
+  // Clustered inserts (the hard case for balance heuristics).
+  RStarTree tree;
+  Rng rng(23);
+  for (int cluster = 0; cluster < 10; ++cluster) {
+    double cx = rng.Uniform(), cy = rng.Uniform(), ct = rng.Uniform(0, 100);
+    for (int i = 0; i < 80; ++i) {
+      Rect3 r;
+      double x = cx + rng.Normal() * 0.01, y = cy + rng.Normal() * 0.01;
+      double t = ct + rng.Normal();
+      r.lo = {x, y, t};
+      r.hi = {x + 0.005, y + 0.005, t + 1};
+      tree.Insert(r, cluster * 100 + i);
+    }
+  }
+  EXPECT_EQ(tree.size(), 800u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  // Height stays logarithmic-ish: capacity 16 over 800 entries => depth <= 4.
+  EXPECT_LE(tree.height(), 4);
+}
+
+}  // namespace
+}  // namespace ust

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "model/adaptation.h"
+#include "model/samplers.h"
+#include "test_world.h"
+#include "util/rng.h"
+
+namespace ust {
+namespace {
+
+using testing::MakeLineWorld;
+
+ObservationSeq Obs(std::vector<Observation> v) {
+  auto r = ObservationSeq::Create(std::move(v));
+  UST_CHECK(r.ok());
+  return r.MoveValue();
+}
+
+bool HitsAllObservations(const Trajectory& traj, const ObservationSeq& obs) {
+  for (const Observation& o : obs.items()) {
+    if (!traj.Covers(o.time) || traj.At(o.time) != o.state) return false;
+  }
+  return true;
+}
+
+bool UsesOnlyAprioriTransitions(const Trajectory& traj,
+                                const TransitionMatrix& m) {
+  for (size_t i = 0; i + 1 < traj.states.size(); ++i) {
+    if (m.Prob(traj.states[i], traj.states[i + 1]) <= 0.0) return false;
+  }
+  return true;
+}
+
+TEST(PosteriorSamplerTest, EverySampleHitsEveryObservation) {
+  auto world = MakeLineWorld(12, 0.25, 0.5);
+  ObservationSeq obs = Obs({{0, 3}, {4, 6}, {9, 2}, {12, 4}});
+  auto model = AdaptTransitionMatrices(*world.matrix, obs);
+  ASSERT_TRUE(model.ok());
+  PosteriorSampler sampler(model.value());
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    Trajectory traj = sampler.Sample(rng);
+    EXPECT_EQ(traj.start, 0);
+    EXPECT_EQ(traj.end(), 12);
+    EXPECT_TRUE(HitsAllObservations(traj, obs));
+    EXPECT_TRUE(UsesOnlyAprioriTransitions(traj, *world.matrix));
+  }
+  EXPECT_EQ(sampler.stats().attempts, 500u);
+  EXPECT_EQ(sampler.stats().accepted, 500u);
+  EXPECT_DOUBLE_EQ(sampler.stats().AttemptsPerSample(), 1.0);
+}
+
+TEST(NaiveRejectionSamplerTest, AcceptedSamplesAreValid) {
+  auto world = MakeLineWorld(8, 0.25, 0.5);
+  ObservationSeq obs = Obs({{0, 3}, {3, 5}, {6, 3}});
+  NaiveRejectionSampler sampler(*world.matrix, obs, /*max_attempts=*/100000);
+  Rng rng(2);
+  for (int i = 0; i < 30; ++i) {
+    auto traj = sampler.Sample(rng);
+    ASSERT_TRUE(traj.ok());
+    EXPECT_TRUE(HitsAllObservations(traj.value(), obs));
+  }
+  // Rejections happened: attempts strictly exceed accepted.
+  EXPECT_GT(sampler.stats().attempts, sampler.stats().accepted);
+}
+
+TEST(NaiveRejectionSamplerTest, ReportsResourceLimit) {
+  auto world = MakeLineWorld(30, 0.25, 0.5);
+  // Valid but extremely unlikely under forward simulation: a long chain of
+  // exact waypoints. Cap attempts low to trigger the limit.
+  ObservationSeq obs =
+      Obs({{0, 1}, {4, 5}, {8, 1}, {12, 5}, {16, 1}, {20, 5}, {24, 1}});
+  NaiveRejectionSampler sampler(*world.matrix, obs, /*max_attempts=*/10);
+  Rng rng(3);
+  auto traj = sampler.Sample(rng);
+  ASSERT_FALSE(traj.ok());
+  EXPECT_EQ(traj.status().code(), StatusCode::kResourceLimit);
+}
+
+TEST(SegmentRejectionSamplerTest, AcceptedSamplesAreValid) {
+  auto world = MakeLineWorld(8, 0.25, 0.5);
+  ObservationSeq obs = Obs({{0, 3}, {3, 5}, {6, 3}, {9, 4}});
+  SegmentRejectionSampler sampler(*world.matrix, obs,
+                                  /*max_attempts_per_segment=*/100000);
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    auto traj = sampler.Sample(rng);
+    ASSERT_TRUE(traj.ok());
+    EXPECT_EQ(traj.value().start, 0);
+    EXPECT_EQ(traj.value().end(), 9);
+    EXPECT_TRUE(HitsAllObservations(traj.value(), obs));
+    EXPECT_TRUE(UsesOnlyAprioriTransitions(traj.value(), *world.matrix));
+  }
+}
+
+TEST(SamplersTest, SegmentSamplerNeedsFarFewerAttemptsThanNaive) {
+  // The paper's Figure 10 claim, in miniature: attempts per sample for TS1
+  // grow multiplicatively with observation count, TS2 roughly additively.
+  auto world = MakeLineWorld(10, 0.25, 0.5);
+  ObservationSeq obs = Obs({{0, 4}, {3, 6}, {6, 4}, {9, 6}, {12, 4}});
+  Rng rng(5);
+  NaiveRejectionSampler ts1(*world.matrix, obs, 10000000);
+  SegmentRejectionSampler ts2(*world.matrix, obs, 10000000);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(ts1.Sample(rng).ok());
+    ASSERT_TRUE(ts2.Sample(rng).ok());
+  }
+  EXPECT_GT(ts1.stats().AttemptsPerSample(),
+            2.0 * ts2.stats().AttemptsPerSample());
+}
+
+TEST(SamplersTest, AllThreeSamplersAgreeInDistribution) {
+  // Empirical mid-tic marginals of TS1, TS2 and the posterior sampler must
+  // agree (they all sample the same conditional law).
+  auto world = MakeLineWorld(7, 0.3, 0.4);
+  ObservationSeq obs = Obs({{0, 3}, {4, 5}});
+  auto model = AdaptTransitionMatrices(*world.matrix, obs);
+  ASSERT_TRUE(model.ok());
+
+  const int n = 20000;
+  const Tic probe = 2;
+  auto empirical = [&](auto&& draw) {
+    std::map<StateId, double> hist;
+    for (int i = 0; i < n; ++i) hist[draw()] += 1.0 / n;
+    return hist;
+  };
+  Rng rng(6);
+  PosteriorSampler fb(model.value());
+  auto h_fb = empirical([&] { return fb.Sample(rng).At(probe); });
+  NaiveRejectionSampler ts1(*world.matrix, obs, 1000000);
+  auto h_ts1 = empirical([&] {
+    auto t = ts1.Sample(rng);
+    UST_CHECK(t.ok());
+    return t.value().At(probe);
+  });
+  SegmentRejectionSampler ts2(*world.matrix, obs, 1000000);
+  auto h_ts2 = empirical([&] {
+    auto t = ts2.Sample(rng);
+    UST_CHECK(t.ok());
+    return t.value().At(probe);
+  });
+  // Reference: exact posterior marginal.
+  SparseDist marginal = model.value().MarginalAt(probe);
+  for (const auto& [s, p] : marginal.entries()) {
+    EXPECT_NEAR(h_fb[s], p, 0.02) << "FB state " << s;
+    EXPECT_NEAR(h_ts1[s], p, 0.02) << "TS1 state " << s;
+    EXPECT_NEAR(h_ts2[s], p, 0.02) << "TS2 state " << s;
+  }
+}
+
+TEST(PosteriorModelTest, SampleWindowStartsFromMarginal) {
+  auto world = MakeLineWorld(9, 0.25, 0.5);
+  ObservationSeq obs = Obs({{0, 4}, {8, 4}});
+  auto model = AdaptTransitionMatrices(*world.matrix, obs);
+  ASSERT_TRUE(model.ok());
+  Rng rng(7);
+  // Empirical distribution of the window start state matches the marginal.
+  std::map<StateId, double> hist;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    auto traj = model.value().SampleWindow(3, 5, rng);
+    ASSERT_TRUE(traj.ok());
+    ASSERT_EQ(traj.value().states.size(), 3u);
+    hist[traj.value().states[0]] += 1.0 / n;
+  }
+  SparseDist marginal = model.value().MarginalAt(3);
+  for (const auto& [s, p] : marginal.entries()) {
+    EXPECT_NEAR(hist[s], p, 0.02);
+  }
+}
+
+TEST(PosteriorModelTest, SampleWindowOutsideSpanFails) {
+  auto world = MakeLineWorld(5);
+  auto model = AdaptTransitionMatrices(*world.matrix, Obs({{2, 1}, {5, 2}}));
+  ASSERT_TRUE(model.ok());
+  Rng rng(8);
+  EXPECT_FALSE(model.value().SampleWindow(0, 3, rng).ok());
+  EXPECT_FALSE(model.value().SampleWindow(4, 7, rng).ok());
+  EXPECT_TRUE(model.value().SampleWindow(2, 5, rng).ok());
+  EXPECT_TRUE(model.value().SampleWindow(3, 3, rng).ok());
+}
+
+TEST(PosteriorModelTest, TransitionProbAccessor) {
+  auto world = MakeLineWorld(5, 0.25, 0.5);
+  auto model = AdaptTransitionMatrices(*world.matrix, Obs({{0, 2}, {2, 2}}));
+  ASSERT_TRUE(model.ok());
+  // All one-step transitions out of state 2 that return to 2 in 2 tics.
+  double sum = 0.0;
+  for (StateId to : {1u, 2u, 3u}) {
+    sum += model.value().TransitionProb(0, 2, to);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(model.value().TransitionProb(0, 4, 2), 0.0);  // not in support
+}
+
+TEST(PosteriorModelTest, SupportSizeAccessors) {
+  auto world = MakeLineWorld(11, 0.25, 0.5);
+  auto model = AdaptTransitionMatrices(*world.matrix, Obs({{0, 5}, {6, 5}}));
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model.value().TotalSupportSize(), 7u);
+  EXPECT_GE(model.value().MaxSupportSize(), 3u);
+  EXPECT_LE(model.value().MaxSupportSize(), 11u);
+}
+
+}  // namespace
+}  // namespace ust

@@ -1,0 +1,299 @@
+// The paper's Lemma 1 proves P∃NN NP-hard by reducing k-SAT to it: each
+// boolean variable becomes an uncertain object with a *time-inhomogeneous*
+// Markov chain, each clause becomes a timestamp, and the formula is
+// satisfiable iff there exists a possible world in which object o is never
+// the nearest neighbor — i.e. iff P∃NN(o, q, D, T) < 1.
+//
+// This test implements that construction (Figure 2 of the paper) on top of
+// PiecewiseModel + the inhomogeneous forward-backward adaptation and checks
+// the equivalence against a brute-force SAT solver on several formulas,
+// including the paper's worked example
+//   E = (¬x1 ∨ x2 ∨ x3) ∧ (x2 ∨ ¬x3 ∨ x4) ∧ (x1 ∨ ¬x2).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "model/adaptation.h"
+#include "query/exact.h"
+#include "test_world.h"
+
+namespace ust {
+namespace {
+
+// A literal: variable index plus sign; a clause: disjunction of literals.
+struct Literal {
+  int var;
+  bool positive;
+};
+using Clause = std::vector<Literal>;
+using Formula = std::vector<Clause>;
+
+bool EvaluateClause(const Clause& clause, const std::vector<bool>& assign) {
+  for (const Literal& lit : clause) {
+    if (assign[lit.var] == lit.positive) return true;
+  }
+  return false;
+}
+
+bool BruteForceSatisfiable(const Formula& formula, int num_vars) {
+  for (uint32_t mask = 0; mask < (1u << num_vars); ++mask) {
+    std::vector<bool> assign(num_vars);
+    for (int v = 0; v < num_vars; ++v) assign[v] = (mask >> v) & 1;
+    bool all = true;
+    for (const Clause& c : formula) {
+      if (!EvaluateClause(c, assign)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+// State layout (query point at the origin): s1, s2 closer to q than o,
+// s3, s4 farther, plus the shared start state s0.
+constexpr StateId kS1 = 0, kS2 = 1, kS3 = 2, kS4 = 3, kS0 = 4;
+
+StateSpace MakeSatSpace() {
+  return StateSpace({{0, 1}, {0, 2}, {0, 4}, {0, 5}, {0, 10}});
+}
+
+// Track state of variable `var` at clause-time j (1-based) under the given
+// truth value. True-track lives on {s2, s4}, false-track on {s1, s3}.
+StateId TrackState(const Formula& formula, int var, bool value, int j) {
+  const Clause& clause = formula[static_cast<size_t>(j - 1)];
+  bool satisfies = false;
+  for (const Literal& lit : clause) {
+    if (lit.var == var && lit.positive == value) satisfies = true;
+  }
+  if (value) return satisfies ? kS2 : kS4;
+  return satisfies ? kS1 : kS3;
+}
+
+// The time-inhomogeneous chain of one variable-object: at t=0 it sits at s0
+// and branches 50/50 onto the true/false track; afterwards each track moves
+// deterministically through its per-clause states.
+Result<PiecewiseModel> VariableModel(const Formula& formula, int var) {
+  const int m = static_cast<int>(formula.size());
+  std::vector<std::pair<Tic, TransitionMatrixPtr>> pieces;
+  {
+    // M(0): s0 -> {true-track(1), false-track(1)}.
+    std::vector<std::vector<TransitionMatrix::Entry>> rows(5);
+    StateId t1 = TrackState(formula, var, true, 1);
+    StateId f1 = TrackState(formula, var, false, 1);
+    rows[kS0] = {{t1, 0.5}, {f1, 0.5}};
+    pieces.push_back({0, testing::MakeMatrix(5, std::move(rows))});
+  }
+  for (int j = 1; j < m; ++j) {
+    // M(j): track(j) -> track(j+1), deterministic; other states self-loop.
+    std::vector<std::vector<TransitionMatrix::Entry>> rows(5);
+    StateId tj = TrackState(formula, var, true, j);
+    StateId tn = TrackState(formula, var, true, j + 1);
+    StateId fj = TrackState(formula, var, false, j);
+    StateId fn = TrackState(formula, var, false, j + 1);
+    rows[tj] = {{tn, 1.0}};
+    rows[fj] = {{fn, 1.0}};
+    pieces.push_back({static_cast<Tic>(j), testing::MakeMatrix(5, std::move(rows))});
+  }
+  return PiecewiseModel::Create(std::move(pieces));
+}
+
+// P∃NN(o) over T = [1, m] where o is pinned strictly between the track
+// bands, computed by enumerating each object's posterior trajectories and
+// crossing them (possible-worlds semantics).
+double ExistsNnProbOfO(const Formula& formula, int num_vars) {
+  const int m = static_cast<int>(formula.size());
+  StateSpace space = MakeSatSpace();
+  const double d_o = 3.0;  // o's distance to q: between {1,2} and {4,5}
+  std::vector<std::vector<WeightedTrajectory>> worlds;
+  for (int var = 0; var < num_vars; ++var) {
+    auto model = VariableModel(formula, var);
+    UST_CHECK(model.ok());
+    auto obs = ObservationSeq::Create({{0, kS0}});
+    UST_CHECK(obs.ok());
+    auto posterior = AdaptTransitionMatrices(model.value(), obs.value(),
+                                             static_cast<Tic>(m));
+    UST_CHECK(posterior.ok());
+    auto enumerated =
+        EnumerateWindowTrajectories(posterior.value(), 1, m, 1000);
+    UST_CHECK(enumerated.ok());
+    worlds.push_back(enumerated.MoveValue());
+  }
+  // Cross product over per-object trajectory choices.
+  std::vector<size_t> choice(worlds.size(), 0);
+  double p_exists = 0.0;
+  while (true) {
+    double p_world = 1.0;
+    for (size_t i = 0; i < worlds.size(); ++i) {
+      p_world *= worlds[i][choice[i]].prob;
+    }
+    // o is NN at tic t iff no object sits strictly closer than d_o.
+    bool o_ever_nn = false;
+    for (int t = 1; t <= m; ++t) {
+      bool someone_closer = false;
+      for (size_t i = 0; i < worlds.size(); ++i) {
+        StateId s = worlds[i][choice[i]].traj.At(t);
+        if (space.Distance(Point2{0, 0}, s) < d_o) someone_closer = true;
+      }
+      if (!someone_closer) {
+        o_ever_nn = true;
+        break;
+      }
+    }
+    if (o_ever_nn) p_exists += p_world;
+    size_t pos = 0;
+    while (pos < worlds.size() && ++choice[pos] >= worlds[pos].size()) {
+      choice[pos++] = 0;
+    }
+    if (pos == worlds.size()) break;
+  }
+  return p_exists;
+}
+
+TEST(SatReductionTest, EachVariableObjectHasExactlyTwoWorlds) {
+  Formula paper = {{{0, false}, {1, true}, {2, true}},
+                   {{1, true}, {2, false}, {3, true}},
+                   {{0, true}, {1, false}}};
+  for (int var = 0; var < 4; ++var) {
+    auto model = VariableModel(paper, var);
+    ASSERT_TRUE(model.ok());
+    auto obs = ObservationSeq::Create({{0, kS0}});
+    ASSERT_TRUE(obs.ok());
+    auto posterior = AdaptTransitionMatrices(model.value(), obs.value(), 3);
+    ASSERT_TRUE(posterior.ok());
+    auto enumerated =
+        EnumerateWindowTrajectories(posterior.value(), 1, 3, 100);
+    ASSERT_TRUE(enumerated.ok());
+    // Two possible worlds (xi = true / false), each with probability 1/2,
+    // living on disjoint track bands.
+    ASSERT_EQ(enumerated.value().size(), 2u);
+    for (const auto& wt : enumerated.value()) {
+      EXPECT_NEAR(wt.prob, 0.5, 1e-12);
+      bool true_track = wt.traj.states[0] == kS2 || wt.traj.states[0] == kS4;
+      for (StateId s : wt.traj.states) {
+        if (true_track) {
+          EXPECT_TRUE(s == kS2 || s == kS4);
+        } else {
+          EXPECT_TRUE(s == kS1 || s == kS3);
+        }
+      }
+    }
+  }
+}
+
+TEST(SatReductionTest, PaperExampleFormulaIsSatisfiable) {
+  // E = (¬x1 ∨ x2 ∨ x3) ∧ (x2 ∨ ¬x3 ∨ x4) ∧ (x1 ∨ ¬x2), Figure 2.
+  Formula paper = {{{0, false}, {1, true}, {2, true}},
+                   {{1, true}, {2, false}, {3, true}},
+                   {{0, true}, {1, false}}};
+  ASSERT_TRUE(BruteForceSatisfiable(paper, 4));
+  double p = ExistsNnProbOfO(paper, 4);
+  EXPECT_LT(p, 1.0);
+  EXPECT_GT(p, 0.0);  // not every assignment satisfies E either
+}
+
+TEST(SatReductionTest, UnsatisfiableFormulaForcesCertainNn) {
+  // (x1) ∧ (¬x1): no world keeps o from being NN at some tic.
+  Formula unsat = {{{0, true}}, {{0, false}}};
+  ASSERT_FALSE(BruteForceSatisfiable(unsat, 1));
+  EXPECT_DOUBLE_EQ(ExistsNnProbOfO(unsat, 1), 1.0);
+}
+
+TEST(SatReductionTest, LargerUnsatisfiableFormula) {
+  // (x1 ∨ x2) ∧ (¬x1) ∧ (¬x2) ∧ (x1 ∨ x2): unsatisfiable.
+  Formula unsat = {{{0, true}, {1, true}},
+                   {{0, false}},
+                   {{1, false}},
+                   {{0, true}, {1, true}}};
+  ASSERT_FALSE(BruteForceSatisfiable(unsat, 2));
+  EXPECT_DOUBLE_EQ(ExistsNnProbOfO(unsat, 2), 1.0);
+}
+
+TEST(SatReductionTest, EquivalenceOnExhaustiveSmallFormulas) {
+  // Sweep a family of random-ish 2-variable / 3-variable formulas and check
+  // the reduction equivalence: satisfiable <=> P∃NN(o) < 1.
+  std::vector<std::pair<Formula, int>> cases = {
+      {{{{0, true}}}, 1},
+      {{{{0, true}}, {{0, true}}}, 1},
+      {{{{0, true}, {1, false}}, {{0, false}, {1, true}}}, 2},
+      {{{{0, true}}, {{1, true}}, {{0, false}, {1, false}}}, 2},
+      {{{{0, true}, {1, true}, {2, true}},
+        {{0, false}, {1, false}},
+        {{2, false}}},
+       3},
+      {{{{0, true}}, {{0, false}}, {{1, true}}}, 2},
+  };
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const auto& [formula, vars] = cases[i];
+    bool sat = BruteForceSatisfiable(formula, vars);
+    double p = ExistsNnProbOfO(formula, vars);
+    EXPECT_EQ(sat, p < 1.0) << "case " << i << " sat=" << sat << " p=" << p;
+  }
+}
+
+TEST(SatReductionTest, ExistsProbCountsSatisfyingAssignments) {
+  // P∃NN(o) = 1 - (#satisfying assignments) / 2^n: each assignment is a
+  // possible world of probability 2^-n.
+  Formula formula = {{{0, true}, {1, true}}};  // x1 ∨ x2: 3 of 4 satisfy
+  double p = ExistsNnProbOfO(formula, 2);
+  EXPECT_NEAR(p, 1.0 - 3.0 / 4.0, 1e-12);
+}
+
+// ------------------------------------------------- PiecewiseModel basics --
+
+TEST(PiecewiseModelTest, SelectsMatrixByTic) {
+  auto a = testing::MakeMatrix(2, {{{1, 1.0}}, {{0, 1.0}}});
+  auto b = testing::MakeMatrix(2, {{{0, 1.0}}, {{1, 1.0}}});
+  auto model = PiecewiseModel::Create({{0, a}, {5, b}});
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(&model.value().At(0), a.get());
+  EXPECT_EQ(&model.value().At(4), a.get());
+  EXPECT_EQ(&model.value().At(5), b.get());
+  EXPECT_EQ(&model.value().At(100), b.get());
+  // Tics before the first switch fall back to the first piece.
+  EXPECT_EQ(&model.value().At(-3), a.get());
+  EXPECT_EQ(model.value().num_pieces(), 2u);
+  EXPECT_EQ(model.value().num_states(), 2u);
+}
+
+TEST(PiecewiseModelTest, ValidatesInput) {
+  auto a = testing::MakeMatrix(2, {{{1, 1.0}}, {{0, 1.0}}});
+  auto small = testing::MakeMatrix(1, {{{0, 1.0}}});
+  EXPECT_FALSE(PiecewiseModel::Create({}).ok());
+  EXPECT_FALSE(PiecewiseModel::Create({{0, a}, {0, a}}).ok());
+  EXPECT_FALSE(PiecewiseModel::Create({{0, a}, {3, small}}).ok());
+  EXPECT_FALSE(PiecewiseModel::Create({{0, nullptr}}).ok());
+}
+
+TEST(HomogeneousModelTest, AlwaysSameMatrix) {
+  auto a = testing::MakeMatrix(2, {{{1, 1.0}}, {{0, 1.0}}});
+  HomogeneousModel model(a);
+  EXPECT_EQ(&model.At(0), a.get());
+  EXPECT_EQ(&model.At(1000), a.get());
+  EXPECT_EQ(model.num_states(), 2u);
+}
+
+TEST(InhomogeneousAdaptationTest, MatchesManualTwoPhaseComputation) {
+  // Phase 1 (tics 0-1): drift right; phase 2 (tics 2+): drift left. With an
+  // observation pinning the end, the posterior must honor the per-phase
+  // dynamics.
+  auto right = testing::MakeMatrix(
+      3, {{{1, 1.0}}, {{2, 1.0}}, {{2, 1.0}}});
+  auto left = testing::MakeMatrix(
+      3, {{{0, 1.0}}, {{0, 1.0}}, {{1, 1.0}}});
+  auto model = PiecewiseModel::Create({{0, right}, {2, left}});
+  ASSERT_TRUE(model.ok());
+  auto obs = ObservationSeq::Create({{0, 0}});
+  ASSERT_TRUE(obs.ok());
+  auto posterior = AdaptTransitionMatrices(model.value(), obs.value(), 4);
+  ASSERT_TRUE(posterior.ok());
+  // Deterministic path: 0 ->(right) 1 ->(right) 2 ->(left) 1 ->(left) 0.
+  EXPECT_DOUBLE_EQ(posterior.value().MarginalAt(1).Prob(1), 1.0);
+  EXPECT_DOUBLE_EQ(posterior.value().MarginalAt(2).Prob(2), 1.0);
+  EXPECT_DOUBLE_EQ(posterior.value().MarginalAt(3).Prob(1), 1.0);
+  EXPECT_DOUBLE_EQ(posterior.value().MarginalAt(4).Prob(0), 1.0);
+}
+
+}  // namespace
+}  // namespace ust

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "query/exact.h"
+#include "query/monte_carlo.h"
+#include "query/snapshot.h"
+#include "test_world.h"
+#include "util/stats.h"
+
+namespace ust {
+namespace {
+
+using testing::Figure1World;
+using testing::MakeFigure1World;
+using testing::MakeLineWorld;
+
+ObservationSeq Obs(std::vector<Observation> v) {
+  auto r = ObservationSeq::Create(std::move(v));
+  UST_CHECK(r.ok());
+  return r.MoveValue();
+}
+
+TEST(SnapshotTest, SingleTicMatchesExact) {
+  // At |T| = 1 there is no temporal correlation to ignore: the snapshot
+  // probability is exact.
+  Figure1World world = MakeFigure1World();
+  for (Tic t = 1; t <= 3; ++t) {
+    auto win =
+        SnapshotNnProbabilities(*world.db, {world.o1, world.o2}, world.q, t);
+    ASSERT_TRUE(win.ok());
+    auto exact = ExactPnnByEnumeration(*world.db, {world.o1, world.o2},
+                                       world.q, {t, t});
+    ASSERT_TRUE(exact.ok());
+    EXPECT_NEAR(win.value()[0], exact.value()[0].forall_prob, 1e-9)
+        << "t=" << t;
+    EXPECT_NEAR(win.value()[1], exact.value()[1].forall_prob, 1e-9)
+        << "t=" << t;
+  }
+}
+
+TEST(SnapshotTest, SnapshotWinProbsSumToOneWithoutTies) {
+  Figure1World world = MakeFigure1World();
+  for (Tic t = 1; t <= 3; ++t) {
+    auto win =
+        SnapshotNnProbabilities(*world.db, {world.o1, world.o2}, world.q, t);
+    ASSERT_TRUE(win.ok());
+    EXPECT_NEAR(win.value()[0] + win.value()[1], 1.0, 1e-9);
+  }
+}
+
+TEST(SnapshotTest, UnderestimatesForallOverestimatesExists) {
+  // The paper's Figure 11 finding: ignoring temporal correlation biases the
+  // snapshot approach downward for P∀NN and upward for P∃NN.
+  Figure1World world = MakeFigure1World();
+  auto ss = SnapshotEstimatePnn(*world.db, {world.o1, world.o2}, world.q,
+                                world.T);
+  ASSERT_TRUE(ss.ok());
+  auto exact = ExactPnnByEnumeration(*world.db, {world.o1, world.o2},
+                                     world.q, world.T);
+  ASSERT_TRUE(exact.ok());
+  // o1: positive NN correlation across tics.
+  EXPECT_LT(ss.value()[0].forall_prob, exact.value()[0].forall_prob);
+  EXPECT_GT(ss.value()[1].exists_prob, exact.value()[1].exists_prob);
+}
+
+TEST(SnapshotTest, BiasPersistsOnRandomWorlds) {
+  Rng rng(64);
+  int forall_under = 0, exists_over = 0, cases = 0;
+  for (int iter = 0; iter < 8; ++iter) {
+    auto line = MakeLineWorld(7, 0.3, 0.4);
+    TrajectoryDatabase db(line.space);
+    std::vector<ObjectId> ids;
+    for (int i = 0; i < 2; ++i) {
+      StateId s = static_cast<StateId>(rng.UniformInt(7));
+      ids.push_back(db.AddObject(Obs({{0, s}}), line.matrix, 4));
+    }
+    QueryTrajectory q =
+        QueryTrajectory::FromPoint({rng.Uniform(0, 6), rng.Uniform(-1, 1)});
+    TimeInterval T{0, 4};
+    auto ss = SnapshotEstimatePnn(db, ids, q, T);
+    auto exact = ExactPnnByEnumeration(db, ids, q, T);
+    ASSERT_TRUE(ss.ok() && exact.ok());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (exact.value()[i].forall_prob > 0.01 &&
+          exact.value()[i].forall_prob < 0.99) {
+        ++cases;
+        forall_under +=
+            ss.value()[i].forall_prob <= exact.value()[i].forall_prob + 1e-9;
+        exists_over +=
+            ss.value()[i].exists_prob >= exact.value()[i].exists_prob - 1e-9;
+      }
+    }
+  }
+  ASSERT_GT(cases, 0);
+  // Positive NN autocorrelation dominates: the bias direction holds in the
+  // (vast) majority of non-degenerate cases.
+  EXPECT_GE(forall_under, cases * 3 / 4);
+  EXPECT_GE(exists_over, cases * 3 / 4);
+}
+
+TEST(SnapshotTest, DeadObjectsScoreZero) {
+  auto space = std::make_shared<const StateSpace>(
+      std::vector<Point2>{{0, 1}, {0, 2}});
+  auto matrix = testing::MakeMatrix(2, {{{0, 1.0}}, {{1, 1.0}}});
+  TrajectoryDatabase db(space);
+  ObjectId dead = db.AddObject(Obs({{9, 0}}), matrix);
+  ObjectId live = db.AddObject(Obs({{0, 1}}), matrix, 5);
+  QueryTrajectory q = QueryTrajectory::FromPoint({0, 0});
+  auto win = SnapshotNnProbabilities(db, {dead, live}, q, 2);
+  ASSERT_TRUE(win.ok());
+  EXPECT_DOUBLE_EQ(win.value()[0], 0.0);
+  EXPECT_DOUBLE_EQ(win.value()[1], 1.0);
+  auto estimates = SnapshotEstimatePnn(db, {dead, live}, q, {0, 5});
+  ASSERT_TRUE(estimates.ok());
+  EXPECT_DOUBLE_EQ(estimates.value()[0].forall_prob, 0.0);
+  EXPECT_DOUBLE_EQ(estimates.value()[0].exists_prob, 0.0);
+  EXPECT_DOUBLE_EQ(estimates.value()[1].forall_prob, 1.0);
+}
+
+TEST(SnapshotTest, TiesAwardedToAllTiedObjects) {
+  auto space =
+      std::make_shared<const StateSpace>(std::vector<Point2>{{0, 1}});
+  auto matrix = testing::MakeMatrix(1, {{{0, 1.0}}});
+  TrajectoryDatabase db(space);
+  ObjectId a = db.AddObject(Obs({{0, 0}}), matrix, 2);
+  ObjectId b = db.AddObject(Obs({{0, 0}}), matrix, 2);
+  QueryTrajectory q = QueryTrajectory::FromPoint({0, 0});
+  auto win = SnapshotNnProbabilities(db, {a, b}, q, 1);
+  ASSERT_TRUE(win.ok());
+  EXPECT_DOUBLE_EQ(win.value()[0], 1.0);
+  EXPECT_DOUBLE_EQ(win.value()[1], 1.0);
+}
+
+TEST(SnapshotTest, InvalidTicRejected) {
+  Figure1World world = MakeFigure1World();
+  QueryTrajectory moving = QueryTrajectory::FromPoints(1, {{0, 0}});
+  auto win = SnapshotNnProbabilities(*world.db, {world.o1}, moving, 5);
+  EXPECT_FALSE(win.ok());
+}
+
+}  // namespace
+}  // namespace ust

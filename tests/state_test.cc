@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "state/grid_index.h"
+#include "state/state_space.h"
+#include "util/rng.h"
+
+namespace ust {
+namespace {
+
+StateSpace MakeRandomSpace(size_t n, Rng& rng) {
+  std::vector<Point2> coords;
+  coords.reserve(n);
+  for (size_t i = 0; i < n; ++i) coords.push_back({rng.Uniform(), rng.Uniform()});
+  return StateSpace(std::move(coords));
+}
+
+TEST(StateSpaceTest, AddAndAccess) {
+  StateSpace space;
+  EXPECT_TRUE(space.empty());
+  StateId a = space.Add({1, 2});
+  StateId b = space.Add({4, 6});
+  EXPECT_EQ(space.size(), 2u);
+  EXPECT_EQ(space.coord(a).x, 1.0);
+  EXPECT_DOUBLE_EQ(space.Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(space.Distance(Point2{1, 2}, b), 5.0);
+}
+
+TEST(StateSpaceTest, BoundingBox) {
+  StateSpace space({{0, 0}, {2, 5}, {-1, 3}});
+  Rect2 box = space.BoundingBox();
+  EXPECT_EQ(box.lo[0], -1.0);
+  EXPECT_EQ(box.hi[0], 2.0);
+  EXPECT_EQ(box.hi[1], 5.0);
+  Rect2 sub = space.BoundingBoxOf({0, 1});
+  EXPECT_EQ(sub.lo[0], 0.0);
+  EXPECT_EQ(sub.hi[1], 5.0);
+}
+
+TEST(StateSpaceTest, BoundingBoxOfEmptySubsetIsEmpty) {
+  StateSpace space({{0, 0}});
+  EXPECT_TRUE(space.BoundingBoxOf({}).empty());
+}
+
+TEST(StateSpaceTest, NearestLinear) {
+  StateSpace space({{0, 0}, {1, 0}, {5, 5}});
+  EXPECT_EQ(space.NearestLinear({0.9, 0.1}), 1u);
+  EXPECT_EQ(space.NearestLinear({4, 4}), 2u);
+  StateSpace empty;
+  EXPECT_EQ(empty.NearestLinear({0, 0}), kInvalidState);
+}
+
+TEST(GridIndexTest, WithinRadiusMatchesBruteForce) {
+  Rng rng(31);
+  StateSpace space = MakeRandomSpace(500, rng);
+  GridIndex grid = GridIndex::Build(space);
+  for (int iter = 0; iter < 50; ++iter) {
+    Point2 p{rng.Uniform(), rng.Uniform()};
+    double radius = rng.Uniform(0.01, 0.3);
+    auto got = grid.WithinRadius(p, radius);
+    std::sort(got.begin(), got.end());
+    std::vector<StateId> expected;
+    for (StateId s = 0; s < space.size(); ++s) {
+      if (Distance(p, space.coord(s)) <= radius) expected.push_back(s);
+    }
+    EXPECT_EQ(got, expected) << "iter " << iter;
+  }
+}
+
+TEST(GridIndexTest, NearestMatchesBruteForce) {
+  Rng rng(32);
+  StateSpace space = MakeRandomSpace(400, rng);
+  GridIndex grid = GridIndex::Build(space);
+  for (int iter = 0; iter < 200; ++iter) {
+    Point2 p{rng.Uniform(-0.2, 1.2), rng.Uniform(-0.2, 1.2)};
+    StateId got = grid.Nearest(p);
+    StateId expected = space.NearestLinear(p);
+    // Equal distance ties may resolve differently; compare distances.
+    ASSERT_NE(got, kInvalidState);
+    EXPECT_DOUBLE_EQ(Distance(p, space.coord(got)),
+                     Distance(p, space.coord(expected)));
+  }
+}
+
+TEST(GridIndexTest, SingleStateSpace) {
+  StateSpace space({{0.5, 0.5}});
+  GridIndex grid = GridIndex::Build(space);
+  EXPECT_EQ(grid.Nearest({0.1, 0.9}), 0u);
+  EXPECT_EQ(grid.WithinRadius({0.5, 0.5}, 0.0).size(), 1u);
+  EXPECT_TRUE(grid.WithinRadius({2, 2}, 0.1).empty());
+}
+
+TEST(GridIndexTest, RadiusZeroFindsExactHits) {
+  StateSpace space({{0.25, 0.25}, {0.75, 0.75}});
+  GridIndex grid = GridIndex::Build(space);
+  auto hits = grid.WithinRadius({0.25, 0.25}, 0.0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0u);
+}
+
+// Parameterized sweep over space sizes: grid results must equal brute force.
+class GridIndexSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GridIndexSweep, RadiusQueriesAgreeWithBruteForce) {
+  Rng rng(1000 + GetParam());
+  StateSpace space = MakeRandomSpace(GetParam(), rng);
+  GridIndex grid = GridIndex::Build(space);
+  for (int iter = 0; iter < 20; ++iter) {
+    Point2 p{rng.Uniform(), rng.Uniform()};
+    double radius = rng.Uniform(0.02, 0.2);
+    auto got = grid.WithinRadius(p, radius);
+    size_t expected = 0;
+    for (StateId s = 0; s < space.size(); ++s) {
+      expected += Distance(p, space.coord(s)) <= radius ? 1 : 0;
+    }
+    EXPECT_EQ(got.size(), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GridIndexSweep,
+                         ::testing::Values(1, 10, 100, 1000, 5000));
+
+}  // namespace
+}  // namespace ust

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/synthetic.h"
+#include "gen/workload.h"
+#include "index/ust_tree.h"
+#include "query/exact.h"
+#include "query/monte_carlo.h"
+#include "test_world.h"
+#include "util/rng.h"
+
+namespace ust {
+namespace {
+
+using testing::Figure1World;
+using testing::MakeFigure1World;
+using testing::MakeLineWorld;
+
+ObservationSeq Obs(std::vector<Observation> v) {
+  auto r = ObservationSeq::Create(std::move(v));
+  UST_CHECK(r.ok());
+  return r.MoveValue();
+}
+
+bool ContainsId(const std::vector<ObjectId>& ids, ObjectId id) {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+TEST(UstTreeTest, SegmentEntriesPerObservationPair) {
+  auto line = MakeLineWorld(9, 0.25, 0.5);
+  TrajectoryDatabase db(line.space);
+  db.AddObject(Obs({{0, 4}, {3, 6}, {7, 2}}), line.matrix);
+  auto tree = UstTree::Build(db);
+  ASSERT_TRUE(tree.ok());
+  // Two observation segments, no lifetime extension.
+  ASSERT_EQ(tree.value().entries().size(), 2u);
+  EXPECT_EQ(tree.value().entries()[0].t_lo, 0);
+  EXPECT_EQ(tree.value().entries()[0].t_hi, 3);
+  EXPECT_EQ(tree.value().entries()[1].t_lo, 3);
+  EXPECT_EQ(tree.value().entries()[1].t_hi, 7);
+}
+
+TEST(UstTreeTest, ExtensionSegmentAdded) {
+  auto line = MakeLineWorld(9, 0.25, 0.5);
+  TrajectoryDatabase db(line.space);
+  db.AddObject(Obs({{0, 4}, {3, 6}}), line.matrix, /*end_tic=*/6);
+  auto tree = UstTree::Build(db);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_EQ(tree.value().entries().size(), 2u);
+  EXPECT_EQ(tree.value().entries()[1].t_lo, 3);
+  EXPECT_EQ(tree.value().entries()[1].t_hi, 6);
+}
+
+TEST(UstTreeTest, SingleObservationEntryIsPoint) {
+  auto line = MakeLineWorld(5);
+  TrajectoryDatabase db(line.space);
+  db.AddObject(Obs({{4, 2}}), line.matrix);
+  auto tree = UstTree::Build(db);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_EQ(tree.value().entries().size(), 1u);
+  const auto& e = tree.value().entries()[0];
+  EXPECT_EQ(e.t_lo, 4);
+  EXPECT_EQ(e.t_hi, 4);
+  EXPECT_DOUBLE_EQ(e.mbr.lo[0], e.mbr.hi[0]);
+}
+
+TEST(UstTreeTest, MbrCoversPosteriorSupport) {
+  // The conservative diamond MBR must contain every state with nonzero
+  // posterior probability at every tic of the segment.
+  auto line = MakeLineWorld(15, 0.3, 0.4);
+  TrajectoryDatabase db(line.space);
+  ObjectId id = db.AddObject(Obs({{0, 7}, {5, 10}, {9, 6}}), line.matrix);
+  auto tree = UstTree::Build(db);
+  ASSERT_TRUE(tree.ok());
+  auto posterior = db.object(id).Posterior();
+  ASSERT_TRUE(posterior.ok());
+  for (Tic t = 0; t <= 9; ++t) {
+    SparseDist marginal = posterior.value()->MarginalAt(t);
+    for (const auto& [s, p] : marginal.entries()) {
+      const Point2& pt = db.space().coord(s);
+      bool covered = false;
+      for (const auto& e : tree.value().entries()) {
+        if (e.t_lo <= t && t <= e.t_hi && e.mbr.Contains({pt.x, pt.y})) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << "state " << s << " at t=" << t;
+    }
+  }
+}
+
+TEST(UstTreeTest, ContradictingObservationsReported) {
+  auto line = MakeLineWorld(20, 0.25, 0.5);
+  TrajectoryDatabase db(line.space);
+  db.AddObject(Obs({{0, 0}, {2, 15}}), line.matrix);  // 15 hops in 2 tics
+  auto tree = UstTree::Build(db);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kContradiction);
+}
+
+TEST(UstTreeTest, Figure1Pruning) {
+  Figure1World world = MakeFigure1World();
+  auto tree = UstTree::Build(*world.db);
+  ASSERT_TRUE(tree.ok());
+  PruneResult forall = tree.value().PruneForall(world.q, world.T);
+  // o1 can reach distance-1 states while o2 cannot undercut it for sure:
+  // both are candidates here (o2 can be closest at later tics).
+  EXPECT_TRUE(ContainsId(forall.influencers, world.o1));
+  EXPECT_TRUE(ContainsId(forall.influencers, world.o2));
+  PruneResult exists = tree.value().PruneExists(world.q, world.T);
+  EXPECT_EQ(exists.candidates.size(), exists.influencers.size());
+  EXPECT_TRUE(ContainsId(exists.candidates, world.o1));
+}
+
+TEST(UstTreeTest, FarAwayObjectPrunedButNearOnesKept) {
+  // Three pinned objects at distances 1, 2 and 50: the far one can never be
+  // a 1NN candidate, the near two must be retained.
+  auto space = std::make_shared<const StateSpace>(
+      std::vector<Point2>{{0, 1}, {0, 2}, {0, 50}});
+  auto matrix = testing::MakeMatrix(
+      3, {{{0, 1.0}}, {{1, 1.0}}, {{2, 1.0}}});
+  TrajectoryDatabase db(space);
+  ObjectId near1 = db.AddObject(Obs({{0, 0}, {4, 0}}), matrix);
+  ObjectId near2 = db.AddObject(Obs({{0, 1}, {4, 1}}), matrix);
+  ObjectId far = db.AddObject(Obs({{0, 2}, {4, 2}}), matrix);
+  auto tree = UstTree::Build(db);
+  ASSERT_TRUE(tree.ok());
+  QueryTrajectory q = QueryTrajectory::FromPoint({0, 0});
+  PruneResult forall = tree.value().PruneForall(q, {0, 4});
+  EXPECT_TRUE(ContainsId(forall.candidates, near1));
+  EXPECT_FALSE(ContainsId(forall.candidates, far));
+  EXPECT_FALSE(ContainsId(forall.influencers, far));
+  PruneResult exists = tree.value().PruneExists(q, {0, 4});
+  EXPECT_FALSE(ContainsId(exists.candidates, far));
+}
+
+TEST(UstTreeTest, KnnPruningKeepsMoreObjects) {
+  auto space = std::make_shared<const StateSpace>(
+      std::vector<Point2>{{0, 1}, {0, 2}, {0, 3}});
+  auto matrix =
+      testing::MakeMatrix(3, {{{0, 1.0}}, {{1, 1.0}}, {{2, 1.0}}});
+  TrajectoryDatabase db(space);
+  db.AddObject(Obs({{0, 0}, {4, 0}}), matrix);
+  db.AddObject(Obs({{0, 1}, {4, 1}}), matrix);
+  db.AddObject(Obs({{0, 2}, {4, 2}}), matrix);
+  auto tree = UstTree::Build(db);
+  ASSERT_TRUE(tree.ok());
+  QueryTrajectory q = QueryTrajectory::FromPoint({0, 0});
+  PruneResult k1 = tree.value().PruneForall(q, {0, 4}, 1);
+  PruneResult k2 = tree.value().PruneForall(q, {0, 4}, 2);
+  PruneResult k3 = tree.value().PruneForall(q, {0, 4}, 3);
+  EXPECT_EQ(k1.candidates.size(), 1u);
+  EXPECT_EQ(k2.candidates.size(), 2u);
+  EXPECT_EQ(k3.candidates.size(), 3u);
+}
+
+TEST(UstTreeTest, PruningIsSafeOnSyntheticWorlds) {
+  // Safety: every object with nonzero exact P∃NN/P∀NN must survive pruning.
+  SyntheticConfig config;
+  config.num_states = 400;
+  config.num_objects = 12;
+  config.lifetime = 20;
+  config.obs_interval = 5;
+  config.horizon = 30;
+  config.seed = 3;
+  auto world = GenerateSyntheticWorld(config);
+  ASSERT_TRUE(world.ok());
+  const TrajectoryDatabase& db = *world.value().db;
+  auto tree = UstTree::Build(db);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(9);
+  for (int iter = 0; iter < 5; ++iter) {
+    QueryTrajectory q = RandomQueryState(db.space(), rng);
+    TimeInterval T = BusiestInterval(db, 4);
+    // Reference: Monte-Carlo over *all* alive objects (no pruning).
+    std::vector<ObjectId> alive = db.AliveSometime(T.start, T.end);
+    if (alive.empty()) continue;
+    MonteCarloOptions options;
+    options.num_worlds = 400;
+    options.seed = iter;
+    auto reference = EstimatePnn(db, alive, alive, q, T, options);
+    ASSERT_TRUE(reference.ok());
+    PruneResult forall = tree.value().PruneForall(q, T);
+    PruneResult exists = tree.value().PruneExists(q, T);
+    for (size_t i = 0; i < alive.size(); ++i) {
+      const PnnEstimate& e = reference.value()[i];
+      if (e.forall_prob > 0.0) {
+        EXPECT_TRUE(ContainsId(forall.candidates, e.object))
+            << "object " << e.object << " with P∀NN=" << e.forall_prob
+            << " was pruned (iter " << iter << ")";
+      }
+      if (e.exists_prob > 0.0) {
+        EXPECT_TRUE(ContainsId(exists.candidates, e.object))
+            << "object " << e.object << " with P∃NN=" << e.exists_prob
+            << " was pruned (iter " << iter << ")";
+      }
+    }
+    // Structural relations between the prune sets.
+    for (ObjectId c : forall.candidates) {
+      EXPECT_TRUE(ContainsId(forall.influencers, c));
+      EXPECT_TRUE(ContainsId(exists.candidates, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ust
