@@ -1,0 +1,53 @@
+// Minimal JSON emitter for the machine-readable benchmark artifacts
+// (BENCH_*.json). Flat object of string/number fields plus one level of
+// nested objects — enough for perf tracking across PRs, no dependency.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ust::bench {
+
+/// \brief Accumulates key/value pairs and writes them as a JSON object.
+class JsonWriter {
+ public:
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    fields_.push_back({key, buf});
+  }
+  void Add(const std::string& key, const std::string& value) {
+    fields_.push_back({key, "\"" + value + "\""});
+  }
+  /// Nested object: emitted verbatim (caller renders it with another writer).
+  void AddObject(const std::string& key, const std::string& rendered) {
+    fields_.push_back({key, rendered});
+  }
+
+  std::string Render() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\n  \"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    out += "\n}\n";
+    return out;
+  }
+
+  /// Write to `path`; returns false on IO failure.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string out = Render();
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace ust::bench

@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "model/samplers.h"
 
 using namespace ust;
@@ -22,6 +23,8 @@ int main(int argc, char** argv) {
   const int max_obs = static_cast<int>(flags.GetInt("max_obs", 6));
   const size_t ts2_samples = flags.GetInt("ts2_samples", 50);
   const uint64_t ts1_budget = flags.GetInt("ts1_budget", 2000000);
+  const std::string json_out =
+      flags.GetString("json_out", "BENCH_sampling_efficiency.json");
 
   PrintConfig(
       "Figure 10: sampling efficiency without model adaptation", flags,
@@ -31,6 +34,10 @@ int main(int argc, char** argv) {
 
   CsvTable table({"num_observations", "ts1_attempts_per_sample",
                   "ts1_measured", "ts2_attempts_per_sample", "fb"});
+  JsonWriter json;
+  json.Add("benchmark", std::string("fig10_sampling_efficiency"));
+  json.Add("num_states", static_cast<double>(states));
+  json.Add("obs_interval", static_cast<double>(interval));
   for (int num_obs = 2; num_obs <= max_obs; ++num_obs) {
     SyntheticConfig config;
     config.num_states = states;
@@ -79,7 +86,16 @@ int main(int argc, char** argv) {
     table.AddRow({static_cast<double>(num_obs), expected_ts1,
                   std::isnan(ts1_measured) ? -1.0 : ts1_measured,
                   ts2_attempts, 1.0});
+    const std::string prefix = "obs" + std::to_string(num_obs) + "_";
+    json.Add(prefix + "ts1_attempts_per_sample", expected_ts1);
+    json.Add(prefix + "ts2_attempts_per_sample", ts2_attempts);
+    json.Add(prefix + "fb_attempts_per_sample", 1.0);
   }
   table.Print(std::cout, "Figure 10 series (ts1_measured = -1: beyond budget)");
+  if (!json.WriteFile(json_out)) {
+    std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+    return 1;
+  }
+  std::printf("# wrote %s\n", json_out.c_str());
   return 0;
 }

@@ -1,0 +1,69 @@
+#include "markov/alias_table.h"
+
+#include "util/check.h"
+
+namespace ust {
+
+namespace internal {
+
+void BuildAliasSpan(const double* w, size_t n, double* prob, uint32_t* alias,
+                    std::vector<uint32_t>* small_scratch,
+                    std::vector<uint32_t>* large_scratch,
+                    std::vector<double>* scaled_scratch) {
+  UST_CHECK(n > 0);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    UST_DCHECK(w[i] >= 0.0);
+    sum += w[i];
+  }
+  UST_CHECK(sum > 0.0);
+
+  scaled_scratch->resize(n);
+  double* scaled = scaled_scratch->data();
+  const double scale = static_cast<double>(n) / sum;
+  for (size_t i = 0; i < n; ++i) scaled[i] = w[i] * scale;
+
+  small_scratch->clear();
+  large_scratch->clear();
+  for (size_t i = n; i-- > 0;) {
+    if (scaled[i] < 1.0) {
+      small_scratch->push_back(static_cast<uint32_t>(i));
+    } else {
+      large_scratch->push_back(static_cast<uint32_t>(i));
+    }
+  }
+  while (!small_scratch->empty() && !large_scratch->empty()) {
+    const uint32_t s = small_scratch->back();
+    small_scratch->pop_back();
+    const uint32_t g = large_scratch->back();
+    prob[s] = scaled[s];
+    alias[s] = g;
+    scaled[g] = (scaled[g] + scaled[s]) - 1.0;
+    if (scaled[g] < 1.0) {
+      large_scratch->pop_back();
+      small_scratch->push_back(g);
+    }
+  }
+  // Leftovers on either stack are 1 up to rounding: always accept.
+  for (uint32_t g : *large_scratch) {
+    prob[g] = 1.0;
+    alias[g] = g;
+  }
+  for (uint32_t s : *small_scratch) {
+    prob[s] = 1.0;
+    alias[s] = s;
+  }
+}
+
+}  // namespace internal
+
+void AliasTable::Build(const double* w, size_t n) {
+  prob_.resize(n);
+  alias_.resize(n);
+  std::vector<uint32_t> small_scratch, large_scratch;
+  std::vector<double> scaled_scratch;
+  internal::BuildAliasSpan(w, n, prob_.data(), alias_.data(), &small_scratch,
+                           &large_scratch, &scaled_scratch);
+}
+
+}  // namespace ust

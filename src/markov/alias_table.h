@@ -1,0 +1,59 @@
+// Walker/Vose alias tables: O(n) preprocessing of a discrete distribution
+// into two arrays, after which each sample costs one uniform draw and two
+// array lookups. The Monte-Carlo estimators draw thousands of worlds from
+// every posterior, so the build cost amortizes away and the per-step cost
+// drops from a linear CDF scan to O(1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ust {
+
+/// \brief Alias table over one discrete distribution of `size()` outcomes.
+///
+/// Build() accepts unnormalized non-negative weights (at least one > 0).
+/// Sample() uses a single uniform draw: the integer part picks the slot, the
+/// fractional part decides between the slot and its alias.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Preprocess `w[0..n)`; previous contents are discarded.
+  void Build(const double* w, size_t n);
+  void Build(const std::vector<double>& w) { Build(w.data(), w.size()); }
+
+  size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+  /// Draw an outcome index in [0, size()). Table must be non-empty.
+  uint32_t Sample(Rng& rng) const {
+    const size_t n = prob_.size();
+    const double u = rng.Uniform() * static_cast<double>(n);
+    uint32_t k = static_cast<uint32_t>(u);
+    if (k >= n) k = static_cast<uint32_t>(n - 1);  // fp guard (u ~ n)
+    return (u - static_cast<double>(k)) < prob_[k] ? k : alias_[k];
+  }
+
+ private:
+  std::vector<double> prob_;     ///< acceptance threshold per slot
+  std::vector<uint32_t> alias_;  ///< fallback outcome per slot
+};
+
+namespace internal {
+
+/// Vose's algorithm over `w[0..n)` writing into `prob`/`alias` (both size n,
+/// alias indices local to this span). `small_scratch`/`large_scratch` are
+/// caller-provided work stacks, cleared on entry, so per-row builds (e.g.
+/// PosteriorModel::EnsureSamplers fusing one table per CSR row) reuse them
+/// across rows.
+void BuildAliasSpan(const double* w, size_t n, double* prob, uint32_t* alias,
+                    std::vector<uint32_t>* small_scratch,
+                    std::vector<uint32_t>* large_scratch,
+                    std::vector<double>* scaled_scratch);
+
+}  // namespace internal
+
+}  // namespace ust

@@ -1,0 +1,166 @@
+// Reusable dense scratch space for sparse-distribution propagation and the
+// group-normalize kernel of the forward-backward adaptation.
+//
+// The previous implementation materialized a (key, member, value) triple
+// vector per tic and sorted it (O(E log E) plus an allocation per tic). The
+// workspace replaces this with epoch-tagged scatter-accumulate into arrays
+// sized |S|: per-key sums and counts accumulate in O(E), only the touched
+// keys (the diamond width W << |S|) are sorted, and the arrays persist
+// across tics and across objects, so the steady-state propagation performs
+// no allocation at all.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "state/state_space.h"
+
+namespace ust {
+
+/// \brief Epoch-tagged dense accumulator over state ids.
+///
+/// Usage: BeginScatter(num_states), Add(key, value) per nonzero, then
+/// SortTouched() to obtain the sorted unique keys; per-key sums/counts are
+/// read back with sum()/count(). BuildRanks() additionally records each
+/// touched key's position in the sorted key list for O(1) id-to-index
+/// remapping (replacing per-entry binary searches).
+class PropagateWorkspace {
+ public:
+  static constexpr uint32_t kNoRank = static_cast<uint32_t>(-1);
+
+  PropagateWorkspace() = default;
+  explicit PropagateWorkspace(size_t num_states) { Reserve(num_states); }
+
+  /// Grow the dense arrays to cover ids in [0, num_states).
+  void Reserve(size_t num_states) {
+    if (num_states > epoch_.size()) {
+      sum_.resize(num_states, 0.0);
+      cnt_.resize(num_states, 0);
+      rank_.resize(num_states, kNoRank);
+      epoch_.resize(num_states, 0);
+    }
+  }
+
+  /// Start a new scatter round (invalidates previous sums in O(1)).
+  void BeginScatter(size_t num_states) {
+    Reserve(num_states);
+    touched_.clear();
+    if (++epoch_cur_ == 0) {  // epoch counter wrapped: hard reset tags
+      std::fill(epoch_.begin(), epoch_.end(), 0);
+      epoch_cur_ = 1;
+    }
+  }
+
+  /// Accumulate `value` onto `key`.
+  void Add(StateId key, double value) {
+    if (epoch_[key] != epoch_cur_) {
+      epoch_[key] = epoch_cur_;
+      sum_[key] = value;
+      cnt_[key] = 1;
+      touched_.push_back(key);
+    } else {
+      sum_[key] += value;
+      ++cnt_[key];
+    }
+  }
+
+  /// Sort the touched keys ascending and return them. O(W log W) on the
+  /// number of *unique* keys, not the number of scattered entries.
+  const std::vector<StateId>& SortTouched() {
+    std::sort(touched_.begin(), touched_.end());
+    return touched_;
+  }
+
+  const std::vector<StateId>& touched() const { return touched_; }
+  double sum(StateId key) const { return sum_[key]; }
+  uint32_t count(StateId key) const { return cnt_[key]; }
+  bool was_touched(StateId key) const { return epoch_[key] == epoch_cur_; }
+
+  /// Record rank(key) = position within the sorted touched keys. Keys with
+  /// non-positive sum get kNoRank (numerically extinct, dropped by
+  /// GroupNormalize); ranks count only the kept keys.
+  /// Returns the number of kept keys.
+  uint32_t BuildRanks() {
+    uint32_t next = 0;
+    for (StateId key : touched_) {
+      rank_[key] = sum_[key] > 0.0 ? next++ : kNoRank;
+    }
+    return next;
+  }
+
+  uint32_t rank(StateId key) const { return rank_[key]; }
+
+ private:
+  std::vector<double> sum_;
+  std::vector<uint32_t> cnt_;
+  std::vector<uint32_t> rank_;
+  std::vector<uint32_t> epoch_;
+  std::vector<StateId> touched_;
+  uint32_t epoch_cur_ = 0;
+  // Pass-2 cursors of GroupNormalize (sized by kept keys, reused).
+  std::vector<uint32_t> fill_;
+
+  template <typename MemberT>
+  friend void GroupNormalize(const std::vector<StateId>&,
+                             const std::vector<MemberT>&,
+                             const std::vector<double>&, PropagateWorkspace*,
+                             std::vector<StateId>*, std::vector<double>*,
+                             std::vector<uint32_t>*, std::vector<MemberT>*,
+                             std::vector<double>*);
+};
+
+/// \brief Group (key, member, value) triples (given as parallel arrays) by
+/// key: emits the sorted unique keys, their value sums, and CSR rows of
+/// members with values normalized per key. Keys whose sum is <= 0 are
+/// dropped. Members keep their input order within each row.
+///
+/// Two O(E) passes over the input plus one O(W log W) sort of the unique
+/// keys — replacing the former sort of all E triples.
+template <typename MemberT>
+void GroupNormalize(const std::vector<StateId>& keys,
+                    const std::vector<MemberT>& members,
+                    const std::vector<double>& values, PropagateWorkspace* ws,
+                    std::vector<StateId>* out_keys,
+                    std::vector<double>* out_sums,
+                    std::vector<uint32_t>* out_offsets,
+                    std::vector<MemberT>* out_members,
+                    std::vector<double>* out_values) {
+  out_keys->clear();
+  out_sums->clear();
+  out_offsets->clear();
+  out_members->clear();
+  out_values->clear();
+  out_offsets->push_back(0);
+  // Pass 1: per-key sums and counts.
+  size_t max_key = 0;
+  for (StateId key : keys) max_key = std::max<size_t>(max_key, key);
+  ws->BeginScatter(keys.empty() ? 0 : max_key + 1);
+  for (size_t i = 0; i < keys.size(); ++i) ws->Add(keys[i], values[i]);
+  const std::vector<StateId>& sorted = ws->SortTouched();
+  const uint32_t kept = ws->BuildRanks();
+  out_keys->reserve(kept);
+  out_sums->reserve(kept);
+  out_offsets->reserve(kept + 1);
+  uint32_t running = 0;
+  for (StateId key : sorted) {
+    if (ws->rank(key) == PropagateWorkspace::kNoRank) continue;
+    out_keys->push_back(key);
+    out_sums->push_back(ws->sum(key));
+    running += ws->count(key);
+    out_offsets->push_back(running);
+  }
+  // Pass 2: stable counting-sort scatter of the members into their rows.
+  out_members->resize(running);
+  out_values->resize(running);
+  ws->fill_.assign(kept, 0);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const uint32_t r = ws->rank(keys[i]);
+    if (r == PropagateWorkspace::kNoRank) continue;
+    const uint32_t pos = (*out_offsets)[r] + ws->fill_[r]++;
+    (*out_members)[pos] = members[i];
+    (*out_values)[pos] = values[i] / (*out_sums)[r];
+  }
+}
+
+}  // namespace ust

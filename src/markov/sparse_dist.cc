@@ -7,98 +7,108 @@
 
 namespace ust {
 
-SparseDist::SparseDist(std::vector<Entry> entries) : entries_(std::move(entries)) {
-  std::sort(entries_.begin(), entries_.end(),
+SparseDist::SparseDist(std::vector<Entry> entries) {
+  std::sort(entries.begin(), entries.end(),
             [](const Entry& a, const Entry& b) { return a.first < b.first; });
-  // Merge duplicates in place.
-  size_t out = 0;
-  for (size_t i = 0; i < entries_.size(); ++i) {
-    if (out > 0 && entries_[out - 1].first == entries_[i].first) {
-      entries_[out - 1].second += entries_[i].second;
+  ids_.reserve(entries.size());
+  probs_.reserve(entries.size());
+  for (const auto& [s, p] : entries) {
+    if (!ids_.empty() && ids_.back() == s) {
+      probs_.back() += p;  // merge duplicates
     } else {
-      entries_[out++] = entries_[i];
+      ids_.push_back(s);
+      probs_.push_back(p);
     }
   }
-  entries_.resize(out);
+}
+
+SparseDist SparseDist::FromSorted(std::vector<StateId> ids,
+                                  std::vector<double> probs) {
+  UST_DCHECK(ids.size() == probs.size());
+  UST_DCHECK(std::is_sorted(ids.begin(), ids.end()));
+  SparseDist d;
+  d.ids_ = std::move(ids);
+  d.probs_ = std::move(probs);
+  return d;
 }
 
 SparseDist SparseDist::Indicator(StateId s) {
   SparseDist d;
-  d.entries_.push_back({s, 1.0});
+  d.ids_.push_back(s);
+  d.probs_.push_back(1.0);
   return d;
 }
 
 SparseDist SparseDist::Uniform(const std::vector<StateId>& states) {
   SparseDist d;
   if (states.empty()) return d;
-  double p = 1.0 / static_cast<double>(states.size());
-  d.entries_.reserve(states.size());
-  for (StateId s : states) d.entries_.push_back({s, p});
-  std::sort(d.entries_.begin(), d.entries_.end());
+  d.ids_ = states;
+  std::sort(d.ids_.begin(), d.ids_.end());
+  d.probs_.assign(d.ids_.size(), 1.0 / static_cast<double>(d.ids_.size()));
   return d;
 }
 
 double SparseDist::Prob(StateId s) const {
-  auto it = std::lower_bound(
-      entries_.begin(), entries_.end(), s,
-      [](const Entry& e, StateId v) { return e.first < v; });
-  if (it != entries_.end() && it->first == s) return it->second;
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), s);
+  if (it != ids_.end() && *it == s) {
+    return probs_[static_cast<size_t>(it - ids_.begin())];
+  }
   return 0.0;
 }
 
 double SparseDist::Mass() const {
   double m = 0.0;
-  for (const auto& [s, p] : entries_) m += p;
+  for (double p : probs_) m += p;
   return m;
 }
 
 void SparseDist::Normalize() {
   double m = Mass();
   if (m <= 0.0) return;
-  for (auto& [s, p] : entries_) p /= m;
+  for (double& p : probs_) p /= m;
 }
 
 void SparseDist::Compact(double eps) {
-  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
-                                [eps](const Entry& e) { return e.second <= eps; }),
-                 entries_.end());
+  size_t out = 0;
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (probs_[i] > eps) {
+      ids_[out] = ids_[i];
+      probs_[out] = probs_[i];
+      ++out;
+    }
+  }
+  ids_.resize(out);
+  probs_.resize(out);
   Normalize();
 }
 
-std::vector<StateId> SparseDist::Support() const {
-  std::vector<StateId> support;
-  support.reserve(entries_.size());
-  for (const auto& [s, p] : entries_) support.push_back(s);
-  return support;
-}
+std::vector<StateId> SparseDist::Support() const { return ids_; }
 
 StateId SparseDist::Sample(Rng& rng) const {
-  UST_CHECK(!entries_.empty());
+  UST_CHECK(!ids_.empty());
   double m = Mass();
   UST_CHECK(m > 0.0);
   double u = rng.Uniform() * m;
   double acc = 0.0;
-  for (const auto& [s, p] : entries_) {
-    acc += p;
-    if (u < acc) return s;
+  for (size_t i = 0; i < probs_.size(); ++i) {
+    acc += probs_[i];
+    if (u < acc) return ids_[i];
   }
-  return entries_.back().first;
+  return ids_.back();
 }
 
 double SparseDist::L1Distance(const SparseDist& a, const SparseDist& b) {
   double sum = 0.0;
   size_t i = 0, j = 0;
-  while (i < a.entries_.size() || j < b.entries_.size()) {
-    if (j >= b.entries_.size() ||
-        (i < a.entries_.size() && a.entries_[i].first < b.entries_[j].first)) {
-      sum += std::abs(a.entries_[i].second);
+  while (i < a.size() || j < b.size()) {
+    if (j >= b.size() || (i < a.size() && a.ids_[i] < b.ids_[j])) {
+      sum += std::abs(a.probs_[i]);
       ++i;
-    } else if (i >= a.entries_.size() ||
-               b.entries_[j].first < a.entries_[i].first) {
-      sum += std::abs(b.entries_[j].second);
+    } else if (i >= a.size() || b.ids_[j] < a.ids_[i]) {
+      sum += std::abs(b.probs_[j]);
       ++j;
     } else {
-      sum += std::abs(a.entries_[i].second - b.entries_[j].second);
+      sum += std::abs(a.probs_[i] - b.probs_[j]);
       ++i;
       ++j;
     }
@@ -109,8 +119,8 @@ double SparseDist::L1Distance(const SparseDist& a, const SparseDist& b) {
 double SparseDist::ExpectedDistanceTo(const StateSpace& space,
                                       const Point2& p) const {
   double sum = 0.0;
-  for (const auto& [s, prob] : entries_) {
-    sum += prob * Distance(p, space.coord(s));
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    sum += probs_[i] * Distance(p, space.coord(ids_[i]));
   }
   return sum;
 }

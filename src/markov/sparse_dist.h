@@ -2,6 +2,11 @@
 // uncertain objects are extremely sparse (their support is bounded by the
 // reachability "diamond" between observations), so all model computations
 // operate on sorted (state, probability) vectors rather than dense arrays.
+//
+// Layout: structure-of-arrays — a sorted id array and an aligned probability
+// array — so probability-only passes (Mass, Normalize, L1Distance, CDF
+// walks) stream over contiguous doubles without dragging the ids through
+// the cache.
 #pragma once
 
 #include <cstddef>
@@ -13,15 +18,20 @@
 
 namespace ust {
 
-/// \brief Sparse distribution vector: entries sorted by state id, all
+/// \brief Sparse distribution vector: ids sorted ascending, all
 /// probabilities > 0 (zero entries are dropped by Normalize/Compact).
 class SparseDist {
  public:
+  /// Construction-time convenience pair (the storage itself is SoA).
   using Entry = std::pair<StateId, double>;
 
   SparseDist() = default;
   /// Entries need not be sorted; duplicates are merged.
   explicit SparseDist(std::vector<Entry> entries);
+
+  /// Adopt parallel arrays that are already sorted by id with unique ids.
+  static SparseDist FromSorted(std::vector<StateId> ids,
+                               std::vector<double> probs);
 
   /// Point mass at `s`.
   static SparseDist Indicator(StateId s);
@@ -30,9 +40,13 @@ class SparseDist {
   /// is desired).
   static SparseDist Uniform(const std::vector<StateId>& states);
 
-  size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
-  const std::vector<Entry>& entries() const { return entries_; }
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+
+  /// Sorted state ids (aligned with probs()).
+  const std::vector<StateId>& ids() const { return ids_; }
+  /// Probabilities aligned with ids().
+  const std::vector<double>& probs() const { return probs_; }
 
   /// Probability of state `s` (0 when absent).
   double Prob(StateId s) const;
@@ -59,7 +73,8 @@ class SparseDist {
   double ExpectedDistanceTo(const StateSpace& space, const Point2& p) const;
 
  private:
-  std::vector<Entry> entries_;
+  std::vector<StateId> ids_;
+  std::vector<double> probs_;
 };
 
 }  // namespace ust

@@ -65,14 +65,27 @@ double TransitionMatrix::Prob(StateId from, StateId to) const {
 }
 
 SparseDist TransitionMatrix::Propagate(const SparseDist& dist) const {
-  std::vector<SparseDist::Entry> out;
-  out.reserve(dist.size() * 4);
-  for (const auto& [from, p] : dist.entries()) {
-    for (const Entry* e = begin(from); e != end(from); ++e) {
-      out.push_back({e->first, e->second * p});
+  PropagateWorkspace ws(num_states());
+  return Propagate(dist, &ws);
+}
+
+SparseDist TransitionMatrix::Propagate(const SparseDist& dist,
+                                       PropagateWorkspace* ws) const {
+  ws->BeginScatter(num_states());
+  const std::vector<StateId>& from_ids = dist.ids();
+  const std::vector<double>& from_probs = dist.probs();
+  for (size_t i = 0; i < from_ids.size(); ++i) {
+    const double p = from_probs[i];
+    for (const Entry* e = begin(from_ids[i]); e != end(from_ids[i]); ++e) {
+      ws->Add(e->first, e->second * p);
     }
   }
-  return SparseDist(std::move(out));
+  const std::vector<StateId>& touched = ws->SortTouched();
+  std::vector<StateId> ids(touched);
+  std::vector<double> probs;
+  probs.reserve(ids.size());
+  for (StateId s : ids) probs.push_back(ws->sum(s));
+  return SparseDist::FromSorted(std::move(ids), std::move(probs));
 }
 
 CsrGraph TransitionMatrix::SupportGraph() const {

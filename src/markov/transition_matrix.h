@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graph/csr_graph.h"
+#include "markov/propagate_workspace.h"
 #include "markov/sparse_dist.h"
 #include "state/state_space.h"
 #include "util/status.h"
@@ -50,7 +51,10 @@ class TransitionMatrix {
   double Prob(StateId from, StateId to) const;
 
   /// One forward time transition: returns M^T * dist (sparse).
+  /// The overload without a workspace allocates a transient one; loops
+  /// should pass a reused workspace to stay allocation-free.
   SparseDist Propagate(const SparseDist& dist) const;
+  SparseDist Propagate(const SparseDist& dist, PropagateWorkspace* ws) const;
 
   /// Support graph: an edge per nonzero entry (weight = probability).
   CsrGraph SupportGraph() const;

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <string>
-#include <tuple>
 
+#include "markov/propagate_workspace.h"
 #include "util/check.h"
 
 namespace ust {
@@ -11,101 +11,89 @@ namespace ust {
 namespace {
 
 // One time-reversed matrix R(t): rows keyed by the (pre-collapse) forward
-// support at tic t; each row is a distribution over states at tic t-1.
+// support at tic t; each row is a distribution over states at tic t-1,
+// stored structure-of-arrays.
 struct ReverseSlice {
-  std::vector<StateId> states;                       // sorted row keys
-  std::vector<uint32_t> row_offsets;                 // size states.size()+1
-  std::vector<std::pair<StateId, double>> entries;   // (state at t-1, prob)
+  std::vector<StateId> states;        // sorted row keys
+  std::vector<uint32_t> row_offsets;  // size states.size()+1
+  std::vector<StateId> members;       // state at t-1, CSR
+  std::vector<double> probs;          // aligned with members
 };
 
-using Triple = std::tuple<StateId, StateId, double>;  // (group key, member, value)
-
-// Groups (key, member, value) triples by key: emits sorted unique keys, the
-// per-key value sums, and normalized per-key member lists.
+// Scratch triple arrays reused across tics: (group key, member, value)
+// decomposed into parallel vectors so GroupNormalize streams each column.
 template <typename MemberT>
-void GroupNormalize(std::vector<std::tuple<StateId, MemberT, double>>* triples,
-                    std::vector<StateId>* keys, std::vector<double>* sums,
-                    std::vector<uint32_t>* row_offsets,
-                    std::vector<std::pair<MemberT, double>>* entries) {
-  std::sort(triples->begin(), triples->end());
-  keys->clear();
-  sums->clear();
-  row_offsets->clear();
-  entries->clear();
-  row_offsets->push_back(0);
-  size_t i = 0;
-  while (i < triples->size()) {
-    StateId key = std::get<0>((*triples)[i]);
-    double sum = 0.0;
-    size_t begin = i;
-    while (i < triples->size() && std::get<0>((*triples)[i]) == key) {
-      sum += std::get<2>((*triples)[i]);
-      ++i;
-    }
-    if (sum <= 0.0) continue;  // numerically extinct state: drop
-    keys->push_back(key);
-    sums->push_back(sum);
-    // Merge duplicate members (same (key, member) can appear via multiple
-    // paths only if the input had duplicates; keep defensive merging cheap).
-    for (size_t j = begin; j < i; ++j) {
-      double v = std::get<2>((*triples)[j]) / sum;
-      if (!entries->empty() && row_offsets->back() < entries->size() &&
-          entries->back().first == std::get<1>((*triples)[j])) {
-        entries->back().second += v;
-      } else {
-        entries->push_back({std::get<1>((*triples)[j]), v});
-      }
-    }
-    row_offsets->push_back(static_cast<uint32_t>(entries->size()));
+struct TripleBuffer {
+  std::vector<StateId> keys;
+  std::vector<MemberT> members;
+  std::vector<double> values;
+
+  void Clear() {
+    keys.clear();
+    members.clear();
+    values.clear();
   }
-}
+  void Push(StateId key, MemberT member, double value) {
+    keys.push_back(key);
+    members.push_back(member);
+    values.push_back(value);
+  }
+};
 
 std::string ContradictionMessage(const Observation& o) {
   return "observation at tic " + std::to_string(o.time) + " (state " +
          std::to_string(o.state) + ") unreachable under a-priori model";
 }
 
-}  // namespace
-
-namespace {
-
 // Append `extra` slices past the last slice by plain a-priori propagation;
 // transition rows are the matrix rows themselves (they already sum to 1 and
 // every target is in the next support by construction). `last_tic` is the
 // absolute tic of the current final slice (needed to pick M(t)).
-void ExtendWithApriori(const TransitionModel& model, Tic last_tic,
-                       size_t extra,
+void ExtendWithApriori(const TransitionModel& model, Tic last_tic, size_t extra,
+                       PropagateWorkspace* ws,
                        std::vector<PosteriorModel::Slice>* slices) {
   for (size_t step = 0; step < extra; ++step) {
     const TransitionMatrix& matrix = model.At(last_tic + static_cast<Tic>(step));
     PosteriorModel::Slice& prev = slices->back();
-    // Gather successor states and marginals.
-    std::vector<SparseDist::Entry> acc;
+    // Scatter successor mass into the dense workspace.
+    ws->BeginScatter(matrix.num_states());
     for (size_t i = 0; i < prev.support.size(); ++i) {
       const StateId s = prev.support[i];
+      const double p = prev.marginal[i];
       for (const auto* e = matrix.begin(s); e != matrix.end(s); ++e) {
-        acc.push_back({e->first, e->second * prev.marginal[i]});
+        ws->Add(e->first, e->second * p);
       }
     }
-    SparseDist next_dist(std::move(acc));
-    next_dist.Normalize();
+    // Keep only states with positive mass (matching BuildRanks, which
+    // numbers exactly those): a touched state with zero mass can only have
+    // been reached through explicit zero-probability matrix entries.
+    const std::vector<StateId>& touched = ws->SortTouched();
+    const uint32_t kept = ws->BuildRanks();
     PosteriorModel::Slice next;
-    next.support = next_dist.Support();
-    next.marginal.reserve(next.support.size());
-    for (const auto& [s, p] : next_dist.entries()) next.marginal.push_back(p);
-    // Fill prev's transition rows, mapping targets to next-slice indices.
+    next.support.reserve(kept);
+    double total = 0.0;
+    for (StateId s : touched) {
+      if (ws->rank(s) == PropagateWorkspace::kNoRank) continue;
+      next.support.push_back(s);
+      total += ws->sum(s);
+    }
+    UST_CHECK(total > 0.0);
+    next.marginal.reserve(kept);
+    for (StateId s : next.support) next.marginal.push_back(ws->sum(s) / total);
+    // Fill prev's transition rows, mapping targets to next-slice indices via
+    // the workspace rank table (O(1) per entry instead of a binary search).
     prev.row_offsets.clear();
-    prev.transitions.clear();
+    prev.targets.clear();
+    prev.tprobs.clear();
     prev.row_offsets.push_back(0);
     for (StateId s : prev.support) {
       for (const auto* e = matrix.begin(s); e != matrix.end(s); ++e) {
-        auto it = std::lower_bound(next.support.begin(), next.support.end(),
-                                   e->first);
-        UST_CHECK(it != next.support.end() && *it == e->first);
-        prev.transitions.push_back(
-            {static_cast<uint32_t>(it - next.support.begin()), e->second});
+        const uint32_t r = ws->rank(e->first);
+        if (r == PropagateWorkspace::kNoRank) continue;  // zero-prob edge
+        prev.targets.push_back(r);
+        prev.tprobs.push_back(e->second);
       }
-      prev.row_offsets.push_back(static_cast<uint32_t>(prev.transitions.size()));
+      prev.row_offsets.push_back(static_cast<uint32_t>(prev.targets.size()));
     }
     slices->push_back(std::move(next));
   }
@@ -146,32 +134,37 @@ Result<PosteriorModel> AdaptTransitionMatrices(const TransitionModel& model,
         "extend_until before the last observation");
   }
   const size_t extra = static_cast<size_t>(extend_until - t1);
+  PropagateWorkspace ws(model.num_states());
 
   if (num_tics == 1) {
     PosteriorModel::Slice slice;
     slice.support = {obs.first().state};
     slice.marginal = {1.0};
     std::vector<PosteriorModel::Slice> slices = {std::move(slice)};
-    ExtendWithApriori(model, t1, extra, &slices);
+    ExtendWithApriori(model, t1, extra, &ws, &slices);
     return PosteriorModel(t0, std::move(slices));
   }
 
   // ---- Forward phase: distribution filtering + reversed matrices R(t). ----
   std::vector<ReverseSlice> reverse(num_tics);  // reverse[k] = R(t0 + k), k>=1
-  std::vector<SparseDist::Entry> cur = {{obs.first().state, 1.0}};
-  std::vector<Triple> triples;
+  std::vector<StateId> cur_ids = {obs.first().state};
+  std::vector<double> cur_probs = {1.0};
+  TripleBuffer<StateId> triples;
+  std::vector<double> sums;
   for (size_t k = 1; k < num_tics; ++k) {
     const Tic t = t0 + static_cast<Tic>(k);
     const TransitionMatrix& matrix = model.At(t - 1);
-    triples.clear();
-    for (const auto& [from, p] : cur) {
+    triples.Clear();
+    for (size_t i = 0; i < cur_ids.size(); ++i) {
+      const StateId from = cur_ids[i];
+      const double p = cur_probs[i];
       for (const auto* e = matrix.begin(from); e != matrix.end(from); ++e) {
-        triples.emplace_back(e->first, from, e->second * p);
+        triples.Push(e->first, from, e->second * p);
       }
     }
     ReverseSlice& r = reverse[k];
-    std::vector<double> sums;
-    GroupNormalize(&triples, &r.states, &sums, &r.row_offsets, &r.entries);
+    GroupNormalize(triples.keys, triples.members, triples.values, &ws,
+                   &r.states, &sums, &r.row_offsets, &r.members, &r.probs);
     if (r.states.empty()) {
       return Status::Contradiction("forward support died out at tic " +
                                    std::to_string(t));
@@ -179,19 +172,17 @@ Result<PosteriorModel> AdaptTransitionMatrices(const TransitionModel& model,
     // New filtered distribution (normalized to fight fp drift).
     double total = 0.0;
     for (double s : sums) total += s;
-    cur.clear();
-    cur.reserve(r.states.size());
-    for (size_t i = 0; i < r.states.size(); ++i) {
-      cur.push_back({r.states[i], sums[i] / total});
-    }
+    cur_ids = r.states;
+    cur_probs.resize(sums.size());
+    for (size_t i = 0; i < sums.size(); ++i) cur_probs[i] = sums[i] / total;
     if (const Observation* o = obs.At(t)) {
       // Incorporate the observation: collapse to the observed state.
       auto it = std::lower_bound(r.states.begin(), r.states.end(), o->state);
       if (it == r.states.end() || *it != o->state) {
         return Status::Contradiction(ContradictionMessage(*o));
       }
-      cur.clear();
-      cur.push_back({o->state, 1.0});
+      cur_ids = {o->state};
+      cur_probs = {1.0};
     }
   }
 
@@ -203,11 +194,11 @@ Result<PosteriorModel> AdaptTransitionMatrices(const TransitionModel& model,
     last.marginal = {1.0};
   }
   // Triples here: (state at t, local index into slice t+1, joint probability).
-  std::vector<std::tuple<StateId, uint32_t, double>> btriples;
+  TripleBuffer<uint32_t> btriples;
   for (size_t k = num_tics - 1; k >= 1; --k) {
     const PosteriorModel::Slice& next = slices[k];
     const ReverseSlice& r = reverse[k];
-    btriples.clear();
+    btriples.Clear();
     for (uint32_t i = 0; i < next.support.size(); ++i) {
       const StateId si = next.support[i];
       const double pi = next.marginal[i];
@@ -215,13 +206,13 @@ Result<PosteriorModel> AdaptTransitionMatrices(const TransitionModel& model,
       UST_CHECK(it != r.states.end() && *it == si);
       const auto row = static_cast<size_t>(it - r.states.begin());
       for (uint32_t e = r.row_offsets[row]; e < r.row_offsets[row + 1]; ++e) {
-        btriples.emplace_back(r.entries[e].first, i, r.entries[e].second * pi);
+        btriples.Push(r.members[e], i, r.probs[e] * pi);
       }
     }
     PosteriorModel::Slice& slice = slices[k - 1];
-    std::vector<double> sums;
-    GroupNormalize(&btriples, &slice.support, &sums, &slice.row_offsets,
-                   &slice.transitions);
+    GroupNormalize(btriples.keys, btriples.members, btriples.values, &ws,
+                   &slice.support, &sums, &slice.row_offsets, &slice.targets,
+                   &slice.tprobs);
     UST_CHECK(!slice.support.empty());
     double total = 0.0;
     for (double s : sums) total += s;
@@ -230,7 +221,7 @@ Result<PosteriorModel> AdaptTransitionMatrices(const TransitionModel& model,
   }
   UST_DCHECK(slices.front().support.size() == 1 &&
              slices.front().support[0] == obs.first().state);
-  ExtendWithApriori(model, t1, extra, &slices);
+  ExtendWithApriori(model, t1, extra, &ws, &slices);
   return PosteriorModel(t0, std::move(slices));
 }
 
@@ -241,11 +232,12 @@ Result<std::vector<SparseDist>> ForwardFilterMarginals(
   const size_t num_tics = static_cast<size_t>(t1 - t0) + 1;
   std::vector<SparseDist> result;
   result.reserve(num_tics);
+  PropagateWorkspace ws(matrix.num_states());
   SparseDist cur = SparseDist::Indicator(obs.first().state);
   result.push_back(cur);
   for (size_t k = 1; k < num_tics; ++k) {
     const Tic t = t0 + static_cast<Tic>(k);
-    cur = matrix.Propagate(cur);
+    cur = matrix.Propagate(cur, &ws);
     cur.Normalize();
     if (const Observation* o = obs.At(t)) {
       if (cur.Prob(o->state) <= 0.0) {
@@ -265,10 +257,11 @@ std::vector<SparseDist> AprioriMarginals(const TransitionMatrix& matrix,
                                          size_t num_tics) {
   std::vector<SparseDist> result;
   result.reserve(num_tics);
+  PropagateWorkspace ws(matrix.num_states());
   SparseDist cur = SparseDist::Indicator(first.state);
   result.push_back(cur);
   for (size_t k = 1; k < num_tics; ++k) {
-    cur = matrix.Propagate(cur);
+    cur = matrix.Propagate(cur, &ws);
     cur.Normalize();
     result.push_back(cur);
   }

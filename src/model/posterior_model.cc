@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "markov/alias_table.h"
 #include "util/check.h"
 
 namespace ust {
@@ -9,12 +10,7 @@ namespace ust {
 SparseDist PosteriorModel::MarginalAt(Tic t) const {
   UST_CHECK(AliveAt(t));
   const Slice& slice = SliceAt(t);
-  std::vector<SparseDist::Entry> entries;
-  entries.reserve(slice.support.size());
-  for (size_t i = 0; i < slice.support.size(); ++i) {
-    entries.push_back({slice.support[i], slice.marginal[i]});
-  }
-  return SparseDist(std::move(entries));
+  return SparseDist::FromSorted(slice.support, slice.marginal);
 }
 
 double PosteriorModel::TransitionProb(Tic t, StateId from, StateId to) const {
@@ -26,62 +22,85 @@ double PosteriorModel::TransitionProb(Tic t, StateId from, StateId to) const {
   auto local = static_cast<uint32_t>(it - slice.support.begin());
   for (uint32_t e = slice.row_offsets[local]; e < slice.row_offsets[local + 1];
        ++e) {
-    if (next.support[slice.transitions[e].first] == to) {
-      return slice.transitions[e].second;
-    }
+    if (next.support[slice.targets[e]] == to) return slice.tprobs[e];
   }
   return 0.0;
 }
 
-StateId PosteriorModel::SampleAt(Tic t, Rng& rng) const {
-  UST_CHECK(AliveAt(t));
-  const Slice& slice = SliceAt(t);
-  double u = rng.Uniform();
-  double acc = 0.0;
-  for (size_t i = 0; i < slice.support.size(); ++i) {
-    acc += slice.marginal[i];
-    if (u < acc) return slice.support[i];
+void PosteriorModel::EnsureSamplers() const {
+  if (samplers_built_ || slices_.empty()) return;
+  size_t total_slots = 0, total_marginal = 0, total_offsets = 0;
+  for (const Slice& s : slices_) {
+    total_slots += s.targets.size();
+    total_marginal += s.support.size();
+    if (!s.row_offsets.empty()) total_offsets += s.row_offsets.size();
   }
-  return slice.support.back();
+  flat_slots_.resize(total_slots);
+  flat_marginal_.resize(total_marginal);
+  flat_row_offsets_.resize(total_offsets);
+  row_base_.assign(slices_.size(), 0);
+  marg_base_.assign(slices_.size(), 0);
+
+  std::vector<uint32_t> small_scratch, large_scratch, alias_scratch;
+  std::vector<double> scaled_scratch, prob_scratch;
+  uint32_t slot_base = 0, marg_base = 0, off_base = 0;
+  for (size_t k = 0; k < slices_.size(); ++k) {
+    const Slice& slice = slices_[k];
+    // Marginal slots.
+    marg_base_[k] = marg_base;
+    const size_t n = slice.support.size();
+    prob_scratch.resize(n);
+    alias_scratch.resize(n);
+    internal::BuildAliasSpan(slice.marginal.data(), n, prob_scratch.data(),
+                             alias_scratch.data(), &small_scratch,
+                             &large_scratch, &scaled_scratch);
+    for (size_t i = 0; i < n; ++i) {
+      MarginalSlot& s = flat_marginal_[marg_base + i];
+      s.thresh = QuantizeThreshold(prob_scratch[i]);
+      s.alias = marg_base + alias_scratch[i];
+      s.local = static_cast<uint32_t>(i);
+      s.state = slice.support[i];
+    }
+    marg_base += static_cast<uint32_t>(n);
+    // Transition slots (absent in the last slice).
+    row_base_[k] = off_base;
+    if (slice.row_offsets.empty()) continue;
+    const Slice& next = slices_[k + 1];
+    for (uint32_t off : slice.row_offsets) {
+      flat_row_offsets_[off_base++] = slot_base + off;
+    }
+    for (size_t local = 0; local + 1 < slice.row_offsets.size(); ++local) {
+      const uint32_t lo = slice.row_offsets[local];
+      const uint32_t len = slice.row_offsets[local + 1] - lo;
+      if (len == 0) continue;
+      prob_scratch.resize(len);
+      alias_scratch.resize(len);
+      internal::BuildAliasSpan(slice.tprobs.data() + lo, len,
+                               prob_scratch.data(), alias_scratch.data(),
+                               &small_scratch, &large_scratch,
+                               &scaled_scratch);
+      for (uint32_t j = 0; j < len; ++j) {
+        FusedSlot& s = flat_slots_[slot_base + lo + j];
+        s.thresh = QuantizeThreshold(prob_scratch[j]);
+        s.alias = slot_base + lo + alias_scratch[j];
+        s.local = slice.targets[lo + j];
+        s.state = next.support[s.local];
+      }
+    }
+    slot_base += static_cast<uint32_t>(slice.targets.size());
+  }
+  samplers_built_ = true;
 }
 
-uint32_t PosteriorModel::SampleSuccessor(const Slice& slice, uint32_t local,
-                                         Rng& rng) const {
-  uint32_t lo = slice.row_offsets[local];
-  uint32_t hi = slice.row_offsets[local + 1];
-  UST_CHECK(hi > lo);
-  double u = rng.Uniform();
-  double acc = 0.0;
-  for (uint32_t e = lo; e < hi; ++e) {
-    acc += slice.transitions[e].second;
-    if (u < acc) return slice.transitions[e].first;
-  }
-  return slice.transitions[hi - 1].first;
+StateId PosteriorModel::SampleAt(Tic t, Rng& rng) const {
+  UST_CHECK(AliveAt(t));
+  EnsureSamplers();
+  return SampleMarginalSlot(static_cast<size_t>(t - first_tic_), rng).state;
 }
 
 Trajectory PosteriorModel::SampleTrajectory(Rng& rng) const {
   Trajectory traj;
-  traj.start = first_tic_;
-  traj.states.reserve(slices_.size());
-  // The first slice is the first observation: a point mass.
-  uint32_t local = 0;
-  {
-    const Slice& first = slices_.front();
-    double u = rng.Uniform();
-    double acc = 0.0;
-    for (size_t i = 0; i < first.support.size(); ++i) {
-      acc += first.marginal[i];
-      if (u < acc) {
-        local = static_cast<uint32_t>(i);
-        break;
-      }
-    }
-  }
-  traj.states.push_back(slices_.front().support[local]);
-  for (size_t k = 0; k + 1 < slices_.size(); ++k) {
-    local = SampleSuccessor(slices_[k], local, rng);
-    traj.states.push_back(slices_[k + 1].support[local]);
-  }
+  SampleWindowInto(first_tic(), last_tic(), rng, &traj);
   return traj;
 }
 
@@ -91,29 +110,31 @@ Result<Trajectory> PosteriorModel::SampleWindow(Tic ts, Tic te,
     return Status::OutOfRange("sampling window outside alive span");
   }
   Trajectory traj;
-  traj.start = ts;
-  traj.states.reserve(static_cast<size_t>(te - ts) + 1);
-  const Slice& start_slice = SliceAt(ts);
-  // Sample the window start from the posterior marginal.
-  uint32_t local = 0;
-  {
-    double u = rng.Uniform();
-    double acc = 0.0;
-    for (size_t i = 0; i < start_slice.support.size(); ++i) {
-      acc += start_slice.marginal[i];
-      if (u < acc) {
-        local = static_cast<uint32_t>(i);
-        break;
-      }
-      local = static_cast<uint32_t>(i);  // fall back to last on fp slack
-    }
-  }
-  traj.states.push_back(start_slice.support[local]);
-  for (Tic t = ts; t < te; ++t) {
-    local = SampleSuccessor(SliceAt(t), local, rng);
-    traj.states.push_back(SliceAt(t + 1).support[local]);
-  }
+  SampleWindowInto(ts, te, rng, &traj);
   return traj;
+}
+
+void PosteriorModel::SampleWindowInto(Tic ts, Tic te, Rng& rng,
+                                      Trajectory* out) const {
+  UST_DCHECK(CoversWindow(ts, te));
+  EnsureSamplers();
+  out->start = ts;
+  out->states.resize(static_cast<size_t>(te - ts) + 1);
+  StateId* states = out->states.data();
+  size_t k = static_cast<size_t>(ts - first_tic_);
+  // One fork per window — matching BatchWalk, so batched and one-at-a-time
+  // sampling draw identical worlds from the same parent stream.
+  Rng wrng = rng.Fork();
+  // Sample the window start from the posterior marginal, then walk the
+  // adapted chain: one alias draw and one fused-slot read per step.
+  const MarginalSlot& start = SampleMarginalSlot(k, wrng);
+  uint32_t local = start.local;
+  *states++ = start.state;
+  for (Tic t = ts; t < te; ++t, ++k) {
+    const FusedSlot& slot = SampleSuccessorSlot(k, local, wrng);
+    local = slot.local;
+    *states++ = slot.state;
+  }
 }
 
 size_t PosteriorModel::TotalSupportSize() const {

@@ -5,11 +5,13 @@
 // that are consistent with *all* observations in a single attempt.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "markov/sparse_dist.h"
 #include "state/state_space.h"
+#include "util/check.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -31,14 +33,17 @@ struct Trajectory {
 /// the sorted posterior support, the aligned marginal probabilities, and CSR
 /// rows of transition probabilities into slice k+1 (targets are *indices into
 /// the next slice's support*, which makes sampling a pair of array lookups).
+/// Transition rows are stored structure-of-arrays (`targets` / `tprobs`) so
+/// probability-only passes stream over contiguous doubles.
 class PosteriorModel {
  public:
   /// \brief Per-tic slice of the adapted model.
   struct Slice {
-    std::vector<StateId> support;            ///< sorted posterior support
-    std::vector<double> marginal;            ///< aligned with support
-    std::vector<uint32_t> row_offsets;       ///< size support.size()+1; empty in last slice
-    std::vector<std::pair<uint32_t, double>> transitions;  ///< (next-slice index, prob)
+    std::vector<StateId> support;       ///< sorted posterior support
+    std::vector<double> marginal;       ///< aligned with support
+    std::vector<uint32_t> row_offsets;  ///< size support.size()+1; empty in last slice
+    std::vector<uint32_t> targets;      ///< CSR next-slice indices
+    std::vector<double> tprobs;         ///< CSR probabilities, aligned with targets
   };
 
   PosteriorModel() = default;
@@ -77,6 +82,31 @@ class PosteriorModel {
   /// (Valid because the adapted process is Markov given all observations.)
   Result<Trajectory> SampleWindow(Tic ts, Tic te, Rng& rng) const;
 
+  /// Allocation-free variant for the Monte-Carlo hot loop: the window must
+  /// satisfy CoversWindow(ts, te) (validate once, then draw thousands of
+  /// worlds); `out->states` is reused across calls.
+  void SampleWindowInto(Tic ts, Tic te, Rng& rng, Trajectory* out) const;
+
+  /// Batch sampling: visits every state of `count` independent windows
+  /// without materializing them. `visit(w, r, local, state)` is called once
+  /// per world w in [0, count) and tic offset r in [0, te - ts] — in
+  /// unspecified order — where `local` indexes SliceAt(ts + r).support and
+  /// `state` is the sampled state id. The visitor is inlined into the walk,
+  /// so per-sample post-processing (distance lookup, aggregation) costs no
+  /// extra pass, and the walks are interleaved in groups so their (serial)
+  /// table-lookup chains overlap. Same window contract as SampleWindowInto.
+  template <typename Visitor>
+  void SampleWindowBatchVisit(Tic ts, Tic te, size_t count, Rng& rng,
+                              Visitor&& visit) const {
+    BatchWalk(ts, te, count, rng, visit);
+  }
+
+  /// Build the O(1) alias samplers (Walker/Vose) for every slice. Called
+  /// lazily by the sampling entry points; call it eagerly before sharing the
+  /// model across threads (same single-writer contract as the posterior
+  /// cache in UncertainObject).
+  void EnsureSamplers() const;
+
   /// Total number of (state, tic) pairs with nonzero posterior probability.
   size_t TotalSupportSize() const;
 
@@ -84,11 +114,128 @@ class PosteriorModel {
   size_t MaxSupportSize() const;
 
  private:
-  /// Index into slice-at-t support of a sampled successor of `local` state.
-  uint32_t SampleSuccessor(const Slice& slice, uint32_t local, Rng& rng) const;
+  // Fused alias slots: everything one sampling step reads lives in one
+  // 16-byte record, flattened across all slices of the model, so a step is
+  // one 64-bit draw plus one or two dependent loads (cf. the AoS-vs-SoA
+  // discussion in DESIGN.md — the *walk* is latency-bound, so the sampler
+  // interleaves, while the math-facing Slice stays SoA).
+
+  /// One transition slot: alias threshold plus the precomputed successor
+  /// (`local` / `state` describe the successor in the *next* slice).
+  /// 16 bytes so two slots share a cache line and none straddles one. The
+  /// acceptance threshold is quantized to 32 bits (granularity 2^-32, far
+  /// below Monte-Carlo noise; thresholds are per-slot quantities, not
+  /// normalized probabilities, so no mass is lost) — one 64-bit draw serves
+  /// both the slot pick (high bits, Lemire reduction) and the
+  /// accept-or-alias test (low bits), keeping the sampling chain free of
+  /// int/float conversions.
+  struct FusedSlot {
+    uint32_t thresh;  ///< accept iff low 32 draw bits < thresh
+    uint32_t alias;   ///< absolute index into flat_slots_ on rejection
+    uint32_t local;   ///< successor's index in the next slice's support
+    StateId state;    ///< successor's state id (next support resolved)
+  };
+  static_assert(sizeof(FusedSlot) == 16, "keep slots cache-line friendly");
+
+  /// One marginal slot: alias threshold plus the resolved support entry.
+  struct MarginalSlot {
+    uint32_t thresh;  ///< accept iff low 32 draw bits < thresh
+    uint32_t alias;   ///< absolute index into flat_marginal_ on rejection
+    uint32_t local;   ///< index within the slice support
+    StateId state;    ///< support[local]
+  };
+  static_assert(sizeof(MarginalSlot) == 16, "keep slots cache-line friendly");
+
+  /// Quantize a [0, 1] alias threshold to 32 bits. Slots with p == 1 come
+  /// out of Vose's leftover stacks with alias == self, so the (one in 2^32)
+  /// spurious rejection aliases back to the same slot.
+  static uint32_t QuantizeThreshold(double p) {
+    const double scaled = p * 4294967296.0;  // 2^32
+    return scaled >= 4294967295.0 ? 4294967295u
+                                  : static_cast<uint32_t>(scaled);
+  }
+
+  /// Shared core of the batch samplers: advances groups of independent
+  /// walks so their (serial) table-lookup chains overlap, calling
+  /// `visit(w, rel, local, state)` per sampled state.
+  /// Every window gets its own forked RNG (one parent draw per window, in
+  /// world order), so the sampled worlds are identical no matter how the
+  /// walks are grouped, chunked, or interleaved — batch-of-N and N calls of
+  /// SampleWindowInto consume the parent stream identically.
+  template <typename Visitor>
+  void BatchWalk(Tic ts, Tic te, size_t count, Rng& rng,
+                 Visitor&& visit) const {
+    UST_DCHECK(CoversWindow(ts, te));
+    EnsureSamplers();
+    const size_t k0 = static_cast<size_t>(ts - first_tic_);
+    constexpr size_t kGroup = 32;  // independent walks in flight
+    uint32_t local[kGroup];
+    Rng wrng[kGroup];
+    for (size_t w0 = 0; w0 < count; w0 += kGroup) {
+      const size_t g = std::min(kGroup, count - w0);
+      for (size_t w = 0; w < g; ++w) {
+        wrng[w] = rng.Fork();
+        const MarginalSlot& s = SampleMarginalSlot(k0, wrng[w]);
+        local[w] = s.local;
+        visit(w0 + w, size_t{0}, s.local, s.state);
+      }
+      size_t k = k0;
+      for (Tic t = ts; t < te; ++t, ++k) {
+        const uint32_t* offs = flat_row_offsets_.data() + row_base_[k];
+        const FusedSlot* slots = flat_slots_.data();
+        const size_t rel = static_cast<size_t>(t - ts) + 1;
+        for (size_t w = 0; w < g; ++w) {
+          const uint32_t lo = offs[local[w]];
+          const uint32_t len = offs[local[w] + 1] - lo;
+          const uint64_t x = wrng[w]();
+          const uint32_t j = static_cast<uint32_t>(((x >> 32) * len) >> 32);
+          const FusedSlot* s = slots + lo + j;
+          if (static_cast<uint32_t>(x) >= s->thresh) s = slots + s->alias;
+          local[w] = s->local;
+          visit(w0 + w, rel, s->local, s->state);
+        }
+      }
+    }
+  }
+
+  /// Draw from the marginal of slice `k`; returns the chosen slot.
+  const MarginalSlot& SampleMarginalSlot(size_t k, Rng& rng) const {
+    const MarginalSlot* base = flat_marginal_.data() + marg_base_[k];
+    const uint32_t n = static_cast<uint32_t>(slices_[k].support.size());
+    const uint64_t x = rng();
+    const uint32_t j = static_cast<uint32_t>(((x >> 32) * n) >> 32);
+    const MarginalSlot* s = base + j;
+    if (static_cast<uint32_t>(x) >= s->thresh) {
+      s = flat_marginal_.data() + s->alias;
+    }
+    return *s;
+  }
+
+  /// Draw a successor slot of `local` within slice `k`.
+  const FusedSlot& SampleSuccessorSlot(size_t k, uint32_t local,
+                                       Rng& rng) const {
+    const uint32_t* offs = flat_row_offsets_.data() + row_base_[k];
+    const uint32_t lo = offs[local];
+    const uint32_t len = offs[local + 1] - lo;
+    const uint64_t x = rng();
+    const uint32_t j = static_cast<uint32_t>(((x >> 32) * len) >> 32);
+    const FusedSlot* s = flat_slots_.data() + lo + j;
+    if (static_cast<uint32_t>(x) >= s->thresh) {
+      s = flat_slots_.data() + s->alias;
+    }
+    return *s;
+  }
 
   Tic first_tic_ = 0;
   std::vector<Slice> slices_;
+  // Lazily built sampler arrays (EnsureSamplers); mutable like the posterior
+  // cache in UncertainObject — single-writer, warm before sharing.
+  mutable std::vector<FusedSlot> flat_slots_;        ///< all transition slots
+  mutable std::vector<MarginalSlot> flat_marginal_;  ///< all marginal slots
+  mutable std::vector<uint32_t> flat_row_offsets_;   ///< absolute CSR offsets
+  mutable std::vector<uint32_t> row_base_;   ///< per slice: flat_row_offsets_ base
+  mutable std::vector<uint32_t> marg_base_;  ///< per slice: flat_marginal_ base
+  mutable bool samplers_built_ = false;
 };
 
 }  // namespace ust

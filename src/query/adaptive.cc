@@ -63,17 +63,18 @@ Result<SequentialPnnResult> EstimatePnnSequential(
   if (!sampler.ok()) return sampler.status();
 
   const size_t len = T.length();
-  std::vector<uint8_t> is_nn(participants.size() * len);
+  const size_t world_stride = participants.size() * len;
+  std::vector<uint8_t> is_nn(options.batch_size * world_stride);
   std::vector<size_t> forall_hits(targets.size(), 0);
   std::vector<size_t> exists_hits(targets.size(), 0);
   size_t worlds = 0;
   while (worlds < options.max_worlds) {
     const size_t batch =
         std::min(options.batch_size, options.max_worlds - worlds);
+    sampler.value().SampleWorlds(batch, is_nn.data(), world_stride);
     for (size_t b = 0; b < batch; ++b) {
-      sampler.value().NextWorld(is_nn.data());
-      Accumulate(is_nn.data(), target_index.value(), len, &forall_hits,
-                 &exists_hits);
+      Accumulate(is_nn.data() + b * world_stride, target_index.value(), len,
+                 &forall_hits, &exists_hits);
     }
     worlds += batch;
     if (HoeffdingEpsilon(worlds, options.delta) <= options.epsilon) break;
@@ -117,7 +118,8 @@ Result<ThresholdQueryResult> DecideThresholdSequential(
   const double per_object_delta =
       options.delta / static_cast<double>(std::max<size_t>(1, targets.size()));
   const size_t len = T.length();
-  std::vector<uint8_t> is_nn(participants.size() * len);
+  const size_t world_stride = participants.size() * len;
+  std::vector<uint8_t> is_nn(options.batch_size * world_stride);
   std::vector<size_t> forall_hits(targets.size(), 0);
   std::vector<size_t> exists_hits(targets.size(), 0);
 
@@ -129,10 +131,10 @@ Result<ThresholdQueryResult> DecideThresholdSequential(
   while (worlds < options.max_worlds && undecided > 0) {
     const size_t batch =
         std::min(options.batch_size, options.max_worlds - worlds);
+    sampler.value().SampleWorlds(batch, is_nn.data(), world_stride);
     for (size_t b = 0; b < batch; ++b) {
-      sampler.value().NextWorld(is_nn.data());
-      Accumulate(is_nn.data(), target_index.value(), len, &forall_hits,
-                 &exists_hits);
+      Accumulate(is_nn.data() + b * world_stride, target_index.value(), len,
+                 &forall_hits, &exists_hits);
     }
     worlds += batch;
     for (size_t ti = 0; ti < targets.size(); ++ti) {

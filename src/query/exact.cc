@@ -47,7 +47,8 @@ Result<std::vector<WeightedTrajectory>> EnumerateWindowTrajectories(
     const PosteriorModel::Slice& slice = model.SliceAt(frame.t);
     for (uint32_t e = slice.row_offsets[frame.local];
          e < slice.row_offsets[frame.local + 1]; ++e) {
-      const auto& [next_local, p] = slice.transitions[e];
+      const uint32_t next_local = slice.targets[e];
+      const double p = slice.tprobs[e];
       if (p <= 0.0) continue;
       work.push_back(
           {{frame.t + 1, next_local, frame.prob * p}, depth + 1});
@@ -177,8 +178,10 @@ Result<double> DominationProbability(const StateSpace& space,
            ++ea) {
         for (uint32_t eb = sb.row_offsets[ib]; eb < sb.row_offsets[ib + 1];
              ++eb) {
-          const auto& [ja, pa] = sa.transitions[ea];
-          const auto& [jb, pb] = sb.transitions[eb];
+          const uint32_t ja = sa.targets[ea];
+          const double pa = sa.tprobs[ea];
+          const uint32_t jb = sb.targets[eb];
+          const double pb = sb.tprobs[eb];
           if (!satisfies(na.support[ja], nb.support[jb], t + 1)) continue;
           next[pack(ja, jb)] += p * pa * pb;
         }

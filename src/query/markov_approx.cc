@@ -30,7 +30,8 @@ ModelStrip AugmentToWindow(const PosteriorModel& model, Tic ts, Tic te) {
     if (alive_now) {
       slice = model.SliceAt(t);
       slice.row_offsets.clear();
-      slice.transitions.clear();
+      slice.targets.clear();
+      slice.tprobs.clear();
     } else {
       slice.support = {kDead};
       slice.marginal = {1.0};
@@ -41,25 +42,29 @@ ModelStrip AugmentToWindow(const PosteriorModel& model, Tic ts, Tic te) {
     if (alive_now && alive_next) {
       const PosteriorModel::Slice& real = model.SliceAt(t);
       slice.row_offsets = real.row_offsets;
-      slice.transitions = real.transitions;
+      slice.targets = real.targets;
+      slice.tprobs = real.tprobs;
     } else if (alive_now && !alive_next) {
       for (size_t i = 0; i < slice.support.size(); ++i) {
-        slice.transitions.push_back({0, 1.0});  // everyone dies into kDead
+        slice.targets.push_back(0);  // everyone dies into kDead
+        slice.tprobs.push_back(1.0);
         slice.row_offsets.push_back(
-            static_cast<uint32_t>(slice.transitions.size()));
+            static_cast<uint32_t>(slice.targets.size()));
       }
     } else if (!alive_now && alive_next) {
       // Entry: pseudo-state fans out into the competitor's first marginal.
       const PosteriorModel::Slice& entry = model.SliceAt(t + 1);
       for (uint32_t j = 0; j < entry.support.size(); ++j) {
         if (entry.marginal[j] > 0.0) {
-          slice.transitions.push_back({j, entry.marginal[j]});
+          slice.targets.push_back(j);
+          slice.tprobs.push_back(entry.marginal[j]);
         }
       }
       slice.row_offsets.push_back(
-          static_cast<uint32_t>(slice.transitions.size()));
+          static_cast<uint32_t>(slice.targets.size()));
     } else {
-      slice.transitions.push_back({0, 1.0});  // stay dead
+      slice.targets.push_back(0);  // stay dead
+      slice.tprobs.push_back(1.0);
       slice.row_offsets.push_back(1);
     }
   }
@@ -81,7 +86,8 @@ Result<ModelStrip> StripFromPosterior(const PosteriorModel& model, Tic ts,
   }
   // The final slice carries no transitions within the window.
   strip.slices.back().row_offsets.clear();
-  strip.slices.back().transitions.clear();
+  strip.slices.back().targets.clear();
+  strip.slices.back().tprobs.clear();
   return strip;
 }
 
@@ -134,10 +140,12 @@ Result<std::pair<double, ModelStrip>> ConditionOnDomination(
         if (mass <= 0.0) continue;
         for (uint32_t eo = so.row_offsets[i]; eo < so.row_offsets[i + 1];
              ++eo) {
-          const auto& [ni, po] = so.transitions[eo];
+          const uint32_t ni = so.targets[eo];
+          const double po = so.tprobs[eo];
           for (uint32_t ea = sa.row_offsets[j]; ea < sa.row_offsets[j + 1];
                ++ea) {
-            const auto& [nj, pa] = sa.transitions[ea];
+            const uint32_t nj = sa.targets[ea];
+            const double pa = sa.tprobs[ea];
             if (!satisfied(rel + 1, no.support[ni], na.support[nj])) continue;
             alpha[rel + 1][ni * nwa + nj] += mass * po * pa;
           }
@@ -167,10 +175,12 @@ Result<std::pair<double, ModelStrip>> ConditionOnDomination(
         double sum = 0.0;
         for (uint32_t eo = so.row_offsets[i]; eo < so.row_offsets[i + 1];
              ++eo) {
-          const auto& [ni, po] = so.transitions[eo];
+          const uint32_t ni = so.targets[eo];
+          const double po = so.tprobs[eo];
           for (uint32_t ea = sa.row_offsets[j]; ea < sa.row_offsets[j + 1];
                ++ea) {
-            const auto& [nj, pa] = sa.transitions[ea];
+            const uint32_t nj = sa.targets[ea];
+            const double pa = sa.tprobs[ea];
             if (!satisfied(rel + 1, no.support[ni], na.support[nj])) continue;
             sum += po * pa * beta[rel + 1][ni * nwa + nj];
           }
@@ -247,11 +257,13 @@ Result<std::pair<double, ModelStrip>> ConditionOnDomination(
         const double weight = g / z_k / beta[rel][k * wa + l];
         for (uint32_t eo = so.row_offsets[k]; eo < so.row_offsets[k + 1];
              ++eo) {
-          const auto& [ni, po] = so.transitions[eo];
+          const uint32_t ni = so.targets[eo];
+          const double po = so.tprobs[eo];
           double inner = 0.0;
           for (uint32_t ea = sa.row_offsets[l]; ea < sa.row_offsets[l + 1];
                ++ea) {
-            const auto& [nj, pa] = sa.transitions[ea];
+            const uint32_t nj = sa.targets[ea];
+            const double pa = sa.tprobs[ea];
             if (!satisfied(rel + 1, no.support[ni], na.support[nj])) continue;
             inner += pa * beta[rel + 1][ni * nwa + nj];
           }
@@ -270,10 +282,11 @@ Result<std::pair<double, ModelStrip>> ConditionOnDomination(
         if (row[ni] <= 0.0) continue;
         const uint32_t target = remap[rel + 1][ni];
         if (target == static_cast<uint32_t>(-1)) continue;
-        slice.transitions.push_back({target, row[ni] / row_sum});
+        slice.targets.push_back(target);
+        slice.tprobs.push_back(row[ni] / row_sum);
       }
       slice.row_offsets.push_back(
-          static_cast<uint32_t>(slice.transitions.size()));
+          static_cast<uint32_t>(slice.targets.size()));
     }
   }
   return std::make_pair(prob, std::move(adapted));

@@ -6,10 +6,21 @@
 
 namespace ust {
 
-size_t NnTable::IndexOf(ObjectId o) const {
+void NnTable::BuildIndex() {
+  sorted_index_.reserve(objects_.size());
   for (size_t i = 0; i < objects_.size(); ++i) {
-    if (objects_[i] == o) return i;
+    sorted_index_.push_back({objects_[i], static_cast<uint32_t>(i)});
   }
+  std::sort(sorted_index_.begin(), sorted_index_.end());
+}
+
+size_t NnTable::IndexOf(ObjectId o) const {
+  auto it = std::lower_bound(
+      sorted_index_.begin(), sorted_index_.end(), o,
+      [](const std::pair<ObjectId, uint32_t>& e, ObjectId v) {
+        return e.first < v;
+      });
+  if (it != sorted_index_.end() && it->first == o) return it->second;
   return npos;
 }
 
@@ -68,7 +79,9 @@ Result<WorldSampler> WorldSampler::Create(const TrajectoryDatabase& db,
   sampler.q_ = q;
   sampler.interval_ = T;
   sampler.k_ = k;
-  sampler.rng_ = Rng(seed);
+  sampler.qpts_.reserve(T.length());
+  for (Tic t = T.start; t <= T.end; ++t) sampler.qpts_.push_back(q.At(t));
+  Rng root(seed);
   sampler.resolved_.reserve(sampler.participants_.size());
   for (ObjectId id : sampler.participants_) {
     const UncertainObject& obj = db.object(id);
@@ -79,26 +92,123 @@ Result<WorldSampler> WorldSampler::Create(const TrajectoryDatabase& db,
     p.ws = std::max(T.start, p.model->first_tic());
     p.we = std::min(T.end, p.model->last_tic());
     p.alive = p.ws <= p.we;
+    p.rng = root.Fork();  // per-participant stream: chunking-independent
+    if (p.alive) {
+      // Validate the window once and warm the alias samplers here, so world
+      // sampling is pure array lookups.
+      UST_CHECK(p.model->CoversWindow(p.ws, p.we));
+      p.model->EnsureSamplers();
+      p.rel0 = static_cast<uint32_t>(p.ws - T.start);
+      p.wlen = static_cast<uint32_t>(p.we - p.ws) + 1;
+      p.doff = sampler.total_wlen_;
+      sampler.total_wlen_ += p.wlen;
+      // Precompute the support-state-to-q distances of every window slice:
+      // one pass per query replaces a coord lookup per sampled state.
+      p.dbase = sampler.dtab_.size();
+      p.dtab_off.resize(p.wlen + 1);
+      uint32_t cum = 0;
+      for (uint32_t r = 0; r < p.wlen; ++r) {
+        const PosteriorModel::Slice& slice =
+            p.model->SliceAt(p.ws + static_cast<Tic>(r));
+        p.dtab_off[r] = cum;
+        const Point2& qt = sampler.qpts_[p.rel0 + r];
+        for (StateId s : slice.support) {
+          sampler.dtab_.push_back(SquaredDistance(db.space().coord(s), qt));
+        }
+        cum += static_cast<uint32_t>(slice.support.size());
+      }
+      p.dtab_off[p.wlen] = cum;
+    }
     sampler.resolved_.push_back(std::move(p));
   }
-  sampler.world_.resize(sampler.resolved_.size());
   return sampler;
 }
 
-void WorldSampler::NextWorld(uint8_t* is_nn) {
-  for (size_t i = 0; i < resolved_.size(); ++i) {
-    WorldTrajectory& wt = world_[i];
-    if (!resolved_[i].alive) {
-      wt.alive = false;
-      continue;
+void WorldSampler::SampleWorlds(size_t count, uint8_t* is_nn,
+                                size_t world_stride) {
+  const size_t n = resolved_.size();
+  const size_t len = interval_.length();
+  const double kInf = std::numeric_limits<double>::infinity();
+  for (size_t w0 = 0; w0 < count; w0 += kWorldChunk) {
+    const size_t chunk = std::min(kWorldChunk, count - w0);
+    dist2_.resize(total_wlen_ * chunk);
+    min_scratch_.resize(chunk * len);
+    if (k_ == 1) std::fill(min_scratch_.begin(), min_scratch_.end(), kInf);
+    // ---- Phase 1: participant-major sampling straight into distances. ----
+    // One participant's alias tables stay hot across the whole chunk and the
+    // batch sampler keeps several walks in flight; the sampled windows are
+    // converted to squared distances immediately (no trajectory ever escapes
+    // this loop). For k == 1 the chunk's per-tic minima fold into the same
+    // pass while the block is L1-resident.
+    for (size_t i = 0; i < n; ++i) {
+      Participant& p = resolved_[i];
+      if (!p.alive) continue;
+      const double* dtab = dtab_.data() + p.dbase;
+      const uint32_t* doff = p.dtab_off.data();
+      double* block = dist2_.data() + p.doff * chunk;
+      const uint32_t wlen = p.wlen;
+      if (k_ == 1) {
+        double* mins = min_scratch_.data() + p.rel0;
+        p.model->SampleWindowBatchVisit(
+            p.ws, p.we, chunk, p.rng,
+            [=](size_t w, size_t rel, uint32_t local, StateId) {
+              const double d = dtab[doff[rel] + local];
+              block[w * wlen + rel] = d;
+              double& m = mins[w * len + rel];
+              if (d < m) m = d;
+            });
+      } else {
+        p.model->SampleWindowBatchVisit(
+            p.ws, p.we, chunk, p.rng,
+            [=](size_t w, size_t rel, uint32_t local, StateId) {
+              block[w * wlen + rel] = dtab[doff[rel] + local];
+            });
+      }
     }
-    auto traj =
-        resolved_[i].model->SampleWindow(resolved_[i].ws, resolved_[i].we, rng_);
-    UST_CHECK(traj.ok());  // window validated at Create()
-    wt.alive = true;
-    wt.traj = traj.MoveValue();
+    // ---- Phase 2: k-th distances (k > 1 only; k == 1 folded above). ----
+    if (k_ != 1) {
+      for (size_t w = 0; w < chunk; ++w) {
+        double* mb = min_scratch_.data() + w * len;
+        for (size_t rel = 0; rel < len; ++rel) {
+          kth_scratch_.clear();
+          for (size_t i = 0; i < n; ++i) {
+            const Participant& p = resolved_[i];
+            if (!p.alive || rel < p.rel0 || rel >= p.rel0 + p.wlen) continue;
+            kth_scratch_.push_back(
+                dist2_[p.doff * chunk + w * p.wlen + (rel - p.rel0)]);
+          }
+          if (kth_scratch_.empty()) {
+            mb[rel] = kInf;
+            continue;
+          }
+          const size_t kk =
+              std::min<size_t>(static_cast<size_t>(k_), kth_scratch_.size());
+          std::nth_element(kth_scratch_.begin(), kth_scratch_.begin() + (kk - 1),
+                           kth_scratch_.end());
+          mb[rel] = kth_scratch_[kk - 1];
+        }
+      }
+    }
+    // Marking: every byte of a world row is written exactly once.
+    for (size_t w = 0; w < chunk; ++w) {
+      uint8_t* row = is_nn + (w0 + w) * world_stride;
+      const double* mb = min_scratch_.data() + w * len;
+      for (size_t i = 0; i < n; ++i) {
+        const Participant& p = resolved_[i];
+        uint8_t* prow = row + i * len;
+        if (!p.alive) {
+          std::fill(prow, prow + len, 0);
+          continue;
+        }
+        const double* d = dist2_.data() + p.doff * chunk + w * p.wlen;
+        std::fill(prow, prow + p.rel0, 0);
+        for (uint32_t r = 0; r < p.wlen; ++r) {
+          prow[p.rel0 + r] = d[r] <= mb[p.rel0 + r] ? 1 : 0;
+        }
+        std::fill(prow + p.rel0 + p.wlen, prow + len, 0);
+      }
+    }
   }
-  MarkNearestNeighbors(db_->space(), world_, q_, interval_, k_, is_nn);
 }
 
 Result<NnTable> ComputeNnTable(const TrajectoryDatabase& db,
@@ -109,9 +219,9 @@ Result<NnTable> ComputeNnTable(const TrajectoryDatabase& db,
       WorldSampler::Create(db, participants, q, T, options.k, options.seed);
   if (!sampler.ok()) return sampler.status();
   NnTable table(participants, T, options.num_worlds);
-  for (size_t w = 0; w < options.num_worlds; ++w) {
-    sampler.value().NextWorld(table.WorldRow(w));
-  }
+  // Fill the bitmap row-major per world in one batched pass.
+  sampler.value().SampleWorlds(options.num_worlds, table.WorldRow(0),
+                               participants.size() * T.length());
   return table;
 }
 

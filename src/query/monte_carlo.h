@@ -28,13 +28,16 @@ class NnTable {
  public:
   NnTable(std::vector<ObjectId> objects, TimeInterval T, size_t num_worlds)
       : objects_(std::move(objects)), interval_(T), num_worlds_(num_worlds),
-        bits_(objects_.size() * num_worlds * T.length(), 0) {}
+        bits_(objects_.size() * num_worlds * T.length(), 0) {
+    BuildIndex();
+  }
 
   const std::vector<ObjectId>& objects() const { return objects_; }
   const TimeInterval& interval() const { return interval_; }
   size_t num_worlds() const { return num_worlds_; }
 
-  /// Index of `o` within objects(), or npos.
+  /// Index of `o` within objects(), or npos. O(log n) via the sorted index
+  /// built at construction (objects() keeps the caller's order).
   size_t IndexOf(ObjectId o) const;
   static constexpr size_t npos = static_cast<size_t>(-1);
 
@@ -65,28 +68,45 @@ class NnTable {
   }
 
  private:
+  void BuildIndex();
+
   std::vector<ObjectId> objects_;
   TimeInterval interval_;
   size_t num_worlds_;
   std::vector<uint8_t> bits_;  // [world][object][rel tic]
+  /// (object id, position in objects_) sorted by id, for O(log n) IndexOf.
+  std::vector<std::pair<ObjectId, uint32_t>> sorted_index_;
 };
 
-/// \brief Incremental possible-world sampler: each call to NextWorld() draws
-/// one world (a trajectory per participant, restricted to T) and marks which
-/// participants are (k)NNs of q at each tic. ComputeNnTable and the
-/// sequential estimators (query/adaptive.h) share this machinery.
+/// \brief Batched possible-world sampler: draws worlds (a trajectory per
+/// participant, restricted to T) and marks which participants are (k)NNs of
+/// q at each tic. ComputeNnTable and the sequential estimators
+/// (query/adaptive.h) share this machinery.
+///
+/// Worlds are drawn participant-major in chunks: each posterior's alias
+/// tables stay cache-hot across the whole chunk instead of being re-fetched
+/// per world, and sampled states are converted to squared distances on the
+/// spot (the NN decision never materializes trajectories). Each participant
+/// owns a forked RNG stream, so the sampled worlds are independent of the
+/// chunking and of the participant interleaving.
 class WorldSampler {
  public:
-  /// Validates inputs and resolves the posterior models.
+  /// Validates inputs (including every sampling window), resolves the
+  /// posterior models and warms their alias samplers.
   static Result<WorldSampler> Create(const TrajectoryDatabase& db,
                                      std::vector<ObjectId> participants,
                                      const QueryTrajectory& q,
                                      const TimeInterval& T, int k,
                                      uint64_t seed);
 
-  /// Samples the next world into `is_nn` (participant-major, size
-  /// num_participants() * interval().length(); layout as MarkNearestNeighbors).
-  void NextWorld(uint8_t* is_nn);
+  /// Samples `count` worlds; world w's marks go to
+  /// `is_nn + w * world_stride` (participant-major row, size
+  /// num_participants() * interval().length(); layout as
+  /// MarkNearestNeighbors). Allocation-free in steady state.
+  void SampleWorlds(size_t count, uint8_t* is_nn, size_t world_stride);
+
+  /// Samples the next single world (SampleWorlds of count 1).
+  void NextWorld(uint8_t* is_nn) { SampleWorlds(1, is_nn, 0); }
 
   size_t num_participants() const { return participants_.size(); }
   const std::vector<ObjectId>& participants() const { return participants_; }
@@ -95,9 +115,21 @@ class WorldSampler {
  private:
   struct Participant {
     std::shared_ptr<const PosteriorModel> model;
-    Tic ws, we;   // sampling window = alive span ∩ T
-    bool alive;   // alive at some tic of T
+    Tic ws, we;        // sampling window = alive span ∩ T
+    bool alive;        // alive at some tic of T
+    uint32_t rel0 = 0; // ws - T.start
+    uint32_t wlen = 0; // window length in tics
+    size_t doff = 0;   // block offset into dist2_, in per-world doubles
+    Rng rng{0};        // per-participant stream
+    // Precomputed per-slice distances to q: dtab_[dbase + dtab_off[r] + j]
+    // is the squared distance of support state j (slice ws + r) to q(ws+r).
+    size_t dbase = 0;
+    std::vector<uint32_t> dtab_off;  // size wlen + 1
   };
+
+  /// Worlds per chunk: bounds the distance-matrix working set
+  /// (num_participants * interval * 8 bytes * kWorldChunk).
+  static constexpr size_t kWorldChunk = 512;
 
   const TrajectoryDatabase* db_ = nullptr;
   std::vector<ObjectId> participants_;
@@ -105,8 +137,12 @@ class WorldSampler {
   QueryTrajectory q_ = QueryTrajectory::FromPoint({0, 0});
   TimeInterval interval_{0, 0};
   int k_ = 1;
-  Rng rng_{0};
-  std::vector<WorldTrajectory> world_;
+  std::vector<Point2> qpts_;        // q.At per tic of T, hoisted
+  size_t total_wlen_ = 0;           // sum of alive windows, per world
+  std::vector<double> dist2_;       // [participant block][world][rel - rel0]
+  std::vector<double> dtab_;        // support-state-to-q distance tables
+  std::vector<double> min_scratch_; // per-(world, rel) k-th distance of a chunk
+  std::vector<double> kth_scratch_; // k>1: per-tic alive distances
 };
 
 /// \brief Sample `options.num_worlds` possible worlds over `participants` and

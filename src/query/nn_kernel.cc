@@ -15,23 +15,36 @@ void MarkNearestNeighbors(const StateSpace& space,
   const size_t len = T.length();
   std::vector<double> dists(n);
   std::vector<double> alive_dists;
-  alive_dists.reserve(n);
+  if (k > 1) alive_dists.reserve(n);
   for (Tic t = T.start; t <= T.end; ++t) {
     const size_t rel = static_cast<size_t>(t - T.start);
-    alive_dists.clear();
-    for (size_t i = 0; i < n; ++i) {
-      dists[i] = WorldSquaredDistance(space, participants[i], q, t);
-      if (dists[i] != std::numeric_limits<double>::infinity()) {
-        alive_dists.push_back(dists[i]);
-      }
-    }
+    const Point2& qt = q.At(t);  // hoisted out of the participant loop
+    auto dist2 = [&](const WorldTrajectory& wt) {
+      if (!wt.CoversTic(t)) return std::numeric_limits<double>::infinity();
+      return SquaredDistance(space.coord(wt.traj.At(t)), qt);
+    };
     double kth = std::numeric_limits<double>::infinity();
-    if (!alive_dists.empty()) {
-      const size_t kk = std::min<size_t>(static_cast<size_t>(k),
-                                         alive_dists.size());
-      std::nth_element(alive_dists.begin(), alive_dists.begin() + (kk - 1),
-                       alive_dists.end());
-      kth = alive_dists[kk - 1];
+    if (k == 1) {
+      // Fast path: the k-th smallest is just the minimum.
+      for (size_t i = 0; i < n; ++i) {
+        dists[i] = dist2(participants[i]);
+        if (dists[i] < kth) kth = dists[i];
+      }
+    } else {
+      alive_dists.clear();
+      for (size_t i = 0; i < n; ++i) {
+        dists[i] = dist2(participants[i]);
+        if (dists[i] != std::numeric_limits<double>::infinity()) {
+          alive_dists.push_back(dists[i]);
+        }
+      }
+      if (!alive_dists.empty()) {
+        const size_t kk = std::min<size_t>(static_cast<size_t>(k),
+                                           alive_dists.size());
+        std::nth_element(alive_dists.begin(), alive_dists.begin() + (kk - 1),
+                         alive_dists.end());
+        kth = alive_dists[kk - 1];
+      }
     }
     for (size_t i = 0; i < n; ++i) {
       is_nn[i * len + rel] =

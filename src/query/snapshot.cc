@@ -46,8 +46,10 @@ Result<std::vector<double>> SnapshotNnProbabilities(
     dd.alive = true;
     std::vector<std::pair<double, double>> pairs;  // (dist2, prob)
     pairs.reserve(marginals[i].size());
-    for (const auto& [s, p] : marginals[i].entries()) {
-      pairs.push_back({SquaredDistance(db.space().coord(s), qt), p});
+    for (size_t j = 0; j < marginals[i].size(); ++j) {
+      pairs.push_back({SquaredDistance(db.space().coord(marginals[i].ids()[j]),
+                                       qt),
+                       marginals[i].probs()[j]});
     }
     std::sort(pairs.begin(), pairs.end());
     dd.dist2.reserve(pairs.size());
@@ -63,14 +65,14 @@ Result<std::vector<double>> SnapshotNnProbabilities(
   for (size_t i = 0; i < n; ++i) {
     if (!dists[i].alive) continue;
     double total = 0.0;
-    for (const auto& [s, p] : marginals[i].entries()) {
-      double d2 = SquaredDistance(db.space().coord(s), qt);
+    for (size_t m = 0; m < marginals[i].size(); ++m) {
+      double d2 = SquaredDistance(db.space().coord(marginals[i].ids()[m]), qt);
       double others = 1.0;
       for (size_t j = 0; j < n && others > 0.0; ++j) {
         if (j == i) continue;
         others *= dists[j].SurvivalAtLeast(d2);
       }
-      total += p * others;
+      total += marginals[i].probs()[m] * others;
     }
     win[i] = total;
   }

@@ -1,30 +1,36 @@
 #include "util/rng.h"
 
+#include <random>
+
 #include "util/check.h"
 
 namespace ust {
 
-double Rng::Uniform() {
-  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
-}
-
-double Rng::Uniform(double lo, double hi) {
-  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+void Rng::Seed(uint64_t seed) {
+  // splitmix64 expansion; recommended initialization for xoshiro256++.
+  uint64_t x = seed;
+  for (uint64_t& s : s_) {
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    s = z ^ (z >> 31);
+  }
 }
 
 uint64_t Rng::UniformInt(uint64_t n) {
   UST_DCHECK(n > 0);
-  return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
-}
-
-bool Rng::Bernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return std::bernoulli_distribution(p)(engine_);
+  // Rejection to stay exactly uniform for any n.
+  const uint64_t limit = max() - max() % n;
+  uint64_t x;
+  do {
+    x = operator()();
+  } while (x >= limit);
+  return x % n;
 }
 
 double Rng::Normal() {
-  return std::normal_distribution<double>(0.0, 1.0)(engine_);
+  return std::normal_distribution<double>(0.0, 1.0)(*this);
 }
 
 size_t Rng::Categorical(const std::vector<double>& weights) {
@@ -39,11 +45,6 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
     if (u < acc) return i;
   }
   return weights.size() - 1;  // numerical slack: return last nonzero slot
-}
-
-Rng Rng::Fork() {
-  uint64_t child_seed = engine_();
-  return Rng(child_seed);
 }
 
 }  // namespace ust

@@ -86,8 +86,8 @@ TEST(AdaptationTest, TransitionRowsAreStochastic) {
       double sum = 0.0;
       for (uint32_t e = slice.row_offsets[i]; e < slice.row_offsets[i + 1];
            ++e) {
-        EXPECT_GT(slice.transitions[e].second, 0.0);
-        sum += slice.transitions[e].second;
+        EXPECT_GT(slice.tprobs[e], 0.0);
+        sum += slice.tprobs[e];
       }
       EXPECT_NEAR(sum, 1.0, 1e-9) << "t=" << t << " state " << slice.support[i];
     }
@@ -117,8 +117,8 @@ TEST(AdaptationTest, MarginalConsistencyWithTransitions) {
     for (size_t i = 0; i < slice.support.size(); ++i) {
       for (uint32_t e = slice.row_offsets[i]; e < slice.row_offsets[i + 1];
            ++e) {
-        pushed[slice.transitions[e].first] +=
-            slice.marginal[i] * slice.transitions[e].second;
+        pushed[slice.targets[e]] +=
+            slice.marginal[i] * slice.tprobs[e];
       }
     }
     for (size_t j = 0; j < next.support.size(); ++j) {
@@ -139,7 +139,7 @@ TEST(AdaptationTest, PosteriorSupportRespectsAprioriSupport) {
       for (uint32_t e = slice.row_offsets[i]; e < slice.row_offsets[i + 1];
            ++e) {
         StateId from = slice.support[i];
-        StateId to = next.support[slice.transitions[e].first];
+        StateId to = next.support[slice.targets[e]];
         EXPECT_GT(world.matrix->Prob(from, to), 0.0)
             << from << "->" << to << " not in the a-priori support";
       }
@@ -231,7 +231,7 @@ TEST(AdaptationTest, ExtensionAfterMultiObservationChain) {
     for (size_t i = 0; i < slice.support.size(); ++i) {
       double sum = 0.0;
       for (uint32_t e = slice.row_offsets[i]; e < slice.row_offsets[i + 1]; ++e)
-        sum += slice.transitions[e].second;
+        sum += slice.tprobs[e];
       EXPECT_NEAR(sum, 1.0, 1e-9);
     }
   }

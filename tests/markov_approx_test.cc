@@ -27,7 +27,7 @@ TEST(StripTest, FromPosteriorCopiesWindow) {
   ASSERT_TRUE(strip.ok());
   EXPECT_EQ(strip.value().start, 2);
   EXPECT_EQ(strip.value().slices.size(), 2u);
-  EXPECT_TRUE(strip.value().slices.back().transitions.empty());
+  EXPECT_TRUE(strip.value().slices.back().targets.empty());
   EXPECT_FALSE(StripFromPosterior(*posterior.value(), 0, 3).ok());
 }
 

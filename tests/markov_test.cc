@@ -18,7 +18,7 @@ using testing::MakeMatrix;
 TEST(SparseDistTest, ConstructorSortsAndMerges) {
   SparseDist d({{5, 0.2}, {1, 0.3}, {5, 0.1}});
   ASSERT_EQ(d.size(), 2u);
-  EXPECT_EQ(d.entries()[0].first, 1u);
+  EXPECT_EQ(d.ids()[0], 1u);
   EXPECT_DOUBLE_EQ(d.Prob(5), 0.3);
   EXPECT_DOUBLE_EQ(d.Prob(2), 0.0);
 }

@@ -143,7 +143,9 @@ TEST(SamplersTest, AllThreeSamplersAgreeInDistribution) {
   });
   // Reference: exact posterior marginal.
   SparseDist marginal = model.value().MarginalAt(probe);
-  for (const auto& [s, p] : marginal.entries()) {
+  for (size_t i = 0; i < marginal.size(); ++i) {
+    const StateId s = marginal.ids()[i];
+    const double p = marginal.probs()[i];
     EXPECT_NEAR(h_fb[s], p, 0.02) << "FB state " << s;
     EXPECT_NEAR(h_ts1[s], p, 0.02) << "TS1 state " << s;
     EXPECT_NEAR(h_ts2[s], p, 0.02) << "TS2 state " << s;
@@ -166,8 +168,8 @@ TEST(PosteriorModelTest, SampleWindowStartsFromMarginal) {
     hist[traj.value().states[0]] += 1.0 / n;
   }
   SparseDist marginal = model.value().MarginalAt(3);
-  for (const auto& [s, p] : marginal.entries()) {
-    EXPECT_NEAR(hist[s], p, 0.02);
+  for (size_t i = 0; i < marginal.size(); ++i) {
+    EXPECT_NEAR(hist[marginal.ids()[i]], marginal.probs()[i], 0.02);
   }
 }
 

@@ -77,7 +77,7 @@ TEST(UstTreeTest, MbrCoversPosteriorSupport) {
   ASSERT_TRUE(posterior.ok());
   for (Tic t = 0; t <= 9; ++t) {
     SparseDist marginal = posterior.value()->MarginalAt(t);
-    for (const auto& [s, p] : marginal.entries()) {
+    for (StateId s : marginal.ids()) {
       const Point2& pt = db.space().coord(s);
       bool covered = false;
       for (const auto& e : tree.value().entries()) {
@@ -123,7 +123,7 @@ TEST(UstTreeTest, FarAwayObjectPrunedButNearOnesKept) {
       3, {{{0, 1.0}}, {{1, 1.0}}, {{2, 1.0}}});
   TrajectoryDatabase db(space);
   ObjectId near1 = db.AddObject(Obs({{0, 0}, {4, 0}}), matrix);
-  ObjectId near2 = db.AddObject(Obs({{0, 1}, {4, 1}}), matrix);
+  db.AddObject(Obs({{0, 1}, {4, 1}}), matrix);  // near2: kept but unasserted
   ObjectId far = db.AddObject(Obs({{0, 2}, {4, 2}}), matrix);
   auto tree = UstTree::Build(db);
   ASSERT_TRUE(tree.ok());
