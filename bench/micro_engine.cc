@@ -1,0 +1,192 @@
+// Query-throughput microbenchmark of the plan-based pipeline: the same
+// 50-query P∀NNQ batch evaluated three ways —
+//
+//   single_shot : the pre-session pattern — every query constructs the full
+//                 stack from scratch (posteriors invalidated, fresh
+//                 QueryEngine), paying adaptation, sampler warm-up and
+//                 scratch allocation per query;
+//   warm_engine : one QueryEngine over a warm database — posterior caches
+//                 amortize, but pruning state and sampling scratch are
+//                 still rebuilt per call;
+//   session     : QuerySession::Prepare + RunAll — shared immutable state,
+//                 cached index slabs, per-worker scratch, planner on.
+//
+// Emits BENCH_engine.json (queries/sec for each mode plus the speedups) so
+// engine throughput is tracked machine-readably across PRs, like
+// BENCH_sampling.json for the sampling hot path.
+//
+// Flags (defaults sized for a single CI core):
+//   --states=10000 --objects=48 --lifetime=96 --obs_interval=12
+//   --horizon=120 --interval=10 --worlds=500 --queries=50 --threads=1
+//   --json_out=BENCH_engine.json
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_json.h"
+#include "gen/synthetic.h"
+#include "gen/workload.h"
+#include "index/ust_tree.h"
+#include "query/engine.h"
+#include "query/session.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace ust;
+using namespace ust::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  SyntheticConfig config;
+  config.num_states = flags.GetInt("states", 10000);
+  config.num_objects = flags.GetInt("objects", 48);
+  config.lifetime = static_cast<Tic>(flags.GetInt("lifetime", 96));
+  config.obs_interval = static_cast<Tic>(flags.GetInt("obs_interval", 12));
+  config.horizon = static_cast<Tic>(flags.GetInt("horizon", 120));
+  config.seed = 6;
+  const size_t interval_length = flags.GetInt("interval", 10);
+  const size_t num_worlds = flags.GetInt("worlds", 500);
+  const size_t num_queries = flags.GetInt("queries", 50);
+  const int threads = flags.GetInt("threads", 1);
+  const std::string json_out = flags.GetString("json_out", "BENCH_engine.json");
+
+  PrintConfig("micro_engine: plan-based query pipeline throughput", flags,
+              "states=" + std::to_string(config.num_states) +
+                  " objects=" + std::to_string(config.num_objects) +
+                  " worlds=" + std::to_string(num_worlds) +
+                  " queries=" + std::to_string(num_queries) +
+                  " threads=" + std::to_string(threads));
+
+  auto world_result = GenerateSyntheticWorld(config);
+  UST_CHECK(world_result.ok());
+  SyntheticWorld world = world_result.MoveValue();
+  TrajectoryDatabase& db = *world.db;
+  auto tree = UstTree::Build(db);
+  UST_CHECK(tree.ok());
+
+  const TimeInterval T = BusiestInterval(db, interval_length);
+  Rng qrng(3);
+  std::vector<QuerySpec> specs;
+  specs.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    QuerySpec spec;
+    spec.kind = QueryKind::kForall;
+    spec.q = RandomQueryState(db.space(), qrng);
+    spec.T = T;
+    spec.tau = 0.0;
+    spec.mc.num_worlds = num_worlds;
+    spec.mc.seed = 1000 + i;
+    // Pin the backend: the harness asserts bitwise equality against the
+    // Monte-Carlo-only QueryEngine modes, so a planner routing a small
+    // --objects run to enumeration must not change the session's numbers.
+    spec.backend = ExecutorKind::kMonteCarlo;
+    specs.push_back(spec);
+  }
+
+  // ---- Mode 1: repeated single-shot QueryEngine construction. ----
+  // Every query builds the stack cold: posteriors (and their samplers) are
+  // dropped, a fresh engine is constructed, all scratch reallocates.
+  double single_shot_seconds = 0.0;
+  std::vector<PnnQueryResult> single_shot_results(num_queries);
+  {
+    Timer t;
+    for (size_t i = 0; i < num_queries; ++i) {
+      db.InvalidatePosteriors();
+      QueryEngine engine(db, &tree.value());
+      auto r = engine.Forall(specs[i].q, specs[i].T, specs[i].tau, specs[i].mc);
+      UST_CHECK(r.ok());
+      single_shot_results[i] = r.MoveValue();
+    }
+    single_shot_seconds = t.Seconds();
+  }
+
+  // ---- Mode 2: one QueryEngine over a warm database. ----
+  double warm_engine_seconds = 0.0;
+  std::vector<PnnQueryResult> warm_results(num_queries);
+  {
+    UST_CHECK(db.EnsureAllPosteriors().ok());
+    QueryEngine engine(db, &tree.value());
+    Timer t;
+    for (size_t i = 0; i < num_queries; ++i) {
+      auto r = engine.Forall(specs[i].q, specs[i].T, specs[i].tau, specs[i].mc);
+      UST_CHECK(r.ok());
+      warm_results[i] = r.MoveValue();
+    }
+    warm_engine_seconds = t.Seconds();
+  }
+
+  // ---- Mode 3: QuerySession batch. Prepare (the one-time warm-up) is
+  // timed separately — the warm-engine mode gets its posteriors for free
+  // outside its timer, so the symmetric comparison is RunAll vs the warm
+  // query loop; prepare_seconds quantifies the amortized one-time cost.
+  double session_prepare_seconds = 0.0;
+  double session_seconds = 0.0;
+  std::vector<QueryOutcome> session_results;
+  {
+    db.InvalidatePosteriors();  // the session rebuilds its own shared state
+    SessionOptions options;
+    options.threads = threads;
+    QuerySession session(db, &tree.value(), options);
+    Timer prep;
+    UST_CHECK(session.Prepare().ok());
+    session_prepare_seconds = prep.Seconds();
+    Timer t;
+    session_results = session.RunAll(specs);
+    session_seconds = t.Seconds();
+  }
+
+  // The three modes must agree bit for bit (same seeds, same backend):
+  // the session batch is the serial engine, just cheaper.
+  for (size_t i = 0; i < num_queries; ++i) {
+    UST_CHECK(session_results[i].status.ok());
+    const auto& a = session_results[i].pnn.results;
+    const auto& b = single_shot_results[i].results;
+    const auto& c = warm_results[i].results;
+    UST_CHECK(a.size() == b.size() && a.size() == c.size());
+    for (size_t j = 0; j < a.size(); ++j) {
+      UST_CHECK(a[j].object == b[j].object && a[j].prob == b[j].prob);
+      UST_CHECK(a[j].object == c[j].object && a[j].prob == c[j].prob);
+    }
+  }
+
+  const double n = static_cast<double>(num_queries);
+  const double qps_single_shot = n / single_shot_seconds;
+  const double qps_warm_engine = n / warm_engine_seconds;
+  const double qps_session = n / session_seconds;
+
+  CsvTable table({"metric", "value"});
+  table.AddRow({"qps_single_shot", std::to_string(qps_single_shot)});
+  table.AddRow({"qps_warm_engine", std::to_string(qps_warm_engine)});
+  table.AddRow({"qps_session_batch", std::to_string(qps_session)});
+  table.AddRow(
+      {"session_prepare_seconds", std::to_string(session_prepare_seconds)});
+  table.AddRow({"speedup_vs_single_shot",
+                std::to_string(qps_session / qps_single_shot)});
+  table.AddRow({"speedup_vs_warm_engine",
+                std::to_string(qps_session / qps_warm_engine)});
+  table.Print(std::cout, "micro_engine results");
+
+  JsonWriter json;
+  json.Add("benchmark", std::string("micro_engine"));
+  json.Add("num_states", static_cast<double>(config.num_states));
+  json.Add("num_objects", static_cast<double>(config.num_objects));
+  json.Add("num_worlds", static_cast<double>(num_worlds));
+  json.Add("num_queries", static_cast<double>(num_queries));
+  json.Add("interval_length", static_cast<double>(interval_length));
+  json.Add("threads", static_cast<double>(threads));
+  json.Add("qps_single_shot", qps_single_shot);
+  json.Add("qps_warm_engine", qps_warm_engine);
+  json.Add("qps_session_batch", qps_session);
+  json.Add("session_prepare_seconds", session_prepare_seconds);
+  json.Add("speedup_vs_single_shot", qps_session / qps_single_shot);
+  json.Add("speedup_vs_warm_engine", qps_session / qps_warm_engine);
+  if (!json.WriteFile(json_out)) {
+    std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+    return 1;
+  }
+  std::printf("# wrote %s\n", json_out.c_str());
+  return 0;
+}

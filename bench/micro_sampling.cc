@@ -9,7 +9,11 @@
 // Flags (defaults = the workload perf targets are quoted against):
 //   --states=20000 --objects=64 --lifetime=96 --obs_interval=12
 //   --horizon=120 --interval=10 --worlds=1000 --world_rounds=3
-//   --json_out=BENCH_sampling.json
+//   --threads=1 --json_out=BENCH_sampling.json
+//
+// --threads=N shards the adaptation over objects and the world loop over
+// fixed 512-world chunks; results are bit-identical at any thread count
+// (DESIGN.md section 4), so the metric stays comparable across N.
 #include <cstdio>
 #include <string>
 
@@ -21,6 +25,7 @@
 #include "query/monte_carlo.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 using namespace ust;
@@ -38,8 +43,10 @@ int main(int argc, char** argv) {
   const size_t interval_length = flags.GetInt("interval", 10);
   const size_t num_worlds = flags.GetInt("worlds", 1000);
   const size_t world_rounds = flags.GetInt("world_rounds", 3);
+  const int threads = flags.GetInt("threads", 1);
   const std::string json_out =
       flags.GetString("json_out", "BENCH_sampling.json");
+  ThreadPool pool(threads);
 
   PrintConfig("micro_sampling: Monte-Carlo hot path", flags,
               "states=" + std::to_string(config.num_states) +
@@ -54,7 +61,7 @@ int main(int argc, char** argv) {
   // ---- Adaptation: posterior construction for the whole database. ----
   db.InvalidatePosteriors();
   Timer adapt_timer;
-  UST_CHECK(db.EnsureAllPosteriors().ok());
+  UST_CHECK(db.EnsureAllPosteriors(&pool).ok());
   const double adapt_seconds = adapt_timer.Seconds();
 
   // ---- Propagation: forward-filter marginals (the per-tic propagate). ----
@@ -104,7 +111,7 @@ int main(int argc, char** argv) {
     Timer t;
     for (size_t round = 0; round < world_rounds; ++round) {
       options.seed = 42 + round;
-      auto table = ComputeNnTable(db, ids, q, T, options);
+      auto table = ComputeNnTable(db, ids, q, T, options, &pool);
       UST_CHECK(table.ok());
     }
     worlds_per_second =
@@ -126,6 +133,7 @@ int main(int argc, char** argv) {
   json.Add("num_worlds", static_cast<double>(num_worlds));
   json.Add("num_participants", static_cast<double>(ids.size()));
   json.Add("interval_length", static_cast<double>(interval_length));
+  json.Add("threads", static_cast<double>(threads));
   json.Add("adapt_seconds", adapt_seconds);
   json.Add("propagate_seconds", propagate_seconds);
   json.Add("trajectories_per_second", trajectories_per_second);

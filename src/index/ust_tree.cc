@@ -99,24 +99,41 @@ Result<UstTree> UstTree::Build(const TrajectoryDatabase& db,
   return tree;
 }
 
-std::vector<UstTree::DistanceProfile> UstTree::BuildProfiles(
-    const QueryTrajectory& q, const TimeInterval& T) const {
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  const size_t len = T.length();
+UstTree::TimeSlab UstTree::MakeTimeSlab(const TimeInterval& T) const {
   // Fetch all segment rectangles overlapping the query time slab through the
   // R*-tree (prunes by time; space is left open since dmax bounds require
   // every alive object).
-  Rect3 slab = WithTimeInterval(space_bounds_, static_cast<double>(T.start),
-                                static_cast<double>(T.end));
-  std::vector<uint64_t> hits = rtree_.Query(slab);
+  Rect3 slab_box = WithTimeInterval(space_bounds_, static_cast<double>(T.start),
+                                    static_cast<double>(T.end));
+  std::vector<uint64_t> hits = rtree_.Query(slab_box);
   std::map<ObjectId, std::vector<const SegmentEntry*>> per_object;
   for (uint64_t idx : hits) {
     const SegmentEntry& e = entries_[idx];
     per_object[e.object].push_back(&e);
   }
-  std::vector<DistanceProfile> profiles;
-  profiles.reserve(per_object.size());
+  TimeSlab slab;
+  slab.T = T;
+  slab.per_object.reserve(per_object.size());
   for (auto& [object, segments] : per_object) {
+    slab.per_object.emplace_back(object, std::move(segments));
+  }
+  return slab;
+}
+
+std::vector<UstTree::DistanceProfile> UstTree::BuildProfiles(
+    const QueryTrajectory& q, const TimeInterval& T,
+    const TimeSlab* slab) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const size_t len = T.length();
+  TimeSlab local;
+  if (slab == nullptr) {
+    local = MakeTimeSlab(T);
+    slab = &local;
+  }
+  UST_DCHECK(slab->T == T);
+  std::vector<DistanceProfile> profiles;
+  profiles.reserve(slab->per_object.size());
+  for (const auto& [object, segments] : slab->per_object) {
     DistanceProfile profile;
     profile.object = object;
     const UncertainObject& obj = db_->object(object);
@@ -172,9 +189,10 @@ std::vector<double> PruningDistances(
 }  // namespace
 
 PruneResult UstTree::PruneForall(const QueryTrajectory& q,
-                                 const TimeInterval& T, int k) const {
+                                 const TimeInterval& T, int k,
+                                 const TimeSlab* slab) const {
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  auto profiles = BuildProfiles(q, T);
+  auto profiles = BuildProfiles(q, T, slab);
   const size_t len = T.length();
   auto prune = PruningDistances(profiles, len, k);
   PruneResult result;
@@ -196,9 +214,10 @@ PruneResult UstTree::PruneForall(const QueryTrajectory& q,
 }
 
 PruneResult UstTree::PruneExists(const QueryTrajectory& q,
-                                 const TimeInterval& T, int k) const {
+                                 const TimeInterval& T, int k,
+                                 const TimeSlab* slab) const {
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  auto profiles = BuildProfiles(q, T);
+  auto profiles = BuildProfiles(q, T, slab);
   const size_t len = T.length();
   auto prune = PruningDistances(profiles, len, k);
   PruneResult result;

@@ -48,13 +48,27 @@ class UstTree {
   static Result<UstTree> Build(const TrajectoryDatabase& db,
                                RStarTree::Options options);
 
-  /// Candidates and influencers for P∀(k)NN queries.
+  /// \brief Reusable index-traversal state for one query time interval: the
+  /// segment rectangles overlapping T, grouped per object (sorted by id).
+  /// Pruning only depends on the query trajectory beyond this, so a batch of
+  /// queries sharing T walks the R*-tree once and prunes from the slab.
+  struct TimeSlab {
+    TimeInterval T{0, 0};
+    std::vector<std::pair<ObjectId, std::vector<const SegmentEntry*>>>
+        per_object;
+  };
+
+  /// Collect the slab of `T` (one R*-tree traversal).
+  TimeSlab MakeTimeSlab(const TimeInterval& T) const;
+
+  /// Candidates and influencers for P∀(k)NN queries. When `slab` is given it
+  /// must have been built for the same T; the traversal is then skipped.
   PruneResult PruneForall(const QueryTrajectory& q, const TimeInterval& T,
-                          int k = 1) const;
+                          int k = 1, const TimeSlab* slab = nullptr) const;
 
   /// Candidates (== influencers) for P∃(k)NN queries.
   PruneResult PruneExists(const QueryTrajectory& q, const TimeInterval& T,
-                          int k = 1) const;
+                          int k = 1, const TimeSlab* slab = nullptr) const;
 
   const std::vector<SegmentEntry>& entries() const { return entries_; }
   const RStarTree& rtree() const { return rtree_; }
@@ -71,7 +85,8 @@ class UstTree {
   UstTree(RStarTree::Options options) : rtree_(options) {}
 
   std::vector<DistanceProfile> BuildProfiles(const QueryTrajectory& q,
-                                             const TimeInterval& T) const;
+                                             const TimeInterval& T,
+                                             const TimeSlab* slab) const;
 
   std::vector<SegmentEntry> entries_;
   RStarTree rtree_;

@@ -108,11 +108,12 @@ Result<PosteriorModel> AdaptTransitionMatrices(const TransitionMatrix& matrix,
 
 Result<PosteriorModel> AdaptTransitionMatrices(const TransitionMatrix& matrix,
                                                const ObservationSeq& obs,
-                                               Tic extend_until) {
+                                               Tic extend_until,
+                                               PropagateWorkspace* ws) {
   // Non-owning homogeneous view over the caller's matrix.
   HomogeneousModel model(
       std::shared_ptr<const TransitionMatrix>(&matrix, [](const auto*) {}));
-  return AdaptTransitionMatrices(model, obs, extend_until);
+  return AdaptTransitionMatrices(model, obs, extend_until, ws);
 }
 
 Result<PosteriorModel> AdaptTransitionMatrices(const TransitionModel& model,
@@ -122,7 +123,8 @@ Result<PosteriorModel> AdaptTransitionMatrices(const TransitionModel& model,
 
 Result<PosteriorModel> AdaptTransitionMatrices(const TransitionModel& model,
                                                const ObservationSeq& obs,
-                                               Tic extend_until) {
+                                               Tic extend_until,
+                                               PropagateWorkspace* ws_in) {
   const Tic t0 = obs.first_tic();
   const Tic t1 = obs.last_tic();
   const size_t num_tics = static_cast<size_t>(t1 - t0) + 1;
@@ -134,7 +136,9 @@ Result<PosteriorModel> AdaptTransitionMatrices(const TransitionModel& model,
         "extend_until before the last observation");
   }
   const size_t extra = static_cast<size_t>(extend_until - t1);
-  PropagateWorkspace ws(model.num_states());
+  PropagateWorkspace local_ws;
+  PropagateWorkspace& ws = ws_in != nullptr ? *ws_in : local_ws;
+  ws.Reserve(model.num_states());
 
   if (num_tics == 1) {
     PosteriorModel::Slice slice;

@@ -36,11 +36,18 @@ namespace ust {
 ///
 /// Fails with StatusCode::kContradiction when an observation is unreachable
 /// under the a-priori model (zero forward probability).
+///
+/// The `ws` parameter threads one reusable PropagateWorkspace through the
+/// adaptation: a caller adapting many objects (TrajectoryDatabase::
+/// EnsureAllPosteriors, the TS phase) passes the same workspace every time so
+/// the dense scatter arrays are allocated once per worker, not once per
+/// object. Pass nullptr for a private throwaway workspace.
 Result<PosteriorModel> AdaptTransitionMatrices(const TransitionMatrix& matrix,
                                                const ObservationSeq& obs);
 Result<PosteriorModel> AdaptTransitionMatrices(const TransitionMatrix& matrix,
                                                const ObservationSeq& obs,
-                                               Tic extend_until);
+                                               Tic extend_until,
+                                               PropagateWorkspace* ws = nullptr);
 
 /// Time-inhomogeneous variants: `model.At(t)` governs the step t -> t+1
 /// (Section 3.1 allows a different matrix per tic; the Lemma-1 construction
@@ -49,7 +56,8 @@ Result<PosteriorModel> AdaptTransitionMatrices(const TransitionModel& model,
                                                const ObservationSeq& obs);
 Result<PosteriorModel> AdaptTransitionMatrices(const TransitionModel& model,
                                                const ObservationSeq& obs,
-                                               Tic extend_until);
+                                               Tic extend_until,
+                                               PropagateWorkspace* ws = nullptr);
 
 /// \brief Forward-only filtering (the paper's "F" ablation in Figure 12):
 /// marginals P(o(t) | observations with time <= t) for every tic in the

@@ -1,5 +1,8 @@
 #include "model/trajectory_database.h"
 
+#include "markov/propagate_workspace.h"
+#include "util/thread_pool.h"
+
 namespace ust {
 
 ObjectId TrajectoryDatabase::AddObject(ObservationSeq observations,
@@ -36,8 +39,28 @@ std::vector<ObjectId> TrajectoryDatabase::AliveSometime(Tic ts, Tic te) const {
 }
 
 Status TrajectoryDatabase::EnsureAllPosteriors() const {
-  for (const auto& o : objects_) {
-    UST_RETURN_NOT_OK(o.EnsurePosterior());
+  return EnsureAllPosteriors(nullptr);
+}
+
+Status TrajectoryDatabase::EnsureAllPosteriors(ThreadPool* pool) const {
+  if (pool == nullptr || pool->num_threads() <= 1 || objects_.size() <= 1) {
+    // One workspace threaded through every adaptation: the dense scatter
+    // arrays are sized once for the whole TS phase.
+    PropagateWorkspace ws(space_->size());
+    for (const auto& o : objects_) {
+      UST_RETURN_NOT_OK(o.EnsurePosterior(&ws));
+    }
+    return Status::OK();
+  }
+  // Per-object adaptations touch disjoint posterior caches, so they shard
+  // cleanly; each worker owns one workspace for its share of the objects.
+  std::vector<PropagateWorkspace> workspaces(pool->num_threads());
+  std::vector<Status> statuses(objects_.size());
+  pool->ParallelFor(objects_.size(), [&](size_t i, int worker) {
+    statuses[i] = objects_[i].EnsurePosterior(&workspaces[worker]);
+  });
+  for (const Status& s : statuses) {
+    UST_RETURN_NOT_OK(s);
   }
   return Status::OK();
 }

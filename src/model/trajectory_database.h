@@ -11,6 +11,8 @@
 
 namespace ust {
 
+class ThreadPool;
+
 /// \brief Database of uncertain moving objects over a shared state space.
 class TrajectoryDatabase {
  public:
@@ -38,8 +40,13 @@ class TrajectoryDatabase {
   std::vector<ObjectId> AliveSometime(Tic ts, Tic te) const;
 
   /// Build every object's posterior model (the "TS" phase of the paper's
-  /// experiments); stops at the first adaptation failure.
+  /// experiments), threading one PropagateWorkspace through all adaptations
+  /// (serial) or one per worker (with a `pool`). Per-object adaptations are
+  /// independent, so the parallel result is identical to serial; the
+  /// reported status is the first failure in object order regardless of
+  /// schedule. Returns OK only when every posterior built.
   Status EnsureAllPosteriors() const;
+  Status EnsureAllPosteriors(ThreadPool* pool) const;
 
   /// Drop all cached posteriors (for timing experiments).
   void InvalidatePosteriors() const;

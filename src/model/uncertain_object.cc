@@ -4,18 +4,18 @@
 
 namespace ust {
 
-Result<std::shared_ptr<const PosteriorModel>> UncertainObject::Posterior()
-    const {
+Result<std::shared_ptr<const PosteriorModel>> UncertainObject::Posterior(
+    PropagateWorkspace* ws) const {
   if (!posterior_) {
-    auto result = AdaptTransitionMatrices(*matrix_, observations_, end_tic_);
+    auto result = AdaptTransitionMatrices(*matrix_, observations_, end_tic_, ws);
     if (!result.ok()) return result.status();
     posterior_ = std::make_shared<const PosteriorModel>(result.MoveValue());
   }
   return posterior_;
 }
 
-Status UncertainObject::EnsurePosterior() const {
-  auto result = Posterior();
+Status UncertainObject::EnsurePosterior(PropagateWorkspace* ws) const {
+  auto result = Posterior(ws);
   return result.ok() ? Status::OK() : result.status();
 }
 

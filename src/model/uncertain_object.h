@@ -13,6 +13,8 @@
 
 namespace ust {
 
+class PropagateWorkspace;
+
 /// Dense object identifier within a TrajectoryDatabase.
 using ObjectId = uint32_t;
 
@@ -47,11 +49,13 @@ class UncertainObject {
     return first_tic() <= ts && te <= end_tic_;
   }
 
-  /// Build (or fetch the cached) a-posteriori model.
-  Result<std::shared_ptr<const PosteriorModel>> Posterior() const;
+  /// Build (or fetch the cached) a-posteriori model. `ws` optionally threads
+  /// a reusable adaptation workspace (see AdaptTransitionMatrices).
+  Result<std::shared_ptr<const PosteriorModel>> Posterior(
+      PropagateWorkspace* ws = nullptr) const;
 
   /// Eagerly build the posterior; returns the adaptation status.
-  Status EnsurePosterior() const;
+  Status EnsurePosterior(PropagateWorkspace* ws = nullptr) const;
 
   /// Drop the cached posterior (e.g. for timing experiments).
   void InvalidatePosterior() const { posterior_.reset(); }

@@ -1,100 +1,53 @@
 #include "query/engine.h"
 
-#include <algorithm>
-
-#include "util/timer.h"
-
 namespace ust {
 
 namespace {
 
-// Union of two id sets (inputs need not be sorted).
-std::vector<ObjectId> UnionIds(std::vector<ObjectId> a,
-                               const std::vector<ObjectId>& b) {
-  a.insert(a.end(), b.begin(), b.end());
-  std::sort(a.begin(), a.end());
-  a.erase(std::unique(a.begin(), a.end()), a.end());
-  return a;
+// One throwaway single-query session: single-threaded, Monte-Carlo pinned
+// (the historical engine semantics — no planner surprises for old callers).
+QueryOutcome RunSingle(const TrajectoryDatabase& db, const UstTree* index,
+                       QueryKind kind, const QueryTrajectory& q,
+                       const TimeInterval& T, double tau,
+                       const MonteCarloOptions& options) {
+  QuerySession session(db, index, SessionOptions{});
+  QuerySpec spec;
+  spec.kind = kind;
+  spec.q = q;
+  spec.T = T;
+  spec.tau = tau;
+  spec.mc = options;
+  spec.backend = ExecutorKind::kMonteCarlo;
+  return session.Run(spec);
 }
 
 }  // namespace
 
-PruneResult QueryEngine::PruneOrFallback(const QueryTrajectory& q,
-                                         const TimeInterval& T, int k,
-                                         bool forall) const {
-  if (index_ != nullptr) {
-    return forall ? index_->PruneForall(q, T, k) : index_->PruneExists(q, T, k);
-  }
-  PruneResult result;
-  result.influencers = db_->AliveSometime(T.start, T.end);
-  result.candidates =
-      forall ? db_->AliveThroughout(T.start, T.end) : result.influencers;
-  return result;
-}
-
 Result<PnnQueryResult> QueryEngine::Forall(
     const QueryTrajectory& q, const TimeInterval& T, double tau,
     const MonteCarloOptions& options) const {
-  PnnQueryResult out;
-  Timer prune_timer;
-  PruneResult pruned = PruneOrFallback(q, T, options.k, /*forall=*/true);
-  out.prune_millis = prune_timer.Millis();
-  out.num_candidates = pruned.candidates.size();
-  out.num_influencers = pruned.influencers.size();
-  if (pruned.candidates.empty()) return out;
-  Timer sample_timer;
-  std::vector<ObjectId> participants =
-      UnionIds(pruned.candidates, pruned.influencers);
-  auto estimates =
-      EstimatePnn(*db_, participants, pruned.candidates, q, T, options);
-  if (!estimates.ok()) return estimates.status();
-  for (const PnnEstimate& e : estimates.value()) {
-    if (e.forall_prob >= tau) out.results.push_back({e.object, e.forall_prob});
-  }
-  out.sampling_millis = sample_timer.Millis();
-  return out;
+  QueryOutcome out =
+      RunSingle(*db_, index_, QueryKind::kForall, q, T, tau, options);
+  if (!out.status.ok()) return out.status;
+  return std::move(out.pnn);
 }
 
 Result<PnnQueryResult> QueryEngine::Exists(
     const QueryTrajectory& q, const TimeInterval& T, double tau,
     const MonteCarloOptions& options) const {
-  PnnQueryResult out;
-  Timer prune_timer;
-  PruneResult pruned = PruneOrFallback(q, T, options.k, /*forall=*/false);
-  out.prune_millis = prune_timer.Millis();
-  out.num_candidates = pruned.candidates.size();
-  out.num_influencers = pruned.influencers.size();
-  if (pruned.candidates.empty()) return out;
-  Timer sample_timer;
-  auto estimates = EstimatePnn(*db_, pruned.influencers, pruned.candidates, q,
-                               T, options);
-  if (!estimates.ok()) return estimates.status();
-  for (const PnnEstimate& e : estimates.value()) {
-    if (e.exists_prob >= tau) out.results.push_back({e.object, e.exists_prob});
-  }
-  out.sampling_millis = sample_timer.Millis();
-  return out;
+  QueryOutcome out =
+      RunSingle(*db_, index_, QueryKind::kExists, q, T, tau, options);
+  if (!out.status.ok()) return out.status;
+  return std::move(out.pnn);
 }
 
 Result<PcnnQueryResult> QueryEngine::Continuous(
     const QueryTrajectory& q, const TimeInterval& T, double tau,
     const MonteCarloOptions& options) const {
-  PcnnQueryResult out;
-  Timer prune_timer;
-  // Any object that can be NN at some tic can hold a singleton result set, so
-  // PCNN candidates are the P∃NN candidates.
-  PruneResult pruned = PruneOrFallback(q, T, options.k, /*forall=*/false);
-  out.prune_millis = prune_timer.Millis();
-  out.num_candidates = pruned.candidates.size();
-  out.num_influencers = pruned.influencers.size();
-  if (pruned.candidates.empty()) return out;
-  Timer sample_timer;
-  auto pcnn = PcnnQuery(*db_, pruned.influencers, pruned.candidates, q, T, tau,
-                        options);
-  if (!pcnn.ok()) return pcnn.status();
-  out.pcnn = pcnn.MoveValue();
-  out.sampling_millis = sample_timer.Millis();
-  return out;
+  QueryOutcome out =
+      RunSingle(*db_, index_, QueryKind::kContinuous, q, T, tau, options);
+  if (!out.status.ok()) return out.status;
+  return std::move(out.pcnn);
 }
 
 }  // namespace ust

@@ -1,6 +1,14 @@
-// High-level query engine: combines UST-tree pruning (filter step) with the
-// Monte-Carlo estimators (refinement step) for all three query semantics —
-// the full evaluation pipeline of Section 3.3.
+// High-level single-query façade: combines UST-tree pruning (filter step)
+// with the Monte-Carlo estimators (refinement step) for all three query
+// semantics — the full evaluation pipeline of Section 3.3.
+//
+// QueryEngine is the compatibility shim over the plan-based pipeline in
+// query/session.h: every call constructs a throwaway single-threaded
+// QuerySession pinned to the Monte-Carlo backend, so results (seed included)
+// match the historical engine bit for bit. Code running many queries against
+// one database should hold a QuerySession instead — it amortizes posterior
+// warm-up, index slabs and sampling scratch across the batch and unlocks the
+// planner and the thread pool (see bench/micro_engine for the difference).
 #pragma once
 
 #include <vector>
@@ -10,33 +18,10 @@
 #include "query/monte_carlo.h"
 #include "query/pcnn.h"
 #include "query/query.h"
+#include "query/session.h"
 #include "util/status.h"
 
 namespace ust {
-
-/// \brief One qualifying object with its estimated probability.
-struct PnnResultEntry {
-  ObjectId object;
-  double prob;
-};
-
-/// \brief Result of a P∃NNQ / P∀NNQ evaluation plus work statistics.
-struct PnnQueryResult {
-  std::vector<PnnResultEntry> results;  ///< objects with prob >= tau
-  size_t num_candidates = 0;            ///< |C(q)| after pruning
-  size_t num_influencers = 0;           ///< |I(q)| after pruning
-  double prune_millis = 0.0;
-  double sampling_millis = 0.0;
-};
-
-/// \brief PCNNQ result plus work statistics.
-struct PcnnQueryResult {
-  PcnnResult pcnn;
-  size_t num_candidates = 0;
-  size_t num_influencers = 0;
-  double prune_millis = 0.0;
-  double sampling_millis = 0.0;
-};
 
 /// \brief Query evaluation framework over a database and an optional index.
 ///
@@ -64,9 +49,6 @@ class QueryEngine {
                                      const MonteCarloOptions& options) const;
 
  private:
-  PruneResult PruneOrFallback(const QueryTrajectory& q, const TimeInterval& T,
-                              int k, bool forall) const;
-
   const TrajectoryDatabase* db_;
   const UstTree* index_;
 };

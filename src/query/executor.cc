@@ -1,0 +1,165 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "query/exact.h"
+#include "query/markov_approx.h"
+#include "util/check.h"
+
+namespace ust {
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// ---- Exact: possible-world enumeration (Example 1 / Section 4.1). ----
+class ExactExecutor : public Executor {
+ public:
+  ExecutorKind kind() const override { return ExecutorKind::kExact; }
+
+  bool Supports(QueryKind query, const PnnTask&) const override {
+    // Enumeration yields the full per-target P∀NN/P∃NN vector; PCNN would
+    // additionally need per-timestamp-set probabilities over shared worlds.
+    return query == QueryKind::kForall || query == QueryKind::kExists;
+  }
+
+  Result<std::vector<PnnEstimate>> Estimate(const PnnTask& task,
+                                            const ExecContext&) const override {
+    auto all = ExactPnnByEnumeration(*task.db, *task.participants, *task.q,
+                                     task.T, task.mc.k, task.enum_max_worlds);
+    if (!all.ok()) return all.status();
+    // Enumeration estimates every participant; keep target order.
+    std::vector<PnnEstimate> out;
+    out.reserve(task.targets->size());
+    for (ObjectId t : *task.targets) {
+      auto it = std::find_if(
+          all.value().begin(), all.value().end(),
+          [t](const PnnEstimate& e) { return e.object == t; });
+      if (it == all.value().end()) {
+        return Status::InvalidArgument("target not among participants");
+      }
+      out.push_back(*it);
+    }
+    return out;
+  }
+};
+
+// ---- Markov approximation: Lemma-3 chain rule (Section 4.2). ----
+class MarkovApproxExecutor : public Executor {
+ public:
+  ExecutorKind kind() const override { return ExecutorKind::kMarkovApprox; }
+
+  bool Supports(QueryKind query, const PnnTask& task) const override {
+    if (query != QueryKind::kForall || task.mc.k != 1) return false;
+    for (ObjectId t : *task.targets) {
+      if (!task.db->object(t).AliveThroughout(task.T.start, task.T.end)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Result<std::vector<PnnEstimate>> Estimate(const PnnTask& task,
+                                            const ExecContext&) const override {
+    std::vector<PnnEstimate> out;
+    out.reserve(task.targets->size());
+    for (ObjectId t : *task.targets) {
+      std::vector<ObjectId> competitors;
+      competitors.reserve(task.participants->size());
+      for (ObjectId p : *task.participants) {
+        if (p != t) competitors.push_back(p);
+      }
+      auto p = ApproximateForallNnMarkov(*task.db, t, competitors, *task.q,
+                                         task.T);
+      if (!p.ok()) return p.status();
+      out.push_back({t, p.value(), kNan});  // exists_prob: not computed
+    }
+    return out;
+  }
+};
+
+// ---- Monte-Carlo: sampled possible worlds (Section 5). ----
+class MonteCarloExecutor : public Executor {
+ public:
+  ExecutorKind kind() const override { return ExecutorKind::kMonteCarlo; }
+
+  bool Supports(QueryKind, const PnnTask&) const override { return true; }
+
+  Result<std::vector<PnnEstimate>> Estimate(const PnnTask& task,
+                                            const ExecContext& ctx)
+      const override {
+    auto table = ComputeNnTableScratch(*task.db, *task.participants, *task.q,
+                                       task.T, task.mc, ctx.pool,
+                                       ctx.sampler_scratch, ctx.row_buffer);
+    if (!table.ok()) return table.status();
+    std::vector<PnnEstimate> out;
+    out.reserve(task.targets->size());
+    for (ObjectId t : *task.targets) {
+      const size_t idx = table.value().IndexOf(t);
+      if (idx == NnTable::npos) {
+        return Status::InvalidArgument("target not among participants");
+      }
+      out.push_back({t, table.value().ForallProb(idx),
+                     table.value().ExistsProb(idx)});
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+const char* ExecutorKindName(ExecutorKind kind) {
+  switch (kind) {
+    case ExecutorKind::kAuto:
+      return "auto";
+    case ExecutorKind::kExact:
+      return "exact";
+    case ExecutorKind::kMarkovApprox:
+      return "markov_approx";
+    case ExecutorKind::kMonteCarlo:
+      return "monte_carlo";
+  }
+  return "unknown";
+}
+
+const Executor& GetExecutor(ExecutorKind kind) {
+  static const ExactExecutor exact;
+  static const MarkovApproxExecutor markov;
+  static const MonteCarloExecutor monte_carlo;
+  switch (kind) {
+    case ExecutorKind::kExact:
+      return exact;
+    case ExecutorKind::kMarkovApprox:
+      return markov;
+    case ExecutorKind::kAuto:
+    case ExecutorKind::kMonteCarlo:
+      break;
+  }
+  UST_CHECK(kind == ExecutorKind::kMonteCarlo);
+  return monte_carlo;
+}
+
+ExecutorKind PlanExecutor(QueryKind query, size_t num_candidates,
+                          size_t num_participants, size_t interval_length,
+                          size_t num_worlds, int k,
+                          const PlannerOptions& options) {
+  if (options.force != ExecutorKind::kAuto) return options.force;
+  // PCNN validates timestamp *sets* against one shared world sample
+  // (Algorithm 1); only the sampling backend provides that table.
+  if (query == QueryKind::kContinuous) return ExecutorKind::kMonteCarlo;
+  (void)k;
+  // Enumeration cost is exponential in the participant count and interval
+  // length but independent of the requested precision; it wins only when the
+  // filter output is tiny and the precision request is not trivially small.
+  if (num_candidates <= options.exact_max_candidates &&
+      num_participants <= options.exact_max_participants &&
+      interval_length <= options.exact_max_interval &&
+      num_worlds >= options.exact_min_precision) {
+    return ExecutorKind::kExact;
+  }
+  return ExecutorKind::kMonteCarlo;
+}
+
+}  // namespace ust

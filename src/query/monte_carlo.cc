@@ -3,8 +3,26 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace ust {
+
+namespace {
+
+inline int PopCount(uint64_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_popcountll(x);
+#else
+  int c = 0;
+  while (x) {
+    x &= x - 1;
+    ++c;
+  }
+  return c;
+#endif
+}
+
+}  // namespace
 
 void NnTable::BuildIndex() {
   sorted_index_.reserve(objects_.size());
@@ -24,38 +42,95 @@ size_t NnTable::IndexOf(ObjectId o) const {
   return npos;
 }
 
-double NnTable::ForallProb(size_t obj_index,
-                           const std::vector<Tic>& tics) const {
+void NnTable::PackWorlds(size_t first_world, size_t count, const uint8_t* is_nn,
+                         size_t world_stride) {
+  UST_CHECK(first_world + count <= num_worlds_);
+  UST_CHECK((first_world & 63) == 0 || count == 0);
+  const size_t row_len = objects_.size() * interval_.length();
+  // World-outer: the touched words (one per (object, tic), stride
+  // words_per_tic_ apart) stay cache-resident across the 64 consecutive
+  // worlds that share them.
+  for (size_t w = 0; w < count; ++w) {
+    const uint8_t* row = is_nn + w * world_stride;
+    const size_t world = first_world + w;
+    uint64_t* base = bits_.data() + (world >> 6);
+    const uint64_t bit = uint64_t{1} << (world & 63);
+    for (size_t idx = 0; idx < row_len; ++idx) {
+      if (row[idx]) base[idx * words_per_tic_] |= bit;
+    }
+  }
+}
+
+double NnTable::ReduceProb(size_t obj_index, const Tic* tics, size_t num_tics,
+                           bool forall) const {
   UST_CHECK(obj_index < objects_.size());
   if (num_worlds_ == 0) return 0.0;
+  if (num_tics == 0) return forall ? 1.0 : 0.0;  // vacuous truth / falsity
+  UST_DCHECK(interval_.Contains(tics[0]));
+  const uint64_t* acc0 = TicWords(obj_index, RelTic(tics[0]));
   size_t count = 0;
-  for (size_t w = 0; w < num_worlds_; ++w) {
-    bool all = true;
-    for (Tic t : tics) {
-      UST_DCHECK(interval_.Contains(t));
-      if (!IsNn(obj_index, w, t)) {
-        all = false;
-        break;
-      }
+  for (size_t i = 0; i < words_per_tic_; ++i) {
+    uint64_t acc = acc0[i];
+    for (size_t ti = 1; ti < num_tics; ++ti) {
+      UST_DCHECK(interval_.Contains(tics[ti]));
+      const uint64_t w = TicWords(obj_index, RelTic(tics[ti]))[i];
+      acc = forall ? (acc & w) : (acc | w);
     }
-    count += all ? 1 : 0;
+    count += static_cast<size_t>(PopCount(acc));
   }
   return static_cast<double>(count) / static_cast<double>(num_worlds_);
 }
 
+double NnTable::ForallProb(size_t obj_index,
+                           const std::vector<Tic>& tics) const {
+  return ReduceProb(obj_index, tics.data(), tics.size(), /*forall=*/true);
+}
+
 double NnTable::ExistsProb(size_t obj_index,
                            const std::vector<Tic>& tics) const {
+  return ReduceProb(obj_index, tics.data(), tics.size(), /*forall=*/false);
+}
+
+double NnTable::ProbAt(size_t obj_index, Tic t) const {
+  UST_CHECK(obj_index < objects_.size());
+  UST_DCHECK(interval_.Contains(t));
+  if (num_worlds_ == 0) return 0.0;
+  const uint64_t* words = TicWords(obj_index, RelTic(t));
+  size_t count = 0;
+  for (size_t i = 0; i < words_per_tic_; ++i) {
+    count += static_cast<size_t>(PopCount(words[i]));
+  }
+  return static_cast<double>(count) / static_cast<double>(num_worlds_);
+}
+
+double NnTable::ForallProb(size_t obj_index) const {
   UST_CHECK(obj_index < objects_.size());
   if (num_worlds_ == 0) return 0.0;
+  const size_t len = interval_.length();
+  const uint64_t* base = TicWords(obj_index, 0);
   size_t count = 0;
-  for (size_t w = 0; w < num_worlds_; ++w) {
-    for (Tic t : tics) {
-      UST_DCHECK(interval_.Contains(t));
-      if (IsNn(obj_index, w, t)) {
-        ++count;
-        break;
-      }
+  for (size_t i = 0; i < words_per_tic_; ++i) {
+    uint64_t acc = base[i];
+    for (size_t rel = 1; rel < len && acc; ++rel) {
+      acc &= base[rel * words_per_tic_ + i];
     }
+    count += static_cast<size_t>(PopCount(acc));
+  }
+  return static_cast<double>(count) / static_cast<double>(num_worlds_);
+}
+
+double NnTable::ExistsProb(size_t obj_index) const {
+  UST_CHECK(obj_index < objects_.size());
+  if (num_worlds_ == 0) return 0.0;
+  const size_t len = interval_.length();
+  const uint64_t* base = TicWords(obj_index, 0);
+  size_t count = 0;
+  for (size_t i = 0; i < words_per_tic_; ++i) {
+    uint64_t acc = base[i];
+    for (size_t rel = 1; rel < len; ++rel) {
+      acc |= base[rel * words_per_tic_ + i];
+    }
+    count += static_cast<size_t>(PopCount(acc));
   }
   return static_cast<double>(count) / static_cast<double>(num_worlds_);
 }
@@ -92,7 +167,7 @@ Result<WorldSampler> WorldSampler::Create(const TrajectoryDatabase& db,
     p.ws = std::max(T.start, p.model->first_tic());
     p.we = std::min(T.end, p.model->last_tic());
     p.alive = p.ws <= p.we;
-    p.rng = root.Fork();  // per-participant stream: chunking-independent
+    p.rng0 = root.Fork();  // per-participant stream: chunking-independent
     if (p.alive) {
       // Validate the window once and warm the alias samplers here, so world
       // sampling is pure array lookups.
@@ -121,19 +196,73 @@ Result<WorldSampler> WorldSampler::Create(const TrajectoryDatabase& db,
     }
     sampler.resolved_.push_back(std::move(p));
   }
+  sampler.live_rngs_.reserve(sampler.resolved_.size());
+  for (const Participant& p : sampler.resolved_) {
+    sampler.live_rngs_.push_back(p.rng0);
+  }
   return sampler;
 }
 
 void WorldSampler::SampleWorlds(size_t count, uint8_t* is_nn,
                                 size_t world_stride) {
+  SampleCore(count, is_nn, world_stride, live_rngs_.data(), &scratch_);
+}
+
+std::vector<Rng> WorldSampler::InitialRngs() const {
+  std::vector<Rng> rngs;
+  rngs.reserve(resolved_.size());
+  for (const Participant& p : resolved_) rngs.push_back(p.rng0);
+  return rngs;
+}
+
+void WorldSampler::AdvanceWorlds(std::vector<Rng>* rngs, size_t worlds) {
+  // One Fork (== one parent draw) is consumed per world, so advancing a
+  // stream by `worlds` raw draws reproduces the serial state at that world.
+  for (Rng& r : *rngs) {
+    for (size_t w = 0; w < worlds; ++w) (void)r();
+  }
+}
+
+void WorldSampler::SampleWorldsFrom(const std::vector<Rng>& rng_starts,
+                                    size_t count, uint8_t* is_nn,
+                                    size_t world_stride,
+                                    Scratch* scratch) const {
+  UST_CHECK(rng_starts.size() == resolved_.size());
+  scratch->rngs = rng_starts;
+  // The cursor now holds this sampler's streams; keep the owner tag honest
+  // so a later SampleNext cannot continue foreign positions unchecked.
+  scratch->cursor_owner = this;
+  SampleCore(count, is_nn, world_stride, scratch->rngs.data(), scratch);
+}
+
+void WorldSampler::ResetCursor(Scratch* scratch) const {
+  scratch->rngs = InitialRngs();
+  scratch->cursor_owner = this;
+}
+
+void WorldSampler::SampleNext(size_t count, uint8_t* is_nn,
+                              size_t world_stride, Scratch* scratch) const {
+  // A cursor positioned on another sampler must not silently continue here:
+  // the worlds would depend on whatever query ran before, not on the seed.
+  UST_CHECK(scratch->cursor_owner == this &&
+            scratch->rngs.size() == resolved_.size());
+  SampleCore(count, is_nn, world_stride, scratch->rngs.data(), scratch);
+}
+
+void WorldSampler::SampleCore(size_t count, uint8_t* is_nn,
+                              size_t world_stride, Rng* rngs,
+                              Scratch* scratch) const {
   const size_t n = resolved_.size();
   const size_t len = interval_.length();
   const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double>& dist2 = scratch->dist2;
+  std::vector<double>& min_scratch = scratch->min_scratch;
+  std::vector<double>& kth_scratch = scratch->kth_scratch;
   for (size_t w0 = 0; w0 < count; w0 += kWorldChunk) {
     const size_t chunk = std::min(kWorldChunk, count - w0);
-    dist2_.resize(total_wlen_ * chunk);
-    min_scratch_.resize(chunk * len);
-    if (k_ == 1) std::fill(min_scratch_.begin(), min_scratch_.end(), kInf);
+    dist2.resize(total_wlen_ * chunk);
+    min_scratch.resize(chunk * len);
+    if (k_ == 1) std::fill(min_scratch.begin(), min_scratch.end(), kInf);
     // ---- Phase 1: participant-major sampling straight into distances. ----
     // One participant's alias tables stay hot across the whole chunk and the
     // batch sampler keeps several walks in flight; the sampled windows are
@@ -141,16 +270,16 @@ void WorldSampler::SampleWorlds(size_t count, uint8_t* is_nn,
     // this loop). For k == 1 the chunk's per-tic minima fold into the same
     // pass while the block is L1-resident.
     for (size_t i = 0; i < n; ++i) {
-      Participant& p = resolved_[i];
+      const Participant& p = resolved_[i];
       if (!p.alive) continue;
       const double* dtab = dtab_.data() + p.dbase;
       const uint32_t* doff = p.dtab_off.data();
-      double* block = dist2_.data() + p.doff * chunk;
+      double* block = dist2.data() + p.doff * chunk;
       const uint32_t wlen = p.wlen;
       if (k_ == 1) {
-        double* mins = min_scratch_.data() + p.rel0;
+        double* mins = min_scratch.data() + p.rel0;
         p.model->SampleWindowBatchVisit(
-            p.ws, p.we, chunk, p.rng,
+            p.ws, p.we, chunk, rngs[i],
             [=](size_t w, size_t rel, uint32_t local, StateId) {
               const double d = dtab[doff[rel] + local];
               block[w * wlen + rel] = d;
@@ -159,7 +288,7 @@ void WorldSampler::SampleWorlds(size_t count, uint8_t* is_nn,
             });
       } else {
         p.model->SampleWindowBatchVisit(
-            p.ws, p.we, chunk, p.rng,
+            p.ws, p.we, chunk, rngs[i],
             [=](size_t w, size_t rel, uint32_t local, StateId) {
               block[w * wlen + rel] = dtab[doff[rel] + local];
             });
@@ -168,31 +297,31 @@ void WorldSampler::SampleWorlds(size_t count, uint8_t* is_nn,
     // ---- Phase 2: k-th distances (k > 1 only; k == 1 folded above). ----
     if (k_ != 1) {
       for (size_t w = 0; w < chunk; ++w) {
-        double* mb = min_scratch_.data() + w * len;
+        double* mb = min_scratch.data() + w * len;
         for (size_t rel = 0; rel < len; ++rel) {
-          kth_scratch_.clear();
+          kth_scratch.clear();
           for (size_t i = 0; i < n; ++i) {
             const Participant& p = resolved_[i];
             if (!p.alive || rel < p.rel0 || rel >= p.rel0 + p.wlen) continue;
-            kth_scratch_.push_back(
-                dist2_[p.doff * chunk + w * p.wlen + (rel - p.rel0)]);
+            kth_scratch.push_back(
+                dist2[p.doff * chunk + w * p.wlen + (rel - p.rel0)]);
           }
-          if (kth_scratch_.empty()) {
+          if (kth_scratch.empty()) {
             mb[rel] = kInf;
             continue;
           }
           const size_t kk =
-              std::min<size_t>(static_cast<size_t>(k_), kth_scratch_.size());
-          std::nth_element(kth_scratch_.begin(), kth_scratch_.begin() + (kk - 1),
-                           kth_scratch_.end());
-          mb[rel] = kth_scratch_[kk - 1];
+              std::min<size_t>(static_cast<size_t>(k_), kth_scratch.size());
+          std::nth_element(kth_scratch.begin(), kth_scratch.begin() + (kk - 1),
+                           kth_scratch.end());
+          mb[rel] = kth_scratch[kk - 1];
         }
       }
     }
     // Marking: every byte of a world row is written exactly once.
     for (size_t w = 0; w < chunk; ++w) {
       uint8_t* row = is_nn + (w0 + w) * world_stride;
-      const double* mb = min_scratch_.data() + w * len;
+      const double* mb = min_scratch.data() + w * len;
       for (size_t i = 0; i < n; ++i) {
         const Participant& p = resolved_[i];
         uint8_t* prow = row + i * len;
@@ -200,7 +329,7 @@ void WorldSampler::SampleWorlds(size_t count, uint8_t* is_nn,
           std::fill(prow, prow + len, 0);
           continue;
         }
-        const double* d = dist2_.data() + p.doff * chunk + w * p.wlen;
+        const double* d = dist2.data() + p.doff * chunk + w * p.wlen;
         std::fill(prow, prow + p.rel0, 0);
         for (uint32_t r = 0; r < p.wlen; ++r) {
           prow[p.rel0 + r] = d[r] <= mb[p.rel0 + r] ? 1 : 0;
@@ -214,22 +343,82 @@ void WorldSampler::SampleWorlds(size_t count, uint8_t* is_nn,
 Result<NnTable> ComputeNnTable(const TrajectoryDatabase& db,
                                const std::vector<ObjectId>& participants,
                                const QueryTrajectory& q, const TimeInterval& T,
-                               const MonteCarloOptions& options) {
+                               const MonteCarloOptions& options,
+                               ThreadPool* pool) {
+  return ComputeNnTableScratch(db, participants, q, T, options, pool,
+                               /*scratch=*/nullptr, /*rows=*/nullptr);
+}
+
+Result<NnTable> ComputeNnTableScratch(
+    const TrajectoryDatabase& db, const std::vector<ObjectId>& participants,
+    const QueryTrajectory& q, const TimeInterval& T,
+    const MonteCarloOptions& options, ThreadPool* pool,
+    WorldSampler::Scratch* scratch, std::vector<uint8_t>* rows) {
   auto sampler =
       WorldSampler::Create(db, participants, q, T, options.k, options.seed);
   if (!sampler.ok()) return sampler.status();
+  const WorldSampler& ws = sampler.value();
   NnTable table(participants, T, options.num_worlds);
-  // Fill the bitmap row-major per world in one batched pass.
-  sampler.value().SampleWorlds(options.num_worlds, table.WorldRow(0),
-                               participants.size() * T.length());
+  const size_t stride = participants.size() * T.length();
+  if (pool != nullptr && pool->num_threads() > 1 &&
+      options.num_worlds > WorldSampler::kWorldChunk) {
+    // Shard world chunks across the pool. Chunk boundaries are fixed
+    // (multiples of kWorldChunk, itself a multiple of 64), shards pack into
+    // disjoint bitmap words, and every chunk starts from an RNG state
+    // precomputed by one serial O(W) prefix pass below — so the table is
+    // bit-identical to serial at any thread count, without each shard
+    // replaying the stream from world 0 (which would be O(W²) overall).
+    const size_t num_chunks =
+        (options.num_worlds + WorldSampler::kWorldChunk - 1) /
+        WorldSampler::kWorldChunk;
+    std::vector<std::vector<Rng>> chunk_rngs(num_chunks);
+    std::vector<Rng> cursor = ws.InitialRngs();
+    for (size_t c = 0; c < num_chunks; ++c) {
+      chunk_rngs[c] = cursor;
+      if (c + 1 < num_chunks) {
+        WorldSampler::AdvanceWorlds(&cursor, WorldSampler::kWorldChunk);
+      }
+    }
+    const int workers = pool->num_threads();
+    std::vector<WorldSampler::Scratch> scratches(workers);
+    std::vector<std::vector<uint8_t>> bufs(workers);
+    NnTable* table_ptr = &table;
+    pool->ParallelForChunked(
+        options.num_worlds, WorldSampler::kWorldChunk,
+        [&, table_ptr](size_t begin, size_t end, int worker) {
+          std::vector<uint8_t>& buf = bufs[worker];
+          buf.resize((end - begin) * stride);
+          ws.SampleWorldsFrom(chunk_rngs[begin / WorldSampler::kWorldChunk],
+                              end - begin, buf.data(), stride,
+                              &scratches[worker]);
+          table_ptr->PackWorlds(begin, end - begin, buf.data(), stride);
+        });
+  } else {
+    // Serial: sample chunk-wise into a reused byte buffer, then pack. The
+    // stream continues across chunks (no repositioning cost).
+    WorldSampler::Scratch local_scratch;
+    std::vector<uint8_t> local_rows;
+    if (scratch == nullptr) scratch = &local_scratch;
+    if (rows == nullptr) rows = &local_rows;
+    ws.ResetCursor(scratch);
+    rows->resize(std::min(options.num_worlds, WorldSampler::kWorldChunk) *
+                 stride);
+    for (size_t w0 = 0; w0 < options.num_worlds;
+         w0 += WorldSampler::kWorldChunk) {
+      const size_t chunk =
+          std::min(WorldSampler::kWorldChunk, options.num_worlds - w0);
+      ws.SampleNext(chunk, rows->data(), stride, scratch);
+      table.PackWorlds(w0, chunk, rows->data(), stride);
+    }
+  }
   return table;
 }
 
 Result<std::vector<PnnEstimate>> EstimatePnn(
     const TrajectoryDatabase& db, const std::vector<ObjectId>& participants,
     const std::vector<ObjectId>& targets, const QueryTrajectory& q,
-    const TimeInterval& T, const MonteCarloOptions& options) {
-  auto table_result = ComputeNnTable(db, participants, q, T, options);
+    const TimeInterval& T, const MonteCarloOptions& options, ThreadPool* pool) {
+  auto table_result = ComputeNnTable(db, participants, q, T, options, pool);
   if (!table_result.ok()) return table_result.status();
   const NnTable& table = table_result.value();
   std::vector<PnnEstimate> estimates;

@@ -16,6 +16,8 @@
 
 namespace ust {
 
+class ThreadPool;
+
 /// \brief Options of the Monte-Carlo engine.
 struct MonteCarloOptions {
   size_t num_worlds = 1000;  ///< samples per query (paper default: 10000)
@@ -24,32 +26,43 @@ struct MonteCarloOptions {
 };
 
 /// \brief The "is o a (k)NN of q at tic t in world w" table.
+///
+/// Storage is a real bitmap: one bit per (object, tic, world), laid out
+/// [object][tic][world-word] so that the per-tic world vectors of one object
+/// are contiguous 64-bit words. ForallProb/ExistsProb then reduce with
+/// word-wide AND/OR plus popcount — 64 worlds per instruction instead of the
+/// former byte-per-indicator scan, which dominated PCNN validation.
 class NnTable {
  public:
   NnTable(std::vector<ObjectId> objects, TimeInterval T, size_t num_worlds)
       : objects_(std::move(objects)), interval_(T), num_worlds_(num_worlds),
-        bits_(objects_.size() * num_worlds * T.length(), 0) {
+        words_per_tic_((num_worlds + 63) / 64),
+        bits_(objects_.size() * T.length() * words_per_tic_, 0) {
     BuildIndex();
   }
 
   const std::vector<ObjectId>& objects() const { return objects_; }
   const TimeInterval& interval() const { return interval_; }
   size_t num_worlds() const { return num_worlds_; }
+  size_t words_per_tic() const { return words_per_tic_; }
 
   /// Index of `o` within objects(), or npos. O(log n) via the sorted index
   /// built at construction (objects() keeps the caller's order).
   size_t IndexOf(ObjectId o) const;
   static constexpr size_t npos = static_cast<size_t>(-1);
 
-  uint8_t* WorldRow(size_t world) {
-    return bits_.data() + world * objects_.size() * interval_.length();
+  bool IsNn(size_t obj_index, size_t world, Tic t) const {
+    const uint64_t* w = TicWords(obj_index, RelTic(t));
+    return (w[world >> 6] >> (world & 63)) & 1u;
   }
 
-  bool IsNn(size_t obj_index, size_t world, Tic t) const {
-    const size_t len = interval_.length();
-    return bits_[world * objects_.size() * len + obj_index * len +
-                 static_cast<size_t>(t - interval_.start)] != 0;
-  }
+  /// Scatter `count` sampled worlds — byte indicator rows as produced by
+  /// WorldSampler, world w at `is_nn + w * world_stride`, participant-major —
+  /// into the packed bitmap as worlds [first_world, first_world + count).
+  /// Writers of disjoint 64-aligned world ranges touch disjoint words, so
+  /// shards may pack concurrently when first_world is a multiple of 64.
+  void PackWorlds(size_t first_world, size_t count, const uint8_t* is_nn,
+                  size_t world_stride);
 
   /// Fraction of worlds where the object is NN at *every* tic of `tics`.
   /// `tics` must be a subset of the table interval.
@@ -58,22 +71,32 @@ class NnTable {
   /// Fraction of worlds where the object is NN at *some* tic of `tics`.
   double ExistsProb(size_t obj_index, const std::vector<Tic>& tics) const;
 
+  /// Single-tic probability (P∀NN == P∃NN over one tic); allocation-free —
+  /// hot-path replacement for ForallProb(i, {t}).
+  double ProbAt(size_t obj_index, Tic t) const;
+
   /// P∀NN over the full table interval.
-  double ForallProb(size_t obj_index) const {
-    return ForallProb(obj_index, interval_.Tics());
-  }
+  double ForallProb(size_t obj_index) const;
   /// P∃NN over the full table interval.
-  double ExistsProb(size_t obj_index) const {
-    return ExistsProb(obj_index, interval_.Tics());
-  }
+  double ExistsProb(size_t obj_index) const;
 
  private:
   void BuildIndex();
+  size_t RelTic(Tic t) const { return static_cast<size_t>(t - interval_.start); }
+  const uint64_t* TicWords(size_t obj_index, size_t rel) const {
+    return bits_.data() +
+           (obj_index * interval_.length() + rel) * words_per_tic_;
+  }
+  /// AND (forall) or OR (exists) the per-tic world bitmaps of `tics`, then
+  /// count the surviving worlds.
+  double ReduceProb(size_t obj_index, const Tic* tics, size_t num_tics,
+                    bool forall) const;
 
   std::vector<ObjectId> objects_;
   TimeInterval interval_;
   size_t num_worlds_;
-  std::vector<uint8_t> bits_;  // [world][object][rel tic]
+  size_t words_per_tic_;
+  std::vector<uint64_t> bits_;  // [object][rel tic][world word]
   /// (object id, position in objects_) sorted by id, for O(log n) IndexOf.
   std::vector<std::pair<ObjectId, uint32_t>> sorted_index_;
 };
@@ -89,8 +112,25 @@ class NnTable {
 /// spot (the NN decision never materializes trajectories). Each participant
 /// owns a forked RNG stream, so the sampled worlds are independent of the
 /// chunking and of the participant interleaving.
+///
+/// Worlds are also *position-addressable*: world w consumes exactly one draw
+/// of each participant's stream, so InitialRngs + AdvanceWorlds rebuild the
+/// stream state of any world index, and SampleWorldsFrom samples a range
+/// from there. That is what lets a thread pool shard one query's worlds
+/// across workers and still produce bit-identical tables (DESIGN.md §4).
 class WorldSampler {
  public:
+  /// Per-shard scratch: distance blocks, per-tic minima, and the advanced
+  /// RNG copies. One per worker thread; reused across calls (and across
+  /// samplers — ResetCursor rebinds it).
+  struct Scratch {
+    std::vector<double> dist2;        // [participant block][world][rel - rel0]
+    std::vector<double> min_scratch;  // per-(world, rel) k-th distance
+    std::vector<double> kth_scratch;  // k>1: per-tic alive distances
+    std::vector<Rng> rngs;            // per-participant stream positions
+    const WorldSampler* cursor_owner = nullptr;  // sampler the cursor is on
+  };
+
   /// Validates inputs (including every sampling window), resolves the
   /// posterior models and warms their alias samplers.
   static Result<WorldSampler> Create(const TrajectoryDatabase& db,
@@ -99,8 +139,8 @@ class WorldSampler {
                                      const TimeInterval& T, int k,
                                      uint64_t seed);
 
-  /// Samples `count` worlds; world w's marks go to
-  /// `is_nn + w * world_stride` (participant-major row, size
+  /// Samples `count` worlds continuing the sampler's own stream; world w's
+  /// marks go to `is_nn + w * world_stride` (participant-major row, size
   /// num_participants() * interval().length(); layout as
   /// MarkNearestNeighbors). Allocation-free in steady state.
   void SampleWorlds(size_t count, uint8_t* is_nn, size_t world_stride);
@@ -108,9 +148,43 @@ class WorldSampler {
   /// Samples the next single world (SampleWorlds of count 1).
   void NextWorld(uint8_t* is_nn) { SampleWorlds(1, is_nn, 0); }
 
+  /// Per-participant stream states at world 0 (the positions SampleWorlds
+  /// starts from on a fresh sampler).
+  std::vector<Rng> InitialRngs() const;
+
+  /// Advance per-participant stream states by `worlds` worlds (one raw draw
+  /// per world per stream — the per-world fork in the batch walk). Shards
+  /// derive their start states this way: one serial O(W) prefix pass, then
+  /// SampleWorldsFrom per shard — bit-identical to one serial pass.
+  static void AdvanceWorlds(std::vector<Rng>* rngs, size_t worlds);
+
+  /// Sample `count` worlds starting from explicit stream states (as built by
+  /// InitialRngs + AdvanceWorlds). `rng_starts` is not modified; the cursor
+  /// advances in `scratch`. Safe concurrently with distinct scratches.
+  void SampleWorldsFrom(const std::vector<Rng>& rng_starts, size_t count,
+                        uint8_t* is_nn, size_t world_stride,
+                        Scratch* scratch) const;
+
+  /// Rewind `scratch`'s cursor to this sampler's world 0. Required before
+  /// the first SampleNext on this sampler — SampleNext refuses a cursor
+  /// positioned on a different sampler (a reused scratch must never leak a
+  /// stale stream position into a new query).
+  void ResetCursor(Scratch* scratch) const;
+
+  /// Continuation variant on caller-owned scratch: each call continues
+  /// where the previous one left off (no repositioning cost). Streams are
+  /// tracked in `scratch`, so distinct scratches hold independent cursors
+  /// over the same sampler.
+  void SampleNext(size_t count, uint8_t* is_nn, size_t world_stride,
+                  Scratch* scratch) const;
+
   size_t num_participants() const { return participants_.size(); }
   const std::vector<ObjectId>& participants() const { return participants_; }
   const TimeInterval& interval() const { return interval_; }
+
+  /// Worlds per sampling chunk. Shard boundaries must be multiples of this
+  /// (it is a multiple of 64, so packed-bitmap words never straddle shards).
+  static constexpr size_t kWorldChunk = 512;
 
  private:
   struct Participant {
@@ -119,17 +193,18 @@ class WorldSampler {
     bool alive;        // alive at some tic of T
     uint32_t rel0 = 0; // ws - T.start
     uint32_t wlen = 0; // window length in tics
-    size_t doff = 0;   // block offset into dist2_, in per-world doubles
-    Rng rng{0};        // per-participant stream
+    size_t doff = 0;   // block offset into dist2, in per-world doubles
+    Rng rng0{0};       // stream state at world 0 (never advanced)
     // Precomputed per-slice distances to q: dtab_[dbase + dtab_off[r] + j]
     // is the squared distance of support state j (slice ws + r) to q(ws+r).
     size_t dbase = 0;
     std::vector<uint32_t> dtab_off;  // size wlen + 1
   };
 
-  /// Worlds per chunk: bounds the distance-matrix working set
-  /// (num_participants * interval * 8 bytes * kWorldChunk).
-  static constexpr size_t kWorldChunk = 512;
+  /// Shared core of both entry points: samples `count` worlds advancing
+  /// `rngs` (aligned with participants), writing marks through `is_nn`.
+  void SampleCore(size_t count, uint8_t* is_nn, size_t world_stride, Rng* rngs,
+                  Scratch* scratch) const;
 
   const TrajectoryDatabase* db_ = nullptr;
   std::vector<ObjectId> participants_;
@@ -139,10 +214,9 @@ class WorldSampler {
   int k_ = 1;
   std::vector<Point2> qpts_;        // q.At per tic of T, hoisted
   size_t total_wlen_ = 0;           // sum of alive windows, per world
-  std::vector<double> dist2_;       // [participant block][world][rel - rel0]
   std::vector<double> dtab_;        // support-state-to-q distance tables
-  std::vector<double> min_scratch_; // per-(world, rel) k-th distance of a chunk
-  std::vector<double> kth_scratch_; // k>1: per-tic alive distances
+  std::vector<Rng> live_rngs_;      // stream positions of SampleWorlds
+  Scratch scratch_;                 // scratch of the mutating entry point
 };
 
 /// \brief Sample `options.num_worlds` possible worlds over `participants` and
@@ -151,10 +225,29 @@ class WorldSampler {
 /// Participants not alive at any tic of T are kept in the table but never
 /// marked. Fails when a posterior model cannot be built (contradicting
 /// observations) or T is invalid.
+///
+/// With a `pool`, world chunks are sharded across its workers; the table is
+/// bit-identical at any thread count (chunk boundaries are fixed and every
+/// shard re-derives its RNG position from the world index).
 Result<NnTable> ComputeNnTable(const TrajectoryDatabase& db,
                                const std::vector<ObjectId>& participants,
                                const QueryTrajectory& q, const TimeInterval& T,
-                               const MonteCarloOptions& options);
+                               const MonteCarloOptions& options,
+                               ThreadPool* pool = nullptr);
+
+/// \brief ComputeNnTable with caller-owned scratch: on the serial path
+/// (no pool, or num_worlds within one chunk) `scratch` and `rows` (the byte
+/// staging buffer) are reused across calls, so a session running many
+/// queries allocates the sampling scratch once per worker lane instead of
+/// once per query. The world-sharded path allocates its per-worker scratch
+/// internally (amortized over the multi-chunk sampling it implies). Either
+/// pointer may be nullptr (private locals are used). The result is
+/// identical to ComputeNnTable.
+Result<NnTable> ComputeNnTableScratch(
+    const TrajectoryDatabase& db, const std::vector<ObjectId>& participants,
+    const QueryTrajectory& q, const TimeInterval& T,
+    const MonteCarloOptions& options, ThreadPool* pool,
+    WorldSampler::Scratch* scratch, std::vector<uint8_t>* rows);
 
 /// \brief Per-object probability estimates for the P∃NNQ / P∀NNQ queries.
 struct PnnEstimate {
@@ -168,6 +261,7 @@ struct PnnEstimate {
 Result<std::vector<PnnEstimate>> EstimatePnn(
     const TrajectoryDatabase& db, const std::vector<ObjectId>& participants,
     const std::vector<ObjectId>& targets, const QueryTrajectory& q,
-    const TimeInterval& T, const MonteCarloOptions& options);
+    const TimeInterval& T, const MonteCarloOptions& options,
+    ThreadPool* pool = nullptr);
 
 }  // namespace ust

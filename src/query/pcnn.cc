@@ -29,12 +29,14 @@ bool AllSubsetsQualify(const std::vector<Tic>& candidate,
 
 PcnnResult PcnnForObject(const NnTable& table, size_t obj_index, double tau) {
   PcnnResult result;
-  // Level 1: single timestamps (line 1 of Algorithm 1).
+  // Level 1: single timestamps (line 1 of Algorithm 1). Direct tic iteration
+  // and the single-tic popcount probe keep this loop allocation-free.
   std::set<std::vector<Tic>> level;
-  for (Tic t : table.interval().Tics()) {
+  const TimeInterval& T = table.interval();
+  for (Tic t = T.start; t <= T.end; ++t) {
     ++result.validations;
     ++result.candidates_generated;
-    double p = table.ForallProb(obj_index, {t});
+    double p = table.ProbAt(obj_index, t);
     if (p >= tau) {
       level.insert({t});
       result.entries.push_back({table.objects()[obj_index], {t}, p});
@@ -72,14 +74,9 @@ PcnnResult PcnnForObject(const NnTable& table, size_t obj_index, double tau) {
   return result;
 }
 
-Result<PcnnResult> PcnnQuery(const TrajectoryDatabase& db,
-                             const std::vector<ObjectId>& participants,
-                             const std::vector<ObjectId>& candidates,
-                             const QueryTrajectory& q, const TimeInterval& T,
-                             double tau, const MonteCarloOptions& options) {
-  auto table_result = ComputeNnTable(db, participants, q, T, options);
-  if (!table_result.ok()) return table_result.status();
-  const NnTable& table = table_result.value();
+Result<PcnnResult> PcnnOnTable(const NnTable& table,
+                               const std::vector<ObjectId>& candidates,
+                               double tau) {
   PcnnResult result;
   for (ObjectId o : candidates) {
     size_t idx = table.IndexOf(o);
@@ -93,6 +90,17 @@ Result<PcnnResult> PcnnQuery(const TrajectoryDatabase& db,
                           per_object.entries.end());
   }
   return result;
+}
+
+Result<PcnnResult> PcnnQuery(const TrajectoryDatabase& db,
+                             const std::vector<ObjectId>& participants,
+                             const std::vector<ObjectId>& candidates,
+                             const QueryTrajectory& q, const TimeInterval& T,
+                             double tau, const MonteCarloOptions& options,
+                             ThreadPool* pool) {
+  auto table_result = ComputeNnTable(db, participants, q, T, options, pool);
+  if (!table_result.ok()) return table_result.status();
+  return PcnnOnTable(table_result.value(), candidates, tau);
 }
 
 std::vector<PcnnEntry> FilterMaximal(const std::vector<PcnnEntry>& entries) {

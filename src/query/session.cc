@@ -1,0 +1,244 @@
+#include "query/session.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace ust {
+
+namespace {
+
+// Union of two id sets (inputs need not be sorted).
+std::vector<ObjectId> UnionIds(std::vector<ObjectId> a,
+                               const std::vector<ObjectId>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  return a;
+}
+
+}  // namespace
+
+QuerySession::QuerySession(const TrajectoryDatabase& db, const UstTree* index,
+                           SessionOptions options)
+    : db_(&db), index_(index), options_(options), pool_(options.threads),
+      scratch_(static_cast<size_t>(pool_.num_threads())) {}
+
+Status QuerySession::Prepare() {
+  if (prepared_) return prepare_status_;
+  prepared_ = true;
+  // TS phase: adapt every posterior (sharded, one workspace per worker),
+  // then warm every alias sampler. After this no query mutates shared state,
+  // which is what makes the parallel paths race-free.
+  prepare_status_ = db_->EnsureAllPosteriors(&pool_);
+  if (!prepare_status_.ok()) return prepare_status_;
+  pool_.ParallelFor(db_->size(), [&](size_t i, int) {
+    auto posterior = db_->object(static_cast<ObjectId>(i)).Posterior();
+    if (posterior.ok()) posterior.value()->EnsureSamplers();
+  });
+  return prepare_status_;
+}
+
+PruneResult QuerySession::Prune(const QueryTrajectory& q, const TimeInterval& T,
+                                int k, bool forall,
+                                const UstTree::TimeSlab* slab) const {
+  if (index_ != nullptr) {
+    return forall ? index_->PruneForall(q, T, k, slab)
+                  : index_->PruneExists(q, T, k, slab);
+  }
+  PruneResult result;
+  result.influencers = db_->AliveSometime(T.start, T.end);
+  result.candidates =
+      forall ? db_->AliveThroughout(T.start, T.end) : result.influencers;
+  return result;
+}
+
+const UstTree::TimeSlab* QuerySession::SlabFor(const TimeInterval& T) {
+  if (index_ == nullptr) return nullptr;
+  for (const auto& slab : slabs_) {
+    if (slab->T == T) return slab.get();
+  }
+  slabs_.push_back(
+      std::make_unique<UstTree::TimeSlab>(index_->MakeTimeSlab(T)));
+  return slabs_.back().get();
+}
+
+void QuerySession::TrimSlabCache() {
+  // Bound the cache: a long-lived session over ever-changing intervals must
+  // not grow without limit. Trimming only at batch entry — never from
+  // SlabFor — keeps every pointer handed out during a batch valid, even
+  // when one batch spans more than kMaxCachedSlabs distinct intervals.
+  constexpr size_t kMaxCachedSlabs = 64;
+  if (slabs_.size() >= kMaxCachedSlabs) slabs_.clear();
+}
+
+QueryOutcome QuerySession::Run(const QuerySpec& spec) {
+  // Single-query path: stays lazy (posteriors of the participants resolve on
+  // first use) and serial within the caller's thread; the session pool only
+  // shards world chunks.
+  TrimSlabCache();
+  return RunOne(spec, SlabFor(spec.T), &pool_, &scratch_[0]);
+}
+
+std::vector<QueryOutcome> QuerySession::RunAll(
+    const std::vector<QuerySpec>& specs) {
+  std::vector<QueryOutcome> outcomes(specs.size());
+  if (specs.empty()) return outcomes;
+  // Cross-query sharding shares the posterior and sampler caches, so they
+  // must be sealed first. A 1-thread pool — or a lone query, which takes
+  // the world-sharded path where WorldSampler::Create resolves its own
+  // participants serially before any shard runs — can stay lazy like Run.
+  // If sealing fails (one bad object anywhere in the database, possibly
+  // unrelated to this batch), degrade to the serial lazy path instead of
+  // failing the batch: per-query outcomes must match Run() bit for bit.
+  bool share_across_queries = pool_.num_threads() > 1 && specs.size() > 1;
+  if (share_across_queries && !Prepare().ok()) share_across_queries = false;
+  // Index slabs are built serially up front (the cache is not locked).
+  TrimSlabCache();
+  std::vector<const UstTree::TimeSlab*> slabs(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) slabs[i] = SlabFor(specs[i].T);
+  if (share_across_queries) {
+    // Shard across queries: each worker owns its scratch lane, each query
+    // writes its own outcome slot — schedule-independent by construction.
+    pool_.ParallelFor(specs.size(), [&](size_t i, int worker) {
+      outcomes[i] =
+          RunOne(specs[i], slabs[i], /*world_pool=*/nullptr,
+                 &scratch_[static_cast<size_t>(worker)]);
+    });
+  } else {
+    // Serial batch (or a lone query): shard world chunks instead.
+    for (size_t i = 0; i < specs.size(); ++i) {
+      outcomes[i] = RunOne(specs[i], slabs[i], &pool_, &scratch_[0]);
+    }
+  }
+  return outcomes;
+}
+
+QueryOutcome QuerySession::RunOne(const QuerySpec& spec,
+                                  const UstTree::TimeSlab* slab,
+                                  ThreadPool* world_pool,
+                                  WorkerScratch* scratch) {
+  QueryOutcome out;
+  out.kind = spec.kind;
+  if (spec.kind == QueryKind::kContinuous) {
+    RunContinuous(spec, slab, world_pool, scratch, &out);
+  } else {
+    RunPnn(spec, slab, world_pool, scratch, &out);
+  }
+  return out;
+}
+
+void QuerySession::RunPnn(const QuerySpec& spec, const UstTree::TimeSlab* slab,
+                          ThreadPool* world_pool, WorkerScratch* scratch,
+                          QueryOutcome* out) {
+  const bool forall = spec.kind == QueryKind::kForall;
+  Timer prune_timer;
+  PruneResult pruned = Prune(spec.q, spec.T, spec.mc.k, forall, slab);
+  out->pnn.prune_millis = prune_timer.Millis();
+  out->pnn.num_candidates = pruned.candidates.size();
+  out->pnn.num_influencers = pruned.influencers.size();
+  if (pruned.candidates.empty()) return;
+
+  Timer sample_timer;
+  // P∀NN must account for every influencer; candidates outside the
+  // influencer set (possible without an index) still need their own worlds.
+  std::vector<ObjectId> participants =
+      forall ? UnionIds(pruned.candidates, pruned.influencers)
+             : pruned.influencers;
+  PnnTask task;
+  task.db = db_;
+  task.participants = &participants;
+  task.targets = &pruned.candidates;
+  task.q = &spec.q;
+  task.T = spec.T;
+  task.mc = spec.mc;
+
+  // An explicit override — per query or session-wide — is a user decision:
+  // honoring it with a different backend would be silent data substitution,
+  // so unsupported/overflowing forced backends error instead of degrading.
+  const bool forced = spec.backend != ExecutorKind::kAuto ||
+                      options_.planner.force != ExecutorKind::kAuto;
+  ExecutorKind choice = spec.backend;
+  if (choice == ExecutorKind::kAuto) {
+    choice = PlanExecutor(spec.kind, pruned.candidates.size(),
+                          participants.size(), spec.T.length(),
+                          spec.mc.num_worlds, spec.mc.k, options_.planner);
+  }
+  if (!GetExecutor(choice).Supports(spec.kind, task)) {
+    if (forced) {
+      out->status = Status::InvalidArgument(
+          std::string("executor '") + ExecutorKindName(choice) +
+          "' does not support this query");
+      return;
+    }
+    choice = ExecutorKind::kMonteCarlo;  // planner misfire: degrade gracefully
+  }
+  ExecContext ctx;
+  ctx.pool = world_pool;
+  ctx.sampler_scratch = &scratch->sampler;
+  ctx.row_buffer = &scratch->rows;
+  auto estimates = GetExecutor(choice).Estimate(task, ctx);
+  if (!estimates.ok() && choice == ExecutorKind::kExact && !forced &&
+      estimates.status().code() == StatusCode::kResourceLimit) {
+    // The planner under-estimated the enumeration cross product (it only
+    // sees set sizes, not per-object world counts): fall back to sampling.
+    choice = ExecutorKind::kMonteCarlo;
+    estimates = GetExecutor(choice).Estimate(task, ctx);
+  }
+  if (!estimates.ok()) {
+    out->status = estimates.status();
+    return;
+  }
+  out->executor = choice;
+  for (const PnnEstimate& e : estimates.value()) {
+    const double p = forall ? e.forall_prob : e.exists_prob;
+    if (p >= spec.tau) out->pnn.results.push_back({e.object, p});
+  }
+  out->pnn.sampling_millis = sample_timer.Millis();
+}
+
+void QuerySession::RunContinuous(const QuerySpec& spec,
+                                 const UstTree::TimeSlab* slab,
+                                 ThreadPool* world_pool, WorkerScratch* scratch,
+                                 QueryOutcome* out) {
+  // Algorithm 1 validates timestamp sets against one shared world sample,
+  // which only the Monte-Carlo table provides — so a forced non-MC backend
+  // is an error here, same contract as RunPnn.
+  const ExecutorKind forced_backend = spec.backend != ExecutorKind::kAuto
+                                          ? spec.backend
+                                          : options_.planner.force;
+  if (forced_backend != ExecutorKind::kAuto &&
+      forced_backend != ExecutorKind::kMonteCarlo) {
+    out->status = Status::InvalidArgument(
+        std::string("executor '") + ExecutorKindName(forced_backend) +
+        "' does not support continuous queries");
+    return;
+  }
+  Timer prune_timer;
+  // Any object that can be NN at some tic can hold a singleton result set,
+  // so PCNN candidates are the P∃NN candidates.
+  PruneResult pruned = Prune(spec.q, spec.T, spec.mc.k, /*forall=*/false, slab);
+  out->pcnn.prune_millis = prune_timer.Millis();
+  out->pcnn.num_candidates = pruned.candidates.size();
+  out->pcnn.num_influencers = pruned.influencers.size();
+  if (pruned.candidates.empty()) return;
+
+  Timer sample_timer;
+  out->executor = ExecutorKind::kMonteCarlo;
+  auto table =
+      ComputeNnTableScratch(*db_, pruned.influencers, spec.q, spec.T, spec.mc,
+                            world_pool, &scratch->sampler, &scratch->rows);
+  if (!table.ok()) {
+    out->status = table.status();
+    return;
+  }
+  auto pcnn = PcnnOnTable(table.value(), pruned.candidates, spec.tau);
+  if (!pcnn.ok()) {
+    out->status = pcnn.status();
+    return;
+  }
+  out->pcnn.pcnn = pcnn.MoveValue();
+  out->pcnn.sampling_millis = sample_timer.Millis();
+}
+
+}  // namespace ust

@@ -1,0 +1,160 @@
+// The plan-based batched query pipeline (Section 3.3 industrialized):
+//
+//   QuerySession  — owns immutable shared state (a database's posteriors
+//                   with warmed alias samplers, the UST-tree, cached
+//                   per-interval index slabs) plus reusable per-worker
+//                   scratch, so back-to-back queries stop paying allocation
+//                   and warm-up costs;
+//   planner       — picks the refinement backend per query from the pruning
+//                   output (query/executor.h);
+//   RunAll        — evaluates a batch, sharding across queries and across
+//                   world chunks within a query over a thread pool.
+//
+// Determinism contract: a query's result is a pure function of the database
+// contents and its QuerySpec (seed included). Run vs RunAll, 1 vs N threads,
+// and batch order never change a single bit of the output — worker scratch
+// carries no cross-query state, world shards re-derive their RNG positions
+// from world indices, and per-query outputs occupy disjoint slots.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "index/ust_tree.h"
+#include "model/trajectory_database.h"
+#include "query/executor.h"
+#include "query/monte_carlo.h"
+#include "query/pcnn.h"
+#include "query/query.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace ust {
+
+/// \brief One qualifying object with its estimated probability.
+struct PnnResultEntry {
+  ObjectId object;
+  double prob;
+};
+
+/// \brief Result of a P∃NNQ / P∀NNQ evaluation plus work statistics.
+struct PnnQueryResult {
+  std::vector<PnnResultEntry> results;  ///< objects with prob >= tau
+  size_t num_candidates = 0;            ///< |C(q)| after pruning
+  size_t num_influencers = 0;           ///< |I(q)| after pruning
+  double prune_millis = 0.0;
+  double sampling_millis = 0.0;
+};
+
+/// \brief PCNNQ result plus work statistics.
+struct PcnnQueryResult {
+  PcnnResult pcnn;
+  size_t num_candidates = 0;
+  size_t num_influencers = 0;
+  double prune_millis = 0.0;
+  double sampling_millis = 0.0;
+};
+
+/// \brief One query of a batch: semantics, reference trajectory, interval,
+/// threshold, precision knobs, and an optional backend override.
+struct QuerySpec {
+  QueryKind kind = QueryKind::kForall;
+  QueryTrajectory q = QueryTrajectory::FromPoint({0, 0});
+  TimeInterval T{0, 0};
+  double tau = 0.0;
+  MonteCarloOptions mc;  ///< num_worlds (precision), k, seed
+  /// Explicit executor override; kAuto defers to the planner.
+  ExecutorKind backend = ExecutorKind::kAuto;
+};
+
+/// \brief Per-query outcome. `status` isolates failures: one malformed query
+/// does not abort the batch.
+struct QueryOutcome {
+  Status status;
+  QueryKind kind = QueryKind::kForall;
+  /// Backend that actually refined the query (after planning + fallback).
+  ExecutorKind executor = ExecutorKind::kMonteCarlo;
+  PnnQueryResult pnn;    ///< kForall / kExists
+  PcnnQueryResult pcnn;  ///< kContinuous
+};
+
+/// \brief Session-level knobs.
+struct SessionOptions {
+  /// Worker count for RunAll batches, per-query world sharding, and
+  /// Prepare's parallel posterior adaptation. 1 = fully serial.
+  int threads = 1;
+  PlannerOptions planner;
+};
+
+/// \brief Long-lived query façade over one TrajectoryDatabase + UST-tree.
+///
+/// Not safe for concurrent external use (one session = one request lane);
+/// internally it parallelizes over its own pool.
+class QuerySession {
+ public:
+  explicit QuerySession(const TrajectoryDatabase& db,
+                        const UstTree* index = nullptr,
+                        SessionOptions options = {});
+
+  /// Build the shared immutable artifacts once: adapts every posterior (one
+  /// PropagateWorkspace per worker, objects sharded over the pool) and warms
+  /// every alias sampler. Idempotent. Only RunAll batches that shard across
+  /// queries (threads > 1 and more than one spec) call it implicitly — Run
+  /// and serial batches stay lazy, resolving just their own participants —
+  /// so call Prepare() up front to warm the whole database explicitly.
+  Status Prepare();
+
+  /// Evaluate one query, reusing session scratch.
+  QueryOutcome Run(const QuerySpec& spec);
+
+  /// Evaluate a batch: queries are sharded across the pool; a lone query
+  /// instead shards its world chunks. outcome[i] corresponds to specs[i] and
+  /// is bit-identical to Run(specs[i]) at any thread count.
+  std::vector<QueryOutcome> RunAll(const std::vector<QuerySpec>& specs);
+
+  const SessionOptions& options() const { return options_; }
+  const TrajectoryDatabase& db() const { return *db_; }
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  /// Per-worker reusable scratch: world-sampler buffers + byte staging rows.
+  struct WorkerScratch {
+    WorldSampler::Scratch sampler;
+    std::vector<uint8_t> rows;
+  };
+
+  /// Pruning (filter step), via the index slab when one is cached for T;
+  /// without an index, degenerates to alive-time filtering.
+  PruneResult Prune(const QueryTrajectory& q, const TimeInterval& T, int k,
+                    bool forall, const UstTree::TimeSlab* slab) const;
+
+  /// Cached slab lookup; inserts on miss. Not thread-safe — called only
+  /// from the serial sections (Run, RunAll's prebuild pass). Pointers stay
+  /// valid until the next batch entry (TrimSlabCache).
+  const UstTree::TimeSlab* SlabFor(const TimeInterval& T);
+
+  /// Evict the slab cache when it outgrew its bound; batch-entry only.
+  void TrimSlabCache();
+
+  QueryOutcome RunOne(const QuerySpec& spec, const UstTree::TimeSlab* slab,
+                      ThreadPool* world_pool, WorkerScratch* scratch);
+  void RunPnn(const QuerySpec& spec, const UstTree::TimeSlab* slab,
+              ThreadPool* world_pool, WorkerScratch* scratch,
+              QueryOutcome* out);
+  void RunContinuous(const QuerySpec& spec, const UstTree::TimeSlab* slab,
+                     ThreadPool* world_pool, WorkerScratch* scratch,
+                     QueryOutcome* out);
+
+  const TrajectoryDatabase* db_;
+  const UstTree* index_;
+  SessionOptions options_;
+  ThreadPool pool_;
+  std::vector<WorkerScratch> scratch_;  // one per worker
+  /// Slab cache; unique_ptr keeps handed-out slab pointers stable as the
+  /// cache grows.
+  std::vector<std::unique_ptr<UstTree::TimeSlab>> slabs_;
+  bool prepared_ = false;
+  Status prepare_status_;
+};
+
+}  // namespace ust
