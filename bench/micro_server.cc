@@ -1,0 +1,244 @@
+// Serving-tier microbenchmark: the same P∀NNQ request stream evaluated
+// three ways —
+//
+//   cold_session : the no-server pattern for independent callers — every
+//                  request builds its own QuerySession from a cold database
+//                  (posteriors invalidated), paying adaptation, sampler
+//                  warm-up and slab construction per request;
+//   direct_runall: one prepared QuerySession evaluating the whole stream as
+//                  a single RunAll batch — the PR 2 upper bound (no
+//                  queueing, no batching window);
+//   server       : QueryServer — client threads submit single specs, the
+//                  dispatcher micro-batches them through the epoch-keyed
+//                  session cache; per-request latency comes from the
+//                  server's own histogram.
+//
+// The server outcomes are checked bit-identical to direct_runall (the PR 2
+// determinism contract extended across the admission queue). Emits
+// BENCH_server.json (qps of each mode, speedups, p50/p99 latency) so serving
+// throughput is tracked machine-readably across PRs.
+//
+// Flags (defaults sized for a single CI core):
+//   --states=10000 --objects=48 --lifetime=96 --obs_interval=12
+//   --horizon=120 --interval=10 --worlds=500 --queries=50 --threads=1
+//   --clients=4 --batch=16 --delay_ms=2 --json_out=BENCH_server.json
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_json.h"
+#include "gen/synthetic.h"
+#include "gen/workload.h"
+#include "index/ust_tree.h"
+#include "query/session.h"
+#include "server/query_server.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace ust;
+using namespace ust::bench;
+
+namespace {
+
+// Outcomes must agree bit for bit across modes (same epoch, same specs).
+void CheckSameOutcome(const QueryOutcome& a, const QueryOutcome& b) {
+  UST_CHECK(a.status.ok() && b.status.ok());
+  UST_CHECK(a.executor == b.executor);
+  UST_CHECK(a.pnn.results.size() == b.pnn.results.size());
+  for (size_t j = 0; j < a.pnn.results.size(); ++j) {
+    UST_CHECK(a.pnn.results[j].object == b.pnn.results[j].object);
+    UST_CHECK(a.pnn.results[j].prob == b.pnn.results[j].prob);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  SyntheticConfig config;
+  config.num_states = flags.GetInt("states", 10000);
+  config.num_objects = flags.GetInt("objects", 48);
+  config.lifetime = static_cast<Tic>(flags.GetInt("lifetime", 96));
+  config.obs_interval = static_cast<Tic>(flags.GetInt("obs_interval", 12));
+  config.horizon = static_cast<Tic>(flags.GetInt("horizon", 120));
+  config.seed = 6;
+  const size_t interval_length = flags.GetInt("interval", 10);
+  const size_t num_worlds = flags.GetInt("worlds", 500);
+  const size_t num_queries = flags.GetInt("queries", 50);
+  const int threads = flags.GetInt("threads", 1);
+  const int clients = static_cast<int>(flags.GetInt("clients", 4));
+  const size_t max_batch = flags.GetInt("batch", 16);
+  const double delay_ms = flags.GetDouble("delay_ms", 2.0);
+  const std::string json_out = flags.GetString("json_out", "BENCH_server.json");
+
+  PrintConfig("micro_server: serving-tier throughput and latency", flags,
+              "states=" + std::to_string(config.num_states) +
+                  " objects=" + std::to_string(config.num_objects) +
+                  " worlds=" + std::to_string(num_worlds) +
+                  " queries=" + std::to_string(num_queries) +
+                  " threads=" + std::to_string(threads) +
+                  " clients=" + std::to_string(clients));
+
+  auto world_result = GenerateSyntheticWorld(config);
+  UST_CHECK(world_result.ok());
+  SyntheticWorld world = world_result.MoveValue();
+  TrajectoryDatabase& db = *world.db;
+  auto tree = UstTree::Build(db);
+  UST_CHECK(tree.ok());
+
+  // Two query intervals, so the stream exercises the cache's interval keying
+  // (and the dispatcher's per-interval grouping) instead of one hot entry.
+  const TimeInterval T1 = BusiestInterval(db, interval_length);
+  // Shift backward when possible, forward otherwise — T2 must differ from T1
+  // or the interval keying (two cache entries, per-interval grouping) would
+  // silently collapse to one hot entry.
+  const Tic shift = std::max<Tic>(1, static_cast<Tic>(interval_length) / 2);
+  TimeInterval T2 = T1;
+  if (T1.start >= shift) {
+    T2.start -= shift;
+    T2.end -= shift;
+  } else {
+    T2.start += shift;
+    T2.end += shift;
+  }
+  UST_CHECK(!(T2 == T1));
+  Rng qrng(3);
+  std::vector<QuerySpec> specs;
+  specs.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    QuerySpec spec;
+    spec.kind = QueryKind::kForall;
+    spec.q = RandomQueryState(db.space(), qrng);
+    spec.T = (i % 2 == 0) ? T1 : T2;
+    spec.tau = 0.0;
+    spec.mc.num_worlds = num_worlds;
+    spec.mc.seed = 1000 + i;
+    specs.push_back(spec);
+  }
+
+  SessionOptions session_options;
+  session_options.threads = threads;
+
+  // ---- Mode 1: per-request cold sessions (every caller on its own). ----
+  double cold_seconds = 0.0;
+  std::vector<QueryOutcome> cold_results(num_queries);
+  {
+    Timer t;
+    for (size_t i = 0; i < num_queries; ++i) {
+      db.InvalidatePosteriors();
+      QuerySession session(db, &tree.value(), session_options);
+      cold_results[i] = session.Run(specs[i]);
+    }
+    cold_seconds = t.Seconds();
+  }
+
+  // ---- Mode 2: one prepared session, the whole stream as one batch. ----
+  double prepare_seconds = 0.0;
+  double runall_seconds = 0.0;
+  std::vector<QueryOutcome> runall_results;
+  {
+    db.InvalidatePosteriors();
+    QuerySession session(db, &tree.value(), session_options);
+    Timer prep;
+    UST_CHECK(session.Prepare().ok());
+    prepare_seconds = prep.Seconds();
+    Timer t;
+    runall_results = session.RunAll(specs);
+    runall_seconds = t.Seconds();
+  }
+
+  // ---- Mode 3: QueryServer with concurrent clients. ----
+  double server_seconds = 0.0;
+  ServerStats server_stats;
+  std::vector<QueryOutcome> server_results(num_queries);
+  {
+    // Steady-state serving: posteriors stay warm (mode 2 keeps its Prepare
+    // outside the timer for the same reason — the one-time warm-up cost is
+    // reported as prepare_seconds, the per-request anti-pattern as
+    // qps_cold_session).
+    ServerOptions options;
+    options.threads = threads;
+    options.max_batch_size = max_batch;
+    options.max_batch_delay_ms = delay_ms;
+    QueryServer server(db, &tree.value(), options);
+    std::vector<std::future<QueryOutcome>> futures(num_queries);
+    Timer t;
+    std::vector<std::thread> client_threads;
+    client_threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      client_threads.emplace_back([&, c] {
+        for (size_t i = static_cast<size_t>(c); i < num_queries;
+             i += static_cast<size_t>(clients)) {
+          futures[i] = server.Submit(specs[i]);
+        }
+      });
+    }
+    for (auto& thread : client_threads) thread.join();
+    for (size_t i = 0; i < num_queries; ++i) {
+      server_results[i] = futures[i].get();
+    }
+    server_seconds = t.Seconds();
+    server_stats = server.Stats();
+  }
+
+  // The three modes must agree bit for bit: the serving tier is the batch
+  // pipeline, just behind a queue.
+  for (size_t i = 0; i < num_queries; ++i) {
+    CheckSameOutcome(server_results[i], runall_results[i]);
+    CheckSameOutcome(server_results[i], cold_results[i]);
+  }
+  UST_CHECK(server_stats.rejected == 0);
+  UST_CHECK(server_stats.completed == num_queries);
+
+  const double n = static_cast<double>(num_queries);
+  const double qps_cold = n / cold_seconds;
+  const double qps_runall = n / runall_seconds;
+  const double qps_server = n / server_seconds;
+  const double p50_ms = server_stats.latency_micros.Quantile(0.50) / 1000.0;
+  const double p99_ms = server_stats.latency_micros.Quantile(0.99) / 1000.0;
+
+  CsvTable table({"metric", "value"});
+  table.AddRow({"qps_cold_session", std::to_string(qps_cold)});
+  table.AddRow({"qps_direct_runall", std::to_string(qps_runall)});
+  table.AddRow({"qps_server", std::to_string(qps_server)});
+  table.AddRow({"speedup_server_vs_cold", std::to_string(qps_server / qps_cold)});
+  table.AddRow({"latency_p50_ms", std::to_string(p50_ms)});
+  table.AddRow({"latency_p99_ms", std::to_string(p99_ms)});
+  table.AddRow({"batches", std::to_string(server_stats.batches)});
+  table.Print(std::cout, "micro_server results");
+  std::printf("# server stats: %s\n", server_stats.ToJson().c_str());
+
+  JsonWriter json;
+  json.Add("benchmark", std::string("micro_server"));
+  json.Add("num_states", static_cast<double>(config.num_states));
+  json.Add("num_objects", static_cast<double>(config.num_objects));
+  json.Add("num_worlds", static_cast<double>(num_worlds));
+  json.Add("num_queries", static_cast<double>(num_queries));
+  json.Add("threads", static_cast<double>(threads));
+  json.Add("clients", static_cast<double>(clients));
+  json.Add("max_batch_size", static_cast<double>(max_batch));
+  json.Add("max_batch_delay_ms", delay_ms);
+  json.Add("qps_cold_session", qps_cold);
+  json.Add("qps_direct_runall", qps_runall);
+  json.Add("qps_server", qps_server);
+  json.Add("speedup_server_vs_cold", qps_server / qps_cold);
+  json.Add("speedup_server_vs_runall", qps_server / qps_runall);
+  json.Add("prepare_seconds", prepare_seconds);
+  json.Add("latency_p50_ms", p50_ms);
+  json.Add("latency_p99_ms", p99_ms);
+  json.Add("latency_mean_ms", server_stats.latency_micros.mean() / 1000.0);
+  json.Add("batches", static_cast<double>(server_stats.batches));
+  json.Add("cache_hits", static_cast<double>(server_stats.cache.hits));
+  json.Add("cache_misses", static_cast<double>(server_stats.cache.misses));
+  if (!json.WriteFile(json_out)) {
+    std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+    return 1;
+  }
+  std::printf("# wrote %s\n", json_out.c_str());
+  return 0;
+}

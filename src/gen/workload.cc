@@ -38,7 +38,9 @@ TimeInterval RandomInterval(Tic horizon, size_t length, Rng& rng) {
 TimeInterval BusiestInterval(const TrajectoryDatabase& db, size_t length) {
   UST_CHECK(length >= 1);
   Tic horizon = 0;
-  for (const auto& o : db.objects()) horizon = std::max(horizon, o.last_tic());
+  for (size_t i = 0; i < db.size(); ++i) {
+    horizon = std::max(horizon, db.object(static_cast<ObjectId>(i)).last_tic());
+  }
   TimeInterval best{0, static_cast<Tic>(length) - 1};
   size_t best_count = 0;
   for (Tic start = 0; start + static_cast<Tic>(length) - 1 <= horizon;

@@ -9,18 +9,19 @@
 
 namespace ust {
 
-Result<UstTree> UstTree::Build(const TrajectoryDatabase& db) {
+Result<UstTree> UstTree::Build(const DbSnapshot& db) {
   return Build(db, RStarTree::Options());
 }
 
-Result<UstTree> UstTree::Build(const TrajectoryDatabase& db,
+Result<UstTree> UstTree::Build(const DbSnapshot& db,
                                RStarTree::Options options) {
   UstTree tree(options);
-  tree.db_ = &db;
+  tree.db_ = db;
   tree.space_bounds_ = db.space().BoundingBox();
   // Support graphs are shared between objects using the same matrix.
   std::map<const TransitionMatrix*, std::pair<CsrGraph, CsrGraph>> graphs;
-  for (const UncertainObject& obj : db.objects()) {
+  for (size_t obj_index = 0; obj_index < db.size(); ++obj_index) {
+    const UncertainObject& obj = db.object(static_cast<ObjectId>(obj_index));
     const TransitionMatrix* matrix = &obj.matrix();
     auto it = graphs.find(matrix);
     if (it == graphs.end()) {
@@ -136,7 +137,7 @@ std::vector<UstTree::DistanceProfile> UstTree::BuildProfiles(
   for (const auto& [object, segments] : slab->per_object) {
     DistanceProfile profile;
     profile.object = object;
-    const UncertainObject& obj = db_->object(object);
+    const UncertainObject& obj = db_.object(object);
     profile.first_tic = obj.first_tic();
     profile.last_tic = obj.last_tic();
     profile.dmin.assign(len, kInf);

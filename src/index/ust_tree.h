@@ -44,9 +44,17 @@ class UstTree {
   /// Build diamonds for every observation segment of every object.
   /// Reachability is computed on the support of each object's a-priori
   /// matrix, so the bound is conservative (independent of probabilities).
-  static Result<UstTree> Build(const TrajectoryDatabase& db);
-  static Result<UstTree> Build(const TrajectoryDatabase& db,
+  /// The tree pins the snapshot it was built over (a live database converts
+  /// to its current epoch); built_version() identifies that epoch so serving
+  /// code can detect a stale index after online writes.
+  static Result<UstTree> Build(const DbSnapshot& db);
+  static Result<UstTree> Build(const DbSnapshot& db,
                                RStarTree::Options options);
+
+  /// Epoch of the snapshot this tree indexes. Pruning against a database at
+  /// a different version may miss objects — callers must not pass this tree
+  /// to sessions over other epochs (QuerySession drops a mismatched index).
+  uint64_t built_version() const { return db_.version(); }
 
   /// \brief Reusable index-traversal state for one query time interval: the
   /// segment rectangles overlapping T, grouped per object (sorted by id).
@@ -91,7 +99,8 @@ class UstTree {
   std::vector<SegmentEntry> entries_;
   RStarTree rtree_;
   Rect2 space_bounds_;
-  const TrajectoryDatabase* db_ = nullptr;
+  /// The indexed epoch (snapshots are cheap: two shared_ptrs + a version).
+  DbSnapshot db_;
 };
 
 }  // namespace ust

@@ -116,7 +116,8 @@ Result<TransitionMatrix> LoadTransitionMatrix(std::istream& is) {
 
 Status SaveObservations(const TrajectoryDatabase& db, std::ostream& os) {
   os << kObservationsHeader << "\n" << db.size() << "\n";
-  for (const UncertainObject& obj : db.objects()) {
+  for (size_t i = 0; i < db.size(); ++i) {
+    const UncertainObject& obj = db.object(static_cast<ObjectId>(i));
     os << obj.last_tic() << " " << obj.observations().size() << "\n";
     for (const Observation& o : obj.observations().items()) {
       os << o.time << " " << o.state << "\n";

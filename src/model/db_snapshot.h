@@ -1,0 +1,84 @@
+// An immutable epoch view over a TrajectoryDatabase (the storage half of the
+// serving tier, DESIGN.md section 5): the object table as it existed when the
+// snapshot was taken, pinned to that epoch's version counter. Writers keep
+// appending to (and copy-on-write replacing in) the live database; every
+// reader that admitted against epoch k keeps seeing exactly epoch k.
+//
+// A snapshot is a small value (two shared_ptrs plus the version): copying one
+// is O(1), and the object table it points at is never mutated, so reading a
+// snapshot is safe concurrently with live *writers* (AddObject /
+// ExtendLifetime never touch published objects).
+//
+// Caveat — reader-vs-reader: posterior and sampler caches are built lazily
+// on the shared UncertainObjects (unsynchronized, single-writer contract),
+// so warming an object once serves every snapshot that contains it, but two
+// threads must not *cold-read* overlapping objects concurrently. Serialize
+// warming (EnsureAllPosteriors / QuerySession::Prepare) per object set —
+// the QueryServer dispatcher does exactly that by owning all session
+// construction — after which any number of threads may read.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "model/uncertain_object.h"
+#include "state/state_space.h"
+#include "util/check.h"
+#include "util/status.h"
+
+namespace ust {
+
+class ThreadPool;
+class TrajectoryDatabase;
+
+/// \brief Immutable view of one database epoch.
+class DbSnapshot {
+ public:
+  /// The shared, frozen object table of one epoch.
+  using ObjectTable = std::vector<std::shared_ptr<const UncertainObject>>;
+
+  DbSnapshot() = default;
+
+  /// Snapshot the database's current epoch (same as db.Snapshot()). Implicit
+  /// on purpose: every query-layer entry point takes a `const DbSnapshot&`,
+  /// and a caller holding a live database means "the current epoch".
+  DbSnapshot(const TrajectoryDatabase& db);  // NOLINT implicit
+
+  DbSnapshot(std::shared_ptr<const StateSpace> space,
+             std::shared_ptr<const ObjectTable> objects, uint64_t version)
+      : space_(std::move(space)), objects_(std::move(objects)),
+        version_(version) {}
+
+  /// Epoch this view is pinned to (bumped by every database write).
+  uint64_t version() const { return version_; }
+
+  const StateSpace& space() const { return *space_; }
+  std::shared_ptr<const StateSpace> space_ptr() const { return space_; }
+
+  size_t size() const { return objects_ == nullptr ? 0 : objects_->size(); }
+  bool empty() const { return size() == 0; }
+
+  /// Object by id; ids in [0, size()) (debug bounds-checked).
+  const UncertainObject& object(ObjectId id) const {
+    UST_DCHECK(objects_ != nullptr && id < objects_->size());
+    return *(*objects_)[id];
+  }
+
+  /// Ids of objects alive at every tic of [ts, te].
+  std::vector<ObjectId> AliveThroughout(Tic ts, Tic te) const;
+
+  /// Ids of objects alive at at least one tic of [ts, te].
+  std::vector<ObjectId> AliveSometime(Tic ts, Tic te) const;
+
+  /// Build every object's posterior model, serially (one workspace threaded
+  /// through all adaptations) or sharded over `pool` (one workspace per
+  /// worker; identical result, first failure in object order reported).
+  Status EnsureAllPosteriors(ThreadPool* pool = nullptr) const;
+
+ private:
+  std::shared_ptr<const StateSpace> space_;
+  std::shared_ptr<const ObjectTable> objects_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace ust

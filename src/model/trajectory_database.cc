@@ -7,25 +7,68 @@ namespace ust {
 
 ObjectId TrajectoryDatabase::AddObject(ObservationSeq observations,
                                        TransitionMatrixPtr matrix) {
+  std::lock_guard<std::mutex> lock(mu_);
   ObjectId id = static_cast<ObjectId>(objects_.size());
-  objects_.emplace_back(id, std::move(observations), std::move(matrix));
+  objects_.push_back(std::make_shared<UncertainObject>(
+      id, std::move(observations), std::move(matrix)));
+  ++version_;
   return id;
 }
 
 ObjectId TrajectoryDatabase::AddObject(ObservationSeq observations,
                                        TransitionMatrixPtr matrix,
                                        Tic end_tic) {
+  std::lock_guard<std::mutex> lock(mu_);
   ObjectId id = static_cast<ObjectId>(objects_.size());
-  objects_.emplace_back(id, std::move(observations), std::move(matrix),
-                        end_tic);
+  objects_.push_back(std::make_shared<UncertainObject>(
+      id, std::move(observations), std::move(matrix), end_tic));
+  ++version_;
   return id;
+}
+
+Status TrajectoryDatabase::ExtendLifetime(ObjectId id, Tic end_tic) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= objects_.size()) {
+    return Status::NotFound("ExtendLifetime: no object with id " +
+                            std::to_string(id));
+  }
+  const UncertainObject& old = *objects_[id];
+  if (end_tic < old.last_tic()) {
+    return Status::InvalidArgument(
+        "ExtendLifetime: lifetimes only extend (object ends at " +
+        std::to_string(old.last_tic()) + ", requested " +
+        std::to_string(end_tic) + ")");
+  }
+  if (end_tic == old.last_tic()) return Status::OK();  // no-op, no epoch bump
+  // Copy-on-write: the fresh object starts with an empty posterior cache
+  // (the posterior propagates up to last_tic, so the old one is stale for
+  // this slot) while snapshots pinned to earlier epochs keep the old object.
+  objects_[id] = std::make_shared<UncertainObject>(
+      old.id(), old.observations(), old.matrix_ptr(), end_tic);
+  ++version_;
+  return Status::OK();
+}
+
+uint64_t TrajectoryDatabase::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+DbSnapshot TrajectoryDatabase::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (snapshot_table_ == nullptr || snapshot_version_ != version_) {
+    snapshot_table_ =
+        std::make_shared<const DbSnapshot::ObjectTable>(objects_);
+    snapshot_version_ = version_;
+  }
+  return DbSnapshot(space_, snapshot_table_, version_);
 }
 
 std::vector<ObjectId> TrajectoryDatabase::AliveThroughout(Tic ts,
                                                           Tic te) const {
   std::vector<ObjectId> ids;
   for (const auto& o : objects_) {
-    if (o.AliveThroughout(ts, te)) ids.push_back(o.id());
+    if (o->AliveThroughout(ts, te)) ids.push_back(o->id());
   }
   return ids;
 }
@@ -33,40 +76,72 @@ std::vector<ObjectId> TrajectoryDatabase::AliveThroughout(Tic ts,
 std::vector<ObjectId> TrajectoryDatabase::AliveSometime(Tic ts, Tic te) const {
   std::vector<ObjectId> ids;
   for (const auto& o : objects_) {
-    if (o.first_tic() <= te && o.last_tic() >= ts) ids.push_back(o.id());
+    if (o->first_tic() <= te && o->last_tic() >= ts) ids.push_back(o->id());
   }
   return ids;
 }
 
 Status TrajectoryDatabase::EnsureAllPosteriors() const {
-  return EnsureAllPosteriors(nullptr);
+  return Snapshot().EnsureAllPosteriors(nullptr);
 }
 
 Status TrajectoryDatabase::EnsureAllPosteriors(ThreadPool* pool) const {
-  if (pool == nullptr || pool->num_threads() <= 1 || objects_.size() <= 1) {
+  // Via the snapshot of the current epoch: same objects, and the posterior
+  // caches live on the shared objects, so the live database is warmed too.
+  return Snapshot().EnsureAllPosteriors(pool);
+}
+
+void TrajectoryDatabase::InvalidatePosteriors() const {
+  // Locked so the iteration cannot race a writer's push_back reallocation.
+  // The per-object cache reset itself follows the caches' single-writer
+  // contract: this is a timing-experiment API, not safe to interleave with
+  // concurrent readers of the same objects (see header).
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& o : objects_) o->InvalidatePosterior();
+}
+
+DbSnapshot::DbSnapshot(const TrajectoryDatabase& db) : DbSnapshot(db.Snapshot()) {}
+
+std::vector<ObjectId> DbSnapshot::AliveThroughout(Tic ts, Tic te) const {
+  std::vector<ObjectId> ids;
+  for (size_t i = 0; i < size(); ++i) {
+    const UncertainObject& o = object(static_cast<ObjectId>(i));
+    if (o.AliveThroughout(ts, te)) ids.push_back(o.id());
+  }
+  return ids;
+}
+
+std::vector<ObjectId> DbSnapshot::AliveSometime(Tic ts, Tic te) const {
+  std::vector<ObjectId> ids;
+  for (size_t i = 0; i < size(); ++i) {
+    const UncertainObject& o = object(static_cast<ObjectId>(i));
+    if (o.first_tic() <= te && o.last_tic() >= ts) ids.push_back(o.id());
+  }
+  return ids;
+}
+
+Status DbSnapshot::EnsureAllPosteriors(ThreadPool* pool) const {
+  if (pool == nullptr || pool->num_threads() <= 1 || size() <= 1) {
     // One workspace threaded through every adaptation: the dense scatter
     // arrays are sized once for the whole TS phase.
     PropagateWorkspace ws(space_->size());
-    for (const auto& o : objects_) {
-      UST_RETURN_NOT_OK(o.EnsurePosterior(&ws));
+    for (size_t i = 0; i < size(); ++i) {
+      UST_RETURN_NOT_OK(object(static_cast<ObjectId>(i)).EnsurePosterior(&ws));
     }
     return Status::OK();
   }
   // Per-object adaptations touch disjoint posterior caches, so they shard
   // cleanly; each worker owns one workspace for its share of the objects.
   std::vector<PropagateWorkspace> workspaces(pool->num_threads());
-  std::vector<Status> statuses(objects_.size());
-  pool->ParallelFor(objects_.size(), [&](size_t i, int worker) {
-    statuses[i] = objects_[i].EnsurePosterior(&workspaces[worker]);
+  std::vector<Status> statuses(size());
+  pool->ParallelFor(size(), [&](size_t i, int worker) {
+    statuses[i] =
+        object(static_cast<ObjectId>(i)).EnsurePosterior(&workspaces[worker]);
   });
   for (const Status& s : statuses) {
     UST_RETURN_NOT_OK(s);
   }
   return Status::OK();
-}
-
-void TrajectoryDatabase::InvalidatePosteriors() const {
-  for (const auto& o : objects_) o.InvalidatePosterior();
 }
 
 }  // namespace ust

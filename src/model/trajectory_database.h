@@ -1,12 +1,25 @@
 // The uncertain trajectory database D (Section 3.1): a state space plus a
-// collection of uncertain objects.
+// collection of uncertain objects — now with epoch-based snapshot semantics
+// (DESIGN.md section 5). Every write (AddObject, ExtendLifetime) bumps a
+// version counter under a writer mutex; Snapshot() captures the current
+// object table as an immutable DbSnapshot, so in-flight queries keep reading
+// the epoch they admitted against while writers keep appending.
+//
+// Concurrency contract: writes and Snapshot() may be called from any thread.
+// The direct read accessors (size, object, Alive*, EnsureAllPosteriors) see
+// the live epoch and are NOT synchronized against concurrent writers — a
+// reader that coexists with writers must pin a DbSnapshot instead.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "model/db_snapshot.h"
 #include "model/uncertain_object.h"
 #include "state/state_space.h"
+#include "util/check.h"
 #include "util/status.h"
 
 namespace ust {
@@ -19,19 +32,50 @@ class TrajectoryDatabase {
   explicit TrajectoryDatabase(std::shared_ptr<const StateSpace> space)
       : space_(std::move(space)) {}
 
+  /// Movable (for Result/factory returns); must not race with any other use
+  /// of `other`. Not copyable: a copy would fork the epoch history — take a
+  /// Snapshot() instead.
+  TrajectoryDatabase(TrajectoryDatabase&& other) noexcept
+      : space_(std::move(other.space_)), objects_(std::move(other.objects_)),
+        version_(other.version_),
+        snapshot_table_(std::move(other.snapshot_table_)),
+        snapshot_version_(other.snapshot_version_) {}
+  TrajectoryDatabase(const TrajectoryDatabase&) = delete;
+  TrajectoryDatabase& operator=(const TrajectoryDatabase&) = delete;
+
   const StateSpace& space() const { return *space_; }
   std::shared_ptr<const StateSpace> space_ptr() const { return space_; }
 
   /// Add an object; returns its id. Observations must be valid for `matrix`.
   /// `end_tic` optionally extends the lifetime past the last observation.
+  /// Bumps the epoch; snapshots taken earlier do not see the new object.
   ObjectId AddObject(ObservationSeq observations, TransitionMatrixPtr matrix);
   ObjectId AddObject(ObservationSeq observations, TransitionMatrixPtr matrix,
                      Tic end_tic);
 
+  /// Extend object `id`'s lifetime to `end_tic` (>= its current last tic).
+  /// Copy-on-write: the slot is replaced with a fresh object (the posterior
+  /// depends on the lifetime, so its cache must drop), while snapshots taken
+  /// earlier keep the old object — and its warmed posterior — untouched.
+  /// Bumps the epoch unless the call is a no-op.
+  Status ExtendLifetime(ObjectId id, Tic end_tic);
+
+  /// Current epoch. 0 for an empty database; bumped by every write.
+  uint64_t version() const;
+
+  /// Immutable view of the current epoch. O(n) on the first call per epoch
+  /// (the table is copied once and cached), O(1) afterwards. Thread-safe.
+  DbSnapshot Snapshot() const;
+
   size_t size() const { return objects_.size(); }
   bool empty() const { return objects_.empty(); }
-  const UncertainObject& object(ObjectId id) const { return objects_[id]; }
-  const std::vector<UncertainObject>& objects() const { return objects_; }
+
+  /// Object by id; ids in [0, size()) (debug bounds-checked — ids obtained
+  /// before an online insert can race past a stale bound otherwise).
+  const UncertainObject& object(ObjectId id) const {
+    UST_DCHECK(id < objects_.size());
+    return *objects_[id];
+  }
 
   /// Ids of objects alive at every tic of [ts, te].
   std::vector<ObjectId> AliveThroughout(Tic ts, Tic te) const;
@@ -48,12 +92,23 @@ class TrajectoryDatabase {
   Status EnsureAllPosteriors() const;
   Status EnsureAllPosteriors(ThreadPool* pool) const;
 
-  /// Drop all cached posteriors (for timing experiments).
+  /// Drop all cached posteriors (for timing experiments). Does not bump the
+  /// epoch: posteriors are caches, not state — results never depend on them.
+  /// Safe against concurrent writers, but must not interleave with readers
+  /// resolving posteriors on this database's objects (or its snapshots).
   void InvalidatePosteriors() const;
 
  private:
   std::shared_ptr<const StateSpace> space_;
-  std::vector<UncertainObject> objects_;
+  /// Live object table. Slots are shared with snapshots; a slot's pointee is
+  /// never mutated after publication (ExtendLifetime swaps the pointer).
+  std::vector<std::shared_ptr<const UncertainObject>> objects_;
+  uint64_t version_ = 0;
+
+  /// Serializes writers and guards the snapshot cache.
+  mutable std::mutex mu_;
+  mutable std::shared_ptr<const DbSnapshot::ObjectTable> snapshot_table_;
+  mutable uint64_t snapshot_version_ = 0;
 };
 
 }  // namespace ust

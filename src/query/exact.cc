@@ -58,7 +58,7 @@ Result<std::vector<WeightedTrajectory>> EnumerateWindowTrajectories(
 }
 
 Result<std::vector<PnnEstimate>> ExactPnnByEnumeration(
-    const TrajectoryDatabase& db, const std::vector<ObjectId>& participants,
+    const DbSnapshot& db, const std::vector<ObjectId>& participants,
     const QueryTrajectory& q, const TimeInterval& T, int k,
     size_t max_worlds) {
   if (!T.valid()) return Status::InvalidArgument("empty query interval");

@@ -32,7 +32,7 @@ Result<std::vector<WeightedTrajectory>> EnumerateWindowTrajectories(
 /// `participants` (probability estimates for the same objects).
 /// The product of per-object world counts must not exceed `max_worlds`.
 Result<std::vector<PnnEstimate>> ExactPnnByEnumeration(
-    const TrajectoryDatabase& db, const std::vector<ObjectId>& participants,
+    const DbSnapshot& db, const std::vector<ObjectId>& participants,
     const QueryTrajectory& q, const TimeInterval& T, int k = 1,
     size_t max_worlds = 2000000);
 

@@ -14,7 +14,7 @@
 
 #include <vector>
 
-#include "model/trajectory_database.h"
+#include "model/db_snapshot.h"
 #include "query/monte_carlo.h"
 #include "query/query.h"
 #include "util/status.h"
@@ -44,7 +44,7 @@ const char* ExecutorKindName(ExecutorKind kind);
 /// \brief One refinement job: estimate P∀NN and P∃NN of every target,
 /// accounting for all participants (targets ⊆ participants).
 struct PnnTask {
-  const TrajectoryDatabase* db = nullptr;
+  const DbSnapshot* db = nullptr;
   const std::vector<ObjectId>* participants = nullptr;
   const std::vector<ObjectId>* targets = nullptr;
   const QueryTrajectory* q = nullptr;

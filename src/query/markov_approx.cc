@@ -293,7 +293,7 @@ Result<std::pair<double, ModelStrip>> ConditionOnDomination(
 }
 
 Result<double> ApproximateForallNnMarkov(
-    const TrajectoryDatabase& db, ObjectId target,
+    const DbSnapshot& db, ObjectId target,
     const std::vector<ObjectId>& competitors, const QueryTrajectory& q,
     const TimeInterval& T) {
   if (!T.valid()) return Status::InvalidArgument("empty query interval");

@@ -51,7 +51,7 @@ Result<std::pair<double, ModelStrip>> ConditionOnDomination(
 /// are conditioned only over their alive sub-window (they cannot undercut o
 /// while they do not exist).
 Result<double> ApproximateForallNnMarkov(
-    const TrajectoryDatabase& db, ObjectId target,
+    const DbSnapshot& db, ObjectId target,
     const std::vector<ObjectId>& competitors, const QueryTrajectory& q,
     const TimeInterval& T);
 

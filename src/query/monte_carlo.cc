@@ -1,6 +1,7 @@
 #include "query/monte_carlo.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -135,7 +136,7 @@ double NnTable::ExistsProb(size_t obj_index) const {
   return static_cast<double>(count) / static_cast<double>(num_worlds_);
 }
 
-Result<WorldSampler> WorldSampler::Create(const TrajectoryDatabase& db,
+Result<WorldSampler> WorldSampler::Create(const DbSnapshot& db,
                                           std::vector<ObjectId> participants,
                                           const QueryTrajectory& q,
                                           const TimeInterval& T, int k,
@@ -149,7 +150,9 @@ Result<WorldSampler> WorldSampler::Create(const TrajectoryDatabase& db,
     }
   }
   WorldSampler sampler;
-  sampler.db_ = &db;
+  // Monotonic cursor ids (never reused, never 0) back the SampleNext guard.
+  static std::atomic<uint64_t> next_cursor_id{1};
+  sampler.cursor_id_ = next_cursor_id.fetch_add(1, std::memory_order_relaxed);
   sampler.participants_ = std::move(participants);
   sampler.q_ = q;
   sampler.interval_ = T;
@@ -231,20 +234,20 @@ void WorldSampler::SampleWorldsFrom(const std::vector<Rng>& rng_starts,
   scratch->rngs = rng_starts;
   // The cursor now holds this sampler's streams; keep the owner tag honest
   // so a later SampleNext cannot continue foreign positions unchecked.
-  scratch->cursor_owner = this;
+  scratch->cursor_owner = cursor_id_;
   SampleCore(count, is_nn, world_stride, scratch->rngs.data(), scratch);
 }
 
 void WorldSampler::ResetCursor(Scratch* scratch) const {
   scratch->rngs = InitialRngs();
-  scratch->cursor_owner = this;
+  scratch->cursor_owner = cursor_id_;
 }
 
 void WorldSampler::SampleNext(size_t count, uint8_t* is_nn,
                               size_t world_stride, Scratch* scratch) const {
   // A cursor positioned on another sampler must not silently continue here:
   // the worlds would depend on whatever query ran before, not on the seed.
-  UST_CHECK(scratch->cursor_owner == this &&
+  UST_CHECK(cursor_id_ != 0 && scratch->cursor_owner == cursor_id_ &&
             scratch->rngs.size() == resolved_.size());
   SampleCore(count, is_nn, world_stride, scratch->rngs.data(), scratch);
 }
@@ -340,7 +343,7 @@ void WorldSampler::SampleCore(size_t count, uint8_t* is_nn,
   }
 }
 
-Result<NnTable> ComputeNnTable(const TrajectoryDatabase& db,
+Result<NnTable> ComputeNnTable(const DbSnapshot& db,
                                const std::vector<ObjectId>& participants,
                                const QueryTrajectory& q, const TimeInterval& T,
                                const MonteCarloOptions& options,
@@ -350,7 +353,7 @@ Result<NnTable> ComputeNnTable(const TrajectoryDatabase& db,
 }
 
 Result<NnTable> ComputeNnTableScratch(
-    const TrajectoryDatabase& db, const std::vector<ObjectId>& participants,
+    const DbSnapshot& db, const std::vector<ObjectId>& participants,
     const QueryTrajectory& q, const TimeInterval& T,
     const MonteCarloOptions& options, ThreadPool* pool,
     WorldSampler::Scratch* scratch, std::vector<uint8_t>* rows) {
@@ -415,7 +418,7 @@ Result<NnTable> ComputeNnTableScratch(
 }
 
 Result<std::vector<PnnEstimate>> EstimatePnn(
-    const TrajectoryDatabase& db, const std::vector<ObjectId>& participants,
+    const DbSnapshot& db, const std::vector<ObjectId>& participants,
     const std::vector<ObjectId>& targets, const QueryTrajectory& q,
     const TimeInterval& T, const MonteCarloOptions& options, ThreadPool* pool) {
   auto table_result = ComputeNnTable(db, participants, q, T, options, pool);

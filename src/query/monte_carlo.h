@@ -8,7 +8,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "model/trajectory_database.h"
+#include "model/db_snapshot.h"
 #include "query/nn_kernel.h"
 #include "query/query.h"
 #include "util/rng.h"
@@ -128,12 +128,15 @@ class WorldSampler {
     std::vector<double> min_scratch;  // per-(world, rel) k-th distance
     std::vector<double> kth_scratch;  // k>1: per-tic alive distances
     std::vector<Rng> rngs;            // per-participant stream positions
-    const WorldSampler* cursor_owner = nullptr;  // sampler the cursor is on
+    /// Id of the sampler the cursor is positioned on (0 = none). An id, not
+    /// a pointer: ids are never reused, so a scratch outliving its sampler
+    /// cannot false-match a new sampler allocated at the same address.
+    uint64_t cursor_owner = 0;
   };
 
   /// Validates inputs (including every sampling window), resolves the
   /// posterior models and warms their alias samplers.
-  static Result<WorldSampler> Create(const TrajectoryDatabase& db,
+  static Result<WorldSampler> Create(const DbSnapshot& db,
                                      std::vector<ObjectId> participants,
                                      const QueryTrajectory& q,
                                      const TimeInterval& T, int k,
@@ -206,7 +209,6 @@ class WorldSampler {
   void SampleCore(size_t count, uint8_t* is_nn, size_t world_stride, Rng* rngs,
                   Scratch* scratch) const;
 
-  const TrajectoryDatabase* db_ = nullptr;
   std::vector<ObjectId> participants_;
   std::vector<Participant> resolved_;
   QueryTrajectory q_ = QueryTrajectory::FromPoint({0, 0});
@@ -217,6 +219,7 @@ class WorldSampler {
   std::vector<double> dtab_;        // support-state-to-q distance tables
   std::vector<Rng> live_rngs_;      // stream positions of SampleWorlds
   Scratch scratch_;                 // scratch of the mutating entry point
+  uint64_t cursor_id_ = 0;          // unique per Create; 0 = not created
 };
 
 /// \brief Sample `options.num_worlds` possible worlds over `participants` and
@@ -229,7 +232,7 @@ class WorldSampler {
 /// With a `pool`, world chunks are sharded across its workers; the table is
 /// bit-identical at any thread count (chunk boundaries are fixed and every
 /// shard re-derives its RNG position from the world index).
-Result<NnTable> ComputeNnTable(const TrajectoryDatabase& db,
+Result<NnTable> ComputeNnTable(const DbSnapshot& db,
                                const std::vector<ObjectId>& participants,
                                const QueryTrajectory& q, const TimeInterval& T,
                                const MonteCarloOptions& options,
@@ -244,7 +247,7 @@ Result<NnTable> ComputeNnTable(const TrajectoryDatabase& db,
 /// pointer may be nullptr (private locals are used). The result is
 /// identical to ComputeNnTable.
 Result<NnTable> ComputeNnTableScratch(
-    const TrajectoryDatabase& db, const std::vector<ObjectId>& participants,
+    const DbSnapshot& db, const std::vector<ObjectId>& participants,
     const QueryTrajectory& q, const TimeInterval& T,
     const MonteCarloOptions& options, ThreadPool* pool,
     WorldSampler::Scratch* scratch, std::vector<uint8_t>* rows);
@@ -259,7 +262,7 @@ struct PnnEstimate {
 /// \brief Estimate P∀NN and P∃NN for every object in `targets`, sampling
 /// worlds over `participants` (targets ⊆ participants required).
 Result<std::vector<PnnEstimate>> EstimatePnn(
-    const TrajectoryDatabase& db, const std::vector<ObjectId>& participants,
+    const DbSnapshot& db, const std::vector<ObjectId>& participants,
     const std::vector<ObjectId>& targets, const QueryTrajectory& q,
     const TimeInterval& T, const MonteCarloOptions& options,
     ThreadPool* pool = nullptr);

@@ -19,10 +19,17 @@ std::vector<ObjectId> UnionIds(std::vector<ObjectId> a,
 
 }  // namespace
 
-QuerySession::QuerySession(const TrajectoryDatabase& db, const UstTree* index,
+QuerySession::QuerySession(DbSnapshot db, const UstTree* index,
                            SessionOptions options)
-    : db_(&db), index_(index), options_(options), pool_(options.threads),
-      scratch_(static_cast<size_t>(pool_.num_threads())) {}
+    : db_(std::move(db)), index_(index), options_(options),
+      pool_(options.threads),
+      scratch_(static_cast<size_t>(pool_.num_threads())) {
+  // An index over another epoch prunes against the wrong object set; drop it
+  // rather than serve wrong results (alive-time filtering stays correct).
+  if (index_ != nullptr && index_->built_version() != db_.version()) {
+    index_ = nullptr;
+  }
+}
 
 Status QuerySession::Prepare() {
   if (prepared_) return prepare_status_;
@@ -30,10 +37,10 @@ Status QuerySession::Prepare() {
   // TS phase: adapt every posterior (sharded, one workspace per worker),
   // then warm every alias sampler. After this no query mutates shared state,
   // which is what makes the parallel paths race-free.
-  prepare_status_ = db_->EnsureAllPosteriors(&pool_);
+  prepare_status_ = db_.EnsureAllPosteriors(&pool_);
   if (!prepare_status_.ok()) return prepare_status_;
-  pool_.ParallelFor(db_->size(), [&](size_t i, int) {
-    auto posterior = db_->object(static_cast<ObjectId>(i)).Posterior();
+  pool_.ParallelFor(db_.size(), [&](size_t i, int) {
+    auto posterior = db_.object(static_cast<ObjectId>(i)).Posterior();
     if (posterior.ok()) posterior.value()->EnsureSamplers();
   });
   return prepare_status_;
@@ -47,9 +54,9 @@ PruneResult QuerySession::Prune(const QueryTrajectory& q, const TimeInterval& T,
                   : index_->PruneExists(q, T, k, slab);
   }
   PruneResult result;
-  result.influencers = db_->AliveSometime(T.start, T.end);
+  result.influencers = db_.AliveSometime(T.start, T.end);
   result.candidates =
-      forall ? db_->AliveThroughout(T.start, T.end) : result.influencers;
+      forall ? db_.AliveThroughout(T.start, T.end) : result.influencers;
   return result;
 }
 
@@ -61,6 +68,11 @@ const UstTree::TimeSlab* QuerySession::SlabFor(const TimeInterval& T) {
   slabs_.push_back(
       std::make_unique<UstTree::TimeSlab>(index_->MakeTimeSlab(T)));
   return slabs_.back().get();
+}
+
+void QuerySession::WarmInterval(const TimeInterval& T) {
+  TrimSlabCache();
+  (void)SlabFor(T);
 }
 
 void QuerySession::TrimSlabCache() {
@@ -146,7 +158,7 @@ void QuerySession::RunPnn(const QuerySpec& spec, const UstTree::TimeSlab* slab,
       forall ? UnionIds(pruned.candidates, pruned.influencers)
              : pruned.influencers;
   PnnTask task;
-  task.db = db_;
+  task.db = &db_;
   task.participants = &participants;
   task.targets = &pruned.candidates;
   task.q = &spec.q;
@@ -226,7 +238,7 @@ void QuerySession::RunContinuous(const QuerySpec& spec,
   Timer sample_timer;
   out->executor = ExecutorKind::kMonteCarlo;
   auto table =
-      ComputeNnTableScratch(*db_, pruned.influencers, spec.q, spec.T, spec.mc,
+      ComputeNnTableScratch(db_, pruned.influencers, spec.q, spec.T, spec.mc,
                             world_pool, &scratch->sampler, &scratch->rows);
   if (!table.ok()) {
     out->status = table.status();

@@ -86,14 +86,20 @@ struct SessionOptions {
   PlannerOptions planner;
 };
 
-/// \brief Long-lived query façade over one TrajectoryDatabase + UST-tree.
+/// \brief Long-lived query façade over one database epoch + UST-tree.
+///
+/// The session pins a DbSnapshot at construction (a live TrajectoryDatabase
+/// converts to its current epoch): every query it ever runs reads exactly
+/// that epoch, bit-identically, regardless of concurrent writes to the live
+/// database. An `index` built over a *different* epoch would prune against
+/// the wrong object set, so it is silently dropped (pruning degenerates to
+/// alive-time filtering, which is always correct).
 ///
 /// Not safe for concurrent external use (one session = one request lane);
 /// internally it parallelizes over its own pool.
 class QuerySession {
  public:
-  explicit QuerySession(const TrajectoryDatabase& db,
-                        const UstTree* index = nullptr,
+  explicit QuerySession(DbSnapshot db, const UstTree* index = nullptr,
                         SessionOptions options = {});
 
   /// Build the shared immutable artifacts once: adapts every posterior (one
@@ -112,8 +118,14 @@ class QuerySession {
   /// is bit-identical to Run(specs[i]) at any thread count.
   std::vector<QueryOutcome> RunAll(const std::vector<QuerySpec>& specs);
 
+  /// Pre-build the index slab for `T` (no-op without an index), so a cached
+  /// session starts warm for its keyed interval — the serving tier calls
+  /// this once at insert instead of paying the R*-tree walk on the first
+  /// request. Results are unaffected either way.
+  void WarmInterval(const TimeInterval& T);
+
   const SessionOptions& options() const { return options_; }
-  const TrajectoryDatabase& db() const { return *db_; }
+  const DbSnapshot& db() const { return db_; }
   ThreadPool& pool() { return pool_; }
 
  private:
@@ -145,7 +157,7 @@ class QuerySession {
                      ThreadPool* world_pool, WorkerScratch* scratch,
                      QueryOutcome* out);
 
-  const TrajectoryDatabase* db_;
+  DbSnapshot db_;
   const UstTree* index_;
   SessionOptions options_;
   ThreadPool pool_;

@@ -1,0 +1,209 @@
+#include "server/query_server.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace ust {
+
+namespace {
+
+QueryOutcome RejectedOutcome(Status status, QueryKind kind) {
+  QueryOutcome out;
+  out.status = std::move(status);
+  out.kind = kind;
+  return out;
+}
+
+}  // namespace
+
+std::string ServerStats::ToJson() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"submitted\":%" PRIu64 ",\"admitted\":%" PRIu64
+      ",\"rejected\":%" PRIu64 ",\"completed\":%" PRIu64
+      ",\"batches\":%" PRIu64 ",\"flush_full\":%" PRIu64
+      ",\"flush_deadline\":%" PRIu64 ",\"flush_drain\":%" PRIu64
+      ",\"avg_batch_size\":%.3f,\"cache_hits\":%" PRIu64
+      ",\"cache_misses\":%" PRIu64 ",\"cache_evictions_lru\":%" PRIu64
+      ",\"cache_evictions_stale\":%" PRIu64
+      ",\"latency_us\":{\"count\":%zu,\"mean\":%.3f,\"p50\":%.3f,"
+      "\"p90\":%.3f,\"p99\":%.3f,\"max\":%.3f}}",
+      submitted, admitted, rejected, completed, batches, flush_full,
+      flush_deadline, flush_drain,
+      batches == 0 ? 0.0
+                   : static_cast<double>(completed) /
+                         static_cast<double>(batches),
+      cache.hits, cache.misses, cache.evictions_lru, cache.evictions_stale,
+      latency_micros.count(), latency_micros.mean(),
+      latency_micros.Quantile(0.50), latency_micros.Quantile(0.90),
+      latency_micros.Quantile(0.99), latency_micros.max());
+  return std::string(buf);
+}
+
+QueryServer::QueryServer(const TrajectoryDatabase& db, const UstTree* index,
+                         ServerOptions options)
+    : db_(&db), index_(index), options_(options),
+      cache_(options.session_cache_capacity,
+             SessionOptions{options.threads, options.planner}) {
+  // A zero batch size would dispatch empty batches forever while admitted
+  // requests starve, and a zero queue capacity would bounce all traffic; a
+  // server always admits and batches at least one spec.
+  options_.max_batch_size = std::max<size_t>(1, options_.max_batch_size);
+  options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+QueryServer::~QueryServer() { Stop(); }
+
+std::future<QueryOutcome> QueryServer::Submit(QuerySpec spec) {
+  std::promise<QueryOutcome> promise;
+  std::future<QueryOutcome> future = promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (stopping_) {
+      ++stats_.rejected;
+      promise.set_value(RejectedOutcome(
+          Status::InvalidArgument("query server is stopped"), spec.kind));
+      return future;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      // Backpressure: bounce immediately instead of blocking the client —
+      // the caller sees kResourceLimit and can retry with its own policy.
+      ++stats_.rejected;
+      promise.set_value(RejectedOutcome(
+          Status::ResourceLimit("admission queue full"), spec.kind));
+      return future;
+    }
+    ++stats_.admitted;
+    queue_.push_back(Request{std::move(spec), std::move(promise),
+                             std::chrono::steady_clock::now()});
+  }
+  cv_.notify_all();
+  return future;
+}
+
+void QueryServer::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void QueryServer::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void QueryServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // Serialize the join: concurrent Stop() callers (say, an explicit Stop
+  // racing the destructor) all block here until the dispatcher has fully
+  // drained, and exactly one of them performs the join.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+ServerStats QueryServer::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void QueryServer::DispatcherLoop() {
+  const auto delay = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(std::chrono::duration<double,
+                                                                 std::milli>(
+      std::max(0.0, options_.max_batch_delay_ms)));
+  for (;;) {
+    std::vector<Request> batch;
+    uint64_t* flush_reason = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return stopping_ || (!queue_.empty() && !paused_);
+      });
+      if (queue_.empty() && stopping_) return;
+      if (!stopping_) {
+        // Micro-batching window: the batch opened when the first spec was
+        // seen; hold it open until it fills or the deadline passes. Late
+        // submits keep landing in queue_ and are picked up by the drain.
+        const auto deadline = std::chrono::steady_clock::now() + delay;
+        while (!stopping_ && queue_.size() < options_.max_batch_size) {
+          if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+            break;
+          }
+        }
+      }
+      const size_t n = std::min(queue_.size(), options_.max_batch_size);
+      batch.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      flush_reason = stopping_ ? &stats_.flush_drain
+                     : n >= options_.max_batch_size ? &stats_.flush_full
+                                                    : &stats_.flush_deadline;
+      ++*flush_reason;
+      ++stats_.batches;
+    }
+    if (!batch.empty()) ExecuteBatch(&batch);
+  }
+}
+
+void QueryServer::ExecuteBatch(std::vector<Request>* batch) {
+  // Admission point: the whole batch reads the epoch current at dispatch —
+  // a concurrent writer's new epoch becomes visible only to later batches.
+  DbSnapshot snapshot = db_->Snapshot();
+  cache_.EvictStale(snapshot.version());
+
+  // Group by query interval (the session cache key), preserving submit
+  // order within each group. Outcomes are per-spec pure, so grouping never
+  // changes results — only which session executes them.
+  std::map<std::pair<Tic, Tic>, std::vector<size_t>> groups;
+  for (size_t i = 0; i < batch->size(); ++i) {
+    const TimeInterval& T = (*batch)[i].spec.T;
+    groups[{T.start, T.end}].push_back(i);
+  }
+
+  const auto record = [&](Request& request, QueryOutcome outcome) {
+    const double micros =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - request.submitted_at)
+            .count();
+    {
+      // Count before resolving the future: a client that saw its outcome
+      // must also see it reflected in Stats().
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.completed;
+      stats_.latency_micros.Record(micros);
+    }
+    request.promise.set_value(std::move(outcome));
+  };
+
+  for (auto& [key, indices] : groups) {
+    const TimeInterval T{key.first, key.second};
+    std::shared_ptr<QuerySession> session = cache_.Get(snapshot, T, index_);
+    std::vector<QuerySpec> specs;
+    specs.reserve(indices.size());
+    // Moved, not copied: nothing reads Request::spec after execution, and a
+    // spec can carry a full query trajectory.
+    for (size_t i : indices) specs.push_back(std::move((*batch)[i].spec));
+    std::vector<QueryOutcome> outcomes = session->RunAll(specs);
+    for (size_t j = 0; j < indices.size(); ++j) {
+      record((*batch)[indices[j]], std::move(outcomes[j]));
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.cache = cache_.stats();
+}
+
+}  // namespace ust

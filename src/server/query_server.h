@@ -1,0 +1,137 @@
+// The serving tier's front-end (DESIGN.md section 5): many client threads
+// submit single QuerySpecs; a dispatcher thread coalesces them into
+// micro-batches under a latency deadline and runs each batch through the
+// epoch-keyed SessionCache on the PR 2 session pipeline.
+//
+//   Submit(spec) -> future<QueryOutcome>
+//     bounded admission queue; when full the request is rejected
+//     immediately with kResourceLimit (backpressure, never blocking).
+//   dispatcher
+//     flushes a batch when it holds max_batch_size specs or
+//     max_batch_delay_ms elapsed since the batch opened, pins the database
+//     epoch for the whole batch (db->Snapshot()), groups specs by query
+//     interval and RunAll()s each group on the cached session.
+//
+// Because a query's result is a pure function of (epoch, spec) — the PR 2
+// determinism contract — batching, the cache, and the thread pool never
+// change a bit of any outcome: Submit(spec).get() equals a serial
+// QuerySession::Run(spec) over the same epoch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+#include "model/trajectory_database.h"
+#include "server/session_cache.h"
+#include "util/stats.h"
+
+namespace ust {
+
+/// \brief Serving-tier knobs.
+struct ServerOptions {
+  /// Worker threads of each executing session (RunAll sharding).
+  int threads = 1;
+  /// Flush a micro-batch at this many specs...
+  size_t max_batch_size = 64;
+  /// ...or this many milliseconds after it opened, whichever first.
+  double max_batch_delay_ms = 1.0;
+  /// Admission bound: submits beyond this many queued specs are rejected.
+  size_t queue_capacity = 4096;
+  /// LRU capacity of the (epoch, interval) session cache.
+  size_t session_cache_capacity = 8;
+  /// Planner knobs handed to every session.
+  PlannerOptions planner;
+};
+
+/// \brief Counters + end-to-end latency histogram of one QueryServer.
+struct ServerStats {
+  uint64_t submitted = 0;  ///< all Submit calls
+  uint64_t admitted = 0;   ///< entered the queue
+  uint64_t rejected = 0;   ///< bounced (queue full / server stopped)
+  uint64_t completed = 0;  ///< outcomes delivered
+  uint64_t batches = 0;    ///< micro-batches dispatched
+  uint64_t flush_full = 0;      ///< flushed because the batch filled
+  uint64_t flush_deadline = 0;  ///< flushed by the latency deadline
+  uint64_t flush_drain = 0;     ///< flushed by shutdown drain
+  SessionCacheStats cache;
+  /// Submit-to-completion latency per request, in microseconds.
+  LatencyHistogram latency_micros;
+
+  /// Render as a flat JSON object (counters, cache, p50/p90/p99/mean/max).
+  std::string ToJson() const;
+};
+
+/// \brief Micro-batching admission front-end over one live database.
+///
+/// Submit() is thread-safe and non-blocking. Write traffic goes directly to
+/// the TrajectoryDatabase (its writers are internally synchronized); the
+/// dispatcher pins the then-current epoch per batch, so a write becomes
+/// visible at the next batch boundary and never torn mid-batch.
+class QueryServer {
+ public:
+  explicit QueryServer(const TrajectoryDatabase& db,
+                       const UstTree* index = nullptr,
+                       ServerOptions options = {});
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Enqueue one query. The future resolves with the outcome — or, when the
+  /// admission queue is full (kResourceLimit) or the server is stopped
+  /// (kInvalidArgument), resolves immediately with that rejection status.
+  std::future<QueryOutcome> Submit(QuerySpec spec);
+
+  /// Hold dispatching (submits keep queueing up to the admission bound).
+  /// Lets operators drain write bursts — and tests fill the queue
+  /// deterministically.
+  void Pause();
+  /// Resume dispatching.
+  void Resume();
+
+  /// Stop accepting, run every queued request to completion, join the
+  /// dispatcher. Idempotent; called by the destructor.
+  void Stop();
+
+  /// Consistent copy of the counters and the latency histogram.
+  ServerStats Stats() const;
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    QuerySpec spec;
+    std::promise<QueryOutcome> promise;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+
+  void DispatcherLoop();
+  /// Pin the epoch, group by interval, RunAll each group, fulfill promises.
+  void ExecuteBatch(std::vector<Request>* batch);
+
+  const TrajectoryDatabase* db_;
+  const UstTree* index_;
+  ServerOptions options_;
+  SessionCache cache_;  ///< dispatcher-only
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  bool paused_ = false;
+  ServerStats stats_;  ///< guarded by mu_
+
+  std::mutex join_mu_;  ///< serializes Stop()'s join of the dispatcher
+  std::thread dispatcher_;
+};
+
+}  // namespace ust

@@ -1,0 +1,53 @@
+#include "server/session_cache.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ust {
+
+SessionCache::SessionCache(size_t capacity, SessionOptions session_options)
+    : capacity_(std::max<size_t>(1, capacity)),
+      session_options_(session_options) {}
+
+std::shared_ptr<QuerySession> SessionCache::Get(const DbSnapshot& snapshot,
+                                                const TimeInterval& T,
+                                                const UstTree* index) {
+  const uint64_t version = snapshot.version();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->version == version && it->T == T) {
+      ++stats_.hits;
+      entries_.splice(entries_.begin(), entries_, it);  // bump to MRU
+      return entries_.front().session;
+    }
+  }
+  ++stats_.misses;
+  if (index != nullptr && index->built_version() != version) index = nullptr;
+  auto session =
+      std::make_shared<QuerySession>(snapshot, index, session_options_);
+  // Warm everything a first request would otherwise pay for: posterior
+  // adaptation + alias samplers (Prepare — a failure there is per-query
+  // surfaced by RunAll, so it is deliberately not fatal here) and the
+  // R*-tree slab of the keyed interval.
+  (void)session->Prepare();
+  session->WarmInterval(T);
+  entries_.push_front(Entry{version, T, session});
+  while (entries_.size() > capacity_) {
+    entries_.pop_back();
+    ++stats_.evictions_lru;
+  }
+  return entries_.front().session;
+}
+
+void SessionCache::EvictStale(uint64_t live_version) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->version < live_version) {
+      it = entries_.erase(it);
+      ++stats_.evictions_stale;
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace ust

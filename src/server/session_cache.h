@@ -1,0 +1,72 @@
+// The serving tier's session cache (DESIGN.md section 5): an LRU map from
+// (database epoch, query interval) to a warmed QuerySession, so traffic that
+// repeats an interval amortizes posterior adaptation, sampler warm-up and
+// TimeSlab construction across *requests* exactly like QuerySession::RunAll
+// amortizes them across a batch.
+//
+// Keying on the epoch gives snapshot isolation for free: after a write, the
+// next lookup carries the new version, misses, and builds a session over the
+// new epoch; sessions pinned to older epochs can never be returned again and
+// are dropped by EvictStale (or age out of the LRU). Because posterior
+// caches live on the shared UncertainObjects, a new epoch's session re-adapts
+// only the objects that actually changed — warming is incremental.
+//
+// Externally synchronized: the cache is owned by the QueryServer's dispatcher
+// thread (sessions are single-lane by contract, so handing them to arbitrary
+// threads would be wrong anyway).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+
+#include "index/ust_tree.h"
+#include "query/session.h"
+
+namespace ust {
+
+/// \brief Counters of SessionCache behavior (monotonic).
+struct SessionCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;          ///< lookups that built a new session
+  uint64_t evictions_lru = 0;   ///< dropped for capacity
+  uint64_t evictions_stale = 0; ///< dropped because their epoch passed
+};
+
+/// \brief LRU cache of warmed QuerySessions keyed by (epoch, interval).
+class SessionCache {
+ public:
+  /// `capacity` >= 1; `session_options` is applied to every built session.
+  SessionCache(size_t capacity, SessionOptions session_options);
+
+  /// The session for (snapshot.version(), T): the cached one, or a fresh one
+  /// built over `snapshot`, prepared (posteriors + samplers warmed) and with
+  /// the `T` slab pre-built. `index` is attached only when it was built over
+  /// the same epoch (a stale index would prune wrongly; the session would
+  /// drop it anyway). The returned session stays valid while the caller
+  /// holds the shared_ptr, even if it is evicted meanwhile.
+  std::shared_ptr<QuerySession> Get(const DbSnapshot& snapshot,
+                                    const TimeInterval& T,
+                                    const UstTree* index);
+
+  /// Drop every session pinned to an epoch older than `live_version`.
+  void EvictStale(uint64_t live_version);
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  const SessionCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    uint64_t version;
+    TimeInterval T;
+    std::shared_ptr<QuerySession> session;
+  };
+
+  size_t capacity_;
+  SessionOptions session_options_;
+  std::list<Entry> entries_;  ///< MRU at front, LRU at back
+  SessionCacheStats stats_;
+};
+
+}  // namespace ust

@@ -117,4 +117,63 @@ double PearsonCorrelation(const std::vector<double>& a,
   return sab / std::sqrt(saa * sbb);
 }
 
+double LatencyHistogram::BucketLow(size_t i) {
+  return std::exp2(static_cast<double>(i) * 0.25);
+}
+
+size_t LatencyHistogram::BucketIndex(double value) const {
+  if (!(value >= 1.0)) return 0;  // [0, 1) and non-finite garbage
+  // value in [2^(i/4), 2^((i+1)/4)) => i = floor(4 * log2(value)).
+  double idx = std::floor(4.0 * std::log2(value));
+  if (idx >= static_cast<double>(kNumBuckets - 1)) return kNumBuckets - 1;
+  return static_cast<size_t>(idx);
+}
+
+void LatencyHistogram::Record(double value) {
+  if (!(value > 0.0)) value = 0.0;  // clamp negatives and NaN
+  ++buckets_[BucketIndex(value)];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q >= 1.0) return max_;
+  q = std::max(0.0, q);
+  // Rank of the q-th sample (0-based, nearest-rank with interpolation space).
+  const double rank = q * static_cast<double>(count_ - 1);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets_[i]);
+    if (rank < next) {
+      // Geometric interpolation inside the bucket: samples in a log-scale
+      // bucket are best modeled log-uniform.
+      const double frac =
+          (rank - cumulative + 0.5) / static_cast<double>(buckets_[i]);
+      const double lo = std::max(BucketLow(i), std::max(1e-12, min_));
+      const double hi = std::min(BucketLow(i + 1), std::max(lo, max_));
+      const double v = lo * std::pow(hi / lo, std::min(1.0, frac));
+      return std::min(max_, std::max(min_, v));
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 }  // namespace ust

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace ust {
@@ -47,5 +48,44 @@ double NormalQuantile(double p);
 /// probability with confidence 1 - delta. Valid for all n >= 1 including
 /// successes = 0 or n (where Wald intervals degenerate).
 Interval WilsonInterval(size_t successes, size_t n, double delta);
+
+/// \brief Fixed-footprint log-scale histogram for latency tracking (the
+/// serving tier's p50/p99 source). Buckets grow geometrically by ratio
+/// 2^(1/4) from 1 unit upward (~19% relative resolution, 128 buckets cover
+/// 1 µs to ~2 hours when fed microseconds); no allocation after
+/// construction, O(buckets) quantiles.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 128;
+
+  /// Record one sample (in the caller's unit, canonically microseconds).
+  /// Negative/NaN samples are clamped to 0.
+  void Record(double value);
+
+  size_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Quantile q in [0, 1] by geometric interpolation within the owning
+  /// bucket, clamped to the observed [min, max]. 0 when empty.
+  double Quantile(double q) const;
+
+  /// Merge another histogram into this one (same bucket layout by type).
+  void Merge(const LatencyHistogram& other);
+
+ private:
+  size_t BucketIndex(double value) const;
+  /// Lower edge of bucket i: 2^(i/4); bucket 0 additionally covers [0, 1).
+  static double BucketLow(size_t i);
+
+  uint64_t buckets_[kNumBuckets] = {0};
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
 
 }  // namespace ust

@@ -57,7 +57,9 @@ TEST(SyntheticTest, ObservationSpacingMatchesConfig) {
   config.seed = 6;
   auto world = GenerateSyntheticWorld(config);
   ASSERT_TRUE(world.ok());
-  for (const auto& obj : world.value().db->objects()) {
+  const TrajectoryDatabase& gen_db = *world.value().db;
+  for (size_t oi = 0; oi < gen_db.size(); ++oi) {
+    const auto& obj = gen_db.object(static_cast<ObjectId>(oi));
     const auto& items = obj.observations().items();
     ASSERT_EQ(items.size(), 5u);  // lifetime/interval + 1
     for (size_t i = 0; i + 1 < items.size(); ++i) {
@@ -86,8 +88,8 @@ TEST(SyntheticTest, LagControlsSlack) {
   ASSERT_TRUE(world_loose.ok());
   auto total_support = [](const TrajectoryDatabase& db) {
     size_t total = 0;
-    for (const auto& obj : db.objects()) {
-      auto p = obj.Posterior();
+    for (size_t i = 0; i < db.size(); ++i) {
+      auto p = db.object(static_cast<ObjectId>(i)).Posterior();
       UST_CHECK(p.ok());
       total += p.value()->TotalSupportSize();
     }

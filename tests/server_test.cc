@@ -1,0 +1,363 @@
+// Tests of the serving tier (DESIGN.md section 5): epoch-based snapshot
+// isolation of TrajectoryDatabase (online inserts and copy-on-write lifetime
+// extension never perturb a pinned epoch), the stale-index guard, the
+// (epoch, interval)-keyed LRU session cache, and the QueryServer front-end —
+// whose outcomes must be bit-identical to serial QuerySession::RunAll on the
+// same epoch even with concurrent client threads and a concurrent writer.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gen/synthetic.h"
+#include "gen/workload.h"
+#include "index/ust_tree.h"
+#include "query/session.h"
+#include "server/query_server.h"
+#include "server/session_cache.h"
+#include "util/rng.h"
+
+namespace ust {
+namespace {
+
+bool SameOutcome(const QueryOutcome& a, const QueryOutcome& b) {
+  if (a.status.code() != b.status.code()) return false;
+  if (a.kind != b.kind || a.executor != b.executor) return false;
+  if (a.pnn.results.size() != b.pnn.results.size()) return false;
+  for (size_t i = 0; i < a.pnn.results.size(); ++i) {
+    if (a.pnn.results[i].object != b.pnn.results[i].object) return false;
+    if (a.pnn.results[i].prob != b.pnn.results[i].prob) return false;  // bitwise
+  }
+  if (a.pnn.num_candidates != b.pnn.num_candidates) return false;
+  if (a.pnn.num_influencers != b.pnn.num_influencers) return false;
+  if (a.pcnn.pcnn.entries.size() != b.pcnn.pcnn.entries.size()) return false;
+  for (size_t i = 0; i < a.pcnn.pcnn.entries.size(); ++i) {
+    const PcnnEntry& x = a.pcnn.pcnn.entries[i];
+    const PcnnEntry& y = b.pcnn.pcnn.entries[i];
+    if (x.object != y.object || x.tics != y.tics || x.prob != y.prob) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticConfig config;
+    config.num_states = 600;
+    config.num_objects = 18;
+    config.lifetime = 24;
+    config.obs_interval = 6;
+    config.horizon = 40;
+    config.seed = 77;
+    auto world = GenerateSyntheticWorld(config);
+    ASSERT_TRUE(world.ok());
+    world_ = std::make_unique<SyntheticWorld>(world.MoveValue());
+    auto tree = UstTree::Build(*world_->db);
+    ASSERT_TRUE(tree.ok());
+    index_ = std::make_unique<UstTree>(tree.MoveValue());
+    T_ = BusiestInterval(*world_->db, 6);
+  }
+
+  TrajectoryDatabase& db() { return *world_->db; }
+
+  /// A mixed request stream: several query points, two intervals, all three
+  /// semantics. Backends stay kAuto — the planner is part of the pipeline
+  /// under test and is deterministic per spec.
+  std::vector<QuerySpec> MakeSpecs(size_t n) const {
+    Rng rng(5);
+    std::vector<QuerySpec> specs;
+    for (size_t i = 0; i < n; ++i) {
+      QuerySpec spec;
+      spec.kind = i % 3 == 0   ? QueryKind::kForall
+                  : i % 3 == 1 ? QueryKind::kExists
+                               : QueryKind::kContinuous;
+      spec.q = RandomQueryState(*world_->space, rng);
+      spec.T = i % 2 == 0 ? T_ : TimeInterval{T_.start, T_.end - 2};
+      spec.tau = spec.kind == QueryKind::kContinuous ? 0.3 : 0.05;
+      spec.mc.num_worlds = 300;
+      spec.mc.seed = 21 + i;
+      specs.push_back(spec);
+    }
+    return specs;
+  }
+
+  /// Append an object observed at `tic` (reusing object 0's motion model and
+  /// first observed state, which are valid by construction).
+  ObjectId AddObjectAt(Tic tic, Tic end_tic) {
+    const UncertainObject& donor = db().object(0);
+    auto obs = ObservationSeq::Create(
+        {{tic, donor.observations().items()[0].state}});
+    EXPECT_TRUE(obs.ok());
+    return db().AddObject(obs.MoveValue(), donor.matrix_ptr(), end_tic);
+  }
+
+  std::unique_ptr<SyntheticWorld> world_;
+  std::unique_ptr<UstTree> index_;
+  TimeInterval T_{0, 0};
+};
+
+TEST_F(ServerTest, VersionCountsWritesAndValidatesThem) {
+  const uint64_t v0 = db().version();
+  EXPECT_GT(v0, 0u);  // one bump per seeded object
+  AddObjectAt(T_.start, T_.end);
+  EXPECT_EQ(db().version(), v0 + 1);
+
+  const ObjectId last = static_cast<ObjectId>(db().size() - 1);
+  const Tic end = db().object(last).last_tic();
+  EXPECT_TRUE(db().ExtendLifetime(last, end + 4).ok());
+  EXPECT_EQ(db().version(), v0 + 2);
+  EXPECT_EQ(db().object(last).last_tic(), end + 4);
+
+  // A no-op extension is not a write.
+  EXPECT_TRUE(db().ExtendLifetime(last, end + 4).ok());
+  EXPECT_EQ(db().version(), v0 + 2);
+
+  // Shrinking and unknown ids are rejected without bumping the epoch.
+  EXPECT_EQ(db().ExtendLifetime(last, end).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db().ExtendLifetime(static_cast<ObjectId>(db().size()), end + 9)
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db().version(), v0 + 2);
+}
+
+TEST_F(ServerTest, SnapshotPinsItsEpochAcrossConcurrentInserts) {
+  const std::vector<QuerySpec> specs = MakeSpecs(6);
+  DbSnapshot snap0 = db().Snapshot();
+  // No index: both epochs then prune by alive-time filtering, which keeps
+  // the influencer counts directly comparable across the insert.
+  QuerySession session(snap0, nullptr);
+  const std::vector<QueryOutcome> baseline = session.RunAll(specs);
+
+  // An object alive throughout T_ lands in epoch k+1...
+  AddObjectAt(T_.start, T_.end);
+  EXPECT_EQ(snap0.version() + 1, db().version());
+  EXPECT_EQ(db().Snapshot().size(), snap0.size() + 1);
+
+  // ...and the epoch-k session keeps returning epoch-k bits.
+  const std::vector<QueryOutcome> after = session.RunAll(specs);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_TRUE(SameOutcome(baseline[i], after[i])) << "spec " << i;
+  }
+
+  // A session over the new epoch sees the insert: the new object is alive
+  // throughout every queried interval, so it joins the influencer sets.
+  QuerySession fresh(db().Snapshot(), nullptr);
+  const std::vector<QueryOutcome> next_epoch = fresh.RunAll(specs);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const size_t before_count = specs[i].kind == QueryKind::kContinuous
+                                    ? baseline[i].pcnn.num_influencers
+                                    : baseline[i].pnn.num_influencers;
+    const size_t after_count = specs[i].kind == QueryKind::kContinuous
+                                   ? next_epoch[i].pcnn.num_influencers
+                                   : next_epoch[i].pnn.num_influencers;
+    EXPECT_EQ(after_count, before_count + 1) << "spec " << i;
+  }
+}
+
+TEST_F(ServerTest, ExtendLifetimeIsCopyOnWrite) {
+  const ObjectId id = 0;
+  const Tic old_end = db().object(id).last_tic();
+  DbSnapshot snap0 = db().Snapshot();
+  ASSERT_TRUE(db().ExtendLifetime(id, old_end + 6).ok());
+  // The pinned epoch still holds the shorter object; the live one extended.
+  EXPECT_EQ(snap0.object(id).last_tic(), old_end);
+  EXPECT_EQ(db().object(id).last_tic(), old_end + 6);
+  // The replacement starts with a cold posterior cache (its propagation
+  // horizon changed), while the old object's stays warm for old snapshots.
+  EXPECT_TRUE(snap0.object(id).EnsurePosterior().ok());
+  EXPECT_TRUE(db().object(id).EnsurePosterior().ok());
+}
+
+TEST_F(ServerTest, StaleIndexIsDroppedNotTrusted) {
+  const std::vector<QuerySpec> specs = MakeSpecs(4);
+  AddObjectAt(T_.start, T_.end);  // index_ is now one epoch behind
+  QuerySession with_stale_index(db().Snapshot(), index_.get());
+  QuerySession without_index(db().Snapshot(), nullptr);
+  const auto a = with_stale_index.RunAll(specs);
+  const auto b = without_index.RunAll(specs);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    // Identical — including the influencer counts, which a trusted stale
+    // index would understate by the inserted object.
+    EXPECT_TRUE(SameOutcome(a[i], b[i])) << "spec " << i;
+  }
+}
+
+TEST_F(ServerTest, SessionCacheKeysOnEpochAndInterval) {
+  SessionCache cache(2, SessionOptions{});
+  DbSnapshot snap = db().Snapshot();
+  const TimeInterval t1 = T_;
+  const TimeInterval t2{T_.start, T_.end - 2};
+  const TimeInterval t3{T_.start + 1, T_.end};
+
+  auto s1 = cache.Get(snap, t1, index_.get());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.Get(snap, t1, index_.get()).get(), s1.get());  // hit
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(s1->db().version(), snap.version());
+
+  // Capacity 2: t3 evicts the least recently used entry (t1 after t2 ran).
+  cache.Get(snap, t2, index_.get());
+  auto s2 = cache.Get(snap, t3, index_.get());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions_lru, 1u);
+  EXPECT_NE(cache.Get(snap, t1, index_.get()).get(), s1.get());  // rebuilt
+  EXPECT_EQ(cache.stats().misses, 4u);
+
+  // A write opens a new epoch: lookups with the new snapshot miss, and
+  // EvictStale drops every session pinned behind the live version.
+  AddObjectAt(T_.start, T_.end);
+  DbSnapshot snap2 = db().Snapshot();
+  auto s3 = cache.Get(snap2, t1, index_.get());
+  EXPECT_EQ(s3->db().version(), snap2.version());
+  EXPECT_EQ(cache.stats().misses, 5u);
+  cache.EvictStale(snap2.version());
+  EXPECT_EQ(cache.size(), 1u);  // only the epoch-current session survives
+  EXPECT_GE(cache.stats().evictions_stale, 1u);
+  (void)s2;
+}
+
+TEST_F(ServerTest, ServerMatchesSerialRunAllAtTwoClientThreads) {
+  const std::vector<QuerySpec> specs = MakeSpecs(16);
+  // Reference: strictly serial session over the same epoch (threads = 1).
+  QuerySession reference(db().Snapshot(), index_.get());
+  const std::vector<QueryOutcome> expected = reference.RunAll(specs);
+
+  ServerOptions options;
+  options.threads = 2;
+  options.max_batch_size = 8;
+  options.max_batch_delay_ms = 2.0;
+  QueryServer server(db(), index_.get(), options);
+  std::vector<std::future<QueryOutcome>> futures(specs.size());
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = static_cast<size_t>(c); i < specs.size(); i += 2) {
+        futures[i] = server.Submit(specs[i]);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_TRUE(SameOutcome(futures[i].get(), expected[i])) << "spec " << i;
+  }
+  server.Stop();
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.submitted, specs.size());
+  EXPECT_EQ(stats.admitted, specs.size());
+  EXPECT_EQ(stats.completed, specs.size());
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_EQ(stats.latency_micros.count(), specs.size());
+}
+
+TEST_F(ServerTest, ServerRejectsWhenAdmissionQueueIsFull) {
+  const std::vector<QuerySpec> specs = MakeSpecs(8);
+  ServerOptions options;
+  options.queue_capacity = 3;
+  options.max_batch_size = 64;
+  options.max_batch_delay_ms = 5.0;
+  QueryServer server(db(), index_.get(), options);
+  server.Pause();  // queue fills deterministically while dispatch holds
+
+  std::vector<std::future<QueryOutcome>> futures;
+  for (const QuerySpec& spec : specs) futures.push_back(server.Submit(spec));
+  // First 3 admitted, the rest bounced immediately with kResourceLimit.
+  for (size_t i = 3; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(futures[i].get().status.code(), StatusCode::kResourceLimit);
+  }
+  server.Resume();
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(futures[i].get().status.ok()) << "request " << i;
+  }
+  server.Stop();
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.submitted, 8u);
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.rejected, 5u);
+  EXPECT_EQ(stats.completed, 3u);
+
+  // After Stop, submits bounce with kInvalidArgument.
+  auto late = server.Submit(specs[0]);
+  EXPECT_EQ(late.get().status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServerTest, ConcurrentWritesNeverTearServedQueries) {
+  // The writer only touches lifetimes/objects *outside* every queried
+  // interval, so all epochs agree on the correct answer — any deviation in
+  // a served outcome would mean a torn read of the live database.
+  const std::vector<QuerySpec> specs = MakeSpecs(6);
+  // No index on either side: sessions over post-write epochs would drop a
+  // pre-write index, and pruning sets must match for bitwise comparison.
+  QuerySession reference(db().Snapshot(), nullptr);
+  const std::vector<QueryOutcome> expected = reference.RunAll(specs);
+
+  ServerOptions options;
+  options.max_batch_size = 4;
+  options.max_batch_delay_ms = 0.5;
+  QueryServer server(db(), nullptr, options);
+
+  std::thread writer([&] {
+    for (int i = 0; i < 12; ++i) {
+      AddObjectAt(T_.end + 8, T_.end + 12);  // never alive inside T_ or sub-T
+    }
+  });
+  std::vector<std::future<QueryOutcome>> futures;
+  for (int round = 0; round < 4; ++round) {
+    for (const QuerySpec& spec : specs) futures.push_back(server.Submit(spec));
+  }
+  writer.join();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_TRUE(SameOutcome(futures[i].get(), expected[i % specs.size()]))
+        << "request " << i;
+  }
+
+  // Epoch-keyed invalidation, pinned deterministically: all in-flight work
+  // is drained, so the cache holds sessions at epochs <= the current one;
+  // one more write then forces the next batch to miss on the new version
+  // and to reap at least one stale-epoch session.
+  const SessionCacheStats before = server.Stats().cache;
+  AddObjectAt(T_.end + 8, T_.end + 12);
+  std::vector<std::future<QueryOutcome>> late;
+  for (const QuerySpec& spec : specs) late.push_back(server.Submit(spec));
+  for (size_t i = 0; i < late.size(); ++i) {
+    EXPECT_TRUE(SameOutcome(late[i].get(), expected[i])) << "late " << i;
+  }
+  server.Stop();
+  const SessionCacheStats after = server.Stats().cache;
+  EXPECT_GT(after.misses, before.misses);
+  EXPECT_GT(after.evictions_stale, before.evictions_stale);
+}
+
+TEST_F(ServerTest, ZeroBatchSizeIsClampedNotStarved) {
+  ServerOptions options;
+  options.max_batch_size = 0;  // misconfiguration must not starve requests
+  options.max_batch_delay_ms = 0.1;
+  QueryServer server(db(), index_.get(), options);
+  auto future = server.Submit(MakeSpecs(1)[0]);
+  EXPECT_TRUE(future.get().status.ok());
+}
+
+TEST_F(ServerTest, StatsRenderAsJson) {
+  const std::vector<QuerySpec> specs = MakeSpecs(5);
+  QueryServer server(db(), index_.get(), ServerOptions{});
+  std::vector<std::future<QueryOutcome>> futures;
+  for (const QuerySpec& spec : specs) futures.push_back(server.Submit(spec));
+  for (auto& f : futures) EXPECT_TRUE(f.get().status.ok());
+  server.Stop();
+  const std::string json = server.Stats().ToJson();
+  for (const char* key :
+       {"\"submitted\":5", "\"completed\":5", "\"rejected\":0", "\"batches\":",
+        "\"cache_misses\":", "\"latency_us\":", "\"p50\":", "\"p99\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << json << "\nmissing " << key;
+  }
+}
+
+}  // namespace
+}  // namespace ust

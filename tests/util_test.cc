@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include <cstring>
+#include <limits>
 #include <sstream>
 
 #include "util/csv.h"
@@ -227,6 +228,54 @@ TEST(CsvTest, FormatDoubleTrimsIntegers) {
   EXPECT_EQ(FormatDouble(42.0), "42");
   EXPECT_EQ(FormatDouble(0.125), "0.125");
   EXPECT_EQ(FormatDouble(1e6), "1000000");
+}
+
+TEST(LatencyHistogramTest, EmptyAndSingleSample) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  h.Record(250.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 250.0);
+  EXPECT_EQ(h.max(), 250.0);
+  EXPECT_EQ(h.mean(), 250.0);
+  // One sample: every quantile is clamped into [min, max] = {250}.
+  EXPECT_EQ(h.Quantile(0.0), 250.0);
+  EXPECT_EQ(h.Quantile(0.99), 250.0);
+}
+
+TEST(LatencyHistogramTest, QuantilesOfUniformSamples) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 1000.0);
+  EXPECT_NEAR(h.mean(), 500.5, 1e-9);
+  // Log-scale buckets have ~19% relative resolution; quantiles must land in
+  // the right neighborhood, monotonically.
+  EXPECT_NEAR(h.Quantile(0.5), 500.0, 120.0);
+  EXPECT_NEAR(h.Quantile(0.99), 990.0, 120.0);
+  EXPECT_LE(h.Quantile(0.1), h.Quantile(0.5));
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.9));
+  EXPECT_LE(h.Quantile(0.9), h.Quantile(1.0));
+  EXPECT_EQ(h.Quantile(1.0), 1000.0);
+}
+
+TEST(LatencyHistogramTest, ClampsGarbageAndMerges) {
+  LatencyHistogram a;
+  a.Record(-5.0);  // clamped to 0
+  a.Record(std::numeric_limits<double>::quiet_NaN());  // clamped to 0
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+  LatencyHistogram b;
+  b.Record(100.0);
+  b.Record(200.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.max(), 200.0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_NEAR(a.mean(), 75.0, 1e-9);
 }
 
 TEST(TimerTest, MeasuresElapsedTime) {
