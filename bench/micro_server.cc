@@ -10,18 +10,27 @@
 //                  queueing, no batching window);
 //   server       : QueryServer — client threads submit single specs, the
 //                  dispatcher micro-batches them through the epoch-keyed
-//                  session cache; per-request latency comes from the
-//                  server's own histogram.
+//                  session cache onto the execution-lane pool; per-request
+//                  latency comes from the server's own histograms.
 //
-// The server outcomes are checked bit-identical to direct_runall (the PR 2
-// determinism contract extended across the admission queue). Emits
-// BENCH_server.json (qps of each mode, speedups, p50/p99 latency) so serving
-// throughput is tracked machine-readably across PRs.
+// The server mode runs twice: at 1 lane and at --lanes lanes, over a
+// *mixed-interval* stream (specs round-robin --intervals distinct query
+// intervals, so every micro-batch splits into that many lane jobs). At one
+// lane those jobs serialize; at N lanes they execute concurrently — the
+// lane_speedup column is the tentpole metric of PR 4 (≈1 on a single
+// hardware core, ≥1.5 expected on multi-core).
+//
+// All server outcomes are checked bit-identical to direct_runall (the PR 2
+// determinism contract extended across the admission queue and the lane
+// pool). Emits BENCH_server.json (qps of each mode, speedups, p50/p99
+// latency per lane count) so serving throughput is tracked machine-readably
+// across PRs.
 //
 // Flags (defaults sized for a single CI core):
 //   --states=10000 --objects=48 --lifetime=96 --obs_interval=12
-//   --horizon=120 --interval=10 --worlds=500 --queries=50 --threads=1
-//   --clients=4 --batch=16 --delay_ms=2 --json_out=BENCH_server.json
+//   --horizon=120 --interval=10 --intervals=2 --worlds=500 --queries=50
+//   --threads=1 --lanes=2 --clients=4 --batch=16 --delay_ms=2
+//   --json_out=BENCH_server.json
 #include <algorithm>
 #include <cstdio>
 #include <future>
@@ -56,6 +65,11 @@ void CheckSameOutcome(const QueryOutcome& a, const QueryOutcome& b) {
   }
 }
 
+struct ServerRun {
+  double seconds = 0.0;
+  ServerStats stats;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -68,9 +82,11 @@ int main(int argc, char** argv) {
   config.horizon = static_cast<Tic>(flags.GetInt("horizon", 120));
   config.seed = 6;
   const size_t interval_length = flags.GetInt("interval", 10);
+  const size_t num_intervals = std::max<size_t>(1, flags.GetInt("intervals", 2));
   const size_t num_worlds = flags.GetInt("worlds", 500);
   const size_t num_queries = flags.GetInt("queries", 50);
   const int threads = flags.GetInt("threads", 1);
+  const int lanes = std::max(1, static_cast<int>(flags.GetInt("lanes", 2)));
   const int clients = static_cast<int>(flags.GetInt("clients", 4));
   const size_t max_batch = flags.GetInt("batch", 16);
   const double delay_ms = flags.GetDouble("delay_ms", 2.0);
@@ -82,6 +98,7 @@ int main(int argc, char** argv) {
                   " worlds=" + std::to_string(num_worlds) +
                   " queries=" + std::to_string(num_queries) +
                   " threads=" + std::to_string(threads) +
+                  " lanes=" + std::to_string(lanes) +
                   " clients=" + std::to_string(clients));
 
   auto world_result = GenerateSyntheticWorld(config);
@@ -91,22 +108,27 @@ int main(int argc, char** argv) {
   auto tree = UstTree::Build(db);
   UST_CHECK(tree.ok());
 
-  // Two query intervals, so the stream exercises the cache's interval keying
-  // (and the dispatcher's per-interval grouping) instead of one hot entry.
+  // A mixed-interval request stream: specs round-robin `num_intervals`
+  // shifted copies of the busiest interval, so every micro-batch splits into
+  // that many (epoch, interval) groups — the workload that serializes at one
+  // lane and spreads across the pool at N.
   const TimeInterval T1 = BusiestInterval(db, interval_length);
-  // Shift backward when possible, forward otherwise — T2 must differ from T1
-  // or the interval keying (two cache entries, per-interval grouping) would
-  // silently collapse to one hot entry.
   const Tic shift = std::max<Tic>(1, static_cast<Tic>(interval_length) / 2);
-  TimeInterval T2 = T1;
-  if (T1.start >= shift) {
-    T2.start -= shift;
-    T2.end -= shift;
-  } else {
-    T2.start += shift;
-    T2.end += shift;
+  std::vector<TimeInterval> intervals;
+  intervals.reserve(num_intervals);
+  for (size_t k = 0; k < num_intervals; ++k) {
+    TimeInterval T = T1;
+    const Tic offset = static_cast<Tic>(k) * shift;
+    if (T.start >= offset) {
+      T.start -= offset;
+      T.end -= offset;
+    } else {
+      T.start += offset;
+      T.end += offset;
+    }
+    UST_CHECK(k == 0 || !(T == intervals.front()));
+    intervals.push_back(T);
   }
-  UST_CHECK(!(T2 == T1));
   Rng qrng(3);
   std::vector<QuerySpec> specs;
   specs.reserve(num_queries);
@@ -114,7 +136,7 @@ int main(int argc, char** argv) {
     QuerySpec spec;
     spec.kind = QueryKind::kForall;
     spec.q = RandomQueryState(db.space(), qrng);
-    spec.T = (i % 2 == 0) ? T1 : T2;
+    spec.T = intervals[i % num_intervals];
     spec.tau = 0.0;
     spec.mc.num_worlds = num_worlds;
     spec.mc.seed = 1000 + i;
@@ -152,16 +174,15 @@ int main(int argc, char** argv) {
     runall_seconds = t.Seconds();
   }
 
-  // ---- Mode 3: QueryServer with concurrent clients. ----
-  double server_seconds = 0.0;
-  ServerStats server_stats;
-  std::vector<QueryOutcome> server_results(num_queries);
-  {
-    // Steady-state serving: posteriors stay warm (mode 2 keeps its Prepare
-    // outside the timer for the same reason — the one-time warm-up cost is
-    // reported as prepare_seconds, the per-request anti-pattern as
-    // qps_cold_session).
+  // ---- Mode 3: QueryServer with concurrent clients, at 1 and N lanes. ----
+  // Steady-state serving: posteriors stay warm (mode 2 keeps its Prepare
+  // outside the timer for the same reason — the one-time warm-up cost is
+  // reported as prepare_seconds, the per-request anti-pattern as
+  // qps_cold_session).
+  const auto run_server = [&](int lane_count) {
+    ServerRun run;
     ServerOptions options;
+    options.lanes = lane_count;
     options.threads = threads;
     options.max_batch_size = max_batch;
     options.max_batch_delay_ms = delay_ms;
@@ -179,39 +200,49 @@ int main(int argc, char** argv) {
       });
     }
     for (auto& thread : client_threads) thread.join();
-    for (size_t i = 0; i < num_queries; ++i) {
-      server_results[i] = futures[i].get();
-    }
-    server_seconds = t.Seconds();
-    server_stats = server.Stats();
-  }
+    std::vector<QueryOutcome> results(num_queries);
+    for (size_t i = 0; i < num_queries; ++i) results[i] = futures[i].get();
+    run.seconds = t.Seconds();
+    run.stats = server.Stats();
 
-  // The three modes must agree bit for bit: the serving tier is the batch
-  // pipeline, just behind a queue.
-  for (size_t i = 0; i < num_queries; ++i) {
-    CheckSameOutcome(server_results[i], runall_results[i]);
-    CheckSameOutcome(server_results[i], cold_results[i]);
-  }
-  UST_CHECK(server_stats.rejected == 0);
-  UST_CHECK(server_stats.completed == num_queries);
+    // The serving tier is the batch pipeline behind a queue and a lane
+    // pool: outcomes must agree bit for bit with both reference modes.
+    for (size_t i = 0; i < num_queries; ++i) {
+      CheckSameOutcome(results[i], runall_results[i]);
+      CheckSameOutcome(results[i], cold_results[i]);
+    }
+    UST_CHECK(run.stats.rejected == 0);
+    UST_CHECK(run.stats.completed == num_queries);
+    return run;
+  };
+
+  const ServerRun lane1 = run_server(1);
+  const ServerRun laneN = lanes > 1 ? run_server(lanes) : lane1;
 
   const double n = static_cast<double>(num_queries);
   const double qps_cold = n / cold_seconds;
   const double qps_runall = n / runall_seconds;
-  const double qps_server = n / server_seconds;
-  const double p50_ms = server_stats.latency_micros.Quantile(0.50) / 1000.0;
-  const double p99_ms = server_stats.latency_micros.Quantile(0.99) / 1000.0;
+  const double qps_server_1lane = n / lane1.seconds;
+  const double qps_server = n / laneN.seconds;
+  const auto p_ms = [](const ServerRun& run, double q) {
+    return run.stats.latency_micros.Quantile(q) / 1000.0;
+  };
 
   CsvTable table({"metric", "value"});
   table.AddRow({"qps_cold_session", std::to_string(qps_cold)});
   table.AddRow({"qps_direct_runall", std::to_string(qps_runall)});
+  table.AddRow({"qps_server_1lane", std::to_string(qps_server_1lane)});
   table.AddRow({"qps_server", std::to_string(qps_server)});
+  table.AddRow({"lane_speedup", std::to_string(qps_server / qps_server_1lane)});
   table.AddRow({"speedup_server_vs_cold", std::to_string(qps_server / qps_cold)});
-  table.AddRow({"latency_p50_ms", std::to_string(p50_ms)});
-  table.AddRow({"latency_p99_ms", std::to_string(p99_ms)});
-  table.AddRow({"batches", std::to_string(server_stats.batches)});
+  table.AddRow({"latency_p50_ms_1lane", std::to_string(p_ms(lane1, 0.50))});
+  table.AddRow({"latency_p99_ms_1lane", std::to_string(p_ms(lane1, 0.99))});
+  table.AddRow({"latency_p50_ms", std::to_string(p_ms(laneN, 0.50))});
+  table.AddRow({"latency_p99_ms", std::to_string(p_ms(laneN, 0.99))});
+  table.AddRow({"batches", std::to_string(laneN.stats.batches)});
   table.Print(std::cout, "micro_server results");
-  std::printf("# server stats: %s\n", server_stats.ToJson().c_str());
+  std::printf("# server stats (lanes=%d): %s\n", lanes,
+              laneN.stats.ToJson().c_str());
 
   JsonWriter json;
   json.Add("benchmark", std::string("micro_server"));
@@ -219,22 +250,31 @@ int main(int argc, char** argv) {
   json.Add("num_objects", static_cast<double>(config.num_objects));
   json.Add("num_worlds", static_cast<double>(num_worlds));
   json.Add("num_queries", static_cast<double>(num_queries));
+  json.Add("num_intervals", static_cast<double>(num_intervals));
   json.Add("threads", static_cast<double>(threads));
+  json.Add("lanes", static_cast<double>(lanes));
   json.Add("clients", static_cast<double>(clients));
   json.Add("max_batch_size", static_cast<double>(max_batch));
   json.Add("max_batch_delay_ms", delay_ms);
   json.Add("qps_cold_session", qps_cold);
   json.Add("qps_direct_runall", qps_runall);
+  json.Add("qps_server_1lane", qps_server_1lane);
   json.Add("qps_server", qps_server);
+  json.Add("lane_speedup", qps_server / qps_server_1lane);
   json.Add("speedup_server_vs_cold", qps_server / qps_cold);
   json.Add("speedup_server_vs_runall", qps_server / qps_runall);
   json.Add("prepare_seconds", prepare_seconds);
-  json.Add("latency_p50_ms", p50_ms);
-  json.Add("latency_p99_ms", p99_ms);
-  json.Add("latency_mean_ms", server_stats.latency_micros.mean() / 1000.0);
-  json.Add("batches", static_cast<double>(server_stats.batches));
-  json.Add("cache_hits", static_cast<double>(server_stats.cache.hits));
-  json.Add("cache_misses", static_cast<double>(server_stats.cache.misses));
+  json.Add("latency_p50_ms_1lane", p_ms(lane1, 0.50));
+  json.Add("latency_p99_ms_1lane", p_ms(lane1, 0.99));
+  json.Add("latency_p50_ms", p_ms(laneN, 0.50));
+  json.Add("latency_p99_ms", p_ms(laneN, 0.99));
+  json.Add("latency_mean_ms", laneN.stats.latency_micros.mean() / 1000.0);
+  json.Add("batches", static_cast<double>(laneN.stats.batches));
+  json.Add("lane_queue_peak", static_cast<double>(laneN.stats.lane_queue_peak));
+  json.Add("cache_hits", static_cast<double>(laneN.stats.cache.hits));
+  json.Add("cache_misses", static_cast<double>(laneN.stats.cache.misses));
+  json.Add("cache_busy_misses",
+           static_cast<double>(laneN.stats.cache.busy_misses));
   if (!json.WriteFile(json_out)) {
     std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
     return 1;

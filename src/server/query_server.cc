@@ -17,31 +17,52 @@ QueryOutcome RejectedOutcome(Status status, QueryKind kind) {
   return out;
 }
 
+void AppendCounter(std::string* out, const char* key, uint64_t value,
+                   bool leading_comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\":%" PRIu64,
+                leading_comma ? "," : "", key, value);
+  *out += buf;
+}
+
 }  // namespace
 
 std::string ServerStats::ToJson() const {
-  char buf[1024];
-  std::snprintf(
-      buf, sizeof(buf),
-      "{\"submitted\":%" PRIu64 ",\"admitted\":%" PRIu64
-      ",\"rejected\":%" PRIu64 ",\"completed\":%" PRIu64
-      ",\"batches\":%" PRIu64 ",\"flush_full\":%" PRIu64
-      ",\"flush_deadline\":%" PRIu64 ",\"flush_drain\":%" PRIu64
-      ",\"avg_batch_size\":%.3f,\"cache_hits\":%" PRIu64
-      ",\"cache_misses\":%" PRIu64 ",\"cache_evictions_lru\":%" PRIu64
-      ",\"cache_evictions_stale\":%" PRIu64
-      ",\"latency_us\":{\"count\":%zu,\"mean\":%.3f,\"p50\":%.3f,"
-      "\"p90\":%.3f,\"p99\":%.3f,\"max\":%.3f}}",
-      submitted, admitted, rejected, completed, batches, flush_full,
-      flush_deadline, flush_drain,
-      batches == 0 ? 0.0
-                   : static_cast<double>(completed) /
-                         static_cast<double>(batches),
-      cache.hits, cache.misses, cache.evictions_lru, cache.evictions_stale,
-      latency_micros.count(), latency_micros.mean(),
-      latency_micros.Quantile(0.50), latency_micros.Quantile(0.90),
-      latency_micros.Quantile(0.99), latency_micros.max());
-  return std::string(buf);
+  std::string out = "{";
+  AppendCounter(&out, "submitted", submitted, /*leading_comma=*/false);
+  AppendCounter(&out, "admitted", admitted);
+  AppendCounter(&out, "rejected", rejected);
+  AppendCounter(&out, "completed", completed);
+  AppendCounter(&out, "batches", batches);
+  AppendCounter(&out, "flush_full", flush_full);
+  AppendCounter(&out, "flush_deadline", flush_deadline);
+  AppendCounter(&out, "flush_drain", flush_drain);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), ",\"avg_batch_size\":%.3f",
+                batches == 0 ? 0.0
+                             : static_cast<double>(completed) /
+                                   static_cast<double>(batches));
+  out += buf;
+  AppendCounter(&out, "lane_queue_depth", lane_queue_depth);
+  AppendCounter(&out, "lane_queue_peak", lane_queue_peak);
+  AppendCounter(&out, "cache_hits", cache.hits);
+  AppendCounter(&out, "cache_misses", cache.misses);
+  AppendCounter(&out, "cache_busy_misses", cache.busy_misses);
+  AppendCounter(&out, "cache_evictions_lru", cache.evictions_lru);
+  AppendCounter(&out, "cache_evictions_stale", cache.evictions_stale);
+  out += ",\"latency_us\":" + latency_micros.ToJson();
+  out += ",\"queue_us\":" + queue_micros.ToJson();
+  out += ",\"lanes\":[";
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{";
+    AppendCounter(&out, "batches", lanes[i].batches, /*leading_comma=*/false);
+    AppendCounter(&out, "requests", lanes[i].requests);
+    out += ",\"exec_us\":" + lanes[i].exec_micros.ToJson();
+    out += "}";
+  }
+  out += "]}";
+  return out;
 }
 
 QueryServer::QueryServer(const TrajectoryDatabase& db, const UstTree* index,
@@ -50,10 +71,17 @@ QueryServer::QueryServer(const TrajectoryDatabase& db, const UstTree* index,
       cache_(options.session_cache_capacity,
              SessionOptions{options.threads, options.planner}) {
   // A zero batch size would dispatch empty batches forever while admitted
-  // requests starve, and a zero queue capacity would bounce all traffic; a
-  // server always admits and batches at least one spec.
+  // requests starve, a zero queue capacity would bounce all traffic, and a
+  // zero-lane pool would stage jobs nobody executes; a server always admits,
+  // batches and executes at least one spec at a time.
+  options_.lanes = std::max(1, options_.lanes);
   options_.max_batch_size = std::max<size_t>(1, options_.max_batch_size);
   options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  stats_.lanes.resize(static_cast<size_t>(options_.lanes));
+  lanes_.reserve(static_cast<size_t>(options_.lanes));
+  for (int lane = 0; lane < options_.lanes; ++lane) {
+    lanes_.emplace_back([this, lane] { LaneLoop(lane); });
+  }
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
@@ -71,15 +99,19 @@ std::future<QueryOutcome> QueryServer::Submit(QuerySpec spec) {
           Status::InvalidArgument("query server is stopped"), spec.kind));
       return future;
     }
-    if (queue_.size() >= options_.queue_capacity) {
+    if (in_flight_ >= options_.queue_capacity) {
       // Backpressure: bounce immediately instead of blocking the client —
       // the caller sees kResourceLimit and can retry with its own policy.
+      // Counting *in-flight* requests (not just the admission queue) keeps
+      // the bound meaningful now that flushed batches wait in the lane
+      // queue: execution backlog is still backlog.
       ++stats_.rejected;
       promise.set_value(RejectedOutcome(
           Status::ResourceLimit("admission queue full"), spec.kind));
       return future;
     }
     ++stats_.admitted;
+    ++in_flight_;
     queue_.push_back(Request{std::move(spec), std::move(promise),
                              std::chrono::steady_clock::now()});
   }
@@ -106,16 +138,34 @@ void QueryServer::Stop() {
     stopping_ = true;
   }
   cv_.notify_all();
-  // Serialize the join: concurrent Stop() callers (say, an explicit Stop
-  // racing the destructor) all block here until the dispatcher has fully
-  // drained, and exactly one of them performs the join.
+  // Serialize the joins: concurrent Stop() callers (say, an explicit Stop
+  // racing the destructor) all block here until the pipeline has fully
+  // drained, and exactly one of them performs each join.
   std::lock_guard<std::mutex> join_lock(join_mu_);
+  // Dispatcher first: it drains the admission queue into lane jobs, so only
+  // after it exits is the lane queue complete...
   if (dispatcher_.joinable()) dispatcher_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lanes_stopping_ = true;
+  }
+  lane_cv_.notify_all();
+  // ...then the lanes run the lane queue dry: every admitted request
+  // resolves before Stop returns.
+  for (std::thread& lane : lanes_) {
+    if (lane.joinable()) lane.join();
+  }
 }
 
 ServerStats QueryServer::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ServerStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats = stats_;
+    stats.lane_queue_depth = lane_queue_.size();
+  }
+  stats.cache = cache_.stats();
+  return stats;
 }
 
 void QueryServer::DispatcherLoop() {
@@ -155,55 +205,117 @@ void QueryServer::DispatcherLoop() {
       ++*flush_reason;
       ++stats_.batches;
     }
-    if (!batch.empty()) ExecuteBatch(&batch);
+    if (!batch.empty()) StageBatch(&batch);
   }
 }
 
-void QueryServer::ExecuteBatch(std::vector<Request>* batch) {
+void QueryServer::StageBatch(std::vector<Request>* batch) {
   // Admission point: the whole batch reads the epoch current at dispatch —
   // a concurrent writer's new epoch becomes visible only to later batches.
+  // The snapshot rides inside each LaneJob, so the pin survives any lane
+  // queueing delay.
   DbSnapshot snapshot = db_->Snapshot();
   cache_.EvictStale(snapshot.version());
 
   // Group by query interval (the session cache key), preserving submit
   // order within each group. Outcomes are per-spec pure, so grouping never
-  // changes results — only which session executes them.
+  // changes results — only which session executes them. Distinct keys become
+  // distinct lane jobs and may execute concurrently.
   std::map<std::pair<Tic, Tic>, std::vector<size_t>> groups;
   for (size_t i = 0; i < batch->size(); ++i) {
     const TimeInterval& T = (*batch)[i].spec.T;
     groups[{T.start, T.end}].push_back(i);
   }
 
-  const auto record = [&](Request& request, QueryOutcome outcome) {
-    const double micros =
-        std::chrono::duration<double, std::micro>(
-            std::chrono::steady_clock::now() - request.submitted_at)
-            .count();
-    {
-      // Count before resolving the future: a client that saw its outcome
-      // must also see it reflected in Stats().
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.completed;
-      stats_.latency_micros.Record(micros);
-    }
-    request.promise.set_value(std::move(outcome));
-  };
-
+  std::vector<LaneJob> jobs;
+  jobs.reserve(groups.size());
   for (auto& [key, indices] : groups) {
-    const TimeInterval T{key.first, key.second};
-    std::shared_ptr<QuerySession> session = cache_.Get(snapshot, T, index_);
+    LaneJob job;
+    job.snapshot = snapshot;
+    job.T = TimeInterval{key.first, key.second};
+    job.requests.reserve(indices.size());
+    for (size_t i : indices) job.requests.push_back(std::move((*batch)[i]));
+    jobs.push_back(std::move(job));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto now = std::chrono::steady_clock::now();
+    for (LaneJob& job : jobs) {
+      for (const Request& request : job.requests) {
+        // Submit-to-flush latency: how long admission held the request.
+        // Recorded at handoff, so it never includes execution time — the
+        // whole point of the lane tier.
+        stats_.queue_micros.Record(
+            std::chrono::duration<double, std::micro>(now -
+                                                      request.submitted_at)
+                .count());
+      }
+      lane_queue_.push_back(std::move(job));
+    }
+    stats_.lane_queue_peak =
+        std::max(stats_.lane_queue_peak, lane_queue_.size());
+  }
+  lane_cv_.notify_all();
+}
+
+void QueryServer::LaneLoop(int lane) {
+  for (;;) {
+    LaneJob job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      lane_cv_.wait(lock, [&] {
+        return lanes_stopping_ || !lane_queue_.empty();
+      });
+      if (lane_queue_.empty()) return;  // lanes_stopping_ and drained
+      job = std::move(lane_queue_.front());
+      lane_queue_.pop_front();
+    }
+    ExecuteJob(&job, lane);
+  }
+}
+
+void QueryServer::ExecuteJob(LaneJob* job, int lane) {
+  const auto exec_start = std::chrono::steady_clock::now();
+  std::vector<QueryOutcome> outcomes;
+  {
+    // Exclusive checkout: this lane owns the session (and its scratch) until
+    // the lease dies at the end of this scope. A concurrent lane on the same
+    // (epoch, interval) key builds its own duplicate — never shares.
+    SessionCache::Lease session =
+        cache_.Checkout(job->snapshot, job->T, index_);
     std::vector<QuerySpec> specs;
-    specs.reserve(indices.size());
+    specs.reserve(job->requests.size());
     // Moved, not copied: nothing reads Request::spec after execution, and a
     // spec can carry a full query trajectory.
-    for (size_t i : indices) specs.push_back(std::move((*batch)[i].spec));
-    std::vector<QueryOutcome> outcomes = session->RunAll(specs);
-    for (size_t j = 0; j < indices.size(); ++j) {
-      record((*batch)[indices[j]], std::move(outcomes[j]));
+    for (Request& request : job->requests) {
+      specs.push_back(std::move(request.spec));
     }
+    outcomes = session->RunAll(specs);
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.cache = cache_.stats();
+  const auto done = std::chrono::steady_clock::now();
+  const double exec_micros =
+      std::chrono::duration<double, std::micro>(done - exec_start).count();
+  {
+    // Count before resolving the futures: a client that saw its outcome
+    // must also see it reflected in Stats().
+    std::lock_guard<std::mutex> lock(mu_);
+    LaneStats& lane_stats = stats_.lanes[static_cast<size_t>(lane)];
+    ++lane_stats.batches;
+    lane_stats.requests += job->requests.size();
+    lane_stats.exec_micros.Record(exec_micros);
+    for (const Request& request : job->requests) {
+      ++stats_.completed;
+      stats_.latency_micros.Record(
+          std::chrono::duration<double, std::micro>(done -
+                                                    request.submitted_at)
+              .count());
+    }
+    in_flight_ -= job->requests.size();
+  }
+  for (size_t i = 0; i < job->requests.size(); ++i) {
+    job->requests[i].promise.set_value(std::move(outcomes[i]));
+  }
 }
 
 }  // namespace ust

@@ -1,20 +1,30 @@
 // The serving tier's front-end (DESIGN.md section 5): many client threads
 // submit single QuerySpecs; a dispatcher thread coalesces them into
-// micro-batches under a latency deadline and runs each batch through the
-// epoch-keyed SessionCache on the PR 2 session pipeline.
+// micro-batches under a latency deadline; a fixed pool of *execution lanes*
+// runs the batches through the epoch-keyed SessionCache on the PR 2 session
+// pipeline.
 //
 //   Submit(spec) -> future<QueryOutcome>
-//     bounded admission queue; when full the request is rejected
-//     immediately with kResourceLimit (backpressure, never blocking).
+//     bounded admission: requests beyond `queue_capacity` in flight are
+//     rejected immediately with kResourceLimit (backpressure, never
+//     blocking).
 //   dispatcher
 //     flushes a batch when it holds max_batch_size specs or
 //     max_batch_delay_ms elapsed since the batch opened, pins the database
 //     epoch for the whole batch (db->Snapshot()), groups specs by query
-//     interval and RunAll()s each group on the cached session.
+//     interval — and hands each group to the lane queue, returning to the
+//     admission window immediately. Flush cadence is therefore independent
+//     of batch execution time: one oversized batch can no longer stall the
+//     deadline of the batches behind it.
+//   lanes (options.lanes threads)
+//     each pops a group, checks the (epoch, interval) session out of the
+//     SessionCache (exclusive lease — two lanes never share one session's
+//     scratch), RunAll()s it, fulfills the promises, and returns the lease.
+//     Groups for different (epoch, interval) keys execute concurrently.
 //
 // Because a query's result is a pure function of (epoch, spec) — the PR 2
-// determinism contract — batching, the cache, and the thread pool never
-// change a bit of any outcome: Submit(spec).get() equals a serial
+// determinism contract — batching, the cache, the thread pool and the lane
+// pool never change a bit of any outcome: Submit(spec).get() equals a serial
 // QuerySession::Run(spec) over the same epoch.
 #pragma once
 
@@ -38,13 +48,20 @@ namespace ust {
 
 /// \brief Serving-tier knobs.
 struct ServerOptions {
+  /// Execution lanes: batches for distinct (epoch, interval) keys run
+  /// concurrently on this many worker threads. 1 reproduces the PR 3
+  /// behavior (single execution stream), just off the dispatcher thread.
+  int lanes = 1;
   /// Worker threads of each executing session (RunAll sharding).
   int threads = 1;
   /// Flush a micro-batch at this many specs...
   size_t max_batch_size = 64;
   /// ...or this many milliseconds after it opened, whichever first.
   double max_batch_delay_ms = 1.0;
-  /// Admission bound: submits beyond this many queued specs are rejected.
+  /// Admission bound on *in-flight* requests (admitted, not yet completed —
+  /// queued, staged for a lane, or executing). Submits beyond it are
+  /// rejected, so lane backlogs surface as backpressure exactly like
+  /// dispatcher backlogs did pre-lanes.
   size_t queue_capacity = 4096;
   /// LRU capacity of the (epoch, interval) session cache.
   size_t session_cache_capacity = 8;
@@ -52,21 +69,38 @@ struct ServerOptions {
   PlannerOptions planner;
 };
 
-/// \brief Counters + end-to-end latency histogram of one QueryServer.
+/// \brief Per-lane execution counters and timing.
+struct LaneStats {
+  uint64_t batches = 0;   ///< groups this lane executed
+  uint64_t requests = 0;  ///< specs across those groups
+  /// Wall time of each executed group (checkout + RunAll), microseconds.
+  LatencyHistogram exec_micros;
+};
+
+/// \brief Counters + latency histograms of one QueryServer.
 struct ServerStats {
   uint64_t submitted = 0;  ///< all Submit calls
   uint64_t admitted = 0;   ///< entered the queue
-  uint64_t rejected = 0;   ///< bounced (queue full / server stopped)
+  uint64_t rejected = 0;   ///< bounced (in-flight bound / server stopped)
   uint64_t completed = 0;  ///< outcomes delivered
   uint64_t batches = 0;    ///< micro-batches dispatched
   uint64_t flush_full = 0;      ///< flushed because the batch filled
   uint64_t flush_deadline = 0;  ///< flushed by the latency deadline
   uint64_t flush_drain = 0;     ///< flushed by shutdown drain
+  size_t lane_queue_depth = 0;  ///< gauge: groups awaiting a lane right now
+  size_t lane_queue_peak = 0;   ///< high-water mark of that queue
   SessionCacheStats cache;
   /// Submit-to-completion latency per request, in microseconds.
   LatencyHistogram latency_micros;
+  /// Submit-to-flush (admission window to lane handoff) per request, in
+  /// microseconds. Independent of execution time by construction — the
+  /// regression test for the pre-lane inline dispatcher pins this.
+  LatencyHistogram queue_micros;
+  /// One entry per execution lane.
+  std::vector<LaneStats> lanes;
 
-  /// Render as a flat JSON object (counters, cache, p50/p90/p99/mean/max).
+  /// Render as a JSON object (counters, cache, queue gauge, the end-to-end
+  /// and queue histograms, and a per-lane array).
   std::string ToJson() const;
 };
 
@@ -87,22 +121,22 @@ class QueryServer {
   QueryServer& operator=(const QueryServer&) = delete;
 
   /// Enqueue one query. The future resolves with the outcome — or, when the
-  /// admission queue is full (kResourceLimit) or the server is stopped
+  /// in-flight bound is hit (kResourceLimit) or the server is stopped
   /// (kInvalidArgument), resolves immediately with that rejection status.
   std::future<QueryOutcome> Submit(QuerySpec spec);
 
-  /// Hold dispatching (submits keep queueing up to the admission bound).
-  /// Lets operators drain write bursts — and tests fill the queue
-  /// deterministically.
+  /// Hold dispatching (submits keep queueing up to the admission bound;
+  /// lanes finish what they already hold). Lets operators drain write
+  /// bursts — and tests fill the queue deterministically.
   void Pause();
   /// Resume dispatching.
   void Resume();
 
   /// Stop accepting, run every queued request to completion, join the
-  /// dispatcher. Idempotent; called by the destructor.
+  /// dispatcher and every lane. Idempotent; called by the destructor.
   void Stop();
 
-  /// Consistent copy of the counters and the latency histogram.
+  /// Consistent copy of the counters and histograms.
   ServerStats Stats() const;
 
   const ServerOptions& options() const { return options_; }
@@ -114,24 +148,40 @@ class QueryServer {
     std::chrono::steady_clock::time_point submitted_at;
   };
 
+  /// One interval group of one flushed batch: the unit of lane work. The
+  /// snapshot pins the batch's admission epoch all the way to execution.
+  struct LaneJob {
+    DbSnapshot snapshot;
+    TimeInterval T{0, 0};
+    std::vector<Request> requests;
+  };
+
   void DispatcherLoop();
-  /// Pin the epoch, group by interval, RunAll each group, fulfill promises.
-  void ExecuteBatch(std::vector<Request>* batch);
+  void LaneLoop(int lane);
+  /// Pin the epoch, group by interval, push each group to the lane queue.
+  void StageBatch(std::vector<Request>* batch);
+  /// Check out the job's session, RunAll, fulfill promises, record stats.
+  void ExecuteJob(LaneJob* job, int lane);
 
   const TrajectoryDatabase* db_;
   const UstTree* index_;
   ServerOptions options_;
-  SessionCache cache_;  ///< dispatcher-only
+  SessionCache cache_;  ///< thread-safe; lanes check sessions in and out
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;       ///< admission queue -> dispatcher
+  std::condition_variable lane_cv_;  ///< lane queue -> lanes
   std::deque<Request> queue_;
-  bool stopping_ = false;
+  std::deque<LaneJob> lane_queue_;
+  bool stopping_ = false;        ///< no new admissions; dispatcher drains
+  bool lanes_stopping_ = false;  ///< set after the dispatcher exits
   bool paused_ = false;
-  ServerStats stats_;  ///< guarded by mu_
+  uint64_t in_flight_ = 0;  ///< admitted, not yet completed
+  ServerStats stats_;       ///< guarded by mu_
 
-  std::mutex join_mu_;  ///< serializes Stop()'s join of the dispatcher
+  std::mutex join_mu_;  ///< serializes Stop()'s joins
   std::thread dispatcher_;
+  std::vector<std::thread> lanes_;
 };
 
 }  // namespace ust

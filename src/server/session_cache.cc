@@ -1,45 +1,127 @@
 #include "server/session_cache.h"
 
 #include <algorithm>
+#include <utility>
 
-#include "util/check.h"
+#include "markov/propagate_workspace.h"
+#include "model/posterior_model.h"
 
 namespace ust {
+
+SessionCache::Lease& SessionCache::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    cache_ = other.cache_;
+    session_ = std::move(other.session_);
+    version_ = other.version_;
+    T_ = other.T_;
+    other.cache_ = nullptr;
+    other.session_.reset();
+  }
+  return *this;
+}
+
+void SessionCache::Lease::Release() {
+  if (cache_ != nullptr && session_ != nullptr) {
+    cache_->ReturnSession(std::move(session_), version_, T_);
+  }
+  cache_ = nullptr;
+  session_.reset();
+}
 
 SessionCache::SessionCache(size_t capacity, SessionOptions session_options)
     : capacity_(std::max<size_t>(1, capacity)),
       session_options_(session_options) {}
 
-std::shared_ptr<QuerySession> SessionCache::Get(const DbSnapshot& snapshot,
-                                                const TimeInterval& T,
-                                                const UstTree* index) {
+SessionCache::Lease SessionCache::Checkout(const DbSnapshot& snapshot,
+                                           const TimeInterval& T,
+                                           const UstTree* index) {
   const uint64_t version = snapshot.version();
-  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (it->version == version && it->T == T) {
-      ++stats_.hits;
-      entries_.splice(entries_.begin(), entries_, it);  // bump to MRU
-      return entries_.front().session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->version == version && it->T == T) {
+        // Pop the entry: exclusivity by removal — while this lease is live
+        // the session simply is not in the cache for anyone else to find.
+        ++stats_.hits;
+        std::shared_ptr<QuerySession> session = std::move(it->session);
+        entries_.erase(it);
+        leased_.emplace_back(version, T);
+        return Lease(this, std::move(session), version, T);
+      }
     }
+    ++stats_.misses;
+    // A miss whose key is currently leased to another lane means we are
+    // about to build a *duplicate* session for a hot (epoch, interval) —
+    // correct (outcomes are per-spec pure) but worth counting: a high
+    // busy-miss rate says the lane count outgrew the cache's usefulness.
+    for (const auto& key : leased_) {
+      if (key.first == version && key.second == T) {
+        ++stats_.busy_misses;
+        break;
+      }
+    }
+    leased_.emplace_back(version, T);
   }
-  ++stats_.misses;
+  // Build outside the LRU lock (lookups stay fast). Only the warm-up below
+  // needs the warm lock: session construction and the R*-tree slab build
+  // touch nothing shared, so they proceed concurrently across lanes.
   if (index != nullptr && index->built_version() != version) index = nullptr;
   auto session =
       std::make_shared<QuerySession>(snapshot, index, session_options_);
-  // Warm everything a first request would otherwise pay for: posterior
-  // adaptation + alias samplers (Prepare — a failure there is per-query
-  // surfaced by RunAll, so it is deliberately not fatal here) and the
-  // R*-tree slab of the keyed interval.
-  (void)session->Prepare();
+  {
+    // Adaptation mutates shared per-object caches, and exactly one thread
+    // may cold-warm an object (model/db_snapshot.h). The first session over
+    // an epoch pays the adaptation; later misses re-walk warm objects in
+    // microseconds without queueing behind anything expensive.
+    std::lock_guard<std::mutex> warm_lock(warm_mu_);
+    // Warm what a first request would otherwise pay for: posterior
+    // adaptation + alias samplers (a failure is per-query surfaced by
+    // RunAll, so it is deliberately not fatal here).
+    if (!session->Prepare().ok()) {
+      // Prepare's serial path stops at the first failing object, which
+      // would leave every later object cold — and lane-concurrent execution
+      // would then lazily cold-adapt them *outside* this lock. Finish the
+      // sweep object by object instead: afterwards each object is either
+      // fully warm (posterior + samplers) or deterministically failing, and
+      // failed adaptations write nothing shared, so execution never
+      // cold-writes shared state no matter how many lanes touch it.
+      PropagateWorkspace ws(snapshot.space().size());
+      for (size_t i = 0; i < snapshot.size(); ++i) {
+        auto posterior = snapshot.object(static_cast<ObjectId>(i)).Posterior(&ws);
+        if (posterior.ok()) posterior.value()->EnsureSamplers();
+      }
+    }
+  }
+  // Pre-build the keyed interval's index slab (session-local, lock-free).
   session->WarmInterval(T);
-  entries_.push_front(Entry{version, T, session});
+  return Lease(this, std::move(session), version, T);
+}
+
+void SessionCache::ReturnSession(std::shared_ptr<QuerySession> session,
+                                 uint64_t version, const TimeInterval& T) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = leased_.begin(); it != leased_.end(); ++it) {
+    if (it->first == version && it->second == T) {
+      leased_.erase(it);
+      break;
+    }
+  }
+  if (version < min_live_version_) {
+    // Its epoch passed while it was out executing; never cache it.
+    ++stats_.evictions_stale;
+    return;
+  }
+  entries_.push_front(Entry{version, T, std::move(session)});
   while (entries_.size() > capacity_) {
     entries_.pop_back();
     ++stats_.evictions_lru;
   }
-  return entries_.front().session;
 }
 
 void SessionCache::EvictStale(uint64_t live_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  min_live_version_ = std::max(min_live_version_, live_version);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->version < live_version) {
       it = entries_.erase(it);
@@ -48,6 +130,16 @@ void SessionCache::EvictStale(uint64_t live_version) {
       ++it;
     }
   }
+}
+
+size_t SessionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+SessionCacheStats SessionCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 }  // namespace ust

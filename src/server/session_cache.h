@@ -11,14 +11,33 @@
 // caches live on the shared UncertainObjects, a new epoch's session re-adapts
 // only the objects that actually changed — warming is incremental.
 //
-// Externally synchronized: the cache is owned by the QueryServer's dispatcher
-// thread (sessions are single-lane by contract, so handing them to arbitrary
-// threads would be wrong anyway).
+// Checkout protocol (the execution-lane contract, DESIGN.md section 5.5):
+// a QuerySession is single-lane — its worker scratch and slab cache must
+// never be shared by two concurrent callers. Checkout() therefore *removes*
+// the entry from the cache and hands it out inside a Lease; exclusivity is
+// structural, not flag-based. A second lane checking out the same
+// (epoch, interval) while the first lease is live simply misses and builds a
+// duplicate session (counted in `busy_misses`; duplicates are correct —
+// outcomes are a pure function of (epoch, spec)). The Lease returns the
+// session on destruction: reinserted at MRU unless its epoch has passed, in
+// which case it is dropped as stale. All entry points are thread-safe.
+//
+// Session construction runs outside the LRU lock, and only its Prepare()
+// phase holds a dedicated *warm lock*: posterior and sampler caches are
+// built lazily on the shared UncertainObjects (unsynchronized by design,
+// see model/db_snapshot.h), so two lanes must never cold-warm overlapping
+// object sets concurrently. Serializing Prepare() — completed object by
+// object when it fails partway, so nothing is left cold — preserves that
+// single-warmer contract with lanes in play: the second session over an
+// epoch finds every object already warm and prepares in microseconds,
+// while session construction, slab warming and *execution* (pure reads of
+// warmed state) stay fully concurrent.
 #pragma once
 
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 
 #include "index/ust_tree.h"
 #include "query/session.h"
@@ -29,43 +48,95 @@ namespace ust {
 struct SessionCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;          ///< lookups that built a new session
+  uint64_t busy_misses = 0;     ///< of `misses`: the key existed but every
+                                ///< matching session was leased to a lane
   uint64_t evictions_lru = 0;   ///< dropped for capacity
   uint64_t evictions_stale = 0; ///< dropped because their epoch passed
 };
 
-/// \brief LRU cache of warmed QuerySessions keyed by (epoch, interval).
+/// \brief Thread-safe LRU cache of warmed QuerySessions keyed by
+/// (epoch, interval), handed out one lane at a time via leases.
 class SessionCache {
  public:
+  /// Exclusive handle on one checked-out session. Movable, not copyable;
+  /// returns the session to the cache on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept;
+    ~Lease() { Release(); }
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    QuerySession* operator->() const { return session_.get(); }
+    QuerySession& operator*() const { return *session_; }
+    QuerySession* get() const { return session_.get(); }
+    explicit operator bool() const { return session_ != nullptr; }
+
+    /// Return the session to the cache now (idempotent).
+    void Release();
+
+   private:
+    friend class SessionCache;
+    Lease(SessionCache* cache, std::shared_ptr<QuerySession> session,
+          uint64_t version, TimeInterval T)
+        : cache_(cache), session_(std::move(session)), version_(version),
+          T_(T) {}
+
+    SessionCache* cache_ = nullptr;
+    std::shared_ptr<QuerySession> session_;
+    uint64_t version_ = 0;
+    TimeInterval T_{0, 0};
+  };
+
   /// `capacity` >= 1; `session_options` is applied to every built session.
   SessionCache(size_t capacity, SessionOptions session_options);
 
-  /// The session for (snapshot.version(), T): the cached one, or a fresh one
-  /// built over `snapshot`, prepared (posteriors + samplers warmed) and with
-  /// the `T` slab pre-built. `index` is attached only when it was built over
-  /// the same epoch (a stale index would prune wrongly; the session would
-  /// drop it anyway). The returned session stays valid while the caller
-  /// holds the shared_ptr, even if it is evicted meanwhile.
-  std::shared_ptr<QuerySession> Get(const DbSnapshot& snapshot,
-                                    const TimeInterval& T,
-                                    const UstTree* index);
+  /// Exclusive lease on a session for (snapshot.version(), T): a cached idle
+  /// one, or a fresh one built over `snapshot`, prepared (posteriors +
+  /// samplers warmed) and with the `T` slab pre-built. `index` is attached
+  /// only when it was built over the same epoch (a stale index would prune
+  /// wrongly; the session would drop it anyway). No other lane can obtain
+  /// this session until the lease dies.
+  Lease Checkout(const DbSnapshot& snapshot, const TimeInterval& T,
+                 const UstTree* index);
 
-  /// Drop every session pinned to an epoch older than `live_version`.
+  /// Drop every *idle* session pinned to an epoch older than `live_version`,
+  /// and drop leased ones when their lease is returned.
   void EvictStale(uint64_t live_version);
 
-  size_t size() const { return entries_.size(); }
+  /// Idle sessions currently in the cache (leased-out ones are not counted).
+  size_t size() const;
   size_t capacity() const { return capacity_; }
-  const SessionCacheStats& stats() const { return stats_; }
+  SessionCacheStats stats() const;
 
  private:
+  friend class Lease;
+
   struct Entry {
     uint64_t version;
     TimeInterval T;
     std::shared_ptr<QuerySession> session;
   };
 
-  size_t capacity_;
-  SessionOptions session_options_;
-  std::list<Entry> entries_;  ///< MRU at front, LRU at back
+  /// Lease return path: reinsert at MRU or drop as stale.
+  void ReturnSession(std::shared_ptr<QuerySession> session, uint64_t version,
+                     const TimeInterval& T);
+
+  const size_t capacity_;
+  const SessionOptions session_options_;
+
+  mutable std::mutex mu_;
+  /// Serializes session warm-up (the single-warmer contract of
+  /// model/db_snapshot.h); never held together with mu_.
+  std::mutex warm_mu_;
+  std::list<Entry> entries_;  ///< MRU at front, LRU at back; idle only
+  /// Keys of live leases (duplicates allowed): the busy-miss detector. At
+  /// most `lanes` entries in practice, so a flat list beats a map.
+  std::list<std::pair<uint64_t, TimeInterval>> leased_;
+  uint64_t min_live_version_ = 0;  ///< floor set by EvictStale
   SessionCacheStats stats_;
 };
 

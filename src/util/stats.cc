@@ -1,6 +1,7 @@
 #include "util/stats.h"
 
 #include <cmath>
+#include <cstdio>
 
 #include "util/check.h"
 
@@ -165,6 +166,16 @@ double LatencyHistogram::Quantile(double q) const {
     cumulative = next;
   }
   return max_;
+}
+
+std::string LatencyHistogram::ToJson() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%zu,\"mean\":%.3f,\"p50\":%.3f,\"p90\":%.3f,"
+                "\"p99\":%.3f,\"max\":%.3f}",
+                count(), mean(), Quantile(0.50), Quantile(0.90),
+                Quantile(0.99), max());
+  return std::string(buf);
 }
 
 void LatencyHistogram::Merge(const LatencyHistogram& other) {

@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace ust {
@@ -75,6 +76,11 @@ class LatencyHistogram {
 
   /// Merge another histogram into this one (same bucket layout by type).
   void Merge(const LatencyHistogram& other);
+
+  /// Render the summary as a JSON object:
+  /// {"count":N,"mean":..,"p50":..,"p90":..,"p99":..,"max":..} — the shape
+  /// ServerStats embeds for the end-to-end, queue and per-lane histograms.
+  std::string ToJson() const;
 
  private:
   size_t BucketIndex(double value) const;

@@ -200,7 +200,9 @@ TEST(RStarTreeTest, NearestMatchesBruteForce) {
       std::sort(all.begin(), all.end());
       for (size_t i = 0; i < k; ++i) {
         EXPECT_NEAR(got[i].first, all[i], 1e-12);
-        if (i > 0) EXPECT_GE(got[i].first, got[i - 1].first);
+        if (i > 0) {
+          EXPECT_GE(got[i].first, got[i - 1].first);
+        }
         EXPECT_NEAR(got[i].first, mindist(p, boxes[got[i].second]), 1e-12);
       }
     }

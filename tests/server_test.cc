@@ -6,6 +6,8 @@
 // same epoch even with concurrent client threads and a concurrent writer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <future>
 #include <memory>
 #include <thread>
@@ -194,49 +196,97 @@ TEST_F(ServerTest, SessionCacheKeysOnEpochAndInterval) {
   const TimeInterval t2{T_.start, T_.end - 2};
   const TimeInterval t3{T_.start + 1, T_.end};
 
-  auto s1 = cache.Get(snap, t1, index_.get());
+  const QuerySession* s1;
+  {
+    auto lease = cache.Checkout(snap, t1, index_.get());
+    s1 = lease.get();
+    EXPECT_EQ(lease->db().version(), snap.version());
+  }
   EXPECT_EQ(cache.stats().misses, 1u);
-  EXPECT_EQ(cache.Get(snap, t1, index_.get()).get(), s1.get());  // hit
+  EXPECT_EQ(cache.size(), 1u);  // returned to the cache by the lease
+  {
+    auto lease = cache.Checkout(snap, t1, index_.get());  // hit, same session
+    EXPECT_EQ(lease.get(), s1);
+  }
   EXPECT_EQ(cache.stats().hits, 1u);
-  EXPECT_EQ(s1->db().version(), snap.version());
 
   // Capacity 2: t3 evicts the least recently used entry (t1 after t2 ran).
-  cache.Get(snap, t2, index_.get());
-  auto s2 = cache.Get(snap, t3, index_.get());
+  cache.Checkout(snap, t2, index_.get());
+  cache.Checkout(snap, t3, index_.get());
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(cache.stats().evictions_lru, 1u);
-  EXPECT_NE(cache.Get(snap, t1, index_.get()).get(), s1.get());  // rebuilt
+  cache.Checkout(snap, t1, index_.get());  // rebuilt: its entry was evicted
   EXPECT_EQ(cache.stats().misses, 4u);
 
   // A write opens a new epoch: lookups with the new snapshot miss, and
   // EvictStale drops every session pinned behind the live version.
   AddObjectAt(T_.start, T_.end);
   DbSnapshot snap2 = db().Snapshot();
-  auto s3 = cache.Get(snap2, t1, index_.get());
-  EXPECT_EQ(s3->db().version(), snap2.version());
+  {
+    auto lease = cache.Checkout(snap2, t1, index_.get());
+    EXPECT_EQ(lease->db().version(), snap2.version());
+  }
   EXPECT_EQ(cache.stats().misses, 5u);
   cache.EvictStale(snap2.version());
   EXPECT_EQ(cache.size(), 1u);  // only the epoch-current session survives
   EXPECT_GE(cache.stats().evictions_stale, 1u);
-  (void)s2;
 }
 
-TEST_F(ServerTest, ServerMatchesSerialRunAllAtTwoClientThreads) {
+TEST_F(ServerTest, SessionCacheCheckoutIsExclusive) {
+  SessionCache cache(2, SessionOptions{});
+  DbSnapshot snap = db().Snapshot();
+
+  // Two concurrent leases on one key: the second caller must get its own
+  // session (scratch is single-lane), built as a counted duplicate.
+  auto lease1 = cache.Checkout(snap, T_, index_.get());
+  auto lease2 = cache.Checkout(snap, T_, index_.get());
+  ASSERT_TRUE(lease1);
+  ASSERT_TRUE(lease2);
+  EXPECT_NE(lease1.get(), lease2.get());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().busy_misses, 1u);
+  EXPECT_EQ(cache.size(), 0u);  // both leased out, nothing idle
+
+  const QuerySession* first = lease1.get();
+  lease1.Release();
+  EXPECT_FALSE(lease1);  // the lease handle is dead after release
+  EXPECT_EQ(cache.size(), 1u);
+  {
+    auto lease3 = cache.Checkout(snap, T_, index_.get());  // hit on returned
+    EXPECT_EQ(lease3.get(), first);
+    EXPECT_EQ(cache.stats().hits, 1u);
+  }
+  lease2.Release();
+  EXPECT_EQ(cache.size(), 2u);  // the duplicate is cached too (capacity 2)
+
+  // A lease outstanding across EvictStale is dropped on return, not cached:
+  // its epoch has passed.
+  auto stale = cache.Checkout(snap, T_, index_.get());
+  const uint64_t stale_before = cache.stats().evictions_stale;
+  cache.EvictStale(snap.version() + 1);
+  EXPECT_EQ(cache.size(), 0u);
+  stale.Release();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_GT(cache.stats().evictions_stale, stale_before);
+}
+
+TEST_F(ServerTest, ServerMatchesSerialRunAllAtTwoLanesFourClients) {
   const std::vector<QuerySpec> specs = MakeSpecs(16);
   // Reference: strictly serial session over the same epoch (threads = 1).
   QuerySession reference(db().Snapshot(), index_.get());
   const std::vector<QueryOutcome> expected = reference.RunAll(specs);
 
   ServerOptions options;
+  options.lanes = 2;
   options.threads = 2;
-  options.max_batch_size = 8;
+  options.max_batch_size = 4;
   options.max_batch_delay_ms = 2.0;
   QueryServer server(db(), index_.get(), options);
   std::vector<std::future<QueryOutcome>> futures(specs.size());
   std::vector<std::thread> clients;
-  for (int c = 0; c < 2; ++c) {
+  for (int c = 0; c < 4; ++c) {
     clients.emplace_back([&, c] {
-      for (size_t i = static_cast<size_t>(c); i < specs.size(); i += 2) {
+      for (size_t i = static_cast<size_t>(c); i < specs.size(); i += 4) {
         futures[i] = server.Submit(specs[i]);
       }
     });
@@ -253,6 +303,104 @@ TEST_F(ServerTest, ServerMatchesSerialRunAllAtTwoClientThreads) {
   EXPECT_EQ(stats.rejected, 0u);
   EXPECT_GE(stats.batches, 1u);
   EXPECT_EQ(stats.latency_micros.count(), specs.size());
+  EXPECT_EQ(stats.queue_micros.count(), specs.size());
+  // Per-lane accounting covers every executed group and every request.
+  ASSERT_EQ(stats.lanes.size(), 2u);
+  uint64_t lane_batches = 0, lane_requests = 0;
+  for (const LaneStats& lane : stats.lanes) {
+    lane_batches += lane.batches;
+    lane_requests += lane.requests;
+    EXPECT_EQ(lane.exec_micros.count(), lane.batches);
+  }
+  EXPECT_GE(lane_batches, stats.batches);  // >=: batches split per interval
+  EXPECT_EQ(lane_requests, specs.size());
+  EXPECT_EQ(stats.lane_queue_depth, 0u);  // drained by Stop
+  EXPECT_GE(stats.lane_queue_peak, 1u);
+}
+
+TEST_F(ServerTest, StopDrainsEveryAdmittedRequest) {
+  const std::vector<QuerySpec> specs = MakeSpecs(10);
+  ServerOptions options;
+  options.lanes = 2;
+  options.max_batch_size = 4;
+  options.max_batch_delay_ms = 50.0;  // Stop must not wait out the window
+  QueryServer server(db(), index_.get(), options);
+  server.Pause();  // requests pile up: the drain below is deterministic
+  std::vector<std::future<QueryOutcome>> futures;
+  for (const QuerySpec& spec : specs) futures.push_back(server.Submit(spec));
+  server.Stop();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_TRUE(futures[i].get().status.ok()) << "request " << i;
+  }
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.admitted, specs.size());
+  EXPECT_EQ(stats.completed, specs.size());
+  EXPECT_GE(stats.flush_drain, 1u);
+  EXPECT_EQ(stats.lane_queue_depth, 0u);
+  uint64_t lane_requests = 0;
+  for (const LaneStats& lane : stats.lanes) lane_requests += lane.requests;
+  EXPECT_EQ(lane_requests, specs.size());
+}
+
+TEST_F(ServerTest, OversizedBatchDoesNotStallSmallBatchFlush) {
+  // Regression test for the pre-lane inline dispatcher: there, the thread
+  // that flushed a batch also executed it, so one oversized batch blocked
+  // the admission window and every batch behind it until it finished. With
+  // execution lanes, the flush cadence is independent of execution time:
+  // the small batch below must flush on its deadline and complete while the
+  // oversized batch is still running on the other lane.
+  ServerOptions options;
+  options.lanes = 2;
+  options.max_batch_size = 4;
+  options.max_batch_delay_ms = 1.0;
+  QueryServer server(db(), index_.get(), options);
+
+  // One oversized batch: heavy Monte-Carlo work, hundreds of milliseconds.
+  std::vector<QuerySpec> big = MakeSpecs(4);
+  for (QuerySpec& spec : big) {
+    spec.kind = QueryKind::kForall;
+    spec.T = T_;
+    spec.backend = ExecutorKind::kMonteCarlo;
+    spec.mc.num_worlds = 50000;
+  }
+  // One small, fast request over a different interval (its own group).
+  QuerySpec small = MakeSpecs(1)[0];
+  small.kind = QueryKind::kForall;
+  small.T = TimeInterval{T_.start, T_.end - 2};
+  small.backend = ExecutorKind::kMonteCarlo;
+  small.mc.num_worlds = 50;
+
+  // Pause so all four oversized specs flush as exactly one full batch.
+  server.Pause();
+  std::vector<std::future<QueryOutcome>> big_futures;
+  for (const QuerySpec& spec : big) big_futures.push_back(server.Submit(spec));
+  server.Resume();
+  std::future<QueryOutcome> small_future = server.Submit(small);
+
+  EXPECT_TRUE(small_future.get().status.ok());
+  for (auto& f : big_futures) EXPECT_TRUE(f.get().status.ok());
+
+  server.Stop();
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.completed, 5u);
+  EXPECT_EQ(stats.flush_full, 1u);      // the oversized batch
+  EXPECT_GE(stats.flush_deadline, 1u);  // the small one, on time
+  // The regression is asserted through the server's own clocks, not through
+  // instantaneous future polling — robust against the thread scheduling of
+  // an oversubscribed sanitizer CI runner. On the pre-lane inline
+  // dispatcher both checks fail: the small request's flush (and hence its
+  // whole life) would sit behind the oversized batch's execution, pushing
+  // queue_micros.max() and latency_micros.min() up to max_exec.
+  double max_exec = 0.0;
+  for (const LaneStats& lane : stats.lanes) {
+    max_exec = std::max(max_exec, lane.exec_micros.max());
+  }
+  // Admission-to-flush latency stayed decoupled from execution: even the
+  // slowest flush was far quicker than the oversized batch's execution.
+  EXPECT_LT(stats.queue_micros.max(), max_exec / 2.0);
+  // And the small request (the fastest end-to-end, hence min()) completed
+  // well inside the oversized batch's execution window.
+  EXPECT_LT(stats.latency_micros.min(), max_exec / 2.0);
 }
 
 TEST_F(ServerTest, ServerRejectsWhenAdmissionQueueIsFull) {
@@ -354,7 +502,9 @@ TEST_F(ServerTest, StatsRenderAsJson) {
   const std::string json = server.Stats().ToJson();
   for (const char* key :
        {"\"submitted\":5", "\"completed\":5", "\"rejected\":0", "\"batches\":",
-        "\"cache_misses\":", "\"latency_us\":", "\"p50\":", "\"p99\":"}) {
+        "\"cache_misses\":", "\"cache_busy_misses\":", "\"latency_us\":",
+        "\"queue_us\":", "\"p50\":", "\"p99\":", "\"lane_queue_depth\":",
+        "\"lane_queue_peak\":", "\"lanes\":[{", "\"exec_us\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << json << "\nmissing " << key;
   }
 }
