@@ -15,10 +15,25 @@
 // engine throughput is tracked machine-readably across PRs, like
 // BENCH_sampling.json for the sampling hot path.
 //
+// --executor selects the refinement backend under measurement:
+//   mc     — the three-mode Monte-Carlo comparison above;
+//   markov — the chain-rule backend on its own scaled-down workload (cost
+//            is ~quadratic in the participant count), one session.Run per
+//            query so the per-target sharding over the session pool is the
+//            path measured; emits qps_markov_approx;
+//   exact  — possible-world enumeration on a tiny workload (enumeration is
+//            only ever planned for tiny filter outputs), block-sharded over
+//            the pool; emits qps_exact;
+//   all    — (default) every backend, one tracked qps line each.
+// The markov/exact phases also pin parallel-vs-serial bitwise equality:
+// the threaded session must reproduce the 1-thread bytes exactly.
+//
 // Flags (defaults sized for a single CI core):
 //   --states=10000 --objects=48 --lifetime=96 --obs_interval=12
 //   --horizon=120 --interval=10 --worlds=500 --queries=50 --threads=1
-//   --json_out=BENCH_engine.json
+//   --executor=all --markov_objects=8 --markov_interval=6
+//   --markov_queries=6 --exact_objects=3 --exact_interval=3
+//   --exact_queries=6 --json_out=BENCH_engine.json
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -51,6 +66,11 @@ int main(int argc, char** argv) {
   const size_t num_worlds = flags.GetInt("worlds", 500);
   const size_t num_queries = flags.GetInt("queries", 50);
   const int threads = flags.GetInt("threads", 1);
+  const std::string executor = flags.GetString("executor", "all");
+  const bool run_mc = executor == "all" || executor == "mc";
+  const bool run_markov = executor == "all" || executor == "markov";
+  const bool run_exact = executor == "all" || executor == "exact";
+  UST_CHECK(run_mc || run_markov || run_exact);
   const std::string json_out = flags.GetString("json_out", "BENCH_engine.json");
 
   PrintConfig("micro_engine: plan-based query pipeline throughput", flags,
@@ -91,7 +111,7 @@ int main(int argc, char** argv) {
   // dropped, a fresh engine is constructed, all scratch reallocates.
   double single_shot_seconds = 0.0;
   std::vector<PnnQueryResult> single_shot_results(num_queries);
-  {
+  if (run_mc) {
     Timer t;
     for (size_t i = 0; i < num_queries; ++i) {
       db.InvalidatePosteriors();
@@ -106,7 +126,7 @@ int main(int argc, char** argv) {
   // ---- Mode 2: one QueryEngine over a warm database. ----
   double warm_engine_seconds = 0.0;
   std::vector<PnnQueryResult> warm_results(num_queries);
-  {
+  if (run_mc) {
     UST_CHECK(db.EnsureAllPosteriors().ok());
     QueryEngine engine(db, &tree.value());
     Timer t;
@@ -125,7 +145,7 @@ int main(int argc, char** argv) {
   double session_prepare_seconds = 0.0;
   double session_seconds = 0.0;
   std::vector<QueryOutcome> session_results;
-  {
+  if (run_mc) {
     db.InvalidatePosteriors();  // the session rebuilds its own shared state
     SessionOptions options;
     options.threads = threads;
@@ -140,7 +160,7 @@ int main(int argc, char** argv) {
 
   // The three modes must agree bit for bit (same seeds, same backend):
   // the session batch is the serial engine, just cheaper.
-  for (size_t i = 0; i < num_queries; ++i) {
+  for (size_t i = 0; run_mc && i < num_queries; ++i) {
     UST_CHECK(session_results[i].status.ok());
     const auto& a = session_results[i].pnn.results;
     const auto& b = single_shot_results[i].results;
@@ -152,37 +172,153 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- Modes 4/5: the intra-query-parallel backends, each on its own
+  // scaled-down workload (the chain rule is ~quadratic in participants;
+  // enumeration is exponential — both are only ever planned for small
+  // filter outputs, and the workload mirrors that). Queries run one at a
+  // time through session.Run: the lone-query path hands the session pool to
+  // the executor, which is exactly the per-target / per-block sharding
+  // under measurement. The threaded pass must reproduce the 1-thread bytes.
+  const auto run_backend = [&](SyntheticConfig mini_config,
+                               ExecutorKind backend, size_t mini_interval,
+                               size_t mini_queries, size_t mini_worlds) {
+    auto mini_world = GenerateSyntheticWorld(mini_config);
+    UST_CHECK(mini_world.ok());
+    SyntheticWorld mini = mini_world.MoveValue();
+    TrajectoryDatabase& mdb = *mini.db;
+    // No index: P∀NN candidates then come from alive-time filtering
+    // (alive throughout T), which is what the markov backend supports.
+    const TimeInterval T = BusiestInterval(mdb, mini_interval);
+    Rng mini_rng(9);
+    std::vector<QuerySpec> mini_specs;
+    mini_specs.reserve(mini_queries);
+    for (size_t i = 0; i < mini_queries; ++i) {
+      QuerySpec spec;
+      spec.kind = QueryKind::kForall;
+      spec.q = RandomQueryState(mdb.space(), mini_rng);
+      spec.T = T;
+      spec.tau = 0.0;
+      spec.mc.num_worlds = mini_worlds;
+      spec.mc.seed = 7000 + i;
+      spec.backend = backend;
+      mini_specs.push_back(spec);
+    }
+    std::vector<QueryOutcome> reference(mini_queries);
+    {
+      SessionOptions serial;
+      serial.threads = 1;
+      QuerySession session(mdb, nullptr, serial);
+      UST_CHECK(session.Prepare().ok());
+      for (size_t i = 0; i < mini_queries; ++i) {
+        reference[i] = session.Run(mini_specs[i]);
+      }
+    }
+    SessionOptions options;
+    options.threads = threads;
+    QuerySession session(mdb, nullptr, options);
+    UST_CHECK(session.Prepare().ok());
+    Timer t;
+    std::vector<QueryOutcome> outcomes(mini_queries);
+    for (size_t i = 0; i < mini_queries; ++i) {
+      outcomes[i] = session.Run(mini_specs[i]);
+    }
+    const double seconds = t.Seconds();
+    for (size_t i = 0; i < mini_queries; ++i) {
+      UST_CHECK(outcomes[i].status.ok());
+      const auto& a = outcomes[i].pnn.results;
+      const auto& b = reference[i].pnn.results;
+      UST_CHECK(a.size() == b.size());
+      for (size_t j = 0; j < a.size(); ++j) {
+        UST_CHECK(a[j].object == b[j].object);
+        UST_CHECK(a[j].prob == b[j].prob);  // bitwise: parallel == serial
+      }
+    }
+    return static_cast<double>(mini_queries) / seconds;
+  };
+
+  double qps_markov = 0.0;
+  size_t markov_objects = 0, markov_queries = 0;
+  if (run_markov) {
+    SyntheticConfig mini_config = config;
+    markov_objects =
+        static_cast<size_t>(flags.GetInt("markov_objects", 8));
+    markov_queries =
+        static_cast<size_t>(flags.GetInt("markov_queries", 6));
+    mini_config.num_objects = static_cast<int>(markov_objects);
+    qps_markov = run_backend(
+        mini_config, ExecutorKind::kMarkovApprox,
+        static_cast<size_t>(flags.GetInt("markov_interval", 6)),
+        markov_queries, num_worlds);
+  }
+  double qps_exact = 0.0;
+  size_t exact_objects = 0, exact_queries = 0;
+  if (run_exact) {
+    SyntheticConfig mini_config = config;
+    exact_objects = static_cast<size_t>(flags.GetInt("exact_objects", 3));
+    exact_queries = static_cast<size_t>(flags.GetInt("exact_queries", 6));
+    mini_config.num_objects = static_cast<int>(exact_objects);
+    // Denser observations keep the posterior diamonds — and with them the
+    // enumeration cross product — inside the executor's world cap.
+    mini_config.obs_interval = static_cast<Tic>(
+        flags.GetInt("exact_obs_interval", 4));
+    qps_exact = run_backend(
+        mini_config, ExecutorKind::kExact,
+        static_cast<size_t>(flags.GetInt("exact_interval", 3)),
+        exact_queries, num_worlds);
+  }
+
   const double n = static_cast<double>(num_queries);
-  const double qps_single_shot = n / single_shot_seconds;
-  const double qps_warm_engine = n / warm_engine_seconds;
-  const double qps_session = n / session_seconds;
+  const double qps_single_shot = run_mc ? n / single_shot_seconds : 0.0;
+  const double qps_warm_engine = run_mc ? n / warm_engine_seconds : 0.0;
+  const double qps_session = run_mc ? n / session_seconds : 0.0;
 
   CsvTable table({"metric", "value"});
-  table.AddRow({"qps_single_shot", std::to_string(qps_single_shot)});
-  table.AddRow({"qps_warm_engine", std::to_string(qps_warm_engine)});
-  table.AddRow({"qps_session_batch", std::to_string(qps_session)});
-  table.AddRow(
-      {"session_prepare_seconds", std::to_string(session_prepare_seconds)});
-  table.AddRow({"speedup_vs_single_shot",
-                std::to_string(qps_session / qps_single_shot)});
-  table.AddRow({"speedup_vs_warm_engine",
-                std::to_string(qps_session / qps_warm_engine)});
+  if (run_mc) {
+    table.AddRow({"qps_single_shot", std::to_string(qps_single_shot)});
+    table.AddRow({"qps_warm_engine", std::to_string(qps_warm_engine)});
+    table.AddRow({"qps_session_batch", std::to_string(qps_session)});
+    table.AddRow(
+        {"session_prepare_seconds", std::to_string(session_prepare_seconds)});
+    table.AddRow({"speedup_vs_single_shot",
+                  std::to_string(qps_session / qps_single_shot)});
+    table.AddRow({"speedup_vs_warm_engine",
+                  std::to_string(qps_session / qps_warm_engine)});
+  }
+  if (run_markov) {
+    table.AddRow({"qps_markov_approx", std::to_string(qps_markov)});
+  }
+  if (run_exact) {
+    table.AddRow({"qps_exact", std::to_string(qps_exact)});
+  }
   table.Print(std::cout, "micro_engine results");
 
   JsonWriter json;
   json.Add("benchmark", std::string("micro_engine"));
+  json.Add("executor", executor);
   json.Add("num_states", static_cast<double>(config.num_states));
   json.Add("num_objects", static_cast<double>(config.num_objects));
   json.Add("num_worlds", static_cast<double>(num_worlds));
   json.Add("num_queries", static_cast<double>(num_queries));
   json.Add("interval_length", static_cast<double>(interval_length));
   json.Add("threads", static_cast<double>(threads));
-  json.Add("qps_single_shot", qps_single_shot);
-  json.Add("qps_warm_engine", qps_warm_engine);
-  json.Add("qps_session_batch", qps_session);
-  json.Add("session_prepare_seconds", session_prepare_seconds);
-  json.Add("speedup_vs_single_shot", qps_session / qps_single_shot);
-  json.Add("speedup_vs_warm_engine", qps_session / qps_warm_engine);
+  if (run_mc) {
+    json.Add("qps_single_shot", qps_single_shot);
+    json.Add("qps_warm_engine", qps_warm_engine);
+    json.Add("qps_session_batch", qps_session);
+    json.Add("session_prepare_seconds", session_prepare_seconds);
+    json.Add("speedup_vs_single_shot", qps_session / qps_single_shot);
+    json.Add("speedup_vs_warm_engine", qps_session / qps_warm_engine);
+  }
+  if (run_markov) {
+    json.Add("markov_objects", static_cast<double>(markov_objects));
+    json.Add("markov_queries", static_cast<double>(markov_queries));
+    json.Add("qps_markov_approx", qps_markov);
+  }
+  if (run_exact) {
+    json.Add("exact_objects", static_cast<double>(exact_objects));
+    json.Add("exact_queries", static_cast<double>(exact_queries));
+    json.Add("qps_exact", qps_exact);
+  }
   if (!json.WriteFile(json_out)) {
     std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
     return 1;

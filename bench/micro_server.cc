@@ -20,18 +20,29 @@
 // lane_speedup column is the tentpole metric of PR 4 (≈1 on a single
 // hardware core, ≥1.5 expected on multi-core).
 //
+// The *skewed* phase (PR 5) measures the morsel scheduler: interval
+// popularity follows a Zipf-ish law (weight of interval k ∝ (k+1)^-skew),
+// so one hot (epoch, interval) group dominates every batch. The stream runs
+// at --lanes lanes twice — group-granularity scheduling (steal=off: the hot
+// group serializes on one lane while the others idle) vs morsel scheduling
+// with work stealing (steal=on: idle lanes steal half-ranges of the hot
+// group) — and reports p99_skew_nosteal vs p99_skew_steal plus their ratio
+// `steal_speedup` (the tentpole metric of PR 5: ≈1 on a single hardware
+// core, ≥1.3 expected on multi-core).
+//
 // All server outcomes are checked bit-identical to direct_runall (the PR 2
-// determinism contract extended across the admission queue and the lane
-// pool). Emits BENCH_server.json (qps of each mode, speedups, p50/p99
-// latency per lane count) so serving throughput is tracked machine-readably
-// across PRs.
+// determinism contract extended across the admission queue, the lane pool
+// and any morsel/steal schedule). Emits BENCH_server.json (qps of each
+// mode, speedups, p50/p99 latency per lane count and per skew scheduler) so
+// serving throughput is tracked machine-readably across PRs.
 //
 // Flags (defaults sized for a single CI core):
 //   --states=10000 --objects=48 --lifetime=96 --obs_interval=12
 //   --horizon=120 --interval=10 --intervals=2 --worlds=500 --queries=50
 //   --threads=1 --lanes=2 --clients=4 --batch=16 --delay_ms=2
-//   --json_out=BENCH_server.json
+//   --skew=1.5 --morsel=4 --json_out=BENCH_server.json
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <future>
 #include <string>
@@ -90,6 +101,8 @@ int main(int argc, char** argv) {
   const int clients = static_cast<int>(flags.GetInt("clients", 4));
   const size_t max_batch = flags.GetInt("batch", 16);
   const double delay_ms = flags.GetDouble("delay_ms", 2.0);
+  const double skew = flags.GetDouble("skew", 1.5);
+  const size_t morsel_specs = std::max<size_t>(1, flags.GetInt("morsel", 4));
   const std::string json_out = flags.GetString("json_out", "BENCH_server.json");
 
   PrintConfig("micro_server: serving-tier throughput and latency", flags,
@@ -179,45 +192,97 @@ int main(int argc, char** argv) {
   // outside the timer for the same reason — the one-time warm-up cost is
   // reported as prepare_seconds, the per-request anti-pattern as
   // qps_cold_session).
-  const auto run_server = [&](int lane_count) {
+  const auto run_server = [&](const std::vector<QuerySpec>& stream,
+                              const std::vector<QueryOutcome>& reference,
+                              int lane_count, bool steal) {
     ServerRun run;
     ServerOptions options;
     options.lanes = lane_count;
     options.threads = threads;
     options.max_batch_size = max_batch;
     options.max_batch_delay_ms = delay_ms;
+    options.steal = steal;
+    options.morsel_specs = morsel_specs;
     QueryServer server(db, &tree.value(), options);
-    std::vector<std::future<QueryOutcome>> futures(num_queries);
+    const size_t n_stream = stream.size();
+    std::vector<std::future<QueryOutcome>> futures(n_stream);
     Timer t;
     std::vector<std::thread> client_threads;
     client_threads.reserve(clients);
     for (int c = 0; c < clients; ++c) {
       client_threads.emplace_back([&, c] {
-        for (size_t i = static_cast<size_t>(c); i < num_queries;
+        for (size_t i = static_cast<size_t>(c); i < n_stream;
              i += static_cast<size_t>(clients)) {
-          futures[i] = server.Submit(specs[i]);
+          futures[i] = server.Submit(stream[i]);
         }
       });
     }
     for (auto& thread : client_threads) thread.join();
-    std::vector<QueryOutcome> results(num_queries);
-    for (size_t i = 0; i < num_queries; ++i) results[i] = futures[i].get();
+    std::vector<QueryOutcome> results(n_stream);
+    for (size_t i = 0; i < n_stream; ++i) results[i] = futures[i].get();
     run.seconds = t.Seconds();
     run.stats = server.Stats();
 
-    // The serving tier is the batch pipeline behind a queue and a lane
-    // pool: outcomes must agree bit for bit with both reference modes.
-    for (size_t i = 0; i < num_queries; ++i) {
-      CheckSameOutcome(results[i], runall_results[i]);
-      CheckSameOutcome(results[i], cold_results[i]);
+    // The serving tier is the batch pipeline behind a queue, a lane pool
+    // and (steal mode) any morsel schedule: outcomes must agree bit for
+    // bit with the direct RunAll reference.
+    for (size_t i = 0; i < n_stream; ++i) {
+      CheckSameOutcome(results[i], reference[i]);
     }
     UST_CHECK(run.stats.rejected == 0);
-    UST_CHECK(run.stats.completed == num_queries);
+    UST_CHECK(run.stats.completed == n_stream);
     return run;
   };
 
-  const ServerRun lane1 = run_server(1);
-  const ServerRun laneN = lanes > 1 ? run_server(lanes) : lane1;
+  const ServerRun lane1 = run_server(specs, runall_results, 1, true);
+  const ServerRun laneN =
+      lanes > 1 ? run_server(specs, runall_results, lanes, true) : lane1;
+  // Cross-check the mixed stream against the cold per-request mode too.
+  for (size_t i = 0; i < num_queries; ++i) {
+    CheckSameOutcome(runall_results[i], cold_results[i]);
+  }
+
+  // ---- Mode 4: the skewed stream — group scheduler vs morsel stealing. --
+  // Interval popularity is Zipf-ish (weight of interval k ∝ (k+1)^-skew):
+  // most specs land on interval 0, so every micro-batch is dominated by one
+  // hot (epoch, interval) group. Without stealing that group serializes on
+  // a single lane; with morsel stealing the idle lanes work its tail.
+  std::vector<double> cumulative(num_intervals, 0.0);
+  double weight_sum = 0.0;
+  for (size_t k = 0; k < num_intervals; ++k) {
+    weight_sum += std::pow(static_cast<double>(k + 1), -skew);
+    cumulative[k] = weight_sum;
+  }
+  Rng skew_rng(17);
+  // 3x the mixed stream's length: the comparison is a p99 ratio, and the
+  // tail of a 25-request run is one batch's scheduling accident — a longer
+  // stream keeps the gate's ratio band meaningful.
+  const size_t num_skew_queries = 3 * num_queries;
+  std::vector<QuerySpec> skew_specs;
+  skew_specs.reserve(num_skew_queries);
+  for (size_t i = 0; i < num_skew_queries; ++i) {
+    const double u = skew_rng.Uniform() * weight_sum;
+    size_t pick = 0;
+    while (pick + 1 < num_intervals && cumulative[pick] < u) ++pick;
+    QuerySpec spec;
+    spec.kind = QueryKind::kForall;
+    spec.q = RandomQueryState(db.space(), qrng);
+    spec.T = intervals[pick];
+    spec.tau = 0.0;
+    spec.mc.num_worlds = num_worlds;
+    spec.mc.seed = 5000 + i;
+    skew_specs.push_back(spec);
+  }
+  std::vector<QueryOutcome> skew_reference;
+  {
+    QuerySession session(db, &tree.value(), session_options);
+    UST_CHECK(session.Prepare().ok());
+    skew_reference = session.RunAll(skew_specs);
+  }
+  const ServerRun skew_nosteal =
+      run_server(skew_specs, skew_reference, lanes, false);
+  const ServerRun skew_steal =
+      run_server(skew_specs, skew_reference, lanes, true);
 
   const double n = static_cast<double>(num_queries);
   const double qps_cold = n / cold_seconds;
@@ -227,6 +292,14 @@ int main(int argc, char** argv) {
   const auto p_ms = [](const ServerRun& run, double q) {
     return run.stats.latency_micros.Quantile(q) / 1000.0;
   };
+
+  const double p99_skew_nosteal = p_ms(skew_nosteal, 0.99);
+  const double p99_skew_steal = p_ms(skew_steal, 0.99);
+  // p99 ratio of the two schedulers on the skewed stream: > 1 means
+  // stealing flattened the hot group's tail. Direction-aware gate: "down".
+  const double steal_speedup = p99_skew_steal > 0.0
+                                   ? p99_skew_nosteal / p99_skew_steal
+                                   : 1.0;
 
   CsvTable table({"metric", "value"});
   table.AddRow({"qps_cold_session", std::to_string(qps_cold)});
@@ -239,10 +312,19 @@ int main(int argc, char** argv) {
   table.AddRow({"latency_p99_ms_1lane", std::to_string(p_ms(lane1, 0.99))});
   table.AddRow({"latency_p50_ms", std::to_string(p_ms(laneN, 0.50))});
   table.AddRow({"latency_p99_ms", std::to_string(p_ms(laneN, 0.99))});
+  table.AddRow({"p99_skew_nosteal", std::to_string(p99_skew_nosteal)});
+  table.AddRow({"p99_skew_steal", std::to_string(p99_skew_steal)});
+  table.AddRow({"steal_speedup", std::to_string(steal_speedup)});
+  table.AddRow({"lane_steals",
+                std::to_string(skew_steal.stats.lane_steals())});
+  table.AddRow({"morsels_executed",
+                std::to_string(skew_steal.stats.morsels_executed())});
   table.AddRow({"batches", std::to_string(laneN.stats.batches)});
   table.Print(std::cout, "micro_server results");
   std::printf("# server stats (lanes=%d): %s\n", lanes,
               laneN.stats.ToJson().c_str());
+  std::printf("# skew-steal stats (lanes=%d skew=%.2f morsel=%zu): %s\n",
+              lanes, skew, morsel_specs, skew_steal.stats.ToJson().c_str());
 
   JsonWriter json;
   json.Add("benchmark", std::string("micro_server"));
@@ -256,6 +338,8 @@ int main(int argc, char** argv) {
   json.Add("clients", static_cast<double>(clients));
   json.Add("max_batch_size", static_cast<double>(max_batch));
   json.Add("max_batch_delay_ms", delay_ms);
+  json.Add("skew", skew);
+  json.Add("morsel_specs", static_cast<double>(morsel_specs));
   json.Add("qps_cold_session", qps_cold);
   json.Add("qps_direct_runall", qps_runall);
   json.Add("qps_server_1lane", qps_server_1lane);
@@ -269,6 +353,13 @@ int main(int argc, char** argv) {
   json.Add("latency_p50_ms", p_ms(laneN, 0.50));
   json.Add("latency_p99_ms", p_ms(laneN, 0.99));
   json.Add("latency_mean_ms", laneN.stats.latency_micros.mean() / 1000.0);
+  json.Add("p99_skew_nosteal", p99_skew_nosteal);
+  json.Add("p99_skew_steal", p99_skew_steal);
+  json.Add("steal_speedup", steal_speedup);
+  json.Add("lane_steals",
+           static_cast<double>(skew_steal.stats.lane_steals()));
+  json.Add("morsels_executed",
+           static_cast<double>(skew_steal.stats.morsels_executed()));
   json.Add("batches", static_cast<double>(laneN.stats.batches));
   json.Add("lane_queue_peak", static_cast<double>(laneN.stats.lane_queue_peak));
   json.Add("cache_hits", static_cast<double>(laneN.stats.cache.hits));

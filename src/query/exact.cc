@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace ust {
 
@@ -60,9 +61,11 @@ Result<std::vector<WeightedTrajectory>> EnumerateWindowTrajectories(
 Result<std::vector<PnnEstimate>> ExactPnnByEnumeration(
     const DbSnapshot& db, const std::vector<ObjectId>& participants,
     const QueryTrajectory& q, const TimeInterval& T, int k,
-    size_t max_worlds) {
+    size_t max_worlds, ThreadPool* pool) {
   if (!T.valid()) return Status::InvalidArgument("empty query interval");
   // Per-object window trajectory sets (empty marker = not alive during T).
+  // This phase stays serial: Posterior() lazily adapts shared per-object
+  // caches, which exactly one thread may cold-warm at a time.
   std::vector<std::vector<WeightedTrajectory>> worlds(participants.size());
   double total_combinations = 1.0;
   for (size_t i = 0; i < participants.size(); ++i) {
@@ -85,50 +88,101 @@ Result<std::vector<PnnEstimate>> ExactPnnByEnumeration(
 
   const size_t n = participants.size();
   const size_t len = T.length();
-  std::vector<double> forall(n, 0.0), exists(n, 0.0);
-  std::vector<size_t> choice(n, 0);
-  std::vector<WorldTrajectory> world(n);
-  std::vector<uint8_t> is_nn(n * len);
-  while (true) {
-    double world_prob = 1.0;
+  // The cross product linearizes to world indices [0, total): object i's
+  // choice is digit i of a mixed-radix number (radix = its world count,
+  // dead objects contribute radix 1), least-significant first — the same
+  // order the former serial counter visited. Each fixed-size block of that
+  // index space accumulates its own partial sums; blocks then reduce in
+  // block order, so the float addition tree depends only on the (fixed)
+  // block size — never on the thread count.
+  std::vector<size_t> radix(n), stride(n);
+  size_t total = 1;
+  for (size_t i = 0; i < n; ++i) {
+    radix[i] = std::max<size_t>(worlds[i].size(), 1);
+    stride[i] = total;
+    total *= radix[i];
+  }
+  const size_t num_blocks = (total + kEnumWorldBlock - 1) / kEnumWorldBlock;
+
+  // One enumeration workspace per worker: the decoded choice vector, the
+  // assembled world, and the NN indicator row.
+  struct Workspace {
+    std::vector<size_t> choice;
+    std::vector<WorldTrajectory> world;
+    std::vector<uint8_t> is_nn;
+  };
+  const int workers = pool != nullptr ? pool->num_threads() : 1;
+  std::vector<Workspace> workspaces(static_cast<size_t>(workers));
+  for (Workspace& ws : workspaces) {
+    ws.choice.assign(n, 0);
+    ws.world.resize(n);
+    ws.is_nn.resize(n * len);
+  }
+  // Per-block partial sums, committed into disjoint slots.
+  std::vector<std::vector<double>> partial_forall(num_blocks);
+  std::vector<std::vector<double>> partial_exists(num_blocks);
+
+  auto run_block = [&](size_t block, int worker) {
+    Workspace& ws = workspaces[static_cast<size_t>(worker)];
+    const size_t w0 = block * kEnumWorldBlock;
+    const size_t w1 = std::min(w0 + kEnumWorldBlock, total);
     for (size_t i = 0; i < n; ++i) {
-      if (worlds[i].empty()) {
-        world[i].alive = false;
-      } else {
-        world[i].alive = true;
-        world[i].traj = worlds[i][choice[i]].traj;
-        world_prob *= worlds[i][choice[i]].prob;
-      }
+      ws.choice[i] = (w0 / stride[i]) % radix[i];
     }
-    MarkNearestNeighbors(db.space(), world, q, T, k, is_nn.data());
-    for (size_t i = 0; i < n; ++i) {
-      bool all = true, any = false;
-      for (size_t r = 0; r < len; ++r) {
-        if (is_nn[i * len + r]) {
-          any = true;
+    std::vector<double>& forall = partial_forall[block];
+    std::vector<double>& exists = partial_exists[block];
+    forall.assign(n, 0.0);
+    exists.assign(n, 0.0);
+    for (size_t w = w0; w < w1; ++w) {
+      double world_prob = 1.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (worlds[i].empty()) {
+          ws.world[i].alive = false;
         } else {
-          all = false;
+          ws.world[i].alive = true;
+          ws.world[i].traj = worlds[i][ws.choice[i]].traj;
+          world_prob *= worlds[i][ws.choice[i]].prob;
         }
       }
-      if (all) forall[i] += world_prob;
-      if (any) exists[i] += world_prob;
-    }
-    // Advance the mixed-radix counter over per-object choices.
-    size_t pos = 0;
-    while (pos < n) {
-      if (worlds[pos].empty() || ++choice[pos] >= worlds[pos].size()) {
-        choice[pos] = 0;
-        ++pos;
-      } else {
-        break;
+      MarkNearestNeighbors(db.space(), ws.world, q, T, k, ws.is_nn.data());
+      for (size_t i = 0; i < n; ++i) {
+        bool all = true, any = false;
+        for (size_t r = 0; r < len; ++r) {
+          if (ws.is_nn[i * len + r]) {
+            any = true;
+          } else {
+            all = false;
+          }
+        }
+        if (all) forall[i] += world_prob;
+        if (any) exists[i] += world_prob;
+      }
+      // Advance the mixed-radix counter over per-object choices.
+      size_t pos = 0;
+      while (pos < n) {
+        if (worlds[pos].empty() || ++ws.choice[pos] >= worlds[pos].size()) {
+          ws.choice[pos] = 0;
+          ++pos;
+        } else {
+          break;
+        }
       }
     }
-    if (pos == n) break;
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && num_blocks > 1) {
+    pool->ParallelFor(num_blocks, run_block);
+  } else {
+    for (size_t block = 0; block < num_blocks; ++block) run_block(block, 0);
   }
+
   std::vector<PnnEstimate> estimates;
   estimates.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    estimates.push_back({participants[i], forall[i], exists[i]});
+  for (size_t i = 0; i < n; ++i) estimates.push_back({participants[i], 0, 0});
+  for (size_t block = 0; block < num_blocks; ++block) {  // deterministic order
+    for (size_t i = 0; i < n; ++i) {
+      estimates[i].forall_prob += partial_forall[block][i];
+      estimates[i].exists_prob += partial_exists[block][i];
+    }
   }
   return estimates;
 }

@@ -16,6 +16,8 @@
 
 namespace ust {
 
+class ThreadPool;
+
 /// \brief A possible trajectory with its posterior probability.
 struct WeightedTrajectory {
   Trajectory traj;
@@ -31,10 +33,21 @@ Result<std::vector<WeightedTrajectory>> EnumerateWindowTrajectories(
 /// \brief Exact P∀NN / P∃NN by full possible-world enumeration over
 /// `participants` (probability estimates for the same objects).
 /// The product of per-object world counts must not exceed `max_worlds`.
+///
+/// The cross-product sweep is evaluated in fixed blocks of
+/// `kEnumWorldBlock` worlds — each block decodes its starting mixed-radix
+/// choice vector from its world index, accumulates into its own partial
+/// sums, and the partials are reduced *in block order* afterwards. Block
+/// boundaries never depend on the thread count, so with a `pool` the blocks
+/// shard across workers (one enumeration workspace per worker) and the
+/// result is bit-identical to the serial sweep.
 Result<std::vector<PnnEstimate>> ExactPnnByEnumeration(
     const DbSnapshot& db, const std::vector<ObjectId>& participants,
     const QueryTrajectory& q, const TimeInterval& T, int k = 1,
-    size_t max_worlds = 2000000);
+    size_t max_worlds = 2000000, ThreadPool* pool = nullptr);
+
+/// Worlds per enumeration block (fixed: the determinism anchor above).
+constexpr size_t kEnumWorldBlock = 1024;
 
 /// \brief Lemma 2: P(∀t ∈ T: d(q(t), a(t)) OP d(q(t), b(t))) where OP is
 /// `<=` (strict = false) or `<` (strict = true), computed exactly on the

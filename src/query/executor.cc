@@ -26,9 +26,13 @@ class ExactExecutor : public Executor {
   }
 
   Result<std::vector<PnnEstimate>> Estimate(const PnnTask& task,
-                                            const ExecContext&) const override {
+                                            const ExecContext& ctx)
+      const override {
+    // The cross-product sweep shards its fixed-size world blocks over the
+    // pool (bit-identical at any thread count; see ExactPnnByEnumeration).
     auto all = ExactPnnByEnumeration(*task.db, *task.participants, *task.q,
-                                     task.T, task.mc.k, task.enum_max_worlds);
+                                     task.T, task.mc.k, task.enum_max_worlds,
+                                     ctx.pool);
     if (!all.ok()) return all.status();
     // Enumeration estimates every participant; keep target order.
     std::vector<PnnEstimate> out;
@@ -62,19 +66,21 @@ class MarkovApproxExecutor : public Executor {
   }
 
   Result<std::vector<PnnEstimate>> Estimate(const PnnTask& task,
-                                            const ExecContext&) const override {
+                                            const ExecContext& ctx)
+      const override {
+    // Per-target chain-rule factors shard over the pool: each target's
+    // conditioning chain is independent and writes its own slot, so the
+    // batch is bit-identical to per-target serial calls at any thread
+    // count (the augmented competitor strips are shared read-only).
+    auto probs = ApproximateForallNnMarkovBatch(*task.db, *task.targets,
+                                                *task.participants, *task.q,
+                                                task.T, ctx.pool);
+    if (!probs.ok()) return probs.status();
     std::vector<PnnEstimate> out;
     out.reserve(task.targets->size());
-    for (ObjectId t : *task.targets) {
-      std::vector<ObjectId> competitors;
-      competitors.reserve(task.participants->size());
-      for (ObjectId p : *task.participants) {
-        if (p != t) competitors.push_back(p);
-      }
-      auto p = ApproximateForallNnMarkov(*task.db, t, competitors, *task.q,
-                                         task.T);
-      if (!p.ok()) return p.status();
-      out.push_back({t, p.value(), kNan});  // exists_prob: not computed
+    for (size_t i = 0; i < task.targets->size(); ++i) {
+      // exists_prob: not computed by this backend.
+      out.push_back({(*task.targets)[i], probs.value()[i], kNan});
     }
     return out;
   }
@@ -150,13 +156,22 @@ ExecutorKind PlanExecutor(QueryKind query, size_t num_candidates,
   // (Algorithm 1); only the sampling backend provides that table.
   if (query == QueryKind::kContinuous) return ExecutorKind::kMonteCarlo;
   (void)k;
+  // Effective Monte-Carlo parallelism: chunks are a fixed 512 worlds, so
+  // extra workers beyond num_worlds/512 have no chunk to run. Enumeration
+  // gets no parallel credit here — its block count depends on per-object
+  // world counts the planner cannot see — so a parallel tier scales the
+  // precision bar exact must clear: MC that is `mc_par`× faster needs
+  // `mc_par`× the worlds before enumeration breaks even again.
+  const size_t mc_par =
+      std::min<size_t>(std::max<size_t>(1, options.assumed_parallelism),
+                       std::max<size_t>(1, num_worlds / 512));
   // Enumeration cost is exponential in the participant count and interval
   // length but independent of the requested precision; it wins only when the
   // filter output is tiny and the precision request is not trivially small.
   if (num_candidates <= options.exact_max_candidates &&
       num_participants <= options.exact_max_participants &&
       interval_length <= options.exact_max_interval &&
-      num_worlds >= options.exact_min_precision) {
+      num_worlds >= options.exact_min_precision * mc_par) {
     return ExecutorKind::kExact;
   }
   return ExecutorKind::kMonteCarlo;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace ust {
 
@@ -93,13 +94,19 @@ Result<ModelStrip> StripFromPosterior(const PosteriorModel& model, Tic ts,
 
 Result<std::pair<double, ModelStrip>> ConditionOnDomination(
     const StateSpace& space, const ModelStrip& o_strip,
-    const ModelStrip& other_strip, const QueryTrajectory& q) {
+    const ModelStrip& other_strip, const QueryTrajectory& q,
+    DominationWorkspace* workspace) {
   if (o_strip.start != other_strip.start ||
       o_strip.slices.size() != other_strip.slices.size()) {
     return Status::InvalidArgument("strips must share the window");
   }
   const size_t L = o_strip.slices.size();
   if (L == 0) return Status::InvalidArgument("empty strips");
+
+  // Buffers come from the caller's workspace when given (resized, then
+  // fully overwritten below — stale contents never survive into the math).
+  DominationWorkspace local;
+  DominationWorkspace& ws = workspace != nullptr ? *workspace : local;
 
   // Domination predicate at tic index rel: o at state i (of o's support),
   // other at state j (of the augmented support). Ties favor o (<=).
@@ -111,7 +118,8 @@ Result<std::pair<double, ModelStrip>> ConditionOnDomination(
   };
 
   // ---- Forward pass: alpha[rel](i, j), unnormalized filtered joints. ----
-  std::vector<std::vector<double>> alpha(L);
+  std::vector<std::vector<double>>& alpha = ws.alpha;
+  alpha.resize(L);
   for (size_t rel = 0; rel < L; ++rel) {
     alpha[rel].assign(o_strip.slices[rel].support.size() *
                           other_strip.slices[rel].support.size(),
@@ -160,7 +168,8 @@ Result<std::pair<double, ModelStrip>> ConditionOnDomination(
   }
 
   // ---- Backward pass: beta[rel](i, j) = survival probability. ----
-  std::vector<std::vector<double>> beta(L);
+  std::vector<std::vector<double>>& beta = ws.beta;
+  beta.resize(L);
   beta[L - 1].assign(alpha[L - 1].size(), 1.0);
   for (size_t rel = L - 1; rel-- > 0;) {
     const auto& so = o_strip.slices[rel];
@@ -196,7 +205,8 @@ Result<std::pair<double, ModelStrip>> ConditionOnDomination(
   adapted.start = o_strip.start;
   adapted.slices.resize(L);
   // Per tic: conditioned marginal of o (over the old support).
-  std::vector<std::vector<double>> marginal(L);
+  std::vector<std::vector<double>>& marginal = ws.marginal;
+  marginal.resize(L);
   for (size_t rel = 0; rel < L; ++rel) {
     const auto& so = o_strip.slices[rel];
     const size_t wa = other_strip.slices[rel].support.size();
@@ -213,7 +223,8 @@ Result<std::pair<double, ModelStrip>> ConditionOnDomination(
     for (double& m : marginal[rel]) m /= z;
   }
   // Keep only states with positive conditioned marginal.
-  std::vector<std::vector<uint32_t>> remap(L);
+  std::vector<std::vector<uint32_t>>& remap = ws.remap;
+  remap.resize(L);
   for (size_t rel = 0; rel < L; ++rel) {
     const auto& so = o_strip.slices[rel];
     auto& slice = adapted.slices[rel];
@@ -241,7 +252,8 @@ Result<std::pair<double, ModelStrip>> ConditionOnDomination(
     const size_t nwa = na.support.size();
     auto& slice = adapted.slices[rel];
     slice.row_offsets.assign(1, 0);
-    std::vector<double> row(no.support.size());
+    std::vector<double>& row = ws.row;
+    row.assign(no.support.size(), 0.0);
     for (size_t k = 0; k < so.support.size(); ++k) {
       if (remap[rel][k] == static_cast<uint32_t>(-1)) continue;
       std::fill(row.begin(), row.end(), 0.0);
@@ -325,6 +337,104 @@ Result<double> ApproximateForallNnMarkov(
     current = std::move(conditioned.value().second);
   }
   return result;
+}
+
+Result<std::vector<double>> ApproximateForallNnMarkovBatch(
+    const DbSnapshot& db, const std::vector<ObjectId>& targets,
+    const std::vector<ObjectId>& participants, const QueryTrajectory& q,
+    const TimeInterval& T, ThreadPool* pool) {
+  if (!T.valid()) return Status::InvalidArgument("empty query interval");
+
+  // Serial prologue. Posterior() lazily adapts shared per-object caches —
+  // exactly one thread may cold-warm an object — so every resolution
+  // happens here, before any sharding. The augmented competitor strips are
+  // target-independent, so each is built once and shared read-only by all
+  // chains (the former per-target path rebuilt them per target).
+  struct Competitor {
+    ObjectId id;
+    bool vacuous;  // never alive inside T
+    ModelStrip strip;
+  };
+  std::vector<Competitor> competitors;
+  competitors.reserve(participants.size());
+  for (ObjectId id : participants) {
+    const UncertainObject& other = db.object(id);
+    Competitor competitor;
+    competitor.id = id;
+    competitor.vacuous =
+        other.last_tic() < T.start || other.first_tic() > T.end;
+    if (!competitor.vacuous) {
+      auto posterior = other.Posterior();
+      if (!posterior.ok()) return posterior.status();
+      competitor.strip = AugmentToWindow(*posterior.value(), T.start, T.end);
+    }
+    competitors.push_back(std::move(competitor));
+  }
+  // Targets outside the participant set still need their posteriors warm
+  // before the chains fan out (alive targets inside it were resolved above).
+  for (ObjectId t : targets) {
+    const UncertainObject& obj = db.object(t);
+    if (!obj.AliveThroughout(T.start, T.end)) continue;  // scores 0 below
+    auto posterior = obj.Posterior();
+    if (!posterior.ok()) return posterior.status();
+  }
+
+  // One chain per target: reads only the shared strips and its worker's
+  // workspace, writes only its own slot — bit-identical at any schedule.
+  std::vector<double> out(targets.size(), 0.0);
+  std::vector<Status> errors(targets.size());
+  const int workers = pool != nullptr ? pool->num_threads() : 1;
+  std::vector<DominationWorkspace> workspaces(
+      static_cast<size_t>(workers));
+  auto run_target = [&](size_t i, int worker) {
+    const ObjectId target = targets[i];
+    const UncertainObject& obj = db.object(target);
+    if (!obj.AliveThroughout(T.start, T.end)) {
+      out[i] = 0.0;  // cannot be the NN at tics where it does not exist
+      return;
+    }
+    auto posterior = obj.Posterior();
+    if (!posterior.ok()) {
+      errors[i] = posterior.status();
+      return;
+    }
+    auto strip = StripFromPosterior(*posterior.value(), T.start, T.end);
+    if (!strip.ok()) {
+      errors[i] = strip.status();
+      return;
+    }
+    DominationWorkspace& workspace = workspaces[static_cast<size_t>(worker)];
+    ModelStrip current = strip.MoveValue();
+    double result = 1.0;
+    for (const Competitor& competitor : competitors) {
+      if (competitor.id == target || competitor.vacuous) continue;
+      auto conditioned = ConditionOnDomination(db.space(), current,
+                                               competitor.strip, q,
+                                               &workspace);
+      if (!conditioned.ok()) {
+        errors[i] = conditioned.status();
+        return;
+      }
+      result *= conditioned.value().first;
+      if (result <= 0.0) {
+        out[i] = 0.0;
+        return;
+      }
+      current = std::move(conditioned.value().second);
+    }
+    out[i] = result;
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && targets.size() > 1) {
+    pool->ParallelFor(targets.size(), run_target);
+  } else {
+    for (size_t i = 0; i < targets.size(); ++i) run_target(i, 0);
+  }
+  // Deterministic error surfacing: the first failing target in target
+  // order, independent of which worker hit it first.
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (!errors[i].ok()) return errors[i];
+  }
+  return out;
 }
 
 }  // namespace ust

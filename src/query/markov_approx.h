@@ -22,6 +22,8 @@
 
 namespace ust {
 
+class ThreadPool;
+
 /// \brief A windowed single-object model: one slice per tic of [start,
 /// start + slices.size() - 1], with transitions targeting the next slice
 /// (same layout as PosteriorModel slices).
@@ -36,14 +38,29 @@ struct ModelStrip {
 Result<ModelStrip> StripFromPosterior(const PosteriorModel& model, Tic ts,
                                       Tic te);
 
+/// \brief Reusable buffers of one conditioning chain: the forward/backward
+/// joints and reduction scratch of ConditionOnDomination. A worker running
+/// many chain-rule factors threads one workspace through all of them (every
+/// buffer is fully overwritten per call, so reuse never changes a bit);
+/// workspaces must not be shared across concurrent chains.
+struct DominationWorkspace {
+  std::vector<std::vector<double>> alpha;
+  std::vector<std::vector<double>> beta;
+  std::vector<std::vector<double>> marginal;
+  std::vector<std::vector<uint32_t>> remap;
+  std::vector<double> row;
+};
+
 /// \brief One conditioning step: the probability that `o` dominates `other`
 /// throughout the strip window (d(q, o(t)) <= d(q, other(t)) for all t),
 /// plus o's model conditioned on that event *with the Markov property
 /// forcibly re-imposed* (the Lemma-3 reduction).
-/// Both strips must share the same window.
+/// Both strips must share the same window. `workspace` (optional) provides
+/// the scratch buffers; results are identical with or without one.
 Result<std::pair<double, ModelStrip>> ConditionOnDomination(
     const StateSpace& space, const ModelStrip& o_strip,
-    const ModelStrip& other_strip, const QueryTrajectory& q);
+    const ModelStrip& other_strip, const QueryTrajectory& q,
+    DominationWorkspace* workspace = nullptr);
 
 /// \brief The full approximation: multiply the per-competitor domination
 /// probabilities, re-adapting o's model after each factor.
@@ -54,5 +71,22 @@ Result<double> ApproximateForallNnMarkov(
     const DbSnapshot& db, ObjectId target,
     const std::vector<ObjectId>& competitors, const QueryTrajectory& q,
     const TimeInterval& T);
+
+/// \brief The refinement-job variant (DESIGN.md section 4.2): one
+/// approximation per target of `targets`, each conditioned against every
+/// other object of `participants`, in participant order.
+///
+/// The serial prologue resolves every posterior once (lazy adaptation
+/// mutates shared per-object caches — the single-warmer rule) and augments
+/// each participant to the window once: the augmented competitor strip
+/// depends only on the competitor, so all per-target chains share it
+/// read-only. The chains themselves — one per target, writing only its own
+/// output slot, with one DominationWorkspace per worker — then shard over
+/// `pool` (nullptr = serial). Results are bit-identical at any thread
+/// count, and identical to per-target ApproximateForallNnMarkov calls.
+Result<std::vector<double>> ApproximateForallNnMarkovBatch(
+    const DbSnapshot& db, const std::vector<ObjectId>& targets,
+    const std::vector<ObjectId>& participants, const QueryTrajectory& q,
+    const TimeInterval& T, ThreadPool* pool = nullptr);
 
 }  // namespace ust

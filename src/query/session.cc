@@ -70,6 +70,14 @@ const UstTree::TimeSlab* QuerySession::SlabFor(const TimeInterval& T) {
   return slabs_.back().get();
 }
 
+const UstTree::TimeSlab* QuerySession::FindSlab(const TimeInterval& T) const {
+  if (index_ == nullptr) return nullptr;
+  for (const auto& slab : slabs_) {
+    if (slab->T == T) return slab.get();
+  }
+  return nullptr;
+}
+
 void QuerySession::WarmInterval(const TimeInterval& T) {
   TrimSlabCache();
   (void)SlabFor(T);
@@ -126,10 +134,22 @@ std::vector<QueryOutcome> QuerySession::RunAll(
   return outcomes;
 }
 
+void QuerySession::RunMorsel(const std::vector<QuerySpec>& specs,
+                             size_t begin, size_t end, QueryOutcome* outcomes,
+                             ThreadPool* pool, ExecScratch* scratch) const {
+  // A missing slab (an interval never warmed) degrades to a direct R*-tree
+  // traversal inside Prune — a pure read, identical pruning output. Every
+  // other input of RunOne is immutable session state or caller-owned, so
+  // concurrent morsels of one shared session never touch common bytes.
+  for (size_t i = begin; i < end && i < specs.size(); ++i) {
+    outcomes[i] = RunOne(specs[i], FindSlab(specs[i].T), pool, scratch);
+  }
+}
+
 QueryOutcome QuerySession::RunOne(const QuerySpec& spec,
                                   const UstTree::TimeSlab* slab,
                                   ThreadPool* world_pool,
-                                  WorkerScratch* scratch) {
+                                  ExecScratch* scratch) const {
   QueryOutcome out;
   out.kind = spec.kind;
   if (spec.kind == QueryKind::kContinuous) {
@@ -141,8 +161,8 @@ QueryOutcome QuerySession::RunOne(const QuerySpec& spec,
 }
 
 void QuerySession::RunPnn(const QuerySpec& spec, const UstTree::TimeSlab* slab,
-                          ThreadPool* world_pool, WorkerScratch* scratch,
-                          QueryOutcome* out) {
+                          ThreadPool* world_pool, ExecScratch* scratch,
+                          QueryOutcome* out) const {
   const bool forall = spec.kind == QueryKind::kForall;
   Timer prune_timer;
   PruneResult pruned = Prune(spec.q, spec.T, spec.mc.k, forall, slab);
@@ -211,8 +231,8 @@ void QuerySession::RunPnn(const QuerySpec& spec, const UstTree::TimeSlab* slab,
 
 void QuerySession::RunContinuous(const QuerySpec& spec,
                                  const UstTree::TimeSlab* slab,
-                                 ThreadPool* world_pool, WorkerScratch* scratch,
-                                 QueryOutcome* out) {
+                                 ThreadPool* world_pool, ExecScratch* scratch,
+                                 QueryOutcome* out) const {
   // Algorithm 1 validates timestamp sets against one shared world sample,
   // which only the Monte-Carlo table provides — so a forced non-MC backend
   // is an error here, same contract as RunPnn.

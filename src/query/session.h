@@ -99,6 +99,16 @@ struct SessionOptions {
 /// internally it parallelizes over its own pool.
 class QuerySession {
  public:
+  /// \brief Reusable per-lane scratch for morsel execution (`RunMorsel`):
+  /// world-sampler buffers + the byte staging rows. A serving-tier lane owns
+  /// one and reuses it across every morsel, group and session it executes —
+  /// scratch is session-portable by construction (the sampler cursor rebinds
+  /// per query).
+  struct ExecScratch {
+    WorldSampler::Scratch sampler;
+    std::vector<uint8_t> rows;
+  };
+
   explicit QuerySession(DbSnapshot db, const UstTree* index = nullptr,
                         SessionOptions options = {});
 
@@ -124,17 +134,31 @@ class QuerySession {
   /// request. Results are unaffected either way.
   void WarmInterval(const TimeInterval& T);
 
+  /// Morsel execution for the serving tier (DESIGN.md section 5.6):
+  /// evaluate specs[i] into outcomes[i] for every i in [begin, end), using
+  /// only caller-owned resources — `pool` (may be nullptr: serial) shards
+  /// each query's world chunks, `scratch` holds the sampling buffers.
+  ///
+  /// Unlike Run/RunAll this path is safe to call *concurrently* from
+  /// several lanes on one shared session: it reads exclusively immutable
+  /// session state (the snapshot, the index, already-cached slabs) and
+  /// never touches the session's own pool, scratch lanes or slab cache.
+  /// The caller must hold a shared lease contract: the session is
+  /// Prepare()d (every posterior warm or deterministically failing, so no
+  /// lane ever cold-writes shared caches) and intervals were warmed via
+  /// WarmInterval (a missing slab is still correct — pruning traverses the
+  /// R*-tree directly — just slower). Outcomes are bit-identical to
+  /// Run(specs[i]) at any pool size, so any morsel partition of a batch
+  /// reassembles the exact serial RunAll bytes.
+  void RunMorsel(const std::vector<QuerySpec>& specs, size_t begin,
+                 size_t end, QueryOutcome* outcomes, ThreadPool* pool,
+                 ExecScratch* scratch) const;
+
   const SessionOptions& options() const { return options_; }
   const DbSnapshot& db() const { return db_; }
   ThreadPool& pool() { return pool_; }
 
  private:
-  /// Per-worker reusable scratch: world-sampler buffers + byte staging rows.
-  struct WorkerScratch {
-    WorldSampler::Scratch sampler;
-    std::vector<uint8_t> rows;
-  };
-
   /// Pruning (filter step), via the index slab when one is cached for T;
   /// without an index, degenerates to alive-time filtering.
   PruneResult Prune(const QueryTrajectory& q, const TimeInterval& T, int k,
@@ -145,23 +169,31 @@ class QuerySession {
   /// valid until the next batch entry (TrimSlabCache).
   const UstTree::TimeSlab* SlabFor(const TimeInterval& T);
 
+  /// Read-only slab lookup (never inserts): the morsel path's accessor,
+  /// safe concurrently with other readers as long as nobody mutates the
+  /// cache — the shared-lease contract of RunMorsel.
+  const UstTree::TimeSlab* FindSlab(const TimeInterval& T) const;
+
   /// Evict the slab cache when it outgrew its bound; batch-entry only.
   void TrimSlabCache();
 
+  /// The per-query execution core: pure reads of session state plus writes
+  /// to the caller's scratch and outcome — const so the shared-lease morsel
+  /// path can prove it touches nothing a concurrent lane could race on.
   QueryOutcome RunOne(const QuerySpec& spec, const UstTree::TimeSlab* slab,
-                      ThreadPool* world_pool, WorkerScratch* scratch);
+                      ThreadPool* world_pool, ExecScratch* scratch) const;
   void RunPnn(const QuerySpec& spec, const UstTree::TimeSlab* slab,
-              ThreadPool* world_pool, WorkerScratch* scratch,
-              QueryOutcome* out);
+              ThreadPool* world_pool, ExecScratch* scratch,
+              QueryOutcome* out) const;
   void RunContinuous(const QuerySpec& spec, const UstTree::TimeSlab* slab,
-                     ThreadPool* world_pool, WorkerScratch* scratch,
-                     QueryOutcome* out);
+                     ThreadPool* world_pool, ExecScratch* scratch,
+                     QueryOutcome* out) const;
 
   DbSnapshot db_;
   const UstTree* index_;
   SessionOptions options_;
   ThreadPool pool_;
-  std::vector<WorkerScratch> scratch_;  // one per worker
+  std::vector<ExecScratch> scratch_;  // one per worker
   /// Slab cache; unique_ptr keeps handed-out slab pointers stable as the
   /// cache grows.
   std::vector<std::unique_ptr<UstTree::TimeSlab>> slabs_;

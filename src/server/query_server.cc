@@ -27,6 +27,18 @@ void AppendCounter(std::string* out, const char* key, uint64_t value,
 
 }  // namespace
 
+uint64_t ServerStats::lane_steals() const {
+  uint64_t total = 0;
+  for (const LaneStats& lane : lanes) total += lane.steals;
+  return total;
+}
+
+uint64_t ServerStats::morsels_executed() const {
+  uint64_t total = 0;
+  for (const LaneStats& lane : lanes) total += lane.morsels;
+  return total;
+}
+
 std::string ServerStats::ToJson() const {
   std::string out = "{";
   AppendCounter(&out, "submitted", submitted, /*leading_comma=*/false);
@@ -45,9 +57,12 @@ std::string ServerStats::ToJson() const {
   out += buf;
   AppendCounter(&out, "lane_queue_depth", lane_queue_depth);
   AppendCounter(&out, "lane_queue_peak", lane_queue_peak);
+  AppendCounter(&out, "lane_steals", lane_steals());
+  AppendCounter(&out, "morsels_executed", morsels_executed());
   AppendCounter(&out, "cache_hits", cache.hits);
   AppendCounter(&out, "cache_misses", cache.misses);
   AppendCounter(&out, "cache_busy_misses", cache.busy_misses);
+  AppendCounter(&out, "cache_shared_joins", cache.shared_joins);
   AppendCounter(&out, "cache_evictions_lru", cache.evictions_lru);
   AppendCounter(&out, "cache_evictions_stale", cache.evictions_stale);
   out += ",\"latency_us\":" + latency_micros.ToJson();
@@ -58,6 +73,8 @@ std::string ServerStats::ToJson() const {
     out += "{";
     AppendCounter(&out, "batches", lanes[i].batches, /*leading_comma=*/false);
     AppendCounter(&out, "requests", lanes[i].requests);
+    AppendCounter(&out, "morsels", lanes[i].morsels);
+    AppendCounter(&out, "steals", lanes[i].steals);
     out += ",\"exec_us\":" + lanes[i].exec_micros.ToJson();
     out += "}";
   }
@@ -77,6 +94,7 @@ QueryServer::QueryServer(const TrajectoryDatabase& db, const UstTree* index,
   options_.lanes = std::max(1, options_.lanes);
   options_.max_batch_size = std::max<size_t>(1, options_.max_batch_size);
   options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  options_.morsel_specs = std::max<size_t>(1, options_.morsel_specs);
   stats_.lanes.resize(static_cast<size_t>(options_.lanes));
   lanes_.reserve(static_cast<size_t>(options_.lanes));
   for (int lane = 0; lane < options_.lanes; ++lane) {
@@ -162,7 +180,10 @@ ServerStats QueryServer::Stats() const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats = stats_;
-    stats.lane_queue_depth = lane_queue_.size();
+    stats.lane_queue_depth = 0;
+    for (const auto& group : groups_) {
+      if (!group->adopted) ++stats.lane_queue_depth;
+    }
   }
   stats.cache = cache_.stats();
   return stats;
@@ -212,37 +233,48 @@ void QueryServer::DispatcherLoop() {
 void QueryServer::StageBatch(std::vector<Request>* batch) {
   // Admission point: the whole batch reads the epoch current at dispatch —
   // a concurrent writer's new epoch becomes visible only to later batches.
-  // The snapshot rides inside each LaneJob, so the pin survives any lane
-  // queueing delay.
+  // The snapshot rides inside each GroupTask, so the pin survives any
+  // staging delay.
   DbSnapshot snapshot = db_->Snapshot();
   cache_.EvictStale(snapshot.version());
 
   // Group by query interval (the session cache key), preserving submit
   // order within each group. Outcomes are per-spec pure, so grouping never
-  // changes results — only which session executes them. Distinct keys become
-  // distinct lane jobs and may execute concurrently.
-  std::map<std::pair<Tic, Tic>, std::vector<size_t>> groups;
+  // changes results — only which session executes them. Each group is
+  // published as a deque of spec-range morsels over pre-sized outcome
+  // slots; distinct keys — and, with stealing, morsels of one key — may
+  // execute concurrently.
+  std::map<std::pair<Tic, Tic>, std::vector<size_t>> by_interval;
   for (size_t i = 0; i < batch->size(); ++i) {
     const TimeInterval& T = (*batch)[i].spec.T;
-    groups[{T.start, T.end}].push_back(i);
+    by_interval[{T.start, T.end}].push_back(i);
   }
 
-  std::vector<LaneJob> jobs;
-  jobs.reserve(groups.size());
-  for (auto& [key, indices] : groups) {
-    LaneJob job;
-    job.snapshot = snapshot;
-    job.T = TimeInterval{key.first, key.second};
-    job.requests.reserve(indices.size());
-    for (size_t i : indices) job.requests.push_back(std::move((*batch)[i]));
-    jobs.push_back(std::move(job));
+  std::vector<std::shared_ptr<GroupTask>> staged;
+  staged.reserve(by_interval.size());
+  for (auto& [key, indices] : by_interval) {
+    auto group = std::make_shared<GroupTask>();
+    group->snapshot = snapshot;
+    group->T = TimeInterval{key.first, key.second};
+    group->requests.reserve(indices.size());
+    group->specs.reserve(indices.size());
+    for (size_t i : indices) {
+      group->requests.push_back(std::move((*batch)[i]));
+      // Moved, not copied: nothing reads Request::spec after execution, and
+      // a spec can carry a full query trajectory.
+      group->specs.push_back(std::move(group->requests.back().spec));
+    }
+    group->outcomes.resize(group->specs.size());
+    group->deque.Reset(0, group->specs.size(), options_.morsel_specs);
+    staged.push_back(std::move(group));
   }
 
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto now = std::chrono::steady_clock::now();
-    for (LaneJob& job : jobs) {
-      for (const Request& request : job.requests) {
+    size_t waiting = 0;
+    for (auto& group : staged) {
+      for (const Request& request : group->requests) {
         // Submit-to-flush latency: how long admission held the request.
         // Recorded at handoff, so it never includes execution time — the
         // whole point of the lane tier.
@@ -251,70 +283,199 @@ void QueryServer::StageBatch(std::vector<Request>* batch) {
                                                       request.submitted_at)
                 .count());
       }
-      lane_queue_.push_back(std::move(job));
+      groups_.push_back(std::move(group));
     }
-    stats_.lane_queue_peak =
-        std::max(stats_.lane_queue_peak, lane_queue_.size());
+    for (const auto& group : groups_) {
+      if (!group->adopted) ++waiting;
+    }
+    stats_.lane_queue_peak = std::max(stats_.lane_queue_peak, waiting);
   }
   lane_cv_.notify_all();
 }
 
 void QueryServer::LaneLoop(int lane) {
+  // Per-lane execution resources, reused across every morsel, group and
+  // session this lane ever runs: the sampling scratch and (threads > 1) a
+  // private world pool — shared sessions are read-only under RunMorsel, so
+  // world sharding must come from lane-owned workers, never the session's.
+  QuerySession::ExecScratch scratch;
+  std::unique_ptr<ThreadPool> world_pool;
+  if (options_.steal && options_.threads > 1) {
+    world_pool = std::make_unique<ThreadPool>(options_.threads);
+  }
+  // The group whose deque this lane currently drains (owner affinity: its
+  // session stays hot in cache between morsels).
+  std::shared_ptr<GroupTask> own;
   for (;;) {
-    LaneJob job;
+    std::shared_ptr<GroupTask> group;
+    size_t begin = 0;
+    size_t end = 0;
+    bool adopt = false;
+    bool stolen = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      lane_cv_.wait(lock, [&] {
-        return lanes_stopping_ || !lane_queue_.empty();
-      });
-      if (lane_queue_.empty()) return;  // lanes_stopping_ and drained
-      job = std::move(lane_queue_.front());
-      lane_queue_.pop_front();
+      for (;;) {
+        // 1. Pop the next morsel of the lane's own group.
+        if (own != nullptr && own->deque.PopFront(&begin, &end)) {
+          group = own;
+          break;
+        }
+        own.reset();
+        // 2. Adopt the oldest unadopted group (FIFO keeps queue latency
+        //    fair across intervals).
+        for (const auto& candidate : groups_) {
+          if (!candidate->adopted) {
+            candidate->adopted = true;
+            group = candidate;
+            adopt = true;
+            break;
+          }
+        }
+        if (group != nullptr) break;
+        // 3. Idle: steal the back half of the most-loaded ready group.
+        //    (Groups still checking their session out are skipped — their
+        //    owner publishes session_ready and wakes us when joinable.)
+        if (options_.steal) {
+          std::shared_ptr<GroupTask> victim;
+          size_t most_loaded = 0;
+          for (const auto& candidate : groups_) {
+            if (!candidate->session_ready) continue;
+            const size_t remaining = candidate->deque.remaining();
+            if (remaining > most_loaded) {
+              most_loaded = remaining;
+              victim = candidate;
+            }
+          }
+          if (victim != nullptr && victim->deque.StealHalf(&begin, &end)) {
+            ++stats_.lanes[static_cast<size_t>(lane)].steals;
+            group = victim;
+            stolen = true;
+            break;
+          }
+        }
+        if (lanes_stopping_) return;  // nothing claimable, drain complete
+        lane_cv_.wait(lock);
+      }
+      if (adopt) ++stats_.lanes[static_cast<size_t>(lane)].batches;
     }
-    ExecuteJob(&job, lane);
+    if (adopt) {
+      if (!options_.steal) {
+        // Group granularity: the PR 4 scheduler, whole group on this lane.
+        ExecuteGroupExclusive(group, lane);
+        continue;
+      }
+      // Check the shared session out (build or join — possibly expensive,
+      // so outside the server mutex), then open the deque to thieves.
+      group->session = cache_.CheckoutShared(group->snapshot, group->T,
+                                             index_);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        group->session_ready = true;
+      }
+      lane_cv_.notify_all();
+      own = std::move(group);
+      continue;
+    }
+    if (stolen) {
+      // A stolen half-range is the thief's private deque: drain it morsel
+      // by morsel (each commits + re-checks completion independently).
+      for (size_t b = begin; b < end; b += options_.morsel_specs) {
+        ExecuteMorsel(group, b, std::min(b + options_.morsel_specs, end),
+                      lane, world_pool.get(), &scratch);
+      }
+      continue;
+    }
+    ExecuteMorsel(group, begin, end, lane, world_pool.get(), &scratch);
   }
 }
 
-void QueryServer::ExecuteJob(LaneJob* job, int lane) {
+void QueryServer::ExecuteMorsel(const std::shared_ptr<GroupTask>& group,
+                                size_t begin, size_t end, int lane,
+                                ThreadPool* world_pool,
+                                QuerySession::ExecScratch* scratch) {
   const auto exec_start = std::chrono::steady_clock::now();
-  std::vector<QueryOutcome> outcomes;
+  group->session->RunMorsel(group->specs, begin, end,
+                            group->outcomes.data(), world_pool, scratch);
+  const double exec_micros = std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - exec_start)
+                                 .count();
+  bool last = false;
   {
-    // Exclusive checkout: this lane owns the session (and its scratch) until
-    // the lease dies at the end of this scope. A concurrent lane on the same
-    // (epoch, interval) key builds its own duplicate — never shares.
-    SessionCache::Lease session =
-        cache_.Checkout(job->snapshot, job->T, index_);
-    std::vector<QuerySpec> specs;
-    specs.reserve(job->requests.size());
-    // Moved, not copied: nothing reads Request::spec after execution, and a
-    // spec can carry a full query trajectory.
-    for (Request& request : job->requests) {
-      specs.push_back(std::move(request.spec));
+    std::lock_guard<std::mutex> lock(mu_);
+    LaneStats& lane_stats = stats_.lanes[static_cast<size_t>(lane)];
+    ++lane_stats.morsels;
+    lane_stats.requests += end - begin;
+    lane_stats.exec_micros.Record(exec_micros);
+    group->completed += end - begin;
+    last = group->completed == group->specs.size();
+    if (last) {
+      for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+        if (it->get() == group.get()) {
+          groups_.erase(it);
+          break;
+        }
+      }
     }
-    outcomes = session->RunAll(specs);
   }
+  // The lane committing the group's final morsel delivers the whole group:
+  // every slot was written before `completed` reached the total (each
+  // writer bumped it under the mutex after writing), so the reads below
+  // are ordered after every write.
+  if (last) FinalizeGroup(group.get());
+}
+
+void QueryServer::ExecuteGroupExclusive(
+    const std::shared_ptr<GroupTask>& group, int lane) {
+  const auto exec_start = std::chrono::steady_clock::now();
+  {
+    // Exclusive checkout: this lane owns the session (and its scratch)
+    // until the lease dies at the end of this scope. A concurrent lane on
+    // the same (epoch, interval) key builds its own duplicate — never
+    // shares.
+    SessionCache::Lease session =
+        cache_.Checkout(group->snapshot, group->T, index_);
+    group->outcomes = session->RunAll(group->specs);
+  }
+  const double exec_micros = std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - exec_start)
+                                 .count();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LaneStats& lane_stats = stats_.lanes[static_cast<size_t>(lane)];
+    ++lane_stats.morsels;  // the whole group, as one morsel
+    lane_stats.requests += group->specs.size();
+    lane_stats.exec_micros.Record(exec_micros);
+    group->completed = group->specs.size();
+    for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+      if (it->get() == group.get()) {
+        groups_.erase(it);
+        break;
+      }
+    }
+  }
+  FinalizeGroup(group.get());
+}
+
+void QueryServer::FinalizeGroup(GroupTask* group) {
+  // Hand the session back before resolving futures: a waiting client's
+  // next request should find it in the cache (or join it), not race it.
+  group->session.Release();
   const auto done = std::chrono::steady_clock::now();
-  const double exec_micros =
-      std::chrono::duration<double, std::micro>(done - exec_start).count();
   {
     // Count before resolving the futures: a client that saw its outcome
     // must also see it reflected in Stats().
     std::lock_guard<std::mutex> lock(mu_);
-    LaneStats& lane_stats = stats_.lanes[static_cast<size_t>(lane)];
-    ++lane_stats.batches;
-    lane_stats.requests += job->requests.size();
-    lane_stats.exec_micros.Record(exec_micros);
-    for (const Request& request : job->requests) {
+    for (const Request& request : group->requests) {
       ++stats_.completed;
       stats_.latency_micros.Record(
           std::chrono::duration<double, std::micro>(done -
                                                     request.submitted_at)
               .count());
     }
-    in_flight_ -= job->requests.size();
+    in_flight_ -= group->requests.size();
   }
-  for (size_t i = 0; i < job->requests.size(); ++i) {
-    job->requests[i].promise.set_value(std::move(outcomes[i]));
+  for (size_t i = 0; i < group->requests.size(); ++i) {
+    group->requests[i].promise.set_value(std::move(group->outcomes[i]));
   }
 }
 

@@ -12,20 +12,31 @@
 //     flushes a batch when it holds max_batch_size specs or
 //     max_batch_delay_ms elapsed since the batch opened, pins the database
 //     epoch for the whole batch (db->Snapshot()), groups specs by query
-//     interval — and hands each group to the lane queue, returning to the
-//     admission window immediately. Flush cadence is therefore independent
-//     of batch execution time: one oversized batch can no longer stall the
-//     deadline of the batches behind it.
-//   lanes (options.lanes threads)
-//     each pops a group, checks the (epoch, interval) session out of the
-//     SessionCache (exclusive lease — two lanes never share one session's
-//     scratch), RunAll()s it, fulfills the promises, and returns the lease.
-//     Groups for different (epoch, interval) keys execute concurrently.
+//     interval — and *publishes* each group as a deque of fixed-size
+//     spec-range morsels (`morsel_specs` specs each, results committed into
+//     pre-sized per-spec slots), returning to the admission window
+//     immediately. Flush cadence is therefore independent of batch
+//     execution time: one oversized batch can no longer stall the deadline
+//     of the batches behind it.
+//   lanes (options.lanes threads) — the morsel scheduler (DESIGN.md §5.6)
+//     a lane adopts the oldest unadopted group (checking its session out of
+//     the SessionCache as a *shared*, refcounted lease) and pops morsels
+//     off that group's deque; when its group drains and no group is
+//     unadopted, an idle lane *steals the back half* of the most-loaded
+//     group's remaining range and works it morsel by morsel. The worst case
+//     of the group scheduler — one dominant (epoch, interval) serializing a
+//     batch on a single lane while the others idle — thereby becomes its
+//     best case: every lane ends up sampling the hot group. Set
+//     `steal = false` for the PR 4 group-granularity scheduler (whole
+//     groups, exclusive leases, session->RunAll).
 //
 // Because a query's result is a pure function of (epoch, spec) — the PR 2
-// determinism contract — batching, the cache, the thread pool and the lane
-// pool never change a bit of any outcome: Submit(spec).get() equals a serial
-// QuerySession::Run(spec) over the same epoch.
+// determinism contract — batching, the cache, the thread pool, the lane
+// pool, the morsel size and the steal schedule never change a bit of any
+// outcome: every spec is executed exactly once into its own slot by
+// QuerySession::RunMorsel (itself bit-identical to Run at any pool size),
+// so Submit(spec).get() equals a serial QuerySession::Run(spec) over the
+// same epoch at ANY {lanes, morsel_specs, steal} configuration.
 #pragma once
 
 #include <chrono>
@@ -43,6 +54,7 @@
 #include "model/trajectory_database.h"
 #include "server/session_cache.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace ust {
 
@@ -52,8 +64,18 @@ struct ServerOptions {
   /// concurrently on this many worker threads. 1 reproduces the PR 3
   /// behavior (single execution stream), just off the dispatcher thread.
   int lanes = 1;
-  /// Worker threads of each executing session (RunAll sharding).
+  /// Worker threads of each executing session (RunAll sharding), and of
+  /// each lane's world pool on the morsel path.
   int threads = 1;
+  /// Specs per morsel: the scheduling granule of the lane tier. Small
+  /// morsels spread a hot group across lanes faster but claim more often;
+  /// 4 is the micro_server-tuned default (claiming is a short critical
+  /// section, so the knob mostly trades steal latency against churn).
+  size_t morsel_specs = 4;
+  /// Idle lanes steal half-ranges from the most-loaded group. false
+  /// restores the PR 4 group-granularity scheduler (the bench baseline the
+  /// --skew workload is measured against).
+  bool steal = true;
   /// Flush a micro-batch at this many specs...
   size_t max_batch_size = 64;
   /// ...or this many milliseconds after it opened, whichever first.
@@ -71,9 +93,12 @@ struct ServerOptions {
 
 /// \brief Per-lane execution counters and timing.
 struct LaneStats {
-  uint64_t batches = 0;   ///< groups this lane executed
-  uint64_t requests = 0;  ///< specs across those groups
-  /// Wall time of each executed group (checkout + RunAll), microseconds.
+  uint64_t batches = 0;   ///< groups this lane adopted
+  uint64_t requests = 0;  ///< specs this lane executed
+  uint64_t morsels = 0;   ///< morsels this lane executed
+  uint64_t steals = 0;    ///< half-ranges this lane stole when idle
+  /// Wall time of each executed morsel (whole group when steal = false),
+  /// microseconds.
   LatencyHistogram exec_micros;
 };
 
@@ -87,7 +112,7 @@ struct ServerStats {
   uint64_t flush_full = 0;      ///< flushed because the batch filled
   uint64_t flush_deadline = 0;  ///< flushed by the latency deadline
   uint64_t flush_drain = 0;     ///< flushed by shutdown drain
-  size_t lane_queue_depth = 0;  ///< gauge: groups awaiting a lane right now
+  size_t lane_queue_depth = 0;  ///< gauge: groups awaiting adoption right now
   size_t lane_queue_peak = 0;   ///< high-water mark of that queue
   SessionCacheStats cache;
   /// Submit-to-completion latency per request, in microseconds.
@@ -99,8 +124,15 @@ struct ServerStats {
   /// One entry per execution lane.
   std::vector<LaneStats> lanes;
 
+  /// Sum of LaneStats::steals — how often an idle lane took work off a
+  /// loaded group instead of waiting for a whole one.
+  uint64_t lane_steals() const;
+  /// Sum of LaneStats::morsels.
+  uint64_t morsels_executed() const;
+
   /// Render as a JSON object (counters, cache, queue gauge, the end-to-end
-  /// and queue histograms, and a per-lane array).
+  /// and queue histograms, the steal/morsel aggregates, and a per-lane
+  /// array).
   std::string ToJson() const;
 };
 
@@ -148,20 +180,41 @@ class QueryServer {
     std::chrono::steady_clock::time_point submitted_at;
   };
 
-  /// One interval group of one flushed batch: the unit of lane work. The
-  /// snapshot pins the batch's admission epoch all the way to execution.
-  struct LaneJob {
+  /// One interval group of one flushed batch, published as a deque of
+  /// spec-range morsels. The snapshot pins the batch's admission epoch all
+  /// the way to execution; `outcomes` are the pre-sized per-spec result
+  /// slots that make any morsel/steal schedule reassemble the serial
+  /// RunAll bytes. `adopted`/`session_ready`/`completed` are guarded by the
+  /// server mutex; the deque synchronizes itself.
+  struct GroupTask {
     DbSnapshot snapshot;
     TimeInterval T{0, 0};
-    std::vector<Request> requests;
+    std::vector<Request> requests;       ///< promise + submit time, in order
+    std::vector<QuerySpec> specs;        ///< specs[i] from requests[i]
+    std::vector<QueryOutcome> outcomes;  ///< slot i belongs to specs[i]
+    MorselDeque deque;                   ///< unclaimed spec ranges
+    SessionCache::SharedLease session;   ///< set by the adopting lane
+    bool adopted = false;
+    bool session_ready = false;  ///< checkout finished; thieves may steal
+    size_t completed = 0;        ///< specs executed so far
   };
 
   void DispatcherLoop();
   void LaneLoop(int lane);
-  /// Pin the epoch, group by interval, push each group to the lane queue.
+  /// Pin the epoch, group by interval, publish each group's morsel deque.
   void StageBatch(std::vector<Request>* batch);
-  /// Check out the job's session, RunAll, fulfill promises, record stats.
-  void ExecuteJob(LaneJob* job, int lane);
+  /// Group-granularity path (steal = false): exclusive lease, RunAll,
+  /// finalize — the PR 4 scheduler, kept as the bench baseline.
+  void ExecuteGroupExclusive(const std::shared_ptr<GroupTask>& group,
+                             int lane);
+  /// Run specs [begin, end) of `group` through its shared session; the lane
+  /// finishing the group's last spec finalizes it.
+  void ExecuteMorsel(const std::shared_ptr<GroupTask>& group, size_t begin,
+                     size_t end, int lane, ThreadPool* world_pool,
+                     QuerySession::ExecScratch* scratch);
+  /// Deliver outcomes to the promises, record completion stats, release the
+  /// shared session lease.
+  void FinalizeGroup(GroupTask* group);
 
   const TrajectoryDatabase* db_;
   const UstTree* index_;
@@ -170,9 +223,12 @@ class QueryServer {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;       ///< admission queue -> dispatcher
-  std::condition_variable lane_cv_;  ///< lane queue -> lanes
+  std::condition_variable lane_cv_;  ///< published morsels -> lanes
   std::deque<Request> queue_;
-  std::deque<LaneJob> lane_queue_;
+  /// Active groups in staging order: adoption scans for the oldest
+  /// unadopted entry, stealing for the most-loaded ready one; a group is
+  /// removed when its last spec completes.
+  std::deque<std::shared_ptr<GroupTask>> groups_;
   bool stopping_ = false;        ///< no new admissions; dispatcher drains
   bool lanes_stopping_ = false;  ///< set after the dispatcher exits
   bool paused_ = false;

@@ -29,44 +29,41 @@ void SessionCache::Lease::Release() {
   session_.reset();
 }
 
+SessionCache::SharedLease& SessionCache::SharedLease::operator=(
+    SharedLease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    cache_ = other.cache_;
+    entry_ = other.entry_;
+    session_ = std::move(other.session_);
+    other.cache_ = nullptr;
+    other.entry_ = nullptr;
+    other.session_.reset();
+  }
+  return *this;
+}
+
+void SessionCache::SharedLease::Release() {
+  if (cache_ != nullptr && entry_ != nullptr) {
+    cache_->ReleaseShared(static_cast<SharedEntry*>(entry_));
+  }
+  cache_ = nullptr;
+  entry_ = nullptr;
+  session_.reset();
+}
+
 SessionCache::SessionCache(size_t capacity, SessionOptions session_options)
     : capacity_(std::max<size_t>(1, capacity)),
       session_options_(session_options) {}
 
-SessionCache::Lease SessionCache::Checkout(const DbSnapshot& snapshot,
-                                           const TimeInterval& T,
-                                           const UstTree* index) {
-  const uint64_t version = snapshot.version();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->version == version && it->T == T) {
-        // Pop the entry: exclusivity by removal — while this lease is live
-        // the session simply is not in the cache for anyone else to find.
-        ++stats_.hits;
-        std::shared_ptr<QuerySession> session = std::move(it->session);
-        entries_.erase(it);
-        leased_.emplace_back(version, T);
-        return Lease(this, std::move(session), version, T);
-      }
-    }
-    ++stats_.misses;
-    // A miss whose key is currently leased to another lane means we are
-    // about to build a *duplicate* session for a hot (epoch, interval) —
-    // correct (outcomes are per-spec pure) but worth counting: a high
-    // busy-miss rate says the lane count outgrew the cache's usefulness.
-    for (const auto& key : leased_) {
-      if (key.first == version && key.second == T) {
-        ++stats_.busy_misses;
-        break;
-      }
-    }
-    leased_.emplace_back(version, T);
-  }
+std::shared_ptr<QuerySession> SessionCache::BuildSession(
+    const DbSnapshot& snapshot, const TimeInterval& T, const UstTree* index) {
   // Build outside the LRU lock (lookups stay fast). Only the warm-up below
   // needs the warm lock: session construction and the R*-tree slab build
   // touch nothing shared, so they proceed concurrently across lanes.
-  if (index != nullptr && index->built_version() != version) index = nullptr;
+  if (index != nullptr && index->built_version() != snapshot.version()) {
+    index = nullptr;
+  }
   auto session =
       std::make_shared<QuerySession>(snapshot, index, session_options_);
   {
@@ -95,7 +92,110 @@ SessionCache::Lease SessionCache::Checkout(const DbSnapshot& snapshot,
   }
   // Pre-build the keyed interval's index slab (session-local, lock-free).
   session->WarmInterval(T);
-  return Lease(this, std::move(session), version, T);
+  return session;
+}
+
+SessionCache::Lease SessionCache::Checkout(const DbSnapshot& snapshot,
+                                           const TimeInterval& T,
+                                           const UstTree* index) {
+  const uint64_t version = snapshot.version();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->version == version && it->T == T) {
+        // Pop the entry: exclusivity by removal — while this lease is live
+        // the session simply is not in the cache for anyone else to find.
+        ++stats_.hits;
+        std::shared_ptr<QuerySession> session = std::move(it->session);
+        entries_.erase(it);
+        leased_.emplace_back(version, T);
+        return Lease(this, std::move(session), version, T);
+      }
+    }
+    ++stats_.misses;
+    // A miss whose key is currently leased to another lane (exclusively or
+    // shared — an exclusive caller can never join a shared lease) means we
+    // are about to build a *duplicate* session for a hot (epoch, interval)
+    // — correct (outcomes are per-spec pure) but worth counting: a high
+    // busy-miss rate says the lane count outgrew the cache's usefulness.
+    bool busy = false;
+    for (const auto& key : leased_) {
+      if (key.first == version && key.second == T) {
+        busy = true;
+        break;
+      }
+    }
+    for (auto it = shared_.begin(); !busy && it != shared_.end(); ++it) {
+      busy = it->version == version && it->T == T;
+    }
+    if (busy) ++stats_.busy_misses;
+    leased_.emplace_back(version, T);
+  }
+  return Lease(this, BuildSession(snapshot, T, index), version, T);
+}
+
+SessionCache::SharedLease SessionCache::CheckoutShared(
+    const DbSnapshot& snapshot, const TimeInterval& T, const UstTree* index) {
+  const uint64_t version = snapshot.version();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A live shared lease on the key is simply joined: no build, no
+    // duplicate — the whole point of the shared mode.
+    for (SharedEntry& entry : shared_) {
+      if (entry.version == version && entry.T == T) {
+        ++stats_.hits;
+        ++stats_.shared_joins;
+        ++entry.refs;
+        return SharedLease(this, &entry, entry.session);
+      }
+    }
+    // An idle cached session is promoted to a shared lease (removed from
+    // the LRU like the exclusive path — but joinable while out).
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->version == version && it->T == T) {
+        ++stats_.hits;
+        shared_.push_back(SharedEntry{version, T, std::move(it->session), 1});
+        entries_.erase(it);
+        return SharedLease(this, &shared_.back(), shared_.back().session);
+      }
+    }
+    ++stats_.misses;
+    bool busy = false;
+    for (const auto& key : leased_) {
+      if (key.first == version && key.second == T) {
+        busy = true;
+        break;
+      }
+    }
+    if (busy) ++stats_.busy_misses;
+    leased_.emplace_back(version, T);  // in-flight build: busy marker
+  }
+  std::shared_ptr<QuerySession> session = BuildSession(snapshot, T, index);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = leased_.begin(); it != leased_.end(); ++it) {
+      if (it->first == version && it->second == T) {
+        leased_.erase(it);
+        break;
+      }
+    }
+    shared_.push_back(SharedEntry{version, T, std::move(session), 1});
+    return SharedLease(this, &shared_.back(), shared_.back().session);
+  }
+}
+
+void SessionCache::InsertIdleLocked(std::shared_ptr<QuerySession> session,
+                                    uint64_t version, const TimeInterval& T) {
+  if (version < min_live_version_) {
+    // Its epoch passed while it was out executing; never cache it.
+    ++stats_.evictions_stale;
+    return;
+  }
+  entries_.push_front(Entry{version, T, std::move(session)});
+  while (entries_.size() > capacity_) {
+    entries_.pop_back();
+    ++stats_.evictions_lru;
+  }
 }
 
 void SessionCache::ReturnSession(std::shared_ptr<QuerySession> session,
@@ -107,15 +207,18 @@ void SessionCache::ReturnSession(std::shared_ptr<QuerySession> session,
       break;
     }
   }
-  if (version < min_live_version_) {
-    // Its epoch passed while it was out executing; never cache it.
-    ++stats_.evictions_stale;
-    return;
-  }
-  entries_.push_front(Entry{version, T, std::move(session)});
-  while (entries_.size() > capacity_) {
-    entries_.pop_back();
-    ++stats_.evictions_lru;
+  InsertIdleLocked(std::move(session), version, T);
+}
+
+void SessionCache::ReleaseShared(SharedEntry* entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--entry->refs > 0) return;
+  for (auto it = shared_.begin(); it != shared_.end(); ++it) {
+    if (&*it == entry) {
+      InsertIdleLocked(std::move(it->session), it->version, it->T);
+      shared_.erase(it);
+      return;
+    }
   }
 }
 

@@ -22,6 +22,14 @@
 // session on destruction: reinserted at MRU unless its epoch has passed, in
 // which case it is dropped as stale. All entry points are thread-safe.
 //
+// The morsel scheduler (DESIGN.md section 5.6) adds a *shared* flavor:
+// CheckoutShared hands out a refcounted SharedLease that later shared
+// callers on the same key JOIN instead of duplicating — several lanes
+// executing morsels of one hot (epoch, interval), and back-to-back batches
+// for it, all read one warmed session through the read-only
+// QuerySession::RunMorsel path. The session rejoins the idle LRU when the
+// last holder releases.
+//
 // Session construction runs outside the LRU lock, and only its Prepare()
 // phase holds a dedicated *warm lock*: posterior and sampler caches are
 // built lazily on the shared UncertainObjects (unsynchronized by design,
@@ -50,6 +58,8 @@ struct SessionCacheStats {
   uint64_t misses = 0;          ///< lookups that built a new session
   uint64_t busy_misses = 0;     ///< of `misses`: the key existed but every
                                 ///< matching session was leased to a lane
+  uint64_t shared_joins = 0;    ///< of `hits`: joined a live shared lease
+                                ///< instead of building a duplicate
   uint64_t evictions_lru = 0;   ///< dropped for capacity
   uint64_t evictions_stale = 0; ///< dropped because their epoch passed
 };
@@ -91,6 +101,44 @@ class SessionCache {
     TimeInterval T_{0, 0};
   };
 
+  /// \brief Shared (read-only execute) handle on one session: several lanes
+  /// running morsels of the same (epoch, interval) — or back-to-back groups
+  /// for one hot key — hold it simultaneously, each restricted by contract
+  /// to QuerySession::RunMorsel with its own scratch. Refcounted: the
+  /// session returns to the idle LRU when the last holder releases. A live
+  /// shared lease is *joinable* by later CheckoutShared calls, which is
+  /// what spares hot groups the busy-miss duplicate builds the exclusive
+  /// protocol paid.
+  class SharedLease {
+   public:
+    SharedLease() = default;
+    SharedLease(SharedLease&& other) noexcept { *this = std::move(other); }
+    SharedLease& operator=(SharedLease&& other) noexcept;
+    ~SharedLease() { Release(); }
+
+    SharedLease(const SharedLease&) = delete;
+    SharedLease& operator=(const SharedLease&) = delete;
+
+    QuerySession* operator->() const { return session_.get(); }
+    QuerySession& operator*() const { return *session_; }
+    QuerySession* get() const { return session_.get(); }
+    explicit operator bool() const { return session_ != nullptr; }
+
+    /// Drop this holder's reference now (idempotent); the last release
+    /// returns the session to the cache.
+    void Release();
+
+   private:
+    friend class SessionCache;
+    SharedLease(SessionCache* cache, void* entry,
+                std::shared_ptr<QuerySession> session)
+        : cache_(cache), entry_(entry), session_(std::move(session)) {}
+
+    SessionCache* cache_ = nullptr;
+    void* entry_ = nullptr;  ///< the cache's SharedEntry node
+    std::shared_ptr<QuerySession> session_;
+  };
+
   /// `capacity` >= 1; `session_options` is applied to every built session.
   SessionCache(size_t capacity, SessionOptions session_options);
 
@@ -103,6 +151,14 @@ class SessionCache {
   Lease Checkout(const DbSnapshot& snapshot, const TimeInterval& T,
                  const UstTree* index);
 
+  /// Shared lease for (snapshot.version(), T): joins a live shared lease on
+  /// the key when one exists (counted as a hit + shared_join — no build at
+  /// all), else promotes a cached idle session, else builds one like
+  /// Checkout. Holders may only execute through the read-only morsel path;
+  /// Run/RunAll/WarmInterval on a shared session are the caller's bug.
+  SharedLease CheckoutShared(const DbSnapshot& snapshot,
+                             const TimeInterval& T, const UstTree* index);
+
   /// Drop every *idle* session pinned to an epoch older than `live_version`,
   /// and drop leased ones when their lease is returned.
   void EvictStale(uint64_t live_version);
@@ -114,6 +170,7 @@ class SessionCache {
 
  private:
   friend class Lease;
+  friend class SharedLease;
 
   struct Entry {
     uint64_t version;
@@ -121,9 +178,32 @@ class SessionCache {
     std::shared_ptr<QuerySession> session;
   };
 
+  /// One shared-leased session: joinable while refs > 0; the node address
+  /// is stable (std::list), so leases hold a pointer to it.
+  struct SharedEntry {
+    uint64_t version;
+    TimeInterval T;
+    std::shared_ptr<QuerySession> session;
+    size_t refs;
+  };
+
+  /// Build + warm a fresh session for the key (the miss path shared by both
+  /// checkout flavors); runs outside mu_, Prepare under warm_mu_.
+  std::shared_ptr<QuerySession> BuildSession(const DbSnapshot& snapshot,
+                                             const TimeInterval& T,
+                                             const UstTree* index);
+
+  /// Reinsert an idle session at MRU — or drop it as stale / over capacity.
+  /// Caller must hold mu_.
+  void InsertIdleLocked(std::shared_ptr<QuerySession> session,
+                        uint64_t version, const TimeInterval& T);
+
   /// Lease return path: reinsert at MRU or drop as stale.
   void ReturnSession(std::shared_ptr<QuerySession> session, uint64_t version,
                      const TimeInterval& T);
+
+  /// Shared-lease return path: unref; the last holder reinserts or drops.
+  void ReleaseShared(SharedEntry* entry);
 
   const size_t capacity_;
   const SessionOptions session_options_;
@@ -133,8 +213,10 @@ class SessionCache {
   /// model/db_snapshot.h); never held together with mu_.
   std::mutex warm_mu_;
   std::list<Entry> entries_;  ///< MRU at front, LRU at back; idle only
-  /// Keys of live leases (duplicates allowed): the busy-miss detector. At
-  /// most `lanes` entries in practice, so a flat list beats a map.
+  std::list<SharedEntry> shared_;  ///< live shared leases (joinable)
+  /// Keys of live exclusive leases and in-flight builds (duplicates
+  /// allowed): the busy-miss detector. At most `lanes` entries in practice,
+  /// so a flat list beats a map.
   std::list<std::pair<uint64_t, TimeInterval>> leased_;
   uint64_t min_live_version_ = 0;  ///< floor set by EvictStale
   SessionCacheStats stats_;

@@ -270,6 +270,152 @@ TEST_F(ServerTest, SessionCacheCheckoutIsExclusive) {
   EXPECT_GT(cache.stats().evictions_stale, stale_before);
 }
 
+TEST_F(ServerTest, SharedLeaseJoinsInsteadOfDuplicating) {
+  SessionCache cache(2, SessionOptions{});
+  DbSnapshot snap = db().Snapshot();
+
+  // Two shared checkouts on one key: the second *joins* the first — same
+  // session, one build, no busy miss. This is the protocol that lets hot
+  // groups stop paying duplicate builds.
+  auto lease1 = cache.CheckoutShared(snap, T_, index_.get());
+  ASSERT_TRUE(lease1);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  auto lease2 = cache.CheckoutShared(snap, T_, index_.get());
+  ASSERT_TRUE(lease2);
+  EXPECT_EQ(lease1.get(), lease2.get());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().shared_joins, 1u);
+  EXPECT_EQ(cache.stats().busy_misses, 0u);
+  EXPECT_EQ(cache.size(), 0u);  // out on lease, not idle
+
+  // An exclusive checkout cannot join a shared lease: duplicate, busy miss.
+  {
+    auto exclusive = cache.Checkout(snap, T_, index_.get());
+    EXPECT_NE(exclusive.get(), lease1.get());
+    EXPECT_EQ(cache.stats().busy_misses, 1u);
+  }
+
+  // Refcounted return: the first release keeps the session out, the last
+  // one reinserts it at MRU — where a later shared checkout finds it idle.
+  const QuerySession* session = lease1.get();
+  lease1.Release();
+  EXPECT_EQ(cache.stats().shared_joins, 1u);
+  {
+    auto lease3 = cache.CheckoutShared(snap, T_, index_.get());  // joins
+    EXPECT_EQ(lease3.get(), session);
+    EXPECT_EQ(cache.stats().shared_joins, 2u);
+    lease2.Release();  // two holders left -> one
+  }  // lease3 released: last holder, session goes idle
+  EXPECT_EQ(cache.size(), 2u);  // the shared session + the exclusive dup
+  {
+    auto lease4 = cache.CheckoutShared(snap, T_, index_.get());
+    EXPECT_EQ(lease4.get(), session);  // idle promotion, not a join
+    EXPECT_EQ(cache.stats().shared_joins, 2u);
+  }
+
+  // A shared session whose epoch passes mid-lease is dropped on the last
+  // release, exactly like the exclusive path.
+  auto stale = cache.CheckoutShared(snap, T_, index_.get());
+  cache.EvictStale(snap.version() + 1);
+  const uint64_t stale_before = cache.stats().evictions_stale;
+  stale.Release();
+  EXPECT_GT(cache.stats().evictions_stale, stale_before);
+}
+
+TEST_F(ServerTest, HotGroupMorselsMatchSerialRunAllBitwise) {
+  // One dominant (epoch, interval) group split into 1-spec morsels over 2
+  // lanes with stealing forced on: whatever the claim/steal schedule, the
+  // reassembled outcomes must equal the serial RunAll bytes. Submits are
+  // paused into one admission queue so the whole stream flushes as full
+  // batches of one hot group each.
+  std::vector<QuerySpec> specs = MakeSpecs(18);
+  for (QuerySpec& spec : specs) spec.T = T_;  // one hot interval
+  QuerySession reference(db().Snapshot(), index_.get());
+  const std::vector<QueryOutcome> expected = reference.RunAll(specs);
+
+  ServerOptions options;
+  options.lanes = 2;
+  options.steal = true;
+  options.morsel_specs = 1;
+  options.max_batch_size = 6;
+  options.max_batch_delay_ms = 0.5;
+  QueryServer server(db(), index_.get(), options);
+  server.Pause();
+  std::vector<std::future<QueryOutcome>> futures;
+  for (const QuerySpec& spec : specs) futures.push_back(server.Submit(spec));
+  server.Resume();
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_TRUE(SameOutcome(futures[i].get(), expected[i])) << "spec " << i;
+  }
+  server.Stop();
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.completed, specs.size());
+  // 1-spec morsels: exactly one morsel per request, across all lanes.
+  EXPECT_EQ(stats.morsels_executed(), specs.size());
+  uint64_t lane_requests = 0;
+  for (const LaneStats& lane : stats.lanes) lane_requests += lane.requests;
+  EXPECT_EQ(lane_requests, specs.size());
+}
+
+TEST_F(ServerTest, IdleLaneStealsFromDominantGroup) {
+  // The tail-latency regression test for the group-granularity scheduler:
+  // one dominant group of heavy specs next to a tiny one. At group
+  // granularity the dominant group pins ONE lane while the other goes idle
+  // after its tiny group (steals == 0, one lane owns every heavy request);
+  // with morsel stealing the idle lane must take half-ranges of the hot
+  // group (steals >= 1 and both lanes execute requests). The heavy specs
+  // are hundreds of milliseconds each, the idle lane wakes in microseconds
+  // — the margin is ~5 orders of magnitude, so this is timing-robust.
+  std::vector<QuerySpec> heavy = MakeSpecs(6);
+  for (QuerySpec& spec : heavy) {
+    spec.kind = QueryKind::kForall;
+    spec.T = T_;
+    spec.backend = ExecutorKind::kMonteCarlo;
+    spec.mc.num_worlds = 6000;
+  }
+  QuerySpec tiny = MakeSpecs(1)[0];
+  tiny.kind = QueryKind::kForall;
+  tiny.T = TimeInterval{T_.start, T_.end - 2};
+  tiny.backend = ExecutorKind::kMonteCarlo;
+  tiny.mc.num_worlds = 50;
+
+  const auto run = [&](bool steal) {
+    ServerOptions options;
+    options.lanes = 2;
+    options.steal = steal;
+    options.morsel_specs = 1;
+    options.max_batch_size = 7;
+    options.max_batch_delay_ms = 1.0;
+    QueryServer server(db(), index_.get(), options);
+    server.Pause();  // everything flushes as one batch: 2 groups
+    std::vector<std::future<QueryOutcome>> futures;
+    for (const QuerySpec& spec : heavy) futures.push_back(server.Submit(spec));
+    futures.push_back(server.Submit(tiny));
+    server.Resume();
+    for (auto& f : futures) EXPECT_TRUE(f.get().status.ok());
+    server.Stop();
+    return server.Stats();
+  };
+
+  const ServerStats nosteal = run(false);
+  // Group granularity: whole groups stick to their adopting lane — the six
+  // heavy requests all executed where the dominant group landed.
+  EXPECT_EQ(nosteal.lane_steals(), 0u);
+  uint64_t max_lane_requests = 0;
+  for (const LaneStats& lane : nosteal.lanes) {
+    max_lane_requests = std::max(max_lane_requests, lane.requests);
+  }
+  EXPECT_GE(max_lane_requests, heavy.size());
+
+  const ServerStats steal = run(true);
+  // Morsel scheduling: the lane that finished the tiny group steals from
+  // the dominant one instead of idling.
+  EXPECT_GE(steal.lane_steals(), 1u);
+  for (const LaneStats& lane : steal.lanes) {
+    EXPECT_GE(lane.requests, 1u) << "a lane sat idle beside a hot group";
+  }
+}
+
 TEST_F(ServerTest, ServerMatchesSerialRunAllAtTwoLanesFourClients) {
   const std::vector<QuerySpec> specs = MakeSpecs(16);
   // Reference: strictly serial session over the same epoch (threads = 1).
@@ -304,15 +450,17 @@ TEST_F(ServerTest, ServerMatchesSerialRunAllAtTwoLanesFourClients) {
   EXPECT_GE(stats.batches, 1u);
   EXPECT_EQ(stats.latency_micros.count(), specs.size());
   EXPECT_EQ(stats.queue_micros.count(), specs.size());
-  // Per-lane accounting covers every executed group and every request.
+  // Per-lane accounting covers every executed morsel and every request.
   ASSERT_EQ(stats.lanes.size(), 2u);
-  uint64_t lane_batches = 0, lane_requests = 0;
+  uint64_t lane_batches = 0, lane_requests = 0, lane_morsels = 0;
   for (const LaneStats& lane : stats.lanes) {
     lane_batches += lane.batches;
     lane_requests += lane.requests;
-    EXPECT_EQ(lane.exec_micros.count(), lane.batches);
+    lane_morsels += lane.morsels;
+    EXPECT_EQ(lane.exec_micros.count(), lane.morsels);
   }
   EXPECT_GE(lane_batches, stats.batches);  // >=: batches split per interval
+  EXPECT_GE(lane_morsels, lane_batches);   // every group is >= one morsel
   EXPECT_EQ(lane_requests, specs.size());
   EXPECT_EQ(stats.lane_queue_depth, 0u);  // drained by Stop
   EXPECT_GE(stats.lane_queue_peak, 1u);
@@ -502,9 +650,11 @@ TEST_F(ServerTest, StatsRenderAsJson) {
   const std::string json = server.Stats().ToJson();
   for (const char* key :
        {"\"submitted\":5", "\"completed\":5", "\"rejected\":0", "\"batches\":",
-        "\"cache_misses\":", "\"cache_busy_misses\":", "\"latency_us\":",
+        "\"cache_misses\":", "\"cache_busy_misses\":",
+        "\"cache_shared_joins\":", "\"latency_us\":",
         "\"queue_us\":", "\"p50\":", "\"p99\":", "\"lane_queue_depth\":",
-        "\"lane_queue_peak\":", "\"lanes\":[{", "\"exec_us\":"}) {
+        "\"lane_queue_peak\":", "\"lane_steals\":", "\"morsels_executed\":",
+        "\"lanes\":[{", "\"exec_us\":", "\"morsels\":", "\"steals\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << json << "\nmissing " << key;
   }
 }

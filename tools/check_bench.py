@@ -51,6 +51,9 @@ CHECKS = {
         "speedup_vs_single_shot": ("down", RATIO_BAND),
         "speedup_vs_warm_engine": ("down", RATIO_BAND),
         "qps_session_batch": ("down", ABSOLUTE_BAND),
+        # The intra-query-parallel backends' own tracked lines (PR 5).
+        "qps_markov_approx": ("down", ABSOLUTE_BAND),
+        "qps_exact": ("down", ABSOLUTE_BAND),
     },
     "micro_server": {
         "speedup_server_vs_cold": ("down", RATIO_BAND),
@@ -58,6 +61,13 @@ CHECKS = {
         "qps_server": ("down", ABSOLUTE_BAND),
         "qps_server_1lane": ("down", ABSOLUTE_BAND),
         "latency_p99_ms": ("up", ABSOLUTE_BAND),
+        # Morsel stealing vs the group scheduler on the skewed stream: a
+        # within-run p99 ratio, so it gets the machine-portable band. On a
+        # 1-core runner it hovers near 1.0 (no idle lane to steal with);
+        # the band then only rejects a genuine regression, while a
+        # multi-core runner's >=1.3x win can only push it further up.
+        "steal_speedup": ("down", RATIO_BAND),
+        "p99_skew_steal": ("up", ABSOLUTE_BAND),
     },
 }
 
@@ -65,7 +75,8 @@ CHECKS = {
 CONFIG_KEYS = [
     "benchmark", "num_states", "num_objects", "num_worlds", "num_queries",
     "num_participants", "num_intervals", "interval_length", "threads",
-    "lanes", "clients", "max_batch_size",
+    "lanes", "clients", "max_batch_size", "executor", "skew", "morsel_specs",
+    "markov_objects", "markov_queries", "exact_objects", "exact_queries",
 ]
 
 
