@@ -28,10 +28,17 @@
 // The markov/exact phases also pin parallel-vs-serial bitwise equality:
 // the threaded session must reproduce the 1-thread bytes exactly.
 //
+// --arena {on,off} gates the shared-world-arena phase (on by default, mc
+// executor only): a hot spec stream — every query sharing one
+// (interval, seed) group — is evaluated twice, arenas disabled vs enabled,
+// both warmed by an untimed pass. The arena run must reproduce the live
+// sampling bytes exactly; emits qps_arena_on / qps_arena_off /
+// arena_speedup (the skip-the-alias-walk amortization under measurement).
+//
 // Flags (defaults sized for a single CI core):
 //   --states=10000 --objects=48 --lifetime=96 --obs_interval=12
 //   --horizon=120 --interval=10 --worlds=500 --queries=50 --threads=1
-//   --executor=all --markov_objects=8 --markov_interval=6
+//   --executor=all --arena=on --markov_objects=8 --markov_interval=6
 //   --markov_queries=6 --exact_objects=3 --exact_interval=3
 //   --exact_queries=6 --json_out=BENCH_engine.json
 #include <cmath>
@@ -71,6 +78,9 @@ int main(int argc, char** argv) {
   const bool run_markov = executor == "all" || executor == "markov";
   const bool run_exact = executor == "all" || executor == "exact";
   UST_CHECK(run_mc || run_markov || run_exact);
+  const std::string arena_mode = flags.GetString("arena", "on");
+  UST_CHECK(arena_mode == "on" || arena_mode == "off");
+  const bool run_arena = run_mc && arena_mode == "on";
   const std::string json_out = flags.GetString("json_out", "BENCH_engine.json");
 
   PrintConfig("micro_engine: plan-based query pipeline throughput", flags,
@@ -236,6 +246,60 @@ int main(int argc, char** argv) {
     return static_cast<double>(mini_queries) / seconds;
   };
 
+  // ---- Arena phase: one hot (interval, seed) group, arenas off vs on. ----
+  // The hot stream reuses the query points above but shares a single seed,
+  // so every spec keys the same arena group — the serving tier's hot-group
+  // shape. Both sessions are warmed by an untimed RunAll (the off pass gets
+  // warm samplers, the on pass gets its arena built), so the timed passes
+  // compare steady-state throughput: alias-walk sampling vs arena lookup.
+  double qps_arena_on = 0.0;
+  double qps_arena_off = 0.0;
+  if (run_arena) {
+    std::vector<QuerySpec> hot = specs;
+    for (QuerySpec& spec : hot) spec.mc.seed = 4242;
+    std::vector<QueryOutcome> off_results, on_results;
+    {
+      SessionOptions options;
+      options.threads = threads;
+      options.arena_min_uses = 0;  // arenas disabled: live sampling
+      QuerySession session(db, &tree.value(), options);
+      UST_CHECK(session.Prepare().ok());
+      session.RunAll(hot);  // warm-up, untimed
+      Timer t;
+      off_results = session.RunAll(hot);
+      qps_arena_off = static_cast<double>(hot.size()) / t.Seconds();
+      UST_CHECK(session.arena_stats().builds == 0);
+    }
+    {
+      SessionOptions options;
+      options.threads = threads;
+      options.arena_min_uses = 1;  // build on first use
+      QuerySession session(db, &tree.value(), options);
+      UST_CHECK(session.Prepare().ok());
+      session.RunAll(hot);  // warm-up: builds the arena, untimed
+      Timer t;
+      on_results = session.RunAll(hot);
+      qps_arena_on = static_cast<double>(hot.size()) / t.Seconds();
+      const ArenaStats stats = session.arena_stats();
+      UST_CHECK(stats.builds == 1);
+      // The timed pass ran entirely against the built arena.
+      UST_CHECK(stats.spec_reuses >= hot.size());
+      UST_CHECK(stats.bytes > 0);
+      for (const QueryOutcome& out : on_results) UST_CHECK(out.used_arena);
+    }
+    // The arena determinism contract: evaluate-against-arena reproduces
+    // live sampling bit for bit.
+    for (size_t i = 0; i < hot.size(); ++i) {
+      UST_CHECK(off_results[i].status.ok() && on_results[i].status.ok());
+      const auto& a = off_results[i].pnn.results;
+      const auto& b = on_results[i].pnn.results;
+      UST_CHECK(a.size() == b.size());
+      for (size_t j = 0; j < a.size(); ++j) {
+        UST_CHECK(a[j].object == b[j].object && a[j].prob == b[j].prob);
+      }
+    }
+  }
+
   double qps_markov = 0.0;
   size_t markov_objects = 0, markov_queries = 0;
   if (run_markov) {
@@ -284,6 +348,12 @@ int main(int argc, char** argv) {
     table.AddRow({"speedup_vs_warm_engine",
                   std::to_string(qps_session / qps_warm_engine)});
   }
+  if (run_arena) {
+    table.AddRow({"qps_arena_off", std::to_string(qps_arena_off)});
+    table.AddRow({"qps_arena_on", std::to_string(qps_arena_on)});
+    table.AddRow(
+        {"arena_speedup", std::to_string(qps_arena_on / qps_arena_off)});
+  }
   if (run_markov) {
     table.AddRow({"qps_markov_approx", std::to_string(qps_markov)});
   }
@@ -295,6 +365,7 @@ int main(int argc, char** argv) {
   JsonWriter json;
   json.Add("benchmark", std::string("micro_engine"));
   json.Add("executor", executor);
+  json.Add("arena", arena_mode);
   json.Add("num_states", static_cast<double>(config.num_states));
   json.Add("num_objects", static_cast<double>(config.num_objects));
   json.Add("num_worlds", static_cast<double>(num_worlds));
@@ -308,6 +379,11 @@ int main(int argc, char** argv) {
     json.Add("session_prepare_seconds", session_prepare_seconds);
     json.Add("speedup_vs_single_shot", qps_session / qps_single_shot);
     json.Add("speedup_vs_warm_engine", qps_session / qps_warm_engine);
+  }
+  if (run_arena) {
+    json.Add("qps_arena_off", qps_arena_off);
+    json.Add("qps_arena_on", qps_arena_on);
+    json.Add("arena_speedup", qps_arena_on / qps_arena_off);
   }
   if (run_markov) {
     json.Add("markov_objects", static_cast<double>(markov_objects));

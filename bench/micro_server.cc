@@ -194,7 +194,8 @@ int main(int argc, char** argv) {
   // qps_cold_session).
   const auto run_server = [&](const std::vector<QuerySpec>& stream,
                               const std::vector<QueryOutcome>& reference,
-                              int lane_count, bool steal) {
+                              int lane_count, bool steal,
+                              int arena_min_uses) {
     ServerRun run;
     ServerOptions options;
     options.lanes = lane_count;
@@ -203,6 +204,7 @@ int main(int argc, char** argv) {
     options.max_batch_delay_ms = delay_ms;
     options.steal = steal;
     options.morsel_specs = morsel_specs;
+    options.arena_min_uses = arena_min_uses;
     QueryServer server(db, &tree.value(), options);
     const size_t n_stream = stream.size();
     std::vector<std::future<QueryOutcome>> futures(n_stream);
@@ -234,9 +236,12 @@ int main(int argc, char** argv) {
     return run;
   };
 
-  const ServerRun lane1 = run_server(specs, runall_results, 1, true);
+  // The mixed and skewed phases use unique per-spec seeds, so no arena
+  // group ever repeats: arena_min_uses=2 (the serving default) makes them
+  // measure exactly what they measured pre-arena.
+  const ServerRun lane1 = run_server(specs, runall_results, 1, true, 2);
   const ServerRun laneN =
-      lanes > 1 ? run_server(specs, runall_results, lanes, true) : lane1;
+      lanes > 1 ? run_server(specs, runall_results, lanes, true, 2) : lane1;
   // Cross-check the mixed stream against the cold per-request mode too.
   for (size_t i = 0; i < num_queries; ++i) {
     CheckSameOutcome(runall_results[i], cold_results[i]);
@@ -280,9 +285,55 @@ int main(int argc, char** argv) {
     skew_reference = session.RunAll(skew_specs);
   }
   const ServerRun skew_nosteal =
-      run_server(skew_specs, skew_reference, lanes, false);
+      run_server(skew_specs, skew_reference, lanes, false, 2);
   const ServerRun skew_steal =
-      run_server(skew_specs, skew_reference, lanes, true);
+      run_server(skew_specs, skew_reference, lanes, true, 2);
+
+  // ---- Mode 5: the shared world arena on a hot-group skewed stream. ----
+  // Same Zipf interval pick, but every spec shares one Monte-Carlo seed:
+  // the dominant interval becomes one (interval, seed) arena group. The
+  // stream runs twice — arenas disabled vs build-on-first-use — and both
+  // must reproduce the arena-off RunAll reference bit for bit; the qps
+  // ratio is the amortization of sampling a hot group's worlds once.
+  Rng arena_rng(23);
+  std::vector<QuerySpec> arena_specs;
+  arena_specs.reserve(num_skew_queries);
+  for (size_t i = 0; i < num_skew_queries; ++i) {
+    const double u = arena_rng.Uniform() * weight_sum;
+    size_t pick = 0;
+    while (pick + 1 < num_intervals && cumulative[pick] < u) ++pick;
+    QuerySpec spec;
+    spec.kind = QueryKind::kForall;
+    spec.q = RandomQueryState(db.space(), qrng);
+    spec.T = intervals[pick];
+    spec.tau = 0.0;
+    spec.mc.num_worlds = num_worlds;
+    // One shared seed: the whole stream keys `num_intervals` arena groups.
+    spec.mc.seed = 4242;
+    // Pinned backend: the arena serves only the sampling path, and the
+    // planner must not route anything to enumeration at small scales.
+    spec.backend = ExecutorKind::kMonteCarlo;
+    arena_specs.push_back(spec);
+  }
+  std::vector<QueryOutcome> arena_reference;
+  {
+    SessionOptions reference_options = session_options;
+    reference_options.arena_min_uses = 0;
+    QuerySession session(db, &tree.value(), reference_options);
+    UST_CHECK(session.Prepare().ok());
+    arena_reference = session.RunAll(arena_specs);
+  }
+  const ServerRun arena_off =
+      run_server(arena_specs, arena_reference, lanes, true, 0);
+  const ServerRun arena_on =
+      run_server(arena_specs, arena_reference, lanes, true, 1);
+  UST_CHECK(arena_off.stats.cache.arena_builds == 0);
+  UST_CHECK(arena_off.stats.arena_hits() == 0);
+  UST_CHECK(arena_on.stats.cache.arena_builds >= 1);
+  UST_CHECK(arena_on.stats.cache.arena_spec_reuses >= 1);
+  UST_CHECK(arena_on.stats.cache.arena_bytes > 0);
+  UST_CHECK(arena_on.stats.arena_hits() ==
+            arena_on.stats.cache.arena_spec_reuses);
 
   const double n = static_cast<double>(num_queries);
   const double qps_cold = n / cold_seconds;
@@ -292,6 +343,12 @@ int main(int argc, char** argv) {
   const auto p_ms = [](const ServerRun& run, double q) {
     return run.stats.latency_micros.Quantile(q) / 1000.0;
   };
+
+  const double n_arena = static_cast<double>(arena_specs.size());
+  const double qps_arena_off = n_arena / arena_off.seconds;
+  const double qps_arena_on = n_arena / arena_on.seconds;
+  const double arena_speedup =
+      qps_arena_off > 0.0 ? qps_arena_on / qps_arena_off : 1.0;
 
   const double p99_skew_nosteal = p_ms(skew_nosteal, 0.99);
   const double p99_skew_steal = p_ms(skew_steal, 0.99);
@@ -315,6 +372,13 @@ int main(int argc, char** argv) {
   table.AddRow({"p99_skew_nosteal", std::to_string(p99_skew_nosteal)});
   table.AddRow({"p99_skew_steal", std::to_string(p99_skew_steal)});
   table.AddRow({"steal_speedup", std::to_string(steal_speedup)});
+  table.AddRow({"qps_arena_off", std::to_string(qps_arena_off)});
+  table.AddRow({"qps_arena_on", std::to_string(qps_arena_on)});
+  table.AddRow({"arena_speedup", std::to_string(arena_speedup)});
+  table.AddRow({"arena_builds",
+                std::to_string(arena_on.stats.cache.arena_builds)});
+  table.AddRow({"arena_spec_reuses",
+                std::to_string(arena_on.stats.cache.arena_spec_reuses)});
   table.AddRow({"lane_steals",
                 std::to_string(skew_steal.stats.lane_steals())});
   table.AddRow({"morsels_executed",
@@ -356,6 +420,15 @@ int main(int argc, char** argv) {
   json.Add("p99_skew_nosteal", p99_skew_nosteal);
   json.Add("p99_skew_steal", p99_skew_steal);
   json.Add("steal_speedup", steal_speedup);
+  json.Add("qps_arena_off", qps_arena_off);
+  json.Add("qps_arena_on", qps_arena_on);
+  json.Add("arena_speedup", arena_speedup);
+  json.Add("arena_builds",
+           static_cast<double>(arena_on.stats.cache.arena_builds));
+  json.Add("arena_spec_reuses",
+           static_cast<double>(arena_on.stats.cache.arena_spec_reuses));
+  json.Add("arena_bytes",
+           static_cast<double>(arena_on.stats.cache.arena_bytes));
   json.Add("lane_steals",
            static_cast<double>(skew_steal.stats.lane_steals()));
   json.Add("morsels_executed",

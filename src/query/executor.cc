@@ -98,7 +98,8 @@ class MonteCarloExecutor : public Executor {
       const override {
     auto table = ComputeNnTableScratch(*task.db, *task.participants, *task.q,
                                        task.T, task.mc, ctx.pool,
-                                       ctx.sampler_scratch, ctx.row_buffer);
+                                       ctx.sampler_scratch, ctx.row_buffer,
+                                       ctx.arena, ctx.arena_used);
     if (!table.ok()) return table.status();
     std::vector<PnnEstimate> out;
     out.reserve(task.targets->size());

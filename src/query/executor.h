@@ -59,6 +59,11 @@ struct ExecContext {
   ThreadPool* pool = nullptr;                  ///< world-chunk sharding
   WorldSampler::Scratch* sampler_scratch = nullptr;
   std::vector<uint8_t>* row_buffer = nullptr;  ///< byte staging for packing
+  /// Pre-sampled world arena of the session's (interval, seed) group; the
+  /// Monte-Carlo backend evaluates against it when it covers the task
+  /// (bit-identical either way) and reports the decision in `arena_used`.
+  const WorldArena* arena = nullptr;
+  bool* arena_used = nullptr;
 };
 
 /// \brief A refinement backend. Implementations are stateless (all mutable

@@ -3,25 +3,27 @@
 #include <algorithm>
 #include <atomic>
 
+#include "query/world_arena.h"
 #include "util/check.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace ust {
 
 namespace {
 
-inline int PopCount(uint64_t x) {
-#if defined(__GNUC__) || defined(__clang__)
-  return __builtin_popcountll(x);
-#else
-  int c = 0;
-  while (x) {
-    x &= x - 1;
-    ++c;
+/// Gather per-tic word-row pointers for the SIMD row folds. Tic counts are
+/// tiny (interval lengths); a 64-pointer stack array covers every practical
+/// query, with a heap fallback keeping the contract unconditional.
+struct RowPtrs {
+  const uint64_t* stack[64];
+  std::vector<const uint64_t*> heap;
+  const uint64_t** Get(size_t n) {
+    if (n <= 64) return stack;
+    heap.resize(n);
+    return heap.data();
   }
-  return c;
-#endif
-}
+};
 
 }  // namespace
 
@@ -67,18 +69,17 @@ double NnTable::ReduceProb(size_t obj_index, const Tic* tics, size_t num_tics,
   UST_CHECK(obj_index < objects_.size());
   if (num_worlds_ == 0) return 0.0;
   if (num_tics == 0) return forall ? 1.0 : 0.0;  // vacuous truth / falsity
-  UST_DCHECK(interval_.Contains(tics[0]));
-  const uint64_t* acc0 = TicWords(obj_index, RelTic(tics[0]));
-  size_t count = 0;
-  for (size_t i = 0; i < words_per_tic_; ++i) {
-    uint64_t acc = acc0[i];
-    for (size_t ti = 1; ti < num_tics; ++ti) {
-      UST_DCHECK(interval_.Contains(tics[ti]));
-      const uint64_t w = TicWords(obj_index, RelTic(tics[ti]))[i];
-      acc = forall ? (acc & w) : (acc | w);
-    }
-    count += static_cast<size_t>(PopCount(acc));
+  RowPtrs ptrs;
+  const uint64_t** rows = ptrs.Get(num_tics);
+  for (size_t ti = 0; ti < num_tics; ++ti) {
+    UST_DCHECK(interval_.Contains(tics[ti]));
+    rows[ti] = TicWords(obj_index, RelTic(tics[ti]));
   }
+  // Dispatched word sweep (util/simd.h): popcount sums are integers, so
+  // every dispatch level returns the same count — and thus the same double.
+  const uint64_t count =
+      forall ? AndRowsPopcount(rows, num_tics, words_per_tic_)
+             : OrRowsPopcount(rows, num_tics, words_per_tic_);
   return static_cast<double>(count) / static_cast<double>(num_worlds_);
 }
 
@@ -96,11 +97,8 @@ double NnTable::ProbAt(size_t obj_index, Tic t) const {
   UST_CHECK(obj_index < objects_.size());
   UST_DCHECK(interval_.Contains(t));
   if (num_worlds_ == 0) return 0.0;
-  const uint64_t* words = TicWords(obj_index, RelTic(t));
-  size_t count = 0;
-  for (size_t i = 0; i < words_per_tic_; ++i) {
-    count += static_cast<size_t>(PopCount(words[i]));
-  }
+  const uint64_t count =
+      PopcountWords(TicWords(obj_index, RelTic(t)), words_per_tic_);
   return static_cast<double>(count) / static_cast<double>(num_worlds_);
 }
 
@@ -108,15 +106,12 @@ double NnTable::ForallProb(size_t obj_index) const {
   UST_CHECK(obj_index < objects_.size());
   if (num_worlds_ == 0) return 0.0;
   const size_t len = interval_.length();
-  const uint64_t* base = TicWords(obj_index, 0);
-  size_t count = 0;
-  for (size_t i = 0; i < words_per_tic_; ++i) {
-    uint64_t acc = base[i];
-    for (size_t rel = 1; rel < len && acc; ++rel) {
-      acc &= base[rel * words_per_tic_ + i];
-    }
-    count += static_cast<size_t>(PopCount(acc));
+  RowPtrs ptrs;
+  const uint64_t** rows = ptrs.Get(len);
+  for (size_t rel = 0; rel < len; ++rel) {
+    rows[rel] = TicWords(obj_index, rel);
   }
+  const uint64_t count = AndRowsPopcount(rows, len, words_per_tic_);
   return static_cast<double>(count) / static_cast<double>(num_worlds_);
 }
 
@@ -124,15 +119,12 @@ double NnTable::ExistsProb(size_t obj_index) const {
   UST_CHECK(obj_index < objects_.size());
   if (num_worlds_ == 0) return 0.0;
   const size_t len = interval_.length();
-  const uint64_t* base = TicWords(obj_index, 0);
-  size_t count = 0;
-  for (size_t i = 0; i < words_per_tic_; ++i) {
-    uint64_t acc = base[i];
-    for (size_t rel = 1; rel < len; ++rel) {
-      acc |= base[rel * words_per_tic_ + i];
-    }
-    count += static_cast<size_t>(PopCount(acc));
+  RowPtrs ptrs;
+  const uint64_t** rows = ptrs.Get(len);
+  for (size_t rel = 0; rel < len; ++rel) {
+    rows[rel] = TicWords(obj_index, rel);
   }
+  const uint64_t count = OrRowsPopcount(rows, len, words_per_tic_);
   return static_cast<double>(count) / static_cast<double>(num_worlds_);
 }
 
@@ -159,7 +151,6 @@ Result<WorldSampler> WorldSampler::Create(const DbSnapshot& db,
   sampler.k_ = k;
   sampler.qpts_.reserve(T.length());
   for (Tic t = T.start; t <= T.end; ++t) sampler.qpts_.push_back(q.At(t));
-  Rng root(seed);
   sampler.resolved_.reserve(sampler.participants_.size());
   for (ObjectId id : sampler.participants_) {
     const UncertainObject& obj = db.object(id);
@@ -170,7 +161,10 @@ Result<WorldSampler> WorldSampler::Create(const DbSnapshot& db,
     p.ws = std::max(T.start, p.model->first_tic());
     p.we = std::min(T.end, p.model->last_tic());
     p.alive = p.ws <= p.we;
-    p.rng0 = root.Fork();  // per-participant stream: chunking-independent
+    // Id-keyed stream, not a positional fork: an object's worlds depend only
+    // on (seed, id), never on which other participants the query kept, so a
+    // shared arena over a superset serves any pruned subset bit-identically.
+    p.rng0 = Rng(WorldStreamSeed(seed, id));
     if (p.alive) {
       // Validate the window once and warm the alias samplers here, so world
       // sampling is pure array lookups.
@@ -260,7 +254,6 @@ void WorldSampler::SampleCore(size_t count, uint8_t* is_nn,
   const double kInf = std::numeric_limits<double>::infinity();
   std::vector<double>& dist2 = scratch->dist2;
   std::vector<double>& min_scratch = scratch->min_scratch;
-  std::vector<double>& kth_scratch = scratch->kth_scratch;
   for (size_t w0 = 0; w0 < count; w0 += kWorldChunk) {
     const size_t chunk = std::min(kWorldChunk, count - w0);
     dist2.resize(total_wlen_ * chunk);
@@ -297,49 +290,136 @@ void WorldSampler::SampleCore(size_t count, uint8_t* is_nn,
             });
       }
     }
-    // ---- Phase 2: k-th distances (k > 1 only; k == 1 folded above). ----
-    if (k_ != 1) {
-      for (size_t w = 0; w < chunk; ++w) {
-        double* mb = min_scratch.data() + w * len;
-        for (size_t rel = 0; rel < len; ++rel) {
-          kth_scratch.clear();
-          for (size_t i = 0; i < n; ++i) {
-            const Participant& p = resolved_[i];
-            if (!p.alive || rel < p.rel0 || rel >= p.rel0 + p.wlen) continue;
-            kth_scratch.push_back(
-                dist2[p.doff * chunk + w * p.wlen + (rel - p.rel0)]);
-          }
-          if (kth_scratch.empty()) {
-            mb[rel] = kInf;
-            continue;
-          }
-          const size_t kk =
-              std::min<size_t>(static_cast<size_t>(k_), kth_scratch.size());
-          std::nth_element(kth_scratch.begin(), kth_scratch.begin() + (kk - 1),
-                           kth_scratch.end());
-          mb[rel] = kth_scratch[kk - 1];
-        }
-      }
-    }
-    // Marking: every byte of a world row is written exactly once.
+    ReduceChunk(w0, chunk, is_nn, world_stride, scratch);
+  }
+}
+
+void WorldSampler::ReduceChunk(size_t row0, size_t chunk, uint8_t* is_nn,
+                               size_t world_stride, Scratch* scratch) const {
+  const size_t n = resolved_.size();
+  const size_t len = interval_.length();
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double>& dist2 = scratch->dist2;
+  std::vector<double>& min_scratch = scratch->min_scratch;
+  std::vector<double>& kth_scratch = scratch->kth_scratch;
+  // ---- Phase 2: k-th distances (k > 1 only; k == 1 folded in phase 1). ----
+  if (k_ != 1) {
     for (size_t w = 0; w < chunk; ++w) {
-      uint8_t* row = is_nn + (w0 + w) * world_stride;
-      const double* mb = min_scratch.data() + w * len;
-      for (size_t i = 0; i < n; ++i) {
-        const Participant& p = resolved_[i];
-        uint8_t* prow = row + i * len;
-        if (!p.alive) {
-          std::fill(prow, prow + len, 0);
+      double* mb = min_scratch.data() + w * len;
+      for (size_t rel = 0; rel < len; ++rel) {
+        kth_scratch.clear();
+        for (size_t i = 0; i < n; ++i) {
+          const Participant& p = resolved_[i];
+          if (!p.alive || rel < p.rel0 || rel >= p.rel0 + p.wlen) continue;
+          kth_scratch.push_back(
+              dist2[p.doff * chunk + w * p.wlen + (rel - p.rel0)]);
+        }
+        if (kth_scratch.empty()) {
+          mb[rel] = kInf;
           continue;
         }
-        const double* d = dist2.data() + p.doff * chunk + w * p.wlen;
-        std::fill(prow, prow + p.rel0, 0);
-        for (uint32_t r = 0; r < p.wlen; ++r) {
-          prow[p.rel0 + r] = d[r] <= mb[p.rel0 + r] ? 1 : 0;
-        }
-        std::fill(prow + p.rel0 + p.wlen, prow + len, 0);
+        const size_t kk =
+            std::min<size_t>(static_cast<size_t>(k_), kth_scratch.size());
+        std::nth_element(kth_scratch.begin(), kth_scratch.begin() + (kk - 1),
+                         kth_scratch.end());
+        mb[rel] = kth_scratch[kk - 1];
       }
     }
+  }
+  // Marking: every byte of a world row is written exactly once.
+  for (size_t w = 0; w < chunk; ++w) {
+    uint8_t* row = is_nn + (row0 + w) * world_stride;
+    const double* mb = min_scratch.data() + w * len;
+    for (size_t i = 0; i < n; ++i) {
+      const Participant& p = resolved_[i];
+      uint8_t* prow = row + i * len;
+      if (!p.alive) {
+        std::fill(prow, prow + len, 0);
+        continue;
+      }
+      const double* d = dist2.data() + p.doff * chunk + w * p.wlen;
+      std::fill(prow, prow + p.rel0, 0);
+      for (uint32_t r = 0; r < p.wlen; ++r) {
+        prow[p.rel0 + r] = d[r] <= mb[p.rel0 + r] ? 1 : 0;
+      }
+      std::fill(prow + p.rel0 + p.wlen, prow + len, 0);
+    }
+  }
+}
+
+bool WorldSampler::CoveredBy(const WorldArena& arena) const {
+  for (size_t i = 0; i < resolved_.size(); ++i) {
+    const Participant& p = resolved_[i];
+    if (!p.alive) continue;  // never sampled, nothing to cover
+    const WorldArena::Entry* e = arena.Find(participants_[i]);
+    if (e == nullptr || e->ws != p.ws || e->we != p.we) return false;
+  }
+  return true;
+}
+
+void WorldSampler::EvalArenaWorlds(const WorldArena& arena, size_t first_world,
+                                   size_t count, uint8_t* is_nn,
+                                   size_t world_stride,
+                                   Scratch* scratch) const {
+  UST_CHECK(first_world + count <= arena.num_worlds());
+  const size_t n = resolved_.size();
+  const size_t len = interval_.length();
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<const uint32_t*>& slabs = scratch->arena_slabs;
+  slabs.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Participant& p = resolved_[i];
+    if (!p.alive) {
+      slabs[i] = nullptr;
+      continue;
+    }
+    const WorldArena::Entry* e = arena.Find(participants_[i]);
+    UST_CHECK(e != nullptr && e->ws == p.ws && e->we == p.we);
+    slabs[i] = arena.slab(*e);
+  }
+  std::vector<double>& dist2 = scratch->dist2;
+  std::vector<double>& min_scratch = scratch->min_scratch;
+  // Same chunk structure as SampleCore, with phase 1's alias walk replaced
+  // by slab reads: the slab holds the exact support indices the walk would
+  // have produced, the distance lookups and the min fold are the same
+  // operations on the same values, and ReduceChunk is shared — so the
+  // emitted rows are bit-identical to sampling these worlds live.
+  for (size_t w0 = 0; w0 < count; w0 += kWorldChunk) {
+    const size_t chunk = std::min(kWorldChunk, count - w0);
+    dist2.resize(total_wlen_ * chunk);
+    min_scratch.resize(chunk * len);
+    if (k_ == 1) std::fill(min_scratch.begin(), min_scratch.end(), kInf);
+    for (size_t i = 0; i < n; ++i) {
+      const Participant& p = resolved_[i];
+      if (!p.alive) continue;
+      const double* dtab = dtab_.data() + p.dbase;
+      const uint32_t* doff = p.dtab_off.data();
+      double* block = dist2.data() + p.doff * chunk;
+      const uint32_t wlen = p.wlen;
+      const uint32_t* slab = slabs[i] + (first_world + w0) * wlen;
+      if (k_ == 1) {
+        double* mins = min_scratch.data() + p.rel0;
+        for (size_t w = 0; w < chunk; ++w) {
+          const uint32_t* srow = slab + w * wlen;
+          double* brow = block + w * wlen;
+          double* mrow = mins + w * len;
+          for (uint32_t r = 0; r < wlen; ++r) {
+            const double d = dtab[doff[r] + srow[r]];
+            brow[r] = d;
+            if (d < mrow[r]) mrow[r] = d;
+          }
+        }
+      } else {
+        for (size_t w = 0; w < chunk; ++w) {
+          const uint32_t* srow = slab + w * wlen;
+          double* brow = block + w * wlen;
+          for (uint32_t r = 0; r < wlen; ++r) {
+            brow[r] = dtab[doff[r] + srow[r]];
+          }
+        }
+      }
+    }
+    ReduceChunk(w0, chunk, is_nn, world_stride, scratch);
   }
 }
 
@@ -356,13 +436,54 @@ Result<NnTable> ComputeNnTableScratch(
     const DbSnapshot& db, const std::vector<ObjectId>& participants,
     const QueryTrajectory& q, const TimeInterval& T,
     const MonteCarloOptions& options, ThreadPool* pool,
-    WorldSampler::Scratch* scratch, std::vector<uint8_t>* rows) {
+    WorldSampler::Scratch* scratch, std::vector<uint8_t>* rows,
+    const WorldArena* arena, bool* used_arena) {
   auto sampler =
       WorldSampler::Create(db, participants, q, T, options.k, options.seed);
   if (!sampler.ok()) return sampler.status();
   const WorldSampler& ws = sampler.value();
   NnTable table(participants, T, options.num_worlds);
   const size_t stride = participants.size() * T.length();
+  const bool arena_ok = arena != nullptr &&
+                        arena->Matches(T, options.seed, options.num_worlds) &&
+                        ws.CoveredBy(*arena);
+  if (used_arena != nullptr) *used_arena = arena_ok;
+  if (arena_ok) {
+    if (pool != nullptr && pool->num_threads() > 1 &&
+        options.num_worlds > WorldSampler::kWorldChunk) {
+      // Evaluation needs no RNG prefix pass: any world range reads its
+      // slab rows directly, so sharding is embarrassingly parallel and
+      // still byte-identical (disjoint 64-aligned packing, as below).
+      const int workers = pool->num_threads();
+      std::vector<WorldSampler::Scratch> scratches(workers);
+      std::vector<std::vector<uint8_t>> bufs(workers);
+      NnTable* table_ptr = &table;
+      pool->ParallelForChunked(
+          options.num_worlds, WorldSampler::kWorldChunk,
+          [&, table_ptr](size_t begin, size_t end, int worker) {
+            std::vector<uint8_t>& buf = bufs[worker];
+            buf.resize((end - begin) * stride);
+            ws.EvalArenaWorlds(*arena, begin, end - begin, buf.data(),
+                               stride, &scratches[worker]);
+            table_ptr->PackWorlds(begin, end - begin, buf.data(), stride);
+          });
+    } else {
+      WorldSampler::Scratch local_scratch;
+      std::vector<uint8_t> local_rows;
+      if (scratch == nullptr) scratch = &local_scratch;
+      if (rows == nullptr) rows = &local_rows;
+      rows->resize(std::min(options.num_worlds, WorldSampler::kWorldChunk) *
+                   stride);
+      for (size_t w0 = 0; w0 < options.num_worlds;
+           w0 += WorldSampler::kWorldChunk) {
+        const size_t chunk =
+            std::min(WorldSampler::kWorldChunk, options.num_worlds - w0);
+        ws.EvalArenaWorlds(*arena, w0, chunk, rows->data(), stride, scratch);
+        table.PackWorlds(w0, chunk, rows->data(), stride);
+      }
+    }
+    return table;
+  }
   if (pool != nullptr && pool->num_threads() > 1 &&
       options.num_worlds > WorldSampler::kWorldChunk) {
     // Shard world chunks across the pool. Chunk boundaries are fixed

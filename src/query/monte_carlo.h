@@ -11,12 +11,31 @@
 #include "model/db_snapshot.h"
 #include "query/nn_kernel.h"
 #include "query/query.h"
+#include "util/aligned.h"
+#include "util/check.h"
 #include "util/rng.h"
 #include "util/status.h"
 
 namespace ust {
 
 class ThreadPool;
+class WorldArena;
+
+/// Seed of participant `id`'s world-sampling stream under query seed `seed`.
+/// Keyed by the object id — not by the participant's *position* in the list —
+/// so the worlds an object realizes are a pure function of (seed, id): two
+/// queries over different participant subsets still sample identical
+/// trajectories for their common objects, which is what lets one shared
+/// world arena (query/world_arena.h) serve any pruned subset bit-identically.
+/// splitmix64 finalizer over seed + golden-ratio stride: consecutive ids and
+/// seeds land on decorrelated xoshiro seedings.
+inline uint64_t WorldStreamSeed(uint64_t seed, ObjectId id) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL *
+                          (static_cast<uint64_t>(id) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 
 /// \brief Options of the Monte-Carlo engine.
 struct MonteCarloOptions {
@@ -84,6 +103,8 @@ class NnTable {
   void BuildIndex();
   size_t RelTic(Tic t) const { return static_cast<size_t>(t - interval_.start); }
   const uint64_t* TicWords(size_t obj_index, size_t rel) const {
+    UST_DCHECK(obj_index < objects_.size() &&
+               rel < static_cast<size_t>(interval_.length()));
     return bits_.data() +
            (obj_index * interval_.length() + rel) * words_per_tic_;
   }
@@ -96,7 +117,9 @@ class NnTable {
   TimeInterval interval_;
   size_t num_worlds_;
   size_t words_per_tic_;
-  std::vector<uint64_t> bits_;  // [object][rel tic][world word]
+  // 32-byte-aligned so the SIMD word sweeps (util/simd.h) never straddle the
+  // allocation: a 256-bit load starting inside the buffer stays inside it.
+  AlignedVector<uint64_t> bits_;  // [object][rel tic][world word]
   /// (object id, position in objects_) sorted by id, for O(log n) IndexOf.
   std::vector<std::pair<ObjectId, uint32_t>> sorted_index_;
 };
@@ -128,6 +151,8 @@ class WorldSampler {
     std::vector<double> min_scratch;  // per-(world, rel) k-th distance
     std::vector<double> kth_scratch;  // k>1: per-tic alive distances
     std::vector<Rng> rngs;            // per-participant stream positions
+    /// EvalArenaWorlds: resolved per-participant arena slab pointers.
+    std::vector<const uint32_t*> arena_slabs;
     /// Id of the sampler the cursor is positioned on (0 = none). An id, not
     /// a pointer: ids are never reused, so a scratch outliving its sampler
     /// cannot false-match a new sampler allocated at the same address.
@@ -181,6 +206,23 @@ class WorldSampler {
   void SampleNext(size_t count, uint8_t* is_nn, size_t world_stride,
                   Scratch* scratch) const;
 
+  /// True when `arena` realizes every alive participant of this sampler over
+  /// the exact sampling window (same interval, same seed-keyed streams are
+  /// the arena's responsibility — this checks object coverage and windows).
+  bool CoveredBy(const WorldArena& arena) const;
+
+  /// Evaluate worlds [first_world, first_world + count) against `arena`
+  /// instead of sampling them: per-world marks are bit-identical to
+  /// Sample* of the same worlds (the arena stores the very state indices
+  /// the batch walk would have produced), but the alias-walk cost is gone —
+  /// only distance lookups and the NN reduction remain. Requires
+  /// CoveredBy(arena) and first_world + count <= arena.num_worlds().
+  /// Output layout matches SampleWorldsFrom; safe concurrently with
+  /// distinct scratches.
+  void EvalArenaWorlds(const WorldArena& arena, size_t first_world,
+                       size_t count, uint8_t* is_nn, size_t world_stride,
+                       Scratch* scratch) const;
+
   size_t num_participants() const { return participants_.size(); }
   const std::vector<ObjectId>& participants() const { return participants_; }
   const TimeInterval& interval() const { return interval_; }
@@ -208,6 +250,13 @@ class WorldSampler {
   /// `rngs` (aligned with participants), writing marks through `is_nn`.
   void SampleCore(size_t count, uint8_t* is_nn, size_t world_stride, Rng* rngs,
                   Scratch* scratch) const;
+
+  /// Phase 2 + marking of one chunk: turns the distance blocks and (k == 1)
+  /// folded minima already in `scratch` into indicator rows for worlds
+  /// [row0, row0 + chunk) of `is_nn`. Shared by the sampling and the
+  /// arena-evaluation paths — identical bytes by construction.
+  void ReduceChunk(size_t row0, size_t chunk, uint8_t* is_nn,
+                   size_t world_stride, Scratch* scratch) const;
 
   std::vector<ObjectId> participants_;
   std::vector<Participant> resolved_;
@@ -246,11 +295,19 @@ Result<NnTable> ComputeNnTable(const DbSnapshot& db,
 /// internally (amortized over the multi-chunk sampling it implies). Either
 /// pointer may be nullptr (private locals are used). The result is
 /// identical to ComputeNnTable.
+///
+/// When `arena` is non-null, covers this query's (interval, seed,
+/// num_worlds) and all alive participants, the worlds are *evaluated*
+/// against the arena instead of sampled — same bytes, no alias walk — and
+/// `*used_arena` (if given) is set to true. Otherwise the call falls back
+/// to live sampling and sets `*used_arena` to false; the result is
+/// identical either way.
 Result<NnTable> ComputeNnTableScratch(
     const DbSnapshot& db, const std::vector<ObjectId>& participants,
     const QueryTrajectory& q, const TimeInterval& T,
     const MonteCarloOptions& options, ThreadPool* pool,
-    WorldSampler::Scratch* scratch, std::vector<uint8_t>* rows);
+    WorldSampler::Scratch* scratch, std::vector<uint8_t>* rows,
+    const WorldArena* arena = nullptr, bool* used_arena = nullptr);
 
 /// \brief Per-object probability estimates for the P∃NNQ / P∀NNQ queries.
 struct PnnEstimate {

@@ -134,6 +134,94 @@ std::vector<QueryOutcome> QuerySession::RunAll(
   return outcomes;
 }
 
+ArenaStats QuerySession::arena_stats() const {
+  ArenaStats s;
+  s.builds = own_arena_counters_.builds.load(std::memory_order_relaxed);
+  s.spec_reuses =
+      own_arena_counters_.spec_reuses.load(std::memory_order_relaxed);
+  s.bytes = own_arena_counters_.bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+void QuerySession::NoteArenaUse() const {
+  own_arena_counters_.spec_reuses.fetch_add(1, std::memory_order_relaxed);
+  if (options_.arena_counters != nullptr) {
+    options_.arena_counters->spec_reuses.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  }
+}
+
+std::shared_ptr<const WorldArena> QuerySession::ArenaFor(
+    const TimeInterval& T, uint64_t seed, size_t num_worlds,
+    ThreadPool* pool) const {
+  if (options_.arena_min_uses <= 0 || !T.valid() || num_worlds == 0) {
+    return nullptr;
+  }
+  size_t build_worlds = 0;
+  {
+    std::lock_guard<std::mutex> lock(arena_mu_);
+    ArenaSlot* slot = nullptr;
+    for (ArenaSlot& s : arena_slots_) {
+      if (s.T.start == T.start && s.T.end == T.end && s.seed == seed) {
+        slot = &s;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      // Bound the group list: drop idle (non-building) groups front-first.
+      // Handed-out arenas survive any trim — callers hold shared_ptrs.
+      constexpr size_t kMaxArenaSlots = 16;
+      if (arena_slots_.size() >= kMaxArenaSlots) {
+        for (auto it = arena_slots_.begin(); it != arena_slots_.end();) {
+          if (!it->building && arena_slots_.size() >= kMaxArenaSlots) {
+            it = arena_slots_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      arena_slots_.push_back(ArenaSlot{T, seed, 0, 0, false, nullptr});
+      slot = &arena_slots_.back();
+    }
+    slot->uses += 1;
+    slot->max_worlds = std::max(slot->max_worlds, num_worlds);
+    if (slot->arena != nullptr) return slot->arena;
+    if (slot->building ||
+        slot->uses < static_cast<uint32_t>(options_.arena_min_uses)) {
+      return nullptr;  // cold, or another lane is building: sample live
+    }
+    slot->building = true;
+    build_worlds = slot->max_worlds;
+  }
+  // Build outside the lock: sampling the whole group must not serialize the
+  // other lanes (they sample live meanwhile — same bytes, the contract).
+  // The group superset is everything alive within T: pruning only ever
+  // yields subsets of it, so the arena covers any spec of the group.
+  auto built = WorldArena::Build(db_, db_.AliveSometime(T.start, T.end), T,
+                                 seed, build_worlds, pool);
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  // Re-find by key: the slot vector may have been trimmed or reallocated
+  // while we sampled.
+  for (ArenaSlot& s : arena_slots_) {
+    if (s.T.start == T.start && s.T.end == T.end && s.seed == seed) {
+      s.building = false;
+      if (!built.ok()) return nullptr;  // group unbuildable: stay live
+      s.arena = std::make_shared<const WorldArena>(built.MoveValue());
+      own_arena_counters_.builds.fetch_add(1, std::memory_order_relaxed);
+      own_arena_counters_.bytes.fetch_add(s.arena->bytes(),
+                                          std::memory_order_relaxed);
+      if (options_.arena_counters != nullptr) {
+        options_.arena_counters->builds.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        options_.arena_counters->bytes.fetch_add(s.arena->bytes(),
+                                                 std::memory_order_relaxed);
+      }
+      return s.arena;
+    }
+  }
+  return nullptr;  // slot trimmed mid-build: drop the arena
+}
+
 void QuerySession::RunMorsel(const std::vector<QuerySpec>& specs,
                              size_t begin, size_t end, QueryOutcome* outcomes,
                              ThreadPool* pool, ExecScratch* scratch) const {
@@ -209,12 +297,24 @@ void QuerySession::RunPnn(const QuerySpec& spec, const UstTree::TimeSlab* slab,
   ctx.pool = world_pool;
   ctx.sampler_scratch = &scratch->sampler;
   ctx.row_buffer = &scratch->rows;
+  // Monte-Carlo specs consult the session's shared arena; the shared_ptr
+  // keeps it alive for the whole estimate even if the cache trims it.
+  std::shared_ptr<const WorldArena> arena;
+  bool used_arena = false;
+  if (choice == ExecutorKind::kMonteCarlo) {
+    arena = ArenaFor(spec.T, spec.mc.seed, spec.mc.num_worlds, world_pool);
+    ctx.arena = arena.get();
+    ctx.arena_used = &used_arena;
+  }
   auto estimates = GetExecutor(choice).Estimate(task, ctx);
   if (!estimates.ok() && choice == ExecutorKind::kExact && !forced &&
       estimates.status().code() == StatusCode::kResourceLimit) {
     // The planner under-estimated the enumeration cross product (it only
     // sees set sizes, not per-object world counts): fall back to sampling.
     choice = ExecutorKind::kMonteCarlo;
+    arena = ArenaFor(spec.T, spec.mc.seed, spec.mc.num_worlds, world_pool);
+    ctx.arena = arena.get();
+    ctx.arena_used = &used_arena;
     estimates = GetExecutor(choice).Estimate(task, ctx);
   }
   if (!estimates.ok()) {
@@ -222,6 +322,8 @@ void QuerySession::RunPnn(const QuerySpec& spec, const UstTree::TimeSlab* slab,
     return;
   }
   out->executor = choice;
+  out->used_arena = used_arena;
+  if (used_arena) NoteArenaUse();
   for (const PnnEstimate& e : estimates.value()) {
     const double p = forall ? e.forall_prob : e.exists_prob;
     if (p >= spec.tau) out->pnn.results.push_back({e.object, p});
@@ -257,13 +359,18 @@ void QuerySession::RunContinuous(const QuerySpec& spec,
 
   Timer sample_timer;
   out->executor = ExecutorKind::kMonteCarlo;
-  auto table =
-      ComputeNnTableScratch(db_, pruned.influencers, spec.q, spec.T, spec.mc,
-                            world_pool, &scratch->sampler, &scratch->rows);
+  std::shared_ptr<const WorldArena> arena =
+      ArenaFor(spec.T, spec.mc.seed, spec.mc.num_worlds, world_pool);
+  bool used_arena = false;
+  auto table = ComputeNnTableScratch(db_, pruned.influencers, spec.q, spec.T,
+                                     spec.mc, world_pool, &scratch->sampler,
+                                     &scratch->rows, arena.get(), &used_arena);
   if (!table.ok()) {
     out->status = table.status();
     return;
   }
+  out->used_arena = used_arena;
+  if (used_arena) NoteArenaUse();
   auto pcnn = PcnnOnTable(table.value(), pruned.candidates, spec.tau);
   if (!pcnn.ok()) {
     out->status = pcnn.status();

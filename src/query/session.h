@@ -17,7 +17,9 @@
 // from world indices, and per-query outputs occupy disjoint slots.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "index/ust_tree.h"
@@ -26,10 +28,28 @@
 #include "query/monte_carlo.h"
 #include "query/pcnn.h"
 #include "query/query.h"
+#include "query/world_arena.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace ust {
+
+/// \brief Cross-session tally of world-arena activity (atomics: sessions are
+/// driven concurrently by serving-tier lanes). The serving tier owns one and
+/// injects it via SessionOptions; ToJson surfaces it as arena_builds /
+/// arena_spec_reuses / arena_bytes.
+struct ArenaCounters {
+  std::atomic<uint64_t> builds{0};       ///< arenas materialized
+  std::atomic<uint64_t> spec_reuses{0};  ///< specs evaluated against an arena
+  std::atomic<uint64_t> bytes{0};        ///< slab bytes across built arenas
+};
+
+/// \brief Plain snapshot of one session's own arena activity.
+struct ArenaStats {
+  uint64_t builds = 0;
+  uint64_t spec_reuses = 0;
+  uint64_t bytes = 0;
+};
 
 /// \brief One qualifying object with its estimated probability.
 struct PnnResultEntry {
@@ -74,6 +94,10 @@ struct QueryOutcome {
   QueryKind kind = QueryKind::kForall;
   /// Backend that actually refined the query (after planning + fallback).
   ExecutorKind executor = ExecutorKind::kMonteCarlo;
+  /// Whether the worlds were evaluated against the session's shared arena
+  /// instead of sampled live. Purely observational: outcomes are
+  /// bit-identical either way (the arena determinism contract).
+  bool used_arena = false;
   PnnQueryResult pnn;    ///< kForall / kExists
   PcnnQueryResult pcnn;  ///< kContinuous
 };
@@ -84,6 +108,16 @@ struct SessionOptions {
   /// Prepare's parallel posterior adaptation. 1 = fully serial.
   int threads = 1;
   PlannerOptions planner;
+  /// Shared world arena policy: build the arena of a (interval, seed) group
+  /// once this many Monte-Carlo specs have hit it. 0 disables arenas
+  /// entirely; 1 builds on first use (benches, tests); the default 2 means
+  /// a group pays the build only once it has proven hot — a stream of
+  /// unique (interval, seed) keys never regresses.
+  int arena_min_uses = 2;
+  /// Optional external tally (the serving tier's SessionCache injects one
+  /// shared across its sessions); may be nullptr. The session also keeps
+  /// its own ArenaStats either way.
+  ArenaCounters* arena_counters = nullptr;
 };
 
 /// \brief Long-lived query façade over one database epoch + UST-tree.
@@ -158,6 +192,9 @@ class QuerySession {
   const DbSnapshot& db() const { return db_; }
   ThreadPool& pool() { return pool_; }
 
+  /// Snapshot of this session's own arena activity (thread-safe).
+  ArenaStats arena_stats() const;
+
  private:
   /// Pruning (filter step), via the index slab when one is cached for T;
   /// without an index, degenerates to alive-time filtering.
@@ -189,6 +226,31 @@ class QuerySession {
                      ThreadPool* world_pool, ExecScratch* scratch,
                      QueryOutcome* out) const;
 
+  /// One (interval, seed) arena group and its build state. `building` is
+  /// the non-blocking in-flight marker: while a build runs outside the
+  /// lock, concurrent callers get nullptr and sample live — still
+  /// bit-identical, just not yet amortized.
+  struct ArenaSlot {
+    TimeInterval T{0, 0};
+    uint64_t seed = 0;
+    size_t max_worlds = 0;  ///< largest num_worlds requested so far
+    uint32_t uses = 0;      ///< Monte-Carlo specs seen for this key
+    bool building = false;
+    std::shared_ptr<const WorldArena> arena;
+  };
+
+  /// The shared arena serving (T, seed, num_worlds), building it (on the
+  /// calling thread, `pool`-sharded) once the group reached arena_min_uses.
+  /// Returns nullptr while cold, disabled, or mid-build by another lane.
+  /// Thread-safe (the morsel path calls it concurrently); the returned
+  /// shared_ptr keeps the arena alive past any cache trim or session churn.
+  std::shared_ptr<const WorldArena> ArenaFor(const TimeInterval& T,
+                                             uint64_t seed, size_t num_worlds,
+                                             ThreadPool* pool) const;
+
+  /// Tally one spec evaluated against an arena (own stats + injected).
+  void NoteArenaUse() const;
+
   DbSnapshot db_;
   const UstTree* index_;
   SessionOptions options_;
@@ -199,6 +261,12 @@ class QuerySession {
   std::vector<std::unique_ptr<UstTree::TimeSlab>> slabs_;
   bool prepared_ = false;
   Status prepare_status_;
+  /// Arena groups; mutable because arenas are a cache — RunMorsel is const
+  /// and concurrent, so access is serialized by arena_mu_ (builds happen
+  /// outside the lock; see ArenaFor).
+  mutable std::mutex arena_mu_;
+  mutable std::vector<ArenaSlot> arena_slots_;
+  mutable ArenaCounters own_arena_counters_;
 };
 
 }  // namespace ust

@@ -25,6 +25,14 @@ void AppendCounter(std::string* out, const char* key, uint64_t value,
   *out += buf;
 }
 
+SessionOptions MakeSessionOptions(const ServerOptions& options) {
+  SessionOptions session_options;
+  session_options.threads = options.threads;
+  session_options.planner = options.planner;
+  session_options.arena_min_uses = options.arena_min_uses;
+  return session_options;
+}
+
 }  // namespace
 
 uint64_t ServerStats::lane_steals() const {
@@ -36,6 +44,12 @@ uint64_t ServerStats::lane_steals() const {
 uint64_t ServerStats::morsels_executed() const {
   uint64_t total = 0;
   for (const LaneStats& lane : lanes) total += lane.morsels;
+  return total;
+}
+
+uint64_t ServerStats::arena_hits() const {
+  uint64_t total = 0;
+  for (const LaneStats& lane : lanes) total += lane.arena_hits;
   return total;
 }
 
@@ -65,6 +79,9 @@ std::string ServerStats::ToJson() const {
   AppendCounter(&out, "cache_shared_joins", cache.shared_joins);
   AppendCounter(&out, "cache_evictions_lru", cache.evictions_lru);
   AppendCounter(&out, "cache_evictions_stale", cache.evictions_stale);
+  AppendCounter(&out, "arena_builds", cache.arena_builds);
+  AppendCounter(&out, "arena_spec_reuses", cache.arena_spec_reuses);
+  AppendCounter(&out, "arena_bytes", cache.arena_bytes);
   out += ",\"latency_us\":" + latency_micros.ToJson();
   out += ",\"queue_us\":" + queue_micros.ToJson();
   out += ",\"lanes\":[";
@@ -75,6 +92,7 @@ std::string ServerStats::ToJson() const {
     AppendCounter(&out, "requests", lanes[i].requests);
     AppendCounter(&out, "morsels", lanes[i].morsels);
     AppendCounter(&out, "steals", lanes[i].steals);
+    AppendCounter(&out, "arena_hits", lanes[i].arena_hits);
     out += ",\"exec_us\":" + lanes[i].exec_micros.ToJson();
     out += "}";
   }
@@ -85,8 +103,7 @@ std::string ServerStats::ToJson() const {
 QueryServer::QueryServer(const TrajectoryDatabase& db, const UstTree* index,
                          ServerOptions options)
     : db_(&db), index_(index), options_(options),
-      cache_(options.session_cache_capacity,
-             SessionOptions{options.threads, options.planner}) {
+      cache_(options.session_cache_capacity, MakeSessionOptions(options)) {
   // A zero batch size would dispatch empty batches forever while admitted
   // requests starve, a zero queue capacity would bounce all traffic, and a
   // zero-lane pool would stage jobs nobody executes; a server always admits,
@@ -399,12 +416,17 @@ void QueryServer::ExecuteMorsel(const std::shared_ptr<GroupTask>& group,
   const double exec_micros = std::chrono::duration<double, std::micro>(
                                  std::chrono::steady_clock::now() - exec_start)
                                  .count();
+  uint64_t arena_hits = 0;
+  for (size_t i = begin; i < end; ++i) {
+    if (group->outcomes[i].used_arena) ++arena_hits;
+  }
   bool last = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     LaneStats& lane_stats = stats_.lanes[static_cast<size_t>(lane)];
     ++lane_stats.morsels;
     lane_stats.requests += end - begin;
+    lane_stats.arena_hits += arena_hits;
     lane_stats.exec_micros.Record(exec_micros);
     group->completed += end - begin;
     last = group->completed == group->specs.size();
@@ -439,11 +461,16 @@ void QueryServer::ExecuteGroupExclusive(
   const double exec_micros = std::chrono::duration<double, std::micro>(
                                  std::chrono::steady_clock::now() - exec_start)
                                  .count();
+  uint64_t arena_hits = 0;
+  for (const QueryOutcome& outcome : group->outcomes) {
+    if (outcome.used_arena) ++arena_hits;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     LaneStats& lane_stats = stats_.lanes[static_cast<size_t>(lane)];
     ++lane_stats.morsels;  // the whole group, as one morsel
     lane_stats.requests += group->specs.size();
+    lane_stats.arena_hits += arena_hits;
     lane_stats.exec_micros.Record(exec_micros);
     group->completed = group->specs.size();
     for (auto it = groups_.begin(); it != groups_.end(); ++it) {

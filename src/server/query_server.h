@@ -87,6 +87,12 @@ struct ServerOptions {
   size_t queue_capacity = 4096;
   /// LRU capacity of the (epoch, interval) session cache.
   size_t session_cache_capacity = 8;
+  /// Shared world-arena policy handed to every session (see
+  /// SessionOptions::arena_min_uses): a hot (interval, seed) group's worlds
+  /// are materialized once and every later Monte-Carlo spec on the group
+  /// evaluates against them — bit-identically — instead of re-sampling.
+  /// 0 disables arenas; the default 2 builds once a group proved hot.
+  int arena_min_uses = 2;
   /// Planner knobs handed to every session.
   PlannerOptions planner;
 };
@@ -97,6 +103,9 @@ struct LaneStats {
   uint64_t requests = 0;  ///< specs this lane executed
   uint64_t morsels = 0;   ///< morsels this lane executed
   uint64_t steals = 0;    ///< half-ranges this lane stole when idle
+  /// Specs this lane evaluated against a shared world arena instead of
+  /// sampling live (QueryOutcome::used_arena).
+  uint64_t arena_hits = 0;
   /// Wall time of each executed morsel (whole group when steal = false),
   /// microseconds.
   LatencyHistogram exec_micros;
@@ -129,6 +138,8 @@ struct ServerStats {
   uint64_t lane_steals() const;
   /// Sum of LaneStats::morsels.
   uint64_t morsels_executed() const;
+  /// Sum of LaneStats::arena_hits — specs served off a shared world arena.
+  uint64_t arena_hits() const;
 
   /// Render as a JSON object (counters, cache, queue gauge, the end-to-end
   /// and queue histograms, the steal/morsel aggregates, and a per-lane

@@ -54,7 +54,11 @@ void SessionCache::SharedLease::Release() {
 
 SessionCache::SessionCache(size_t capacity, SessionOptions session_options)
     : capacity_(std::max<size_t>(1, capacity)),
-      session_options_(session_options) {}
+      session_options_(session_options) {
+  // Every session built by this cache tallies its arena activity here, so
+  // stats() reports group sharing across session churn and eviction.
+  session_options_.arena_counters = &arena_counters_;
+}
 
 std::shared_ptr<QuerySession> SessionCache::BuildSession(
     const DbSnapshot& snapshot, const TimeInterval& T, const UstTree* index) {
@@ -242,7 +246,12 @@ size_t SessionCache::size() const {
 
 SessionCacheStats SessionCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  SessionCacheStats s = stats_;
+  s.arena_builds = arena_counters_.builds.load(std::memory_order_relaxed);
+  s.arena_spec_reuses =
+      arena_counters_.spec_reuses.load(std::memory_order_relaxed);
+  s.arena_bytes = arena_counters_.bytes.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace ust

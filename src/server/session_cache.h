@@ -62,6 +62,11 @@ struct SessionCacheStats {
                                 ///< instead of building a duplicate
   uint64_t evictions_lru = 0;   ///< dropped for capacity
   uint64_t evictions_stale = 0; ///< dropped because their epoch passed
+  // World-arena activity across every session this cache built (the
+  // injected ArenaCounters; see query/session.h).
+  uint64_t arena_builds = 0;       ///< arenas materialized
+  uint64_t arena_spec_reuses = 0;  ///< specs evaluated against an arena
+  uint64_t arena_bytes = 0;        ///< slab bytes across built arenas
 };
 
 /// \brief Thread-safe LRU cache of warmed QuerySessions keyed by
@@ -206,7 +211,10 @@ class SessionCache {
   void ReleaseShared(SharedEntry* entry);
 
   const size_t capacity_;
-  const SessionOptions session_options_;
+  /// Not const: the constructor points its arena_counters at the cache's
+  /// own tally below, so every session built here reports into it.
+  SessionOptions session_options_;
+  ArenaCounters arena_counters_;
 
   mutable std::mutex mu_;
   /// Serializes session warm-up (the single-warmer contract of

@@ -1,0 +1,58 @@
+// Over-aligned storage for the SIMD-swept data structures: the packed
+// NnTable bitmap and the shared world arena slabs are reduced with 32-byte
+// vector loads, so their base allocations are pinned to 32-byte boundaries —
+// a vector load that starts inside the buffer can then never straddle the
+// end of the allocation's last cache line into unmapped memory.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace ust {
+
+/// \brief Minimal allocator pinning every allocation to `Alignment` bytes
+/// (C++17 aligned operator new). Stateless: all instances are equal, so
+/// vectors with this allocator move buffers instead of copying.
+template <typename T, size_t Alignment = 32>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "alignment below the type's natural alignment");
+
+  using value_type = T;
+  // The non-type Alignment parameter defeats allocator_traits' default
+  // rebind deduction; spell it out.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U, Alignment>&) const {
+    return false;
+  }
+};
+
+/// 32-byte-aligned vector: one AVX2 lane (and two NEON lanes) per boundary.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, 32>>;
+
+}  // namespace ust

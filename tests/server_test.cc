@@ -654,7 +654,9 @@ TEST_F(ServerTest, StatsRenderAsJson) {
         "\"cache_shared_joins\":", "\"latency_us\":",
         "\"queue_us\":", "\"p50\":", "\"p99\":", "\"lane_queue_depth\":",
         "\"lane_queue_peak\":", "\"lane_steals\":", "\"morsels_executed\":",
-        "\"lanes\":[{", "\"exec_us\":", "\"morsels\":", "\"steals\":"}) {
+        "\"arena_builds\":", "\"arena_spec_reuses\":", "\"arena_bytes\":",
+        "\"lanes\":[{", "\"exec_us\":", "\"morsels\":", "\"steals\":",
+        "\"arena_hits\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << json << "\nmissing " << key;
   }
 }

@@ -6,9 +6,11 @@
 #include <limits>
 #include <sstream>
 
+#include "util/aligned.h"
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/stats.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -276,6 +278,82 @@ TEST(LatencyHistogramTest, ClampsGarbageAndMerges) {
   EXPECT_EQ(a.max(), 200.0);
   EXPECT_EQ(a.min(), 0.0);
   EXPECT_NEAR(a.mean(), 75.0, 1e-9);
+}
+
+// --------------------------------------------------------------- Aligned ---
+
+TEST(AlignedTest, VectorDataIs32ByteAligned) {
+  // The SIMD kernels assume nothing (unaligned loads), but the arena and
+  // NnTable storage promise 32-byte slabs anyway — pin the promise.
+  for (size_t n : {1u, 7u, 64u, 1000u}) {
+    AlignedVector<uint64_t> words(n, 0);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(words.data()) % 32, 0u) << n;
+    AlignedVector<uint32_t> locals(n, 0);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(locals.data()) % 32, 0u) << n;
+  }
+  // Growth reallocations keep the alignment.
+  AlignedVector<uint64_t> grow;
+  for (int i = 0; i < 100; ++i) {
+    grow.push_back(static_cast<uint64_t>(i));
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(grow.data()) % 32, 0u);
+  }
+}
+
+// ------------------------------------------------------------------ Simd ---
+
+TEST(SimdTest, DetectedLevelIsActiveByDefault) {
+  // UST_SIMD=scalar builds cap the default below the detected level; either
+  // way the active level never exceeds what the CPU supports.
+  EXPECT_LE(static_cast<int>(ActiveSimdLevel()),
+            static_cast<int>(DetectSimdLevel()));
+  EXPECT_NE(SimdLevelName(ActiveSimdLevel()), nullptr);
+}
+
+TEST(SimdTest, ForceRejectsUnsupportedLevels) {
+  // Forcing scalar always works; forcing the detected level always works;
+  // forcing anything above detection must fail and leave the table usable.
+  EXPECT_TRUE(ForceSimdLevel(SimdLevel::kScalar));
+  EXPECT_TRUE(ForceSimdLevel(DetectSimdLevel()));
+  if (DetectSimdLevel() != SimdLevel::kAvx2) {
+    EXPECT_FALSE(ForceSimdLevel(SimdLevel::kAvx2));
+  }
+  EXPECT_TRUE(ForceSimdLevel(DetectSimdLevel()));
+}
+
+TEST(SimdTest, KernelsBitwiseEqualAcrossLevels) {
+  // Popcount sums are integers, so every dispatch level must agree exactly
+  // — including ragged tails that exercise the vector/scalar seam.
+  Rng rng(1234);
+  for (size_t n : {0u, 1u, 3u, 4u, 5u, 8u, 13u, 31u, 64u, 100u}) {
+    AlignedVector<uint64_t> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = rng() | (rng() << 1);
+      b[i] = rng() ^ (rng() >> 3);
+    }
+    std::vector<const uint64_t*> rows = {a.data(), b.data()};
+    ASSERT_TRUE(ForceSimdLevel(SimdLevel::kScalar));
+    const uint64_t pop_s = PopcountWords(a.data(), n);
+    const uint64_t and_s = AndPopcountWords(a.data(), b.data(), n);
+    const uint64_t or_s = OrPopcountWords(a.data(), b.data(), n);
+    const uint64_t andr_s = AndRowsPopcount(rows.data(), rows.size(), n);
+    const uint64_t orr_s = OrRowsPopcount(rows.data(), rows.size(), n);
+    ASSERT_TRUE(ForceSimdLevel(DetectSimdLevel()));
+    EXPECT_EQ(PopcountWords(a.data(), n), pop_s) << n;
+    EXPECT_EQ(AndPopcountWords(a.data(), b.data(), n), and_s) << n;
+    EXPECT_EQ(OrPopcountWords(a.data(), b.data(), n), or_s) << n;
+    EXPECT_EQ(AndRowsPopcount(rows.data(), rows.size(), n), andr_s) << n;
+    EXPECT_EQ(OrRowsPopcount(rows.data(), rows.size(), n), orr_s) << n;
+  }
+}
+
+TEST(SimdTest, RowReductionEdgeCases) {
+  AlignedVector<uint64_t> ones(4, ~uint64_t{0});
+  const uint64_t* row = ones.data();
+  // Zero rows: AND over nothing is all-ones (64 bits per word), OR is empty.
+  EXPECT_EQ(AndRowsPopcount(nullptr, 0, 4), 256u);
+  EXPECT_EQ(OrRowsPopcount(nullptr, 0, 4), 0u);
+  EXPECT_EQ(AndRowsPopcount(&row, 1, 4), 256u);
+  EXPECT_EQ(OrRowsPopcount(&row, 1, 4), 256u);
 }
 
 TEST(TimerTest, MeasuresElapsedTime) {

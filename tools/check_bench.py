@@ -54,6 +54,14 @@ CHECKS = {
         # The intra-query-parallel backends' own tracked lines (PR 5).
         "qps_markov_approx": ("down", ABSOLUTE_BAND),
         "qps_exact": ("down", ABSOLUTE_BAND),
+        # The shared world arena on a hot (interval, seed) group (PR 6):
+        # the on/off qps lines are absolute, the within-run ratio is
+        # machine-portable. Arena evaluation skips the alias-sampling walk,
+        # so the ratio sits >1 even single-core; the band only rejects the
+        # amortization genuinely regressing.
+        "qps_arena_on": ("down", ABSOLUTE_BAND),
+        "qps_arena_off": ("down", ABSOLUTE_BAND),
+        "arena_speedup": ("down", RATIO_BAND),
     },
     "micro_server": {
         "speedup_server_vs_cold": ("down", RATIO_BAND),
@@ -68,6 +76,10 @@ CHECKS = {
         # multi-core runner's >=1.3x win can only push it further up.
         "steal_speedup": ("down", RATIO_BAND),
         "p99_skew_steal": ("up", ABSOLUTE_BAND),
+        # The arena on/off comparison on the hot-group skewed stream (PR 6).
+        "qps_arena_on": ("down", ABSOLUTE_BAND),
+        "qps_arena_off": ("down", ABSOLUTE_BAND),
+        "arena_speedup": ("down", RATIO_BAND),
     },
 }
 
@@ -75,7 +87,8 @@ CHECKS = {
 CONFIG_KEYS = [
     "benchmark", "num_states", "num_objects", "num_worlds", "num_queries",
     "num_participants", "num_intervals", "interval_length", "threads",
-    "lanes", "clients", "max_batch_size", "executor", "skew", "morsel_specs",
+    "lanes", "clients", "max_batch_size", "executor", "arena", "skew",
+    "morsel_specs",
     "markov_objects", "markov_queries", "exact_objects", "exact_queries",
 ]
 
