@@ -35,10 +35,19 @@
 // sampling bytes exactly; emits qps_arena_on / qps_arena_off /
 // arena_speedup (the skip-the-alias-walk amortization under measurement).
 //
+// --adaptive {on,off} gates the adaptive-precision phase (on by default, mc
+// executor only): the query stream re-cast as tau = 0.5 threshold decisions
+// under an oversized --adaptive_worlds cap, evaluated with fixed sampling vs
+// the sequential stopping rule (DESIGN.md section 8). Emits qps_adaptive_on /
+// qps_adaptive_off / adaptive_speedup / mean_worlds_used, and pins the
+// revised determinism contract: identical stop decisions — and identical
+// bytes — at any thread count.
+//
 // Flags (defaults sized for a single CI core):
 //   --states=10000 --objects=48 --lifetime=96 --obs_interval=12
 //   --horizon=120 --interval=10 --worlds=500 --queries=50 --threads=1
-//   --executor=all --arena=on --markov_objects=8 --markov_interval=6
+//   --executor=all --arena=on --adaptive=on --adaptive_worlds=8192
+//   --markov_objects=8 --markov_interval=6
 //   --markov_queries=6 --exact_objects=3 --exact_interval=3
 //   --exact_queries=6 --json_out=BENCH_engine.json
 #include <cmath>
@@ -81,6 +90,11 @@ int main(int argc, char** argv) {
   const std::string arena_mode = flags.GetString("arena", "on");
   UST_CHECK(arena_mode == "on" || arena_mode == "off");
   const bool run_arena = run_mc && arena_mode == "on";
+  const std::string adaptive_mode = flags.GetString("adaptive", "on");
+  UST_CHECK(adaptive_mode == "on" || adaptive_mode == "off");
+  const bool run_adaptive = run_mc && adaptive_mode == "on";
+  const size_t adaptive_worlds =
+      static_cast<size_t>(flags.GetInt("adaptive_worlds", 8192));
   const std::string json_out = flags.GetString("json_out", "BENCH_engine.json");
 
   PrintConfig("micro_engine: plan-based query pipeline throughput", flags,
@@ -300,6 +314,104 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- Adaptive phase: threshold precision vs fixed sampling. ----
+  // The same query points, re-cast as easy decision queries ("is P∀NN >= 0.5
+  // with 95% confidence?") under a deliberately oversized world cap: the
+  // fixed pass draws every one of the --adaptive_worlds worlds, the adaptive
+  // pass stops at the first 512-world chunk boundary where every target's
+  // Wilson interval clears tau. Per-spec seeds stay unique so no arena group
+  // goes hot — the phase measures the stopping rule, not arena reuse. A
+  // 1-thread re-run pins the determinism contract: identical stop decisions
+  // and bits at any pool size.
+  double qps_adaptive_on = 0.0;
+  double qps_adaptive_off = 0.0;
+  double mean_worlds_used = 0.0;
+  if (run_adaptive) {
+    UST_CHECK(adaptive_worlds >= WorldSampler::kWorldChunk);
+    std::vector<QuerySpec> easy = specs;
+    for (size_t i = 0; i < easy.size(); ++i) {
+      easy[i].tau = 0.5;
+      easy[i].mc.num_worlds = adaptive_worlds;
+      easy[i].mc.seed = 86000 + i;
+      easy[i].precision.mode = PrecisionMode::kThreshold;
+      easy[i].precision.delta = 0.05;
+    }
+    std::vector<QuerySpec> fixed = easy;
+    for (QuerySpec& spec : fixed) {
+      spec.precision.mode = PrecisionMode::kFixedWorlds;
+    }
+    std::vector<QueryOutcome> off_results, on_results;
+    {
+      SessionOptions options;
+      options.threads = threads;
+      QuerySession session(db, &tree.value(), options);
+      UST_CHECK(session.Prepare().ok());
+      session.RunAll(fixed);  // warm-up, untimed
+      Timer t;
+      off_results = session.RunAll(fixed);
+      qps_adaptive_off = static_cast<double>(fixed.size()) / t.Seconds();
+      for (const QueryOutcome& out : off_results) {
+        UST_CHECK(out.status.ok());
+        UST_CHECK(out.worlds_used == adaptive_worlds && !out.early_stopped);
+      }
+    }
+    {
+      SessionOptions options;
+      options.threads = threads;
+      QuerySession session(db, &tree.value(), options);
+      UST_CHECK(session.Prepare().ok());
+      session.RunAll(easy);  // warm-up, untimed
+      Timer t;
+      on_results = session.RunAll(easy);
+      qps_adaptive_on = static_cast<double>(easy.size()) / t.Seconds();
+      size_t early_stops = 0, worlds_total = 0;
+      for (const QueryOutcome& out : on_results) {
+        UST_CHECK(out.status.ok());
+        UST_CHECK(out.worlds_used <= adaptive_worlds);
+        worlds_total += out.worlds_used;
+        if (out.early_stopped) ++early_stops;
+      }
+      // An easy workload must mostly stop early — that's the phase. (A few
+      // queries can land a target genuinely near tau and run to the cap;
+      // that fallback is correct, not a failure.)
+      UST_CHECK(early_stops * 4 >= easy.size() * 3);
+      mean_worlds_used =
+          static_cast<double>(worlds_total) / static_cast<double>(easy.size());
+    }
+    // Determinism: the stop decision is taken at the same chunk boundary at
+    // any thread count, so a 1-thread session reproduces worlds_used and
+    // every estimate bit for bit.
+    {
+      SessionOptions serial;
+      serial.threads = 1;
+      QuerySession session(db, &tree.value(), serial);
+      UST_CHECK(session.Prepare().ok());
+      std::vector<QueryOutcome> serial_results = session.RunAll(easy);
+      for (size_t i = 0; i < easy.size(); ++i) {
+        UST_CHECK(serial_results[i].status.ok());
+        UST_CHECK(serial_results[i].worlds_used == on_results[i].worlds_used);
+        UST_CHECK(serial_results[i].early_stopped ==
+                  on_results[i].early_stopped);
+        const auto& a = serial_results[i].pnn.results;
+        const auto& b = on_results[i].pnn.results;
+        UST_CHECK(a.size() == b.size());
+        for (size_t j = 0; j < a.size(); ++j) {
+          UST_CHECK(a[j].object == b[j].object && a[j].prob == b[j].prob);
+        }
+      }
+    }
+    // Decision agreement: the adaptive qualifying set (frozen CI-backed
+    // estimates) matches the fixed-cap qualifying set on this workload.
+    for (size_t i = 0; i < easy.size(); ++i) {
+      const auto& a = on_results[i].pnn.results;
+      const auto& b = off_results[i].pnn.results;
+      UST_CHECK(a.size() == b.size());
+      for (size_t j = 0; j < a.size(); ++j) {
+        UST_CHECK(a[j].object == b[j].object);
+      }
+    }
+  }
+
   double qps_markov = 0.0;
   size_t markov_objects = 0, markov_queries = 0;
   if (run_markov) {
@@ -354,6 +466,13 @@ int main(int argc, char** argv) {
     table.AddRow(
         {"arena_speedup", std::to_string(qps_arena_on / qps_arena_off)});
   }
+  if (run_adaptive) {
+    table.AddRow({"qps_adaptive_off", std::to_string(qps_adaptive_off)});
+    table.AddRow({"qps_adaptive_on", std::to_string(qps_adaptive_on)});
+    table.AddRow({"adaptive_speedup",
+                  std::to_string(qps_adaptive_on / qps_adaptive_off)});
+    table.AddRow({"mean_worlds_used", std::to_string(mean_worlds_used)});
+  }
   if (run_markov) {
     table.AddRow({"qps_markov_approx", std::to_string(qps_markov)});
   }
@@ -366,6 +485,8 @@ int main(int argc, char** argv) {
   json.Add("benchmark", std::string("micro_engine"));
   json.Add("executor", executor);
   json.Add("arena", arena_mode);
+  json.Add("adaptive", adaptive_mode);
+  json.Add("adaptive_worlds", static_cast<double>(adaptive_worlds));
   json.Add("num_states", static_cast<double>(config.num_states));
   json.Add("num_objects", static_cast<double>(config.num_objects));
   json.Add("num_worlds", static_cast<double>(num_worlds));
@@ -384,6 +505,12 @@ int main(int argc, char** argv) {
     json.Add("qps_arena_off", qps_arena_off);
     json.Add("qps_arena_on", qps_arena_on);
     json.Add("arena_speedup", qps_arena_on / qps_arena_off);
+  }
+  if (run_adaptive) {
+    json.Add("qps_adaptive_off", qps_adaptive_off);
+    json.Add("qps_adaptive_on", qps_adaptive_on);
+    json.Add("adaptive_speedup", qps_adaptive_on / qps_adaptive_off);
+    json.Add("mean_worlds_used", mean_worlds_used);
   }
   if (run_markov) {
     json.Add("markov_objects", static_cast<double>(markov_objects));

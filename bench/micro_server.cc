@@ -30,6 +30,17 @@
 // `steal_speedup` (the tentpole metric of PR 5: ≈1 on a single hardware
 // core, ≥1.3 expected on multi-core).
 //
+// The *adaptive* phase (PR 7, --adaptive {on,off}) serves the mixed stream
+// re-cast as tau = 0.5 threshold decisions under an oversized
+// --adaptive_worlds cap, fixed sampling vs the sequential stopping rule
+// (DESIGN.md section 8). Both runs must reproduce a prepared-session RunAll
+// reference bit for bit — worlds_used and early_stopped included, pinning
+// the stop decision across the queue, the lanes and any morsel/steal
+// schedule — and the ServerStats early_stops / worlds_saved /
+// worlds_sampled counters must account for exactly the observed savings.
+// Emits qps_adaptive_on / qps_adaptive_off / adaptive_speedup /
+// mean_worlds_used.
+//
 // All server outcomes are checked bit-identical to direct_runall (the PR 2
 // determinism contract extended across the admission queue, the lane pool
 // and any morsel/steal schedule). Emits BENCH_server.json (qps of each
@@ -40,7 +51,8 @@
 //   --states=10000 --objects=48 --lifetime=96 --obs_interval=12
 //   --horizon=120 --interval=10 --intervals=2 --worlds=500 --queries=50
 //   --threads=1 --lanes=2 --clients=4 --batch=16 --delay_ms=2
-//   --skew=1.5 --morsel=4 --json_out=BENCH_server.json
+//   --skew=1.5 --morsel=4 --adaptive=on --adaptive_worlds=8192
+//   --json_out=BENCH_server.json
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -65,10 +77,14 @@ using namespace ust::bench;
 
 namespace {
 
-// Outcomes must agree bit for bit across modes (same epoch, same specs).
+// Outcomes must agree bit for bit across modes (same epoch, same specs) —
+// including the adaptive stop decision: worlds_used and early_stopped are
+// part of the determinism contract, not just the estimates.
 void CheckSameOutcome(const QueryOutcome& a, const QueryOutcome& b) {
   UST_CHECK(a.status.ok() && b.status.ok());
   UST_CHECK(a.executor == b.executor);
+  UST_CHECK(a.worlds_used == b.worlds_used);
+  UST_CHECK(a.early_stopped == b.early_stopped);
   UST_CHECK(a.pnn.results.size() == b.pnn.results.size());
   for (size_t j = 0; j < a.pnn.results.size(); ++j) {
     UST_CHECK(a.pnn.results[j].object == b.pnn.results[j].object);
@@ -103,6 +119,11 @@ int main(int argc, char** argv) {
   const double delay_ms = flags.GetDouble("delay_ms", 2.0);
   const double skew = flags.GetDouble("skew", 1.5);
   const size_t morsel_specs = std::max<size_t>(1, flags.GetInt("morsel", 4));
+  const std::string adaptive_mode = flags.GetString("adaptive", "on");
+  UST_CHECK(adaptive_mode == "on" || adaptive_mode == "off");
+  const bool run_adaptive = adaptive_mode == "on";
+  const size_t adaptive_worlds =
+      static_cast<size_t>(flags.GetInt("adaptive_worlds", 8192));
   const std::string json_out = flags.GetString("json_out", "BENCH_server.json");
 
   PrintConfig("micro_server: serving-tier throughput and latency", flags,
@@ -335,6 +356,73 @@ int main(int argc, char** argv) {
   UST_CHECK(arena_on.stats.arena_hits() ==
             arena_on.stats.cache.arena_spec_reuses);
 
+  // ---- Mode 6: adaptive precision through the serving tier. ----
+  // The mixed-interval stream re-cast as tau = 0.5 threshold decisions under
+  // an oversized world cap, served twice: fixed sampling (every spec draws
+  // all --adaptive_worlds worlds) vs the sequential stopping rule. Both runs
+  // reproduce a prepared-session RunAll reference bit for bit — including
+  // worlds_used and early_stopped, so the stop decision is pinned across the
+  // admission queue, the lane pool and the morsel/steal schedule. The
+  // ServerStats early-stop counters must account for exactly the observed
+  // savings.
+  double qps_adaptive_off = 0.0;
+  double qps_adaptive_on = 0.0;
+  double mean_worlds_used = 0.0;
+  uint64_t server_early_stops = 0;
+  uint64_t server_worlds_saved = 0;
+  if (run_adaptive) {
+    std::vector<QuerySpec> adaptive_specs = specs;
+    for (size_t i = 0; i < adaptive_specs.size(); ++i) {
+      adaptive_specs[i].tau = 0.5;
+      adaptive_specs[i].mc.num_worlds = adaptive_worlds;
+      adaptive_specs[i].mc.seed = 86000 + i;
+      adaptive_specs[i].precision.mode = PrecisionMode::kThreshold;
+      adaptive_specs[i].precision.delta = 0.05;
+      // Pinned backend: the stopping rule lives in the Monte-Carlo executor.
+      adaptive_specs[i].backend = ExecutorKind::kMonteCarlo;
+    }
+    std::vector<QuerySpec> fixed_specs = adaptive_specs;
+    for (QuerySpec& spec : fixed_specs) {
+      spec.precision.mode = PrecisionMode::kFixedWorlds;
+    }
+    std::vector<QueryOutcome> fixed_reference, adaptive_reference;
+    {
+      QuerySession session(db, &tree.value(), session_options);
+      UST_CHECK(session.Prepare().ok());
+      fixed_reference = session.RunAll(fixed_specs);
+      adaptive_reference = session.RunAll(adaptive_specs);
+    }
+    const ServerRun adaptive_off =
+        run_server(fixed_specs, fixed_reference, lanes, true, 2);
+    const ServerRun adaptive_on =
+        run_server(adaptive_specs, adaptive_reference, lanes, true, 2);
+    const double n_adaptive = static_cast<double>(adaptive_specs.size());
+    qps_adaptive_off = n_adaptive / adaptive_off.seconds;
+    qps_adaptive_on = n_adaptive / adaptive_on.seconds;
+
+    // The counters must match the outcomes exactly.
+    UST_CHECK(adaptive_off.stats.early_stops == 0);
+    UST_CHECK(adaptive_off.stats.worlds_saved == 0);
+    UST_CHECK(adaptive_off.stats.worlds_sampled() ==
+              static_cast<uint64_t>(adaptive_specs.size()) * adaptive_worlds);
+    uint64_t expected_stops = 0, expected_saved = 0, expected_sampled = 0;
+    for (size_t i = 0; i < adaptive_reference.size(); ++i) {
+      expected_sampled += adaptive_reference[i].worlds_used;
+      if (adaptive_reference[i].early_stopped) {
+        ++expected_stops;
+        expected_saved += adaptive_worlds - adaptive_reference[i].worlds_used;
+      }
+    }
+    server_early_stops = adaptive_on.stats.early_stops;
+    server_worlds_saved = adaptive_on.stats.worlds_saved;
+    UST_CHECK(server_early_stops == expected_stops);
+    UST_CHECK(server_worlds_saved == expected_saved);
+    UST_CHECK(adaptive_on.stats.worlds_sampled() == expected_sampled);
+    // Most of the easy stream actually stops early — that's the phase.
+    UST_CHECK(server_early_stops * 4 >= adaptive_specs.size() * 3);
+    mean_worlds_used = static_cast<double>(expected_sampled) / n_adaptive;
+  }
+
   const double n = static_cast<double>(num_queries);
   const double qps_cold = n / cold_seconds;
   const double qps_runall = n / runall_seconds;
@@ -379,6 +467,15 @@ int main(int argc, char** argv) {
                 std::to_string(arena_on.stats.cache.arena_builds)});
   table.AddRow({"arena_spec_reuses",
                 std::to_string(arena_on.stats.cache.arena_spec_reuses)});
+  if (run_adaptive) {
+    table.AddRow({"qps_adaptive_off", std::to_string(qps_adaptive_off)});
+    table.AddRow({"qps_adaptive_on", std::to_string(qps_adaptive_on)});
+    table.AddRow({"adaptive_speedup",
+                  std::to_string(qps_adaptive_on / qps_adaptive_off)});
+    table.AddRow({"mean_worlds_used", std::to_string(mean_worlds_used)});
+    table.AddRow({"early_stops", std::to_string(server_early_stops)});
+    table.AddRow({"worlds_saved", std::to_string(server_worlds_saved)});
+  }
   table.AddRow({"lane_steals",
                 std::to_string(skew_steal.stats.lane_steals())});
   table.AddRow({"morsels_executed",
@@ -404,6 +501,8 @@ int main(int argc, char** argv) {
   json.Add("max_batch_delay_ms", delay_ms);
   json.Add("skew", skew);
   json.Add("morsel_specs", static_cast<double>(morsel_specs));
+  json.Add("adaptive", adaptive_mode);
+  json.Add("adaptive_worlds", static_cast<double>(adaptive_worlds));
   json.Add("qps_cold_session", qps_cold);
   json.Add("qps_direct_runall", qps_runall);
   json.Add("qps_server_1lane", qps_server_1lane);
@@ -429,6 +528,14 @@ int main(int argc, char** argv) {
            static_cast<double>(arena_on.stats.cache.arena_spec_reuses));
   json.Add("arena_bytes",
            static_cast<double>(arena_on.stats.cache.arena_bytes));
+  if (run_adaptive) {
+    json.Add("qps_adaptive_off", qps_adaptive_off);
+    json.Add("qps_adaptive_on", qps_adaptive_on);
+    json.Add("adaptive_speedup", qps_adaptive_on / qps_adaptive_off);
+    json.Add("mean_worlds_used", mean_worlds_used);
+    json.Add("early_stops", static_cast<double>(server_early_stops));
+    json.Add("worlds_saved", static_cast<double>(server_worlds_saved));
+  }
   json.Add("lane_steals",
            static_cast<double>(skew_steal.stats.lane_steals()));
   json.Add("morsels_executed",

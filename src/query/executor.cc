@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "query/adaptive.h"
 #include "query/exact.h"
 #include "query/markov_approx.h"
 #include "util/check.h"
@@ -96,6 +97,28 @@ class MonteCarloExecutor : public Executor {
   Result<std::vector<PnnEstimate>> Estimate(const PnnTask& task,
                                             const ExecContext& ctx)
       const override {
+    if (task.precision.mode != PrecisionMode::kFixedWorlds) {
+      // Adaptive stopping: the sequential estimator owns the chunk loop and
+      // stops at the first boundary where every target is decided / within
+      // epsilon (query/adaptive.h). Same worlds, same arena contract —
+      // only fewer of them.
+      auto adaptive = EstimatePnnAdaptive(
+          *task.db, *task.participants, *task.targets, *task.q, task.T,
+          task.kind == QueryKind::kExists ? PnnSemantics::kExists
+                                          : PnnSemantics::kForall,
+          task.tau, task.mc, task.precision, ctx.pool, ctx.sampler_scratch,
+          ctx.row_buffer, ctx.arena, ctx.arena_used);
+      if (!adaptive.ok()) return adaptive.status();
+      if (ctx.worlds_used != nullptr) {
+        *ctx.worlds_used = adaptive.value().worlds_used;
+      }
+      if (ctx.early_stopped != nullptr) {
+        *ctx.early_stopped = adaptive.value().early_stopped;
+      }
+      return std::move(adaptive.value().estimates);
+    }
+    if (ctx.worlds_used != nullptr) *ctx.worlds_used = task.mc.num_worlds;
+    if (ctx.early_stopped != nullptr) *ctx.early_stopped = false;
     auto table = ComputeNnTableScratch(*task.db, *task.participants, *task.q,
                                        task.T, task.mc, ctx.pool,
                                        ctx.sampler_scratch, ctx.row_buffer,

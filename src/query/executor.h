@@ -50,6 +50,14 @@ struct PnnTask {
   const QueryTrajectory* q = nullptr;
   TimeInterval T{0, 0};
   MonteCarloOptions mc;               ///< precision knobs: worlds, k, seed
+  /// Adaptive stopping target (query/adaptive.h); kFixedWorlds keeps the
+  /// legacy always-num_worlds contract. Only the Monte-Carlo backend reads
+  /// it — exact enumeration has no sampling error to bound.
+  PrecisionTarget precision;
+  /// Query semantics + threshold the adaptive stopping rule decides against
+  /// (kThreshold mode); mirrors the QuerySpec that spawned the task.
+  QueryKind kind = QueryKind::kForall;
+  double tau = 0.0;
   size_t enum_max_worlds = 2000000;   ///< exact enumeration cross-product cap
 };
 
@@ -64,6 +72,11 @@ struct ExecContext {
   /// (bit-identical either way) and reports the decision in `arena_used`.
   const WorldArena* arena = nullptr;
   bool* arena_used = nullptr;
+  /// Out-params of the adaptive Monte-Carlo path: worlds actually drawn
+  /// (num_worlds on the fixed path) and whether the stopping rule fired
+  /// before the cap. Left untouched by the non-sampling backends.
+  size_t* worlds_used = nullptr;
+  bool* early_stopped = nullptr;
 };
 
 /// \brief A refinement backend. Implementations are stateless (all mutable

@@ -44,6 +44,34 @@ struct MonteCarloOptions {
   uint64_t seed = 42;        ///< RNG seed; same seed => same worlds
 };
 
+/// \brief How a Monte-Carlo refinement decides it has sampled enough.
+enum class PrecisionMode {
+  /// Legacy contract: always draw exactly num_worlds (the paper's a-priori
+  /// Hoeffding sizing). The default — nothing changes unless asked for.
+  kFixedWorlds = 0,
+  /// Stop once every target's estimate is within +-epsilon at confidence
+  /// 1 - delta (Wilson per target, Bonferroni-corrected; the distribution-
+  /// free Hoeffding bound is checked too, so the stop count never exceeds
+  /// the a-priori sizing rounded up to a chunk).
+  kEpsilon,
+  /// Stop once every target's Wilson interval clears the query threshold
+  /// tau ("is P >= tau?" is decided even though P itself is still coarse) —
+  /// the PCNN-style threshold mode, usually decided orders of magnitude
+  /// before the Hoeffding count when probabilities sit far from tau.
+  kThreshold,
+};
+
+/// \brief Per-query precision target of the adaptive Monte-Carlo executor
+/// (query/adaptive.h). num_worlds stays the hard cap in every mode; stopping
+/// is only ever checked at WorldSampler::kWorldChunk boundaries, so stop
+/// decisions are a pure function of (snapshot, spec) — never of the thread
+/// count or the lane/steal schedule that executed the query.
+struct PrecisionTarget {
+  PrecisionMode mode = PrecisionMode::kFixedWorlds;
+  double epsilon = 0.01;  ///< absolute error target (kEpsilon)
+  double delta = 0.05;    ///< failure probability (kEpsilon / kThreshold)
+};
+
 /// \brief The "is o a (k)NN of q at tic t in world w" table.
 ///
 /// Storage is a real bitmap: one bit per (object, tic, world), laid out

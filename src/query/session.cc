@@ -1,6 +1,7 @@
 #include "query/session.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/timer.h"
 
@@ -97,7 +98,40 @@ QueryOutcome QuerySession::Run(const QuerySpec& spec) {
   // first use) and serial within the caller's thread; the session pool only
   // shards world chunks.
   TrimSlabCache();
-  return RunOne(spec, SlabFor(spec.T), &pool_, &scratch_[0]);
+  QueryOutcome out = RunOne(spec, SlabFor(spec.T), &pool_, &scratch_[0]);
+  NoteAdaptiveOutcome(spec, out);
+  return out;
+}
+
+size_t QuerySession::ExpectedWorlds(size_t cap) const {
+  constexpr size_t kChunk = WorldSampler::kWorldChunk;
+  const double fraction = planner_fraction_.load(std::memory_order_relaxed);
+  // Round the scaled cap up to a chunk boundary (stops only land there) and
+  // never predict below one chunk — the adaptive path always samples at
+  // least min(cap, kChunk) worlds.
+  const double scaled = fraction * static_cast<double>(cap);
+  size_t expected = static_cast<size_t>(
+                        std::ceil(scaled / static_cast<double>(kChunk))) *
+                    kChunk;
+  expected = std::max(expected, std::min(cap, kChunk));
+  return std::min(expected, cap);
+}
+
+void QuerySession::NoteAdaptiveOutcome(const QuerySpec& spec,
+                                       const QueryOutcome& out) {
+  if (spec.precision.mode == PrecisionMode::kFixedWorlds) return;
+  if (!out.status.ok() || out.executor != ExecutorKind::kMonteCarlo ||
+      out.kind == QueryKind::kContinuous || spec.mc.num_worlds == 0 ||
+      out.worlds_used == 0) {
+    return;
+  }
+  // EWMA over the observed stop fractions: alpha 0.3 adapts within a handful
+  // of queries yet smooths over one unusually hard (or easy) outlier.
+  constexpr double kAlpha = 0.3;
+  const double fraction = static_cast<double>(out.worlds_used) /
+                          static_cast<double>(spec.mc.num_worlds);
+  difficulty_ewma_ = (1.0 - kAlpha) * difficulty_ewma_ + kAlpha * fraction;
+  planner_fraction_.store(difficulty_ewma_, std::memory_order_relaxed);
 }
 
 std::vector<QueryOutcome> QuerySession::RunAll(
@@ -272,6 +306,9 @@ void QuerySession::RunPnn(const QuerySpec& spec, const UstTree::TimeSlab* slab,
   task.q = &spec.q;
   task.T = spec.T;
   task.mc = spec.mc;
+  task.precision = spec.precision;
+  task.kind = spec.kind;
+  task.tau = spec.tau;
 
   // An explicit override — per query or session-wide — is a user decision:
   // honoring it with a different backend would be silent data substitution,
@@ -280,9 +317,17 @@ void QuerySession::RunPnn(const QuerySpec& spec, const UstTree::TimeSlab* slab,
                       options_.planner.force != ExecutorKind::kAuto;
   ExecutorKind choice = spec.backend;
   if (choice == ExecutorKind::kAuto) {
+    // Adaptive specs are costed at their *expected* world count (the
+    // session's difficulty EWMA scaled onto the cap), not the worst-case
+    // cap: a stream of easy early-stopping queries shifts the exact/MC
+    // crossover toward sampling, because sampling got genuinely cheaper.
+    const size_t plan_worlds =
+        spec.precision.mode == PrecisionMode::kFixedWorlds
+            ? spec.mc.num_worlds
+            : ExpectedWorlds(spec.mc.num_worlds);
     choice = PlanExecutor(spec.kind, pruned.candidates.size(),
                           participants.size(), spec.T.length(),
-                          spec.mc.num_worlds, spec.mc.k, options_.planner);
+                          plan_worlds, spec.mc.k, options_.planner);
   }
   if (!GetExecutor(choice).Supports(spec.kind, task)) {
     if (forced) {
@@ -297,6 +342,8 @@ void QuerySession::RunPnn(const QuerySpec& spec, const UstTree::TimeSlab* slab,
   ctx.pool = world_pool;
   ctx.sampler_scratch = &scratch->sampler;
   ctx.row_buffer = &scratch->rows;
+  ctx.worlds_used = &out->worlds_used;
+  ctx.early_stopped = &out->early_stopped;
   // Monte-Carlo specs consult the session's shared arena; the shared_ptr
   // keeps it alive for the whole estimate even if the cache trims it.
   std::shared_ptr<const WorldArena> arena;
@@ -370,6 +417,9 @@ void QuerySession::RunContinuous(const QuerySpec& spec,
     return;
   }
   out->used_arena = used_arena;
+  // PCNN ignores any precision target: Algorithm 1 validates timestamp sets
+  // against the one shared world table, which must be complete.
+  out->worlds_used = spec.mc.num_worlds;
   if (used_arena) NoteArenaUse();
   auto pcnn = PcnnOnTable(table.value(), pruned.candidates, spec.tau);
   if (!pcnn.ok()) {

@@ -82,7 +82,14 @@ struct QuerySpec {
   QueryTrajectory q = QueryTrajectory::FromPoint({0, 0});
   TimeInterval T{0, 0};
   double tau = 0.0;
-  MonteCarloOptions mc;  ///< num_worlds (precision), k, seed
+  MonteCarloOptions mc;  ///< num_worlds (precision cap), k, seed
+  /// Adaptive-precision target (query/monte_carlo.h): kFixedWorlds (the
+  /// default) always samples mc.num_worlds; kEpsilon / kThreshold stop at
+  /// the first 512-world chunk boundary where the target is met —
+  /// deterministically, at any thread count or lane schedule. Continuous
+  /// (PCNN) queries ignore it: Algorithm 1 validates timestamp sets against
+  /// the full shared world table.
+  PrecisionTarget precision;
   /// Explicit executor override; kAuto defers to the planner.
   ExecutorKind backend = ExecutorKind::kAuto;
 };
@@ -98,6 +105,12 @@ struct QueryOutcome {
   /// instead of sampled live. Purely observational: outcomes are
   /// bit-identical either way (the arena determinism contract).
   bool used_arena = false;
+  /// Worlds the Monte-Carlo backend actually drew (mc.num_worlds on the
+  /// fixed path, the chunk-aligned stop count on the adaptive path; 0 for
+  /// the non-sampling backends and pruned-empty queries).
+  size_t worlds_used = 0;
+  /// The adaptive stopping rule fired before the num_worlds cap.
+  bool early_stopped = false;
   PnnQueryResult pnn;    ///< kForall / kExists
   PcnnQueryResult pcnn;  ///< kContinuous
 };
@@ -214,6 +227,20 @@ class QuerySession {
   /// Evict the slab cache when it outgrew its bound; batch-entry only.
   void TrimSlabCache();
 
+  /// Expected world count of an *adaptive* spec with cap `cap`: the frozen
+  /// difficulty fraction scaled onto the cap, rounded up to a chunk and
+  /// clamped to [min(cap, kWorldChunk), cap]. The planner's cost input
+  /// (DESIGN.md section 8) — fixed-mode specs never go through this.
+  size_t ExpectedWorlds(size_t cap) const;
+
+  /// Feed one adaptive Monte-Carlo outcome into the difficulty EWMA. Called
+  /// ONLY from the exclusive entry point Run() — never from RunAll workers
+  /// or the const morsel path — so the fraction sequence is deterministic
+  /// at any thread count, and the serving tier (which only ever calls
+  /// RunAll/RunMorsel) plans with the frozen initial fraction regardless of
+  /// its lane/steal schedule.
+  void NoteAdaptiveOutcome(const QuerySpec& spec, const QueryOutcome& out);
+
   /// The per-query execution core: pure reads of session state plus writes
   /// to the caller's scratch and outcome — const so the shared-lease morsel
   /// path can prove it touches nothing a concurrent lane could race on.
@@ -267,6 +294,15 @@ class QuerySession {
   mutable std::mutex arena_mu_;
   mutable std::vector<ArenaSlot> arena_slots_;
   mutable ArenaCounters own_arena_counters_;
+  /// Observed difficulty of this session's adaptive queries: EWMA of
+  /// worlds_used / num_worlds, starting at 1.0 (assume worst case until
+  /// evidence). Written only by NoteAdaptiveOutcome (exclusive Run path).
+  double difficulty_ewma_ = 1.0;
+  /// The fraction the planner reads (ExpectedWorlds). Atomic because the
+  /// const morsel path loads it concurrently; stores happen only on the
+  /// exclusive Run path, so readers always see a value frozen before their
+  /// batch — plans stay a pure function of (spec, frozen fraction).
+  std::atomic<double> planner_fraction_{1.0};
 };
 
 }  // namespace ust

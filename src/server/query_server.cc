@@ -53,6 +53,12 @@ uint64_t ServerStats::arena_hits() const {
   return total;
 }
 
+uint64_t ServerStats::worlds_sampled() const {
+  uint64_t total = 0;
+  for (const LaneStats& lane : lanes) total += lane.worlds_sampled;
+  return total;
+}
+
 std::string ServerStats::ToJson() const {
   std::string out = "{";
   AppendCounter(&out, "submitted", submitted, /*leading_comma=*/false);
@@ -73,6 +79,9 @@ std::string ServerStats::ToJson() const {
   AppendCounter(&out, "lane_queue_peak", lane_queue_peak);
   AppendCounter(&out, "lane_steals", lane_steals());
   AppendCounter(&out, "morsels_executed", morsels_executed());
+  AppendCounter(&out, "early_stops", early_stops);
+  AppendCounter(&out, "worlds_saved", worlds_saved);
+  AppendCounter(&out, "worlds_sampled", worlds_sampled());
   AppendCounter(&out, "cache_hits", cache.hits);
   AppendCounter(&out, "cache_misses", cache.misses);
   AppendCounter(&out, "cache_busy_misses", cache.busy_misses);
@@ -93,6 +102,7 @@ std::string ServerStats::ToJson() const {
     AppendCounter(&out, "morsels", lanes[i].morsels);
     AppendCounter(&out, "steals", lanes[i].steals);
     AppendCounter(&out, "arena_hits", lanes[i].arena_hits);
+    AppendCounter(&out, "worlds_sampled", lanes[i].worlds_sampled);
     out += ",\"exec_us\":" + lanes[i].exec_micros.ToJson();
     out += "}";
   }
@@ -417,8 +427,17 @@ void QueryServer::ExecuteMorsel(const std::shared_ptr<GroupTask>& group,
                                  std::chrono::steady_clock::now() - exec_start)
                                  .count();
   uint64_t arena_hits = 0;
+  uint64_t early_stops = 0;
+  uint64_t worlds_saved = 0;
+  uint64_t worlds_sampled = 0;
   for (size_t i = begin; i < end; ++i) {
-    if (group->outcomes[i].used_arena) ++arena_hits;
+    const QueryOutcome& outcome = group->outcomes[i];
+    if (outcome.used_arena) ++arena_hits;
+    worlds_sampled += outcome.worlds_used;
+    if (outcome.early_stopped) {
+      ++early_stops;
+      worlds_saved += group->specs[i].mc.num_worlds - outcome.worlds_used;
+    }
   }
   bool last = false;
   {
@@ -427,7 +446,10 @@ void QueryServer::ExecuteMorsel(const std::shared_ptr<GroupTask>& group,
     ++lane_stats.morsels;
     lane_stats.requests += end - begin;
     lane_stats.arena_hits += arena_hits;
+    lane_stats.worlds_sampled += worlds_sampled;
     lane_stats.exec_micros.Record(exec_micros);
+    stats_.early_stops += early_stops;
+    stats_.worlds_saved += worlds_saved;
     group->completed += end - begin;
     last = group->completed == group->specs.size();
     if (last) {
@@ -462,8 +484,17 @@ void QueryServer::ExecuteGroupExclusive(
                                  std::chrono::steady_clock::now() - exec_start)
                                  .count();
   uint64_t arena_hits = 0;
-  for (const QueryOutcome& outcome : group->outcomes) {
+  uint64_t early_stops = 0;
+  uint64_t worlds_saved = 0;
+  uint64_t worlds_sampled = 0;
+  for (size_t i = 0; i < group->outcomes.size(); ++i) {
+    const QueryOutcome& outcome = group->outcomes[i];
     if (outcome.used_arena) ++arena_hits;
+    worlds_sampled += outcome.worlds_used;
+    if (outcome.early_stopped) {
+      ++early_stops;
+      worlds_saved += group->specs[i].mc.num_worlds - outcome.worlds_used;
+    }
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -471,7 +502,10 @@ void QueryServer::ExecuteGroupExclusive(
     ++lane_stats.morsels;  // the whole group, as one morsel
     lane_stats.requests += group->specs.size();
     lane_stats.arena_hits += arena_hits;
+    lane_stats.worlds_sampled += worlds_sampled;
     lane_stats.exec_micros.Record(exec_micros);
+    stats_.early_stops += early_stops;
+    stats_.worlds_saved += worlds_saved;
     group->completed = group->specs.size();
     for (auto it = groups_.begin(); it != groups_.end(); ++it) {
       if (it->get() == group.get()) {

@@ -106,6 +106,10 @@ struct LaneStats {
   /// Specs this lane evaluated against a shared world arena instead of
   /// sampling live (QueryOutcome::used_arena).
   uint64_t arena_hits = 0;
+  /// Monte-Carlo worlds this lane actually drew or evaluated
+  /// (QueryOutcome::worlds_used summed over its specs) — with adaptive
+  /// precision this is the real sampling work, not the num_worlds caps.
+  uint64_t worlds_sampled = 0;
   /// Wall time of each executed morsel (whole group when steal = false),
   /// microseconds.
   LatencyHistogram exec_micros;
@@ -123,6 +127,11 @@ struct ServerStats {
   uint64_t flush_drain = 0;     ///< flushed by shutdown drain
   size_t lane_queue_depth = 0;  ///< gauge: groups awaiting adoption right now
   size_t lane_queue_peak = 0;   ///< high-water mark of that queue
+  /// Specs whose adaptive stopping rule fired before the num_worlds cap.
+  uint64_t early_stops = 0;
+  /// Worlds the early stops did not have to draw: sum of
+  /// (num_worlds - worlds_used) over early-stopped Monte-Carlo outcomes.
+  uint64_t worlds_saved = 0;
   SessionCacheStats cache;
   /// Submit-to-completion latency per request, in microseconds.
   LatencyHistogram latency_micros;
@@ -140,6 +149,8 @@ struct ServerStats {
   uint64_t morsels_executed() const;
   /// Sum of LaneStats::arena_hits — specs served off a shared world arena.
   uint64_t arena_hits() const;
+  /// Sum of LaneStats::worlds_sampled — Monte-Carlo worlds actually drawn.
+  uint64_t worlds_sampled() const;
 
   /// Render as a JSON object (counters, cache, queue gauge, the end-to-end
   /// and queue histograms, the steal/morsel aggregates, and a per-lane

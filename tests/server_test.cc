@@ -655,6 +655,7 @@ TEST_F(ServerTest, StatsRenderAsJson) {
         "\"queue_us\":", "\"p50\":", "\"p99\":", "\"lane_queue_depth\":",
         "\"lane_queue_peak\":", "\"lane_steals\":", "\"morsels_executed\":",
         "\"arena_builds\":", "\"arena_spec_reuses\":", "\"arena_bytes\":",
+        "\"early_stops\":", "\"worlds_saved\":", "\"worlds_sampled\":",
         "\"lanes\":[{", "\"exec_us\":", "\"morsels\":", "\"steals\":",
         "\"arena_hits\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << json << "\nmissing " << key;

@@ -62,6 +62,15 @@ CHECKS = {
         "qps_arena_on": ("down", ABSOLUTE_BAND),
         "qps_arena_off": ("down", ABSOLUTE_BAND),
         "arena_speedup": ("down", RATIO_BAND),
+        # Adaptive precision vs fixed sampling (PR 7): the on/off qps lines
+        # are absolute; the within-run speedup ratio is machine-portable.
+        # mean_worlds_used is deterministic (identical stop decisions at any
+        # thread count), so an *increase* means the stopping rule got less
+        # effective — direction "up".
+        "qps_adaptive_on": ("down", ABSOLUTE_BAND),
+        "qps_adaptive_off": ("down", ABSOLUTE_BAND),
+        "adaptive_speedup": ("down", RATIO_BAND),
+        "mean_worlds_used": ("up", RATIO_BAND),
     },
     "micro_server": {
         "speedup_server_vs_cold": ("down", RATIO_BAND),
@@ -80,6 +89,11 @@ CHECKS = {
         "qps_arena_on": ("down", ABSOLUTE_BAND),
         "qps_arena_off": ("down", ABSOLUTE_BAND),
         "arena_speedup": ("down", RATIO_BAND),
+        # Adaptive precision served through the lane/morsel tier (PR 7).
+        "qps_adaptive_on": ("down", ABSOLUTE_BAND),
+        "qps_adaptive_off": ("down", ABSOLUTE_BAND),
+        "adaptive_speedup": ("down", RATIO_BAND),
+        "mean_worlds_used": ("up", RATIO_BAND),
     },
 }
 
@@ -88,7 +102,7 @@ CONFIG_KEYS = [
     "benchmark", "num_states", "num_objects", "num_worlds", "num_queries",
     "num_participants", "num_intervals", "interval_length", "threads",
     "lanes", "clients", "max_batch_size", "executor", "arena", "skew",
-    "morsel_specs",
+    "morsel_specs", "adaptive", "adaptive_worlds",
     "markov_objects", "markov_queries", "exact_objects", "exact_queries",
 ]
 
