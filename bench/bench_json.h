@@ -1,40 +1,32 @@
-// Minimal JSON emitter for the machine-readable benchmark artifacts
-// (BENCH_*.json). Flat object of string/number fields plus one level of
-// nested objects — enough for perf tracking across PRs, no dependency.
+// JSON emitter for the machine-readable benchmark artifacts
+// (BENCH_*.json): a thin pretty-printing adapter over ust::JsonWriter
+// (util/stats.h), so every JSON producer in the tree shares one code path
+// for escaping, empty arrays and comma placement. Flat object of
+// string/number fields plus one level of nested objects — enough for perf
+// tracking across PRs, no dependency.
 #pragma once
 
 #include <cstdio>
 #include <string>
-#include <utility>
-#include <vector>
+
+#include "util/stats.h"
 
 namespace ust::bench {
 
 /// \brief Accumulates key/value pairs and writes them as a JSON object.
 class JsonWriter {
  public:
-  void Add(const std::string& key, double value) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.9g", value);
-    fields_.push_back({key, buf});
-  }
+  void Add(const std::string& key, double value) { writer_.Double(key, value); }
   void Add(const std::string& key, const std::string& value) {
-    fields_.push_back({key, "\"" + value + "\""});
+    writer_.String(key, value);
   }
   /// Nested object: emitted verbatim (caller renders it with another writer).
   void AddObject(const std::string& key, const std::string& rendered) {
-    fields_.push_back({key, rendered});
+    writer_.Raw(key, rendered);
   }
 
-  std::string Render() const {
-    std::string out = "{";
-    for (size_t i = 0; i < fields_.size(); ++i) {
-      if (i > 0) out += ",";
-      out += "\n  \"" + fields_[i].first + "\": " + fields_[i].second;
-    }
-    out += "\n}\n";
-    return out;
-  }
+  /// One "key": value per line, two-space indent — the BENCH house style.
+  std::string Render() const { return writer_.Render(/*pretty=*/true); }
 
   /// Write to `path`; returns false on IO failure.
   bool WriteFile(const std::string& path) const {
@@ -47,7 +39,7 @@ class JsonWriter {
   }
 
  private:
-  std::vector<std::pair<std::string, std::string>> fields_;
+  ust::JsonWriter writer_;
 };
 
 }  // namespace ust::bench

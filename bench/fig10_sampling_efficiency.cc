@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
 
   CsvTable table({"num_observations", "ts1_attempts_per_sample",
                   "ts1_measured", "ts2_attempts_per_sample", "fb"});
-  JsonWriter json;
+  bench::JsonWriter json;
   json.Add("benchmark", std::string("fig10_sampling_efficiency"));
   json.Add("num_states", static_cast<double>(states));
   json.Add("obs_interval", static_cast<double>(interval));

@@ -49,7 +49,7 @@
 //   --executor=all --arena=on --adaptive=on --adaptive_worlds=8192
 //   --markov_objects=8 --markov_interval=6
 //   --markov_queries=6 --exact_objects=3 --exact_interval=3
-//   --exact_queries=6 --json_out=BENCH_engine.json
+//   --exact_queries=6 --json_out=BENCH_engine.json --trace=<path>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -65,6 +65,7 @@
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 using namespace ust;
 using namespace ust::bench;
@@ -96,6 +97,11 @@ int main(int argc, char** argv) {
   const size_t adaptive_worlds =
       static_cast<size_t>(flags.GetInt("adaptive_worlds", 8192));
   const std::string json_out = flags.GetString("json_out", "BENCH_engine.json");
+  const std::string trace_out = flags.GetString("trace", "");
+  // Record the whole engine run (session warm-up, arena builds, per-backend
+  // exec spans) when a dump path is given; exported at exit as Chrome
+  // trace_event JSON.
+  if (!trace_out.empty()) ust::trace::Enable();
 
   PrintConfig("micro_engine: plan-based query pipeline throughput", flags,
               "states=" + std::to_string(config.num_states) +
@@ -481,7 +487,7 @@ int main(int argc, char** argv) {
   }
   table.Print(std::cout, "micro_engine results");
 
-  JsonWriter json;
+  bench::JsonWriter json;
   json.Add("benchmark", std::string("micro_engine"));
   json.Add("executor", executor);
   json.Add("arena", arena_mode);
@@ -521,6 +527,15 @@ int main(int argc, char** argv) {
     json.Add("exact_objects", static_cast<double>(exact_objects));
     json.Add("exact_queries", static_cast<double>(exact_queries));
     json.Add("qps_exact", qps_exact);
+  }
+  if (!trace_out.empty()) {
+    ust::trace::Disable();
+    if (!ust::trace::DumpJson(trace_out)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s (%llu events)\n", trace_out.c_str(),
+                static_cast<unsigned long long>(ust::trace::RecordedCount()));
   }
   if (!json.WriteFile(json_out)) {
     std::fprintf(stderr, "failed to write %s\n", json_out.c_str());

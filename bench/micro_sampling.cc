@@ -126,7 +126,7 @@ int main(int argc, char** argv) {
   table.AddRow({"worlds_per_second", std::to_string(worlds_per_second)});
   table.Print(std::cout, "micro_sampling results");
 
-  JsonWriter json;
+  bench::JsonWriter json;
   json.Add("benchmark", std::string("micro_sampling"));
   json.Add("num_states", static_cast<double>(config.num_states));
   json.Add("num_objects", static_cast<double>(config.num_objects));

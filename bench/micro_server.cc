@@ -52,7 +52,15 @@
 //   --horizon=120 --interval=10 --intervals=2 --worlds=500 --queries=50
 //   --threads=1 --lanes=2 --clients=4 --batch=16 --delay_ms=2
 //   --skew=1.5 --morsel=4 --adaptive=on --adaptive_worlds=8192
-//   --json_out=BENCH_server.json
+//   --json_out=BENCH_server.json --trace=<path>
+//
+// The *traced* phase (PR 8) re-runs the mixed stream at --lanes lanes with
+// the event tracer recording (ServerOptions::trace): qps_trace_on and the
+// ratio trace_overhead = qps_server / qps_trace_on gate the cost of a live
+// probe (≤10%; tracing-off probes are a single branch and are covered by
+// the qps_server band itself). --trace=<path> additionally exports the
+// recorded events as Chrome trace_event JSON (chrome://tracing,
+// ui.perfetto.dev).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -71,6 +79,7 @@
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 using namespace ust;
 using namespace ust::bench;
@@ -125,6 +134,7 @@ int main(int argc, char** argv) {
   const size_t adaptive_worlds =
       static_cast<size_t>(flags.GetInt("adaptive_worlds", 8192));
   const std::string json_out = flags.GetString("json_out", "BENCH_server.json");
+  const std::string trace_out = flags.GetString("trace", "");
 
   PrintConfig("micro_server: serving-tier throughput and latency", flags,
               "states=" + std::to_string(config.num_states) +
@@ -216,7 +226,7 @@ int main(int argc, char** argv) {
   const auto run_server = [&](const std::vector<QuerySpec>& stream,
                               const std::vector<QueryOutcome>& reference,
                               int lane_count, bool steal,
-                              int arena_min_uses) {
+                              int arena_min_uses, bool trace = false) {
     ServerRun run;
     ServerOptions options;
     options.lanes = lane_count;
@@ -226,6 +236,12 @@ int main(int argc, char** argv) {
     options.steal = steal;
     options.morsel_specs = morsel_specs;
     options.arena_min_uses = arena_min_uses;
+    options.trace = trace;
+    // Smoke-scale rings (4096 slots ≈ 230 KB/thread vs 3.7 MB at the 1<<16
+    // serving default): the workload emits a few hundred events, and the
+    // client threads' first-probe ring allocation would otherwise dominate
+    // a ~10 ms run and corrupt the trace_overhead ratio.
+    options.trace_events_per_thread = 1 << 12;
     QueryServer server(db, &tree.value(), options);
     const size_t n_stream = stream.size();
     std::vector<std::future<QueryOutcome>> futures(n_stream);
@@ -263,6 +279,38 @@ int main(int argc, char** argv) {
   const ServerRun lane1 = run_server(specs, runall_results, 1, true, 2);
   const ServerRun laneN =
       lanes > 1 ? run_server(specs, runall_results, lanes, true, 2) : lane1;
+  // ---- The trace_overhead pair: tracing on vs off, identical config. ----
+  // Outcomes must still match bit for bit (probes observe, never steer),
+  // and the qps ratio is gated at 10% (tools/check_bench.py). A 10% band
+  // needs a measurement tighter than the mixed stream alone can give: at
+  // smoke scale a run is ~10 ms and one flush deadline (~delay_ms) landing
+  // differently swings it by 20%. So the overhead pair runs the mixed
+  // stream repeated 3x (one deadline is noise against ~30 ms), takes
+  // best-of-two per side, and interleaves the runs (traced, plain, traced,
+  // plain) so process-lifetime drift penalizes both sides equally.
+  std::vector<QuerySpec> overhead_specs;
+  std::vector<QueryOutcome> overhead_reference;
+  overhead_specs.reserve(3 * specs.size());
+  overhead_reference.reserve(3 * specs.size());
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (size_t i = 0; i < specs.size(); ++i) {
+      overhead_specs.push_back(specs[i]);
+      overhead_reference.push_back(runall_results[i]);
+    }
+  }
+  const ServerRun traced_a =
+      run_server(overhead_specs, overhead_reference, lanes, true, 2, true);
+  const ServerRun plain_a =
+      run_server(overhead_specs, overhead_reference, lanes, true, 2);
+  const ServerRun traced_b =
+      run_server(overhead_specs, overhead_reference, lanes, true, 2, true);
+  const ServerRun plain_b =
+      run_server(overhead_specs, overhead_reference, lanes, true, 2);
+  const double traced_seconds = std::min(traced_a.seconds, traced_b.seconds);
+  const double plain_seconds = std::min(plain_a.seconds, plain_b.seconds);
+  // The last traced run's rings survive the trailing untraced run (its
+  // probes are disabled, never clearing), so --trace dumps traced_b.
+  const ServerRun& lane_traced = traced_b;
   // Cross-check the mixed stream against the cold per-request mode too.
   for (size_t i = 0; i < num_queries; ++i) {
     CheckSameOutcome(runall_results[i], cold_results[i]);
@@ -428,6 +476,13 @@ int main(int argc, char** argv) {
   const double qps_runall = n / runall_seconds;
   const double qps_server_1lane = n / lane1.seconds;
   const double qps_server = n / laneN.seconds;
+  // >1 means tracing cost throughput; gated at 10% (tools/check_bench.py).
+  // Both sides best-of-two on the tripled stream (see the overhead pair
+  // comment above).
+  const double qps_trace_on =
+      static_cast<double>(overhead_specs.size()) / traced_seconds;
+  const double trace_overhead =
+      plain_seconds > 0.0 ? traced_seconds / plain_seconds : 1.0;
   const auto p_ms = [](const ServerRun& run, double q) {
     return run.stats.latency_micros.Quantile(q) / 1000.0;
   };
@@ -481,13 +536,15 @@ int main(int argc, char** argv) {
   table.AddRow({"morsels_executed",
                 std::to_string(skew_steal.stats.morsels_executed())});
   table.AddRow({"batches", std::to_string(laneN.stats.batches)});
+  table.AddRow({"qps_trace_on", std::to_string(qps_trace_on)});
+  table.AddRow({"trace_overhead", std::to_string(trace_overhead)});
   table.Print(std::cout, "micro_server results");
   std::printf("# server stats (lanes=%d): %s\n", lanes,
               laneN.stats.ToJson().c_str());
   std::printf("# skew-steal stats (lanes=%d skew=%.2f morsel=%zu): %s\n",
               lanes, skew, morsel_specs, skew_steal.stats.ToJson().c_str());
 
-  JsonWriter json;
+  bench::JsonWriter json;
   json.Add("benchmark", std::string("micro_server"));
   json.Add("num_states", static_cast<double>(config.num_states));
   json.Add("num_objects", static_cast<double>(config.num_objects));
@@ -546,6 +603,22 @@ int main(int argc, char** argv) {
   json.Add("cache_misses", static_cast<double>(laneN.stats.cache.misses));
   json.Add("cache_busy_misses",
            static_cast<double>(laneN.stats.cache.busy_misses));
+  json.Add("qps_trace_on", qps_trace_on);
+  json.Add("trace_overhead", trace_overhead);
+  json.Add("trace_events", static_cast<double>(trace::RecordedCount()));
+  json.Add("trace_dropped",
+           static_cast<double>(lane_traced.stats.trace_dropped));
+  if (!trace_out.empty()) {
+    // The traced run's rings survive its server (Stop only disables
+    // recording); later untraced runs never touch them.
+    if (!trace::DumpJson(trace_out)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s (%llu events, %llu dropped)\n", trace_out.c_str(),
+                static_cast<unsigned long long>(trace::RecordedCount()),
+                static_cast<unsigned long long>(trace::DroppedCount()));
+  }
   if (!json.WriteFile(json_out)) {
     std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
     return 1;

@@ -8,6 +8,7 @@
 #include "query/exact.h"
 #include "query/markov_approx.h"
 #include "util/check.h"
+#include "util/trace.h"
 
 namespace ust {
 
@@ -29,6 +30,7 @@ class ExactExecutor : public Executor {
   Result<std::vector<PnnEstimate>> Estimate(const PnnTask& task,
                                             const ExecContext& ctx)
       const override {
+    UST_TRACE_SCOPE("exec_exact", task.targets->size(), "targets");
     // The cross-product sweep shards its fixed-size world blocks over the
     // pool (bit-identical at any thread count; see ExactPnnByEnumeration).
     auto all = ExactPnnByEnumeration(*task.db, *task.participants, *task.q,
@@ -69,6 +71,7 @@ class MarkovApproxExecutor : public Executor {
   Result<std::vector<PnnEstimate>> Estimate(const PnnTask& task,
                                             const ExecContext& ctx)
       const override {
+    UST_TRACE_SCOPE("exec_markov", task.targets->size(), "targets");
     // Per-target chain-rule factors shard over the pool: each target's
     // conditioning chain is independent and writes its own slot, so the
     // batch is bit-identical to per-target serial calls at any thread
@@ -97,6 +100,7 @@ class MonteCarloExecutor : public Executor {
   Result<std::vector<PnnEstimate>> Estimate(const PnnTask& task,
                                             const ExecContext& ctx)
       const override {
+    UST_TRACE_SCOPE("exec_mc", task.mc.num_worlds, "worlds");
     if (task.precision.mode != PrecisionMode::kFixedWorlds) {
       // Adaptive stopping: the sequential estimator owns the chunk loop and
       // stops at the first boundary where every target is decided / within

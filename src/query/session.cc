@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace ust {
 
@@ -170,18 +171,16 @@ std::vector<QueryOutcome> QuerySession::RunAll(
 
 ArenaStats QuerySession::arena_stats() const {
   ArenaStats s;
-  s.builds = own_arena_counters_.builds.load(std::memory_order_relaxed);
-  s.spec_reuses =
-      own_arena_counters_.spec_reuses.load(std::memory_order_relaxed);
-  s.bytes = own_arena_counters_.bytes.load(std::memory_order_relaxed);
+  s.builds = own_arena_counters_.builds.value();
+  s.spec_reuses = own_arena_counters_.spec_reuses.value();
+  s.bytes = own_arena_counters_.bytes.value();
   return s;
 }
 
 void QuerySession::NoteArenaUse() const {
-  own_arena_counters_.spec_reuses.fetch_add(1, std::memory_order_relaxed);
+  own_arena_counters_.spec_reuses.Increment();
   if (options_.arena_counters != nullptr) {
-    options_.arena_counters->spec_reuses.fetch_add(1,
-                                                   std::memory_order_relaxed);
+    options_.arena_counters->spec_reuses.Increment();
   }
 }
 
@@ -231,8 +230,12 @@ std::shared_ptr<const WorldArena> QuerySession::ArenaFor(
   // other lanes (they sample live meanwhile — same bytes, the contract).
   // The group superset is everything alive within T: pruning only ever
   // yields subsets of it, so the arena covers any spec of the group.
-  auto built = WorldArena::Build(db_, db_.AliveSometime(T.start, T.end), T,
-                                 seed, build_worlds, pool);
+  Result<WorldArena> built = [&] {
+    UST_TRACE_SCOPE("arena_build", static_cast<uint64_t>(build_worlds),
+                    "worlds");
+    return WorldArena::Build(db_, db_.AliveSometime(T.start, T.end), T, seed,
+                             build_worlds, pool);
+  }();
   std::lock_guard<std::mutex> lock(arena_mu_);
   // Re-find by key: the slot vector may have been trimmed or reallocated
   // while we sampled.
@@ -241,14 +244,11 @@ std::shared_ptr<const WorldArena> QuerySession::ArenaFor(
       s.building = false;
       if (!built.ok()) return nullptr;  // group unbuildable: stay live
       s.arena = std::make_shared<const WorldArena>(built.MoveValue());
-      own_arena_counters_.builds.fetch_add(1, std::memory_order_relaxed);
-      own_arena_counters_.bytes.fetch_add(s.arena->bytes(),
-                                          std::memory_order_relaxed);
+      own_arena_counters_.builds.Increment();
+      own_arena_counters_.bytes.Increment(s.arena->bytes());
       if (options_.arena_counters != nullptr) {
-        options_.arena_counters->builds.fetch_add(1,
-                                                  std::memory_order_relaxed);
-        options_.arena_counters->bytes.fetch_add(s.arena->bytes(),
-                                                 std::memory_order_relaxed);
+        options_.arena_counters->builds.Increment();
+        options_.arena_counters->bytes.Increment(s.arena->bytes());
       }
       return s.arena;
     }

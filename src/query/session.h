@@ -29,19 +29,21 @@
 #include "query/pcnn.h"
 #include "query/query.h"
 #include "query/world_arena.h"
+#include "util/metrics.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace ust {
 
-/// \brief Cross-session tally of world-arena activity (atomics: sessions are
-/// driven concurrently by serving-tier lanes). The serving tier owns one and
-/// injects it via SessionOptions; ToJson surfaces it as arena_builds /
+/// \brief Cross-session tally of world-arena activity (Counter instruments:
+/// sessions are driven concurrently by serving-tier lanes). The serving tier
+/// owns one, injects it via SessionOptions, and registers the instruments
+/// with its MetricRegistry so they self-enumerate as arena_builds /
 /// arena_spec_reuses / arena_bytes.
 struct ArenaCounters {
-  std::atomic<uint64_t> builds{0};       ///< arenas materialized
-  std::atomic<uint64_t> spec_reuses{0};  ///< specs evaluated against an arena
-  std::atomic<uint64_t> bytes{0};        ///< slab bytes across built arenas
+  Counter builds;       ///< arenas materialized
+  Counter spec_reuses;  ///< specs evaluated against an arena
+  Counter bytes;        ///< slab bytes across built arenas
 };
 
 /// \brief Plain snapshot of one session's own arena activity.

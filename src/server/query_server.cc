@@ -1,10 +1,10 @@
 #include "server/query_server.h"
 
 #include <algorithm>
-#include <cinttypes>
-#include <cstdio>
 #include <map>
 #include <utility>
+
+#include "util/trace.h"
 
 namespace ust {
 
@@ -17,20 +17,76 @@ QueryOutcome RejectedOutcome(Status status, QueryKind kind) {
   return out;
 }
 
-void AppendCounter(std::string* out, const char* key, uint64_t value,
-                   bool leading_comma = true) {
-  char buf[96];
-  std::snprintf(buf, sizeof(buf), "%s\"%s\":%" PRIu64,
-                leading_comma ? "," : "", key, value);
-  *out += buf;
-}
-
 SessionOptions MakeSessionOptions(const ServerOptions& options) {
   SessionOptions session_options;
   session_options.threads = options.threads;
   session_options.planner = options.planner;
   session_options.arena_min_uses = options.arena_min_uses;
   return session_options;
+}
+
+void AddCounterSample(std::vector<MetricSample>* samples, const char* name,
+                      uint64_t value) {
+  MetricSample sample;
+  sample.name = name;
+  sample.kind = MetricSample::Kind::kCounter;
+  sample.counter = value;
+  samples->push_back(std::move(sample));
+}
+
+void AddGaugeSample(std::vector<MetricSample>* samples, const char* name,
+                    int64_t value) {
+  MetricSample sample;
+  sample.name = name;
+  sample.kind = MetricSample::Kind::kGauge;
+  sample.gauge = value;
+  samples->push_back(std::move(sample));
+}
+
+void AddHistogramSample(std::vector<MetricSample>* samples, const char* name,
+                        const LatencyHistogram& histogram) {
+  MetricSample sample;
+  sample.name = name;
+  sample.kind = MetricSample::Kind::kHistogram;
+  sample.histogram = histogram;
+  samples->push_back(std::move(sample));
+}
+
+/// A detached ServerStats (default-constructed, or hand-filled by a test)
+/// has no registry snapshot; rebuild one from the named fields so ToJson
+/// renders the same document either way. Mirrors the registration order of
+/// the QueryServer constructor.
+std::vector<MetricSample> SamplesFromFields(const ServerStats& stats) {
+  std::vector<MetricSample> samples;
+  samples.reserve(24);
+  AddCounterSample(&samples, "submitted", stats.submitted);
+  AddCounterSample(&samples, "admitted", stats.admitted);
+  AddCounterSample(&samples, "rejected", stats.rejected);
+  AddCounterSample(&samples, "completed", stats.completed);
+  AddCounterSample(&samples, "batches", stats.batches);
+  AddCounterSample(&samples, "flush_full", stats.flush_full);
+  AddCounterSample(&samples, "flush_deadline", stats.flush_deadline);
+  AddCounterSample(&samples, "flush_drain", stats.flush_drain);
+  AddCounterSample(&samples, "early_stops", stats.early_stops);
+  AddCounterSample(&samples, "worlds_saved", stats.worlds_saved);
+  AddGaugeSample(&samples, "lane_queue_peak",
+                 static_cast<int64_t>(stats.lane_queue_peak));
+  AddGaugeSample(&samples, "trace_dropped",
+                 static_cast<int64_t>(stats.trace_dropped));
+  AddCounterSample(&samples, "cache_hits", stats.cache.hits);
+  AddCounterSample(&samples, "cache_misses", stats.cache.misses);
+  AddCounterSample(&samples, "cache_busy_misses", stats.cache.busy_misses);
+  AddCounterSample(&samples, "cache_shared_joins", stats.cache.shared_joins);
+  AddCounterSample(&samples, "cache_evictions_lru", stats.cache.evictions_lru);
+  AddCounterSample(&samples, "cache_evictions_stale",
+                   stats.cache.evictions_stale);
+  AddCounterSample(&samples, "arena_builds", stats.cache.arena_builds);
+  AddCounterSample(&samples, "arena_spec_reuses",
+                   stats.cache.arena_spec_reuses);
+  AddCounterSample(&samples, "arena_bytes", stats.cache.arena_bytes);
+  AddHistogramSample(&samples, "latency_us", stats.latency_micros);
+  AddHistogramSample(&samples, "queue_us", stats.queue_micros);
+  return samples;
 }
 
 }  // namespace
@@ -59,55 +115,57 @@ uint64_t ServerStats::worlds_sampled() const {
   return total;
 }
 
+uint64_t ServerStats::lane_idle_micros() const {
+  uint64_t total = 0;
+  for (const LaneStats& lane : lanes) total += lane.idle_micros;
+  return total;
+}
+
 std::string ServerStats::ToJson() const {
-  std::string out = "{";
-  AppendCounter(&out, "submitted", submitted, /*leading_comma=*/false);
-  AppendCounter(&out, "admitted", admitted);
-  AppendCounter(&out, "rejected", rejected);
-  AppendCounter(&out, "completed", completed);
-  AppendCounter(&out, "batches", batches);
-  AppendCounter(&out, "flush_full", flush_full);
-  AppendCounter(&out, "flush_deadline", flush_deadline);
-  AppendCounter(&out, "flush_drain", flush_drain);
-  char buf[96];
-  std::snprintf(buf, sizeof(buf), ",\"avg_batch_size\":%.3f",
-                batches == 0 ? 0.0
-                             : static_cast<double>(completed) /
-                                   static_cast<double>(batches));
-  out += buf;
-  AppendCounter(&out, "lane_queue_depth", lane_queue_depth);
-  AppendCounter(&out, "lane_queue_peak", lane_queue_peak);
-  AppendCounter(&out, "lane_steals", lane_steals());
-  AppendCounter(&out, "morsels_executed", morsels_executed());
-  AppendCounter(&out, "early_stops", early_stops);
-  AppendCounter(&out, "worlds_saved", worlds_saved);
-  AppendCounter(&out, "worlds_sampled", worlds_sampled());
-  AppendCounter(&out, "cache_hits", cache.hits);
-  AppendCounter(&out, "cache_misses", cache.misses);
-  AppendCounter(&out, "cache_busy_misses", cache.busy_misses);
-  AppendCounter(&out, "cache_shared_joins", cache.shared_joins);
-  AppendCounter(&out, "cache_evictions_lru", cache.evictions_lru);
-  AppendCounter(&out, "cache_evictions_stale", cache.evictions_stale);
-  AppendCounter(&out, "arena_builds", cache.arena_builds);
-  AppendCounter(&out, "arena_spec_reuses", cache.arena_spec_reuses);
-  AppendCounter(&out, "arena_bytes", cache.arena_bytes);
-  out += ",\"latency_us\":" + latency_micros.ToJson();
-  out += ",\"queue_us\":" + queue_micros.ToJson();
-  out += ",\"lanes\":[";
-  for (size_t i = 0; i < lanes.size(); ++i) {
-    if (i > 0) out += ",";
-    out += "{";
-    AppendCounter(&out, "batches", lanes[i].batches, /*leading_comma=*/false);
-    AppendCounter(&out, "requests", lanes[i].requests);
-    AppendCounter(&out, "morsels", lanes[i].morsels);
-    AppendCounter(&out, "steals", lanes[i].steals);
-    AppendCounter(&out, "arena_hits", lanes[i].arena_hits);
-    AppendCounter(&out, "worlds_sampled", lanes[i].worlds_sampled);
-    out += ",\"exec_us\":" + lanes[i].exec_micros.ToJson();
-    out += "}";
+  JsonWriter w;
+  // The instruments, self-enumerated: a counter registered anywhere in the
+  // serving tier shows up here without this function changing.
+  for (const MetricSample& sample :
+       metrics.empty() ? SamplesFromFields(*this) : metrics) {
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter:
+        w.Uint(sample.name, sample.counter);
+        break;
+      case MetricSample::Kind::kGauge:
+        w.Int(sample.name, sample.gauge);
+        break;
+      case MetricSample::Kind::kHistogram:
+        w.Raw(sample.name, sample.histogram.ToJson());
+        break;
+    }
   }
-  out += "]}";
-  return out;
+  // Derived aggregates (functions of the snapshot, not instruments).
+  w.Double("avg_batch_size",
+           batches == 0 ? 0.0
+                        : static_cast<double>(completed) /
+                              static_cast<double>(batches),
+           "%.3f");
+  w.Uint("lane_queue_depth", lane_queue_depth);
+  w.Uint("lane_steals", lane_steals());
+  w.Uint("morsels_executed", morsels_executed());
+  w.Uint("lane_idle_us", lane_idle_micros());
+  w.Uint("worlds_sampled", worlds_sampled());
+  std::vector<std::string> lane_objects;
+  lane_objects.reserve(lanes.size());
+  for (const LaneStats& lane : lanes) {
+    JsonWriter lw;
+    lw.Uint("batches", lane.batches);
+    lw.Uint("requests", lane.requests);
+    lw.Uint("morsels", lane.morsels);
+    lw.Uint("steals", lane.steals);
+    lw.Uint("arena_hits", lane.arena_hits);
+    lw.Uint("worlds_sampled", lane.worlds_sampled);
+    lw.Uint("idle_us", lane.idle_micros);
+    lw.Raw("exec_us", lane.exec_micros.ToJson());
+    lane_objects.push_back(lw.Render());
+  }
+  w.Raw("lanes", JsonWriter::Array(lane_objects));
+  return w.Render();
 }
 
 QueryServer::QueryServer(const TrajectoryDatabase& db, const UstTree* index,
@@ -122,7 +180,28 @@ QueryServer::QueryServer(const TrajectoryDatabase& db, const UstTree* index,
   options_.max_batch_size = std::max<size_t>(1, options_.max_batch_size);
   options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
   options_.morsel_specs = std::max<size_t>(1, options_.morsel_specs);
-  stats_.lanes.resize(static_cast<size_t>(options_.lanes));
+  lane_stats_.resize(static_cast<size_t>(options_.lanes));
+  // Instrument registration order is JSON field order (ToJson enumerates
+  // the registry); SamplesFromFields above mirrors it for detached stats.
+  c_submitted_ = metrics_.NewCounter("submitted");
+  c_admitted_ = metrics_.NewCounter("admitted");
+  c_rejected_ = metrics_.NewCounter("rejected");
+  c_completed_ = metrics_.NewCounter("completed");
+  c_batches_ = metrics_.NewCounter("batches");
+  c_flush_full_ = metrics_.NewCounter("flush_full");
+  c_flush_deadline_ = metrics_.NewCounter("flush_deadline");
+  c_flush_drain_ = metrics_.NewCounter("flush_drain");
+  c_early_stops_ = metrics_.NewCounter("early_stops");
+  c_worlds_saved_ = metrics_.NewCounter("worlds_saved");
+  g_lane_queue_peak_ = metrics_.NewGauge("lane_queue_peak");
+  g_trace_dropped_ = metrics_.NewGauge("trace_dropped");
+  cache_.RegisterMetrics(&metrics_);
+  h_latency_ = metrics_.NewHistogram("latency_us");
+  h_queue_ = metrics_.NewHistogram("queue_us");
+  if (options_.trace) {
+    trace::Enable(options_.trace_events_per_thread);
+    owns_trace_ = true;
+  }
   lanes_.reserve(static_cast<size_t>(options_.lanes));
   for (int lane = 0; lane < options_.lanes; ++lane) {
     lanes_.emplace_back([this, lane] { LaneLoop(lane); });
@@ -133,13 +212,15 @@ QueryServer::QueryServer(const TrajectoryDatabase& db, const UstTree* index,
 QueryServer::~QueryServer() { Stop(); }
 
 std::future<QueryOutcome> QueryServer::Submit(QuerySpec spec) {
+  trace::Span admit_span("admit");
   std::promise<QueryOutcome> promise;
   std::future<QueryOutcome> future = promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.submitted;
+    c_submitted_->Increment();
     if (stopping_) {
-      ++stats_.rejected;
+      c_rejected_->Increment();
+      admit_span.set_tag("rejected");
       promise.set_value(RejectedOutcome(
           Status::InvalidArgument("query server is stopped"), spec.kind));
       return future;
@@ -150,15 +231,18 @@ std::future<QueryOutcome> QueryServer::Submit(QuerySpec spec) {
       // Counting *in-flight* requests (not just the admission queue) keeps
       // the bound meaningful now that flushed batches wait in the lane
       // queue: execution backlog is still backlog.
-      ++stats_.rejected;
+      c_rejected_->Increment();
+      admit_span.set_tag("rejected");
       promise.set_value(RejectedOutcome(
           Status::ResourceLimit("admission queue full"), spec.kind));
       return future;
     }
-    ++stats_.admitted;
+    c_admitted_->Increment();
     ++in_flight_;
+    const uint64_t id = ++next_request_id_;
+    admit_span.set_arg(id);
     queue_.push_back(Request{std::move(spec), std::move(promise),
-                             std::chrono::steady_clock::now()});
+                             std::chrono::steady_clock::now(), id});
   }
   cv_.notify_all();
   return future;
@@ -200,30 +284,58 @@ void QueryServer::Stop() {
   for (std::thread& lane : lanes_) {
     if (lane.joinable()) lane.join();
   }
+  if (owns_trace_) {
+    // Recording stops with the pipeline; the rings keep their contents for
+    // DumpTrace. (Submitters may outlive Stop, but their probes now take
+    // the single-branch disabled path.)
+    trace::Disable();
+  }
 }
 
 ServerStats QueryServer::Stats() const {
   ServerStats stats;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    stats = stats_;
+    stats.lanes = lane_stats_;
     stats.lane_queue_depth = 0;
     for (const auto& group : groups_) {
       if (!group->adopted) ++stats.lane_queue_depth;
     }
   }
+  // Refresh the wrap tally before snapshotting so the dump is current.
+  g_trace_dropped_->Set(static_cast<int64_t>(trace::DroppedCount()));
+  stats.metrics = metrics_.Snapshot();
+  stats.submitted = c_submitted_->value();
+  stats.admitted = c_admitted_->value();
+  stats.rejected = c_rejected_->value();
+  stats.completed = c_completed_->value();
+  stats.batches = c_batches_->value();
+  stats.flush_full = c_flush_full_->value();
+  stats.flush_deadline = c_flush_deadline_->value();
+  stats.flush_drain = c_flush_drain_->value();
+  stats.early_stops = c_early_stops_->value();
+  stats.worlds_saved = c_worlds_saved_->value();
+  stats.lane_queue_peak = static_cast<size_t>(g_lane_queue_peak_->value());
+  stats.trace_dropped = static_cast<uint64_t>(g_trace_dropped_->value());
+  stats.latency_micros = h_latency_->Snapshot();
+  stats.queue_micros = h_queue_->Snapshot();
   stats.cache = cache_.stats();
   return stats;
 }
 
+bool QueryServer::DumpTrace(const std::string& path) const {
+  return trace::DumpJson(path);
+}
+
 void QueryServer::DispatcherLoop() {
+  trace::PrepareThisThread();  // ring allocation off the request path
   const auto delay = std::chrono::duration_cast<
       std::chrono::steady_clock::duration>(std::chrono::duration<double,
                                                                  std::milli>(
       std::max(0.0, options_.max_batch_delay_ms)));
   for (;;) {
     std::vector<Request> batch;
-    uint64_t* flush_reason = nullptr;
+    const char* flush_tag = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [&] {
@@ -247,13 +359,25 @@ void QueryServer::DispatcherLoop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
-      flush_reason = stopping_ ? &stats_.flush_drain
-                     : n >= options_.max_batch_size ? &stats_.flush_full
-                                                    : &stats_.flush_deadline;
-      ++*flush_reason;
-      ++stats_.batches;
+      Counter* flush_counter;
+      if (stopping_) {
+        flush_counter = c_flush_drain_;
+        flush_tag = "drain";
+      } else if (n >= options_.max_batch_size) {
+        flush_counter = c_flush_full_;
+        flush_tag = "full";
+      } else {
+        flush_counter = c_flush_deadline_;
+        flush_tag = "deadline";
+      }
+      flush_counter->Increment();
+      c_batches_->Increment();
     }
-    if (!batch.empty()) StageBatch(&batch);
+    if (!batch.empty()) {
+      trace::Span flush_span("flush", batch.front().id, trace::kReqArg,
+                             flush_tag);
+      StageBatch(&batch);
+    }
   }
 }
 
@@ -305,22 +429,24 @@ void QueryServer::StageBatch(std::vector<Request>* batch) {
         // Submit-to-flush latency: how long admission held the request.
         // Recorded at handoff, so it never includes execution time — the
         // whole point of the lane tier.
-        stats_.queue_micros.Record(
+        h_queue_->Record(
             std::chrono::duration<double, std::micro>(now -
                                                       request.submitted_at)
                 .count());
+        trace::Complete("queue", request.submitted_at, now, request.id);
       }
       groups_.push_back(std::move(group));
     }
     for (const auto& group : groups_) {
       if (!group->adopted) ++waiting;
     }
-    stats_.lane_queue_peak = std::max(stats_.lane_queue_peak, waiting);
+    g_lane_queue_peak_->MaxWith(static_cast<int64_t>(waiting));
   }
   lane_cv_.notify_all();
 }
 
 void QueryServer::LaneLoop(int lane) {
+  trace::PrepareThisThread();  // ring allocation off the request path
   // Per-lane execution resources, reused across every morsel, group and
   // session this lane ever runs: the sampling scratch and (threads > 1) a
   // private world pool — shared sessions are read-only under RunMorsel, so
@@ -374,16 +500,29 @@ void QueryServer::LaneLoop(int lane) {
             }
           }
           if (victim != nullptr && victim->deque.StealHalf(&begin, &end)) {
-            ++stats_.lanes[static_cast<size_t>(lane)].steals;
+            ++lane_stats_[static_cast<size_t>(lane)].steals;
+            trace::Instant("steal", victim->requests.front().id);
             group = victim;
             stolen = true;
             break;
           }
         }
         if (lanes_stopping_) return;  // nothing claimable, drain complete
+        // Idle accounting: this lane has nothing claimable. The clock reads
+        // bracket only the wait (both under mu_, so the tally is exact and
+        // race-free).
+        const auto idle_start = std::chrono::steady_clock::now();
         lane_cv_.wait(lock);
+        lane_stats_[static_cast<size_t>(lane)].idle_micros +=
+            static_cast<uint64_t>(
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - idle_start)
+                    .count());
       }
-      if (adopt) ++stats_.lanes[static_cast<size_t>(lane)].batches;
+      if (adopt) {
+        ++lane_stats_[static_cast<size_t>(lane)].batches;
+        trace::Instant("lane_adopt", group->requests.front().id);
+      }
     }
     if (adopt) {
       if (!options_.steal) {
@@ -393,8 +532,11 @@ void QueryServer::LaneLoop(int lane) {
       }
       // Check the shared session out (build or join — possibly expensive,
       // so outside the server mutex), then open the deque to thieves.
-      group->session = cache_.CheckoutShared(group->snapshot, group->T,
-                                             index_);
+      {
+        UST_TRACE_SCOPE("session_checkout", group->requests.front().id);
+        group->session = cache_.CheckoutShared(group->snapshot, group->T,
+                                               index_);
+      }
       {
         std::lock_guard<std::mutex> lock(mu_);
         group->session_ready = true;
@@ -423,9 +565,16 @@ void QueryServer::ExecuteMorsel(const std::shared_ptr<GroupTask>& group,
   const auto exec_start = std::chrono::steady_clock::now();
   group->session->RunMorsel(group->specs, begin, end,
                             group->outcomes.data(), world_pool, scratch);
-  const double exec_micros = std::chrono::duration<double, std::micro>(
-                                 std::chrono::steady_clock::now() - exec_start)
-                                 .count();
+  const auto exec_end = std::chrono::steady_clock::now();
+  const double exec_micros =
+      std::chrono::duration<double, std::micro>(exec_end - exec_start)
+          .count();
+  // The backend tag reflects the first spec of the morsel (morsels are
+  // planner-homogeneous in practice; mixed ones still show where the bulk
+  // of the time went).
+  trace::Complete("morsel_exec", exec_start, exec_end,
+                  group->requests[begin].id, trace::kReqArg,
+                  ExecutorKindName(group->outcomes[begin].executor));
   uint64_t arena_hits = 0;
   uint64_t early_stops = 0;
   uint64_t worlds_saved = 0;
@@ -439,17 +588,17 @@ void QueryServer::ExecuteMorsel(const std::shared_ptr<GroupTask>& group,
       worlds_saved += group->specs[i].mc.num_worlds - outcome.worlds_used;
     }
   }
+  c_early_stops_->Increment(early_stops);
+  c_worlds_saved_->Increment(worlds_saved);
   bool last = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    LaneStats& lane_stats = stats_.lanes[static_cast<size_t>(lane)];
+    LaneStats& lane_stats = lane_stats_[static_cast<size_t>(lane)];
     ++lane_stats.morsels;
     lane_stats.requests += end - begin;
     lane_stats.arena_hits += arena_hits;
     lane_stats.worlds_sampled += worlds_sampled;
     lane_stats.exec_micros.Record(exec_micros);
-    stats_.early_stops += early_stops;
-    stats_.worlds_saved += worlds_saved;
     group->completed += end - begin;
     last = group->completed == group->specs.size();
     if (last) {
@@ -476,13 +625,21 @@ void QueryServer::ExecuteGroupExclusive(
     // until the lease dies at the end of this scope. A concurrent lane on
     // the same (epoch, interval) key builds its own duplicate — never
     // shares.
-    SessionCache::Lease session =
-        cache_.Checkout(group->snapshot, group->T, index_);
+    SessionCache::Lease session = [&] {
+      UST_TRACE_SCOPE("session_checkout", group->requests.front().id);
+      return cache_.Checkout(group->snapshot, group->T, index_);
+    }();
     group->outcomes = session->RunAll(group->specs);
   }
-  const double exec_micros = std::chrono::duration<double, std::micro>(
-                                 std::chrono::steady_clock::now() - exec_start)
-                                 .count();
+  const auto exec_end = std::chrono::steady_clock::now();
+  const double exec_micros =
+      std::chrono::duration<double, std::micro>(exec_end - exec_start)
+          .count();
+  trace::Complete("morsel_exec", exec_start, exec_end,
+                  group->requests.front().id, trace::kReqArg,
+                  ExecutorKindName(group->outcomes.empty()
+                                       ? ExecutorKind::kAuto
+                                       : group->outcomes.front().executor));
   uint64_t arena_hits = 0;
   uint64_t early_stops = 0;
   uint64_t worlds_saved = 0;
@@ -496,16 +653,16 @@ void QueryServer::ExecuteGroupExclusive(
       worlds_saved += group->specs[i].mc.num_worlds - outcome.worlds_used;
     }
   }
+  c_early_stops_->Increment(early_stops);
+  c_worlds_saved_->Increment(worlds_saved);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    LaneStats& lane_stats = stats_.lanes[static_cast<size_t>(lane)];
+    LaneStats& lane_stats = lane_stats_[static_cast<size_t>(lane)];
     ++lane_stats.morsels;  // the whole group, as one morsel
     lane_stats.requests += group->specs.size();
     lane_stats.arena_hits += arena_hits;
     lane_stats.worlds_sampled += worlds_sampled;
     lane_stats.exec_micros.Record(exec_micros);
-    stats_.early_stops += early_stops;
-    stats_.worlds_saved += worlds_saved;
     group->completed = group->specs.size();
     for (auto it = groups_.begin(); it != groups_.end(); ++it) {
       if (it->get() == group.get()) {
@@ -518,22 +675,23 @@ void QueryServer::ExecuteGroupExclusive(
 }
 
 void QueryServer::FinalizeGroup(GroupTask* group) {
+  UST_TRACE_SCOPE("finalize", group->requests.front().id);
   // Hand the session back before resolving futures: a waiting client's
   // next request should find it in the cache (or join it), not race it.
   group->session.Release();
   const auto done = std::chrono::steady_clock::now();
   {
-    // Count before resolving the futures: a client that saw its outcome
-    // must also see it reflected in Stats().
     std::lock_guard<std::mutex> lock(mu_);
-    for (const Request& request : group->requests) {
-      ++stats_.completed;
-      stats_.latency_micros.Record(
-          std::chrono::duration<double, std::micro>(done -
-                                                    request.submitted_at)
-              .count());
-    }
     in_flight_ -= group->requests.size();
+  }
+  // Count before resolving the futures: a client that saw its outcome must
+  // also see it reflected in Stats(). The instruments are atomic, so the
+  // server mutex is no longer needed for this.
+  for (const Request& request : group->requests) {
+    c_completed_->Increment();
+    h_latency_->Record(std::chrono::duration<double, std::micro>(
+                           done - request.submitted_at)
+                           .count());
   }
   for (size_t i = 0; i < group->requests.size(); ++i) {
     group->requests[i].promise.set_value(std::move(group->outcomes[i]));

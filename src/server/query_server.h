@@ -53,6 +53,7 @@
 
 #include "model/trajectory_database.h"
 #include "server/session_cache.h"
+#include "util/metrics.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -93,6 +94,15 @@ struct ServerOptions {
   /// evaluates against them — bit-identically — instead of re-sampling.
   /// 0 disables arenas; the default 2 builds once a group proved hot.
   int arena_min_uses = 2;
+  /// Enable the process-wide event tracer (util/trace.h) for this server's
+  /// lifetime: every request is followed admission-to-finalize by the span
+  /// taxonomy of DESIGN.md section 9. Stop() quiesces the recorders, after
+  /// which DumpTrace() exports Chrome trace_event JSON. Off by default —
+  /// a disabled probe is one relaxed load.
+  bool trace = false;
+  /// Ring capacity per traced thread (events; oldest overwritten on wrap,
+  /// surfaced as the trace_dropped metric).
+  size_t trace_events_per_thread = 1 << 16;
   /// Planner knobs handed to every session.
   PlannerOptions planner;
 };
@@ -110,12 +120,18 @@ struct LaneStats {
   /// (QueryOutcome::worlds_used summed over its specs) — with adaptive
   /// precision this is the real sampling work, not the num_worlds caps.
   uint64_t worlds_sampled = 0;
+  /// Microseconds this lane spent parked on the lane queue waiting for a
+  /// claimable morsel (the idle complement of exec_micros: a loaded server
+  /// with high idle_micros has a scheduling problem, not a load problem).
+  uint64_t idle_micros = 0;
   /// Wall time of each executed morsel (whole group when steal = false),
   /// microseconds.
   LatencyHistogram exec_micros;
 };
 
-/// \brief Counters + latency histograms of one QueryServer.
+/// \brief Snapshot of one QueryServer's instruments (the registry's values
+/// at Stats() time, plus the named fields tests and benches read
+/// programmatically — both views of the same counters).
 struct ServerStats {
   uint64_t submitted = 0;  ///< all Submit calls
   uint64_t admitted = 0;   ///< entered the queue
@@ -132,7 +148,14 @@ struct ServerStats {
   /// Worlds the early stops did not have to draw: sum of
   /// (num_worlds - worlds_used) over early-stopped Monte-Carlo outcomes.
   uint64_t worlds_saved = 0;
+  /// Trace events overwritten by ring wrap since tracing was enabled
+  /// (0 when tracing is off — see util/trace.h).
+  uint64_t trace_dropped = 0;
   SessionCacheStats cache;
+  /// Every registered instrument in registration order — what ToJson
+  /// enumerates, so an instrument added anywhere in the serving tier
+  /// appears in the dump without touching serialization code.
+  std::vector<MetricSample> metrics;
   /// Submit-to-completion latency per request, in microseconds.
   LatencyHistogram latency_micros;
   /// Submit-to-flush (admission window to lane handoff) per request, in
@@ -151,10 +174,14 @@ struct ServerStats {
   uint64_t arena_hits() const;
   /// Sum of LaneStats::worlds_sampled — Monte-Carlo worlds actually drawn.
   uint64_t worlds_sampled() const;
+  /// Sum of LaneStats::idle_micros — lane time parked waiting for morsels.
+  uint64_t lane_idle_micros() const;
 
-  /// Render as a JSON object (counters, cache, queue gauge, the end-to-end
-  /// and queue histograms, the steal/morsel aggregates, and a per-lane
-  /// array).
+  /// Render as a JSON object: the registered instruments (self-enumerated
+  /// from `metrics`, falling back to the named fields for detached
+  /// snapshots), the derived aggregates, and a per-lane array. Built on
+  /// ust::JsonWriter, so empty lane arrays and escaping are structurally
+  /// correct.
   std::string ToJson() const;
 };
 
@@ -193,6 +220,12 @@ class QueryServer {
   /// Consistent copy of the counters and histograms.
   ServerStats Stats() const;
 
+  /// Export the recorded trace as Chrome trace_event JSON (see
+  /// util/trace.h). Call after Stop(): the exporter requires quiesced
+  /// recorders, and Stop joins every lane and the dispatcher. False when
+  /// the file cannot be written.
+  bool DumpTrace(const std::string& path) const;
+
   const ServerOptions& options() const { return options_; }
 
  private:
@@ -200,6 +233,9 @@ class QueryServer {
     QuerySpec spec;
     std::promise<QueryOutcome> promise;
     std::chrono::steady_clock::time_point submitted_at;
+    /// Admission-ordered id carried by every span of this request's
+    /// lifecycle (args {"req": id} — the join key across threads).
+    uint64_t id = 0;
   };
 
   /// One interval group of one flushed batch, published as a deque of
@@ -254,8 +290,30 @@ class QueryServer {
   bool stopping_ = false;        ///< no new admissions; dispatcher drains
   bool lanes_stopping_ = false;  ///< set after the dispatcher exits
   bool paused_ = false;
-  uint64_t in_flight_ = 0;  ///< admitted, not yet completed
-  ServerStats stats_;       ///< guarded by mu_
+  uint64_t in_flight_ = 0;         ///< admitted, not yet completed
+  uint64_t next_request_id_ = 0;   ///< guarded by mu_
+  std::vector<LaneStats> lane_stats_;  ///< guarded by mu_
+
+  /// The server's instruments (DESIGN.md section 9). Lifecycle counters and
+  /// histograms live here instead of ad-hoc struct fields; the cache and
+  /// arena tallies register into the same registry, so Stats()/ToJson
+  /// enumerate every signal of the serving tier from one place.
+  MetricRegistry metrics_;
+  Counter* c_submitted_;
+  Counter* c_admitted_;
+  Counter* c_rejected_;
+  Counter* c_completed_;
+  Counter* c_batches_;
+  Counter* c_flush_full_;
+  Counter* c_flush_deadline_;
+  Counter* c_flush_drain_;
+  Counter* c_early_stops_;
+  Counter* c_worlds_saved_;
+  Gauge* g_lane_queue_peak_;
+  Gauge* g_trace_dropped_;
+  HistogramMetric* h_latency_;
+  HistogramMetric* h_queue_;
+  bool owns_trace_ = false;  ///< this server enabled the global tracer
 
   std::mutex join_mu_;  ///< serializes Stop()'s joins
   std::thread dispatcher_;

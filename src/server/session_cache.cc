@@ -5,6 +5,7 @@
 
 #include "markov/propagate_workspace.h"
 #include "model/posterior_model.h"
+#include "util/trace.h"
 
 namespace ust {
 
@@ -65,12 +66,14 @@ std::shared_ptr<QuerySession> SessionCache::BuildSession(
   // Build outside the LRU lock (lookups stay fast). Only the warm-up below
   // needs the warm lock: session construction and the R*-tree slab build
   // touch nothing shared, so they proceed concurrently across lanes.
+  UST_TRACE_SCOPE("session_build", snapshot.version(), "epoch");
   if (index != nullptr && index->built_version() != snapshot.version()) {
     index = nullptr;
   }
   auto session =
       std::make_shared<QuerySession>(snapshot, index, session_options_);
   {
+    UST_TRACE_SCOPE("session_warm", snapshot.version(), "epoch");
     // Adaptation mutates shared per-object caches, and exactly one thread
     // may cold-warm an object (model/db_snapshot.h). The first session over
     // an epoch pays the adaptation; later misses re-walk warm objects in
@@ -109,14 +112,14 @@ SessionCache::Lease SessionCache::Checkout(const DbSnapshot& snapshot,
       if (it->version == version && it->T == T) {
         // Pop the entry: exclusivity by removal — while this lease is live
         // the session simply is not in the cache for anyone else to find.
-        ++stats_.hits;
+        c_hits_.Increment();
         std::shared_ptr<QuerySession> session = std::move(it->session);
         entries_.erase(it);
         leased_.emplace_back(version, T);
         return Lease(this, std::move(session), version, T);
       }
     }
-    ++stats_.misses;
+    c_misses_.Increment();
     // A miss whose key is currently leased to another lane (exclusively or
     // shared — an exclusive caller can never join a shared lease) means we
     // are about to build a *duplicate* session for a hot (epoch, interval)
@@ -132,7 +135,7 @@ SessionCache::Lease SessionCache::Checkout(const DbSnapshot& snapshot,
     for (auto it = shared_.begin(); !busy && it != shared_.end(); ++it) {
       busy = it->version == version && it->T == T;
     }
-    if (busy) ++stats_.busy_misses;
+    if (busy) c_busy_misses_.Increment();
     leased_.emplace_back(version, T);
   }
   return Lease(this, BuildSession(snapshot, T, index), version, T);
@@ -147,8 +150,8 @@ SessionCache::SharedLease SessionCache::CheckoutShared(
     // duplicate — the whole point of the shared mode.
     for (SharedEntry& entry : shared_) {
       if (entry.version == version && entry.T == T) {
-        ++stats_.hits;
-        ++stats_.shared_joins;
+        c_hits_.Increment();
+        c_shared_joins_.Increment();
         ++entry.refs;
         return SharedLease(this, &entry, entry.session);
       }
@@ -157,13 +160,13 @@ SessionCache::SharedLease SessionCache::CheckoutShared(
     // the LRU like the exclusive path — but joinable while out).
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
       if (it->version == version && it->T == T) {
-        ++stats_.hits;
+        c_hits_.Increment();
         shared_.push_back(SharedEntry{version, T, std::move(it->session), 1});
         entries_.erase(it);
         return SharedLease(this, &shared_.back(), shared_.back().session);
       }
     }
-    ++stats_.misses;
+    c_misses_.Increment();
     bool busy = false;
     for (const auto& key : leased_) {
       if (key.first == version && key.second == T) {
@@ -171,7 +174,7 @@ SessionCache::SharedLease SessionCache::CheckoutShared(
         break;
       }
     }
-    if (busy) ++stats_.busy_misses;
+    if (busy) c_busy_misses_.Increment();
     leased_.emplace_back(version, T);  // in-flight build: busy marker
   }
   std::shared_ptr<QuerySession> session = BuildSession(snapshot, T, index);
@@ -192,13 +195,13 @@ void SessionCache::InsertIdleLocked(std::shared_ptr<QuerySession> session,
                                     uint64_t version, const TimeInterval& T) {
   if (version < min_live_version_) {
     // Its epoch passed while it was out executing; never cache it.
-    ++stats_.evictions_stale;
+    c_evictions_stale_.Increment();
     return;
   }
   entries_.push_front(Entry{version, T, std::move(session)});
   while (entries_.size() > capacity_) {
     entries_.pop_back();
-    ++stats_.evictions_lru;
+    c_evictions_lru_.Increment();
   }
 }
 
@@ -232,7 +235,7 @@ void SessionCache::EvictStale(uint64_t live_version) {
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->version < live_version) {
       it = entries_.erase(it);
-      ++stats_.evictions_stale;
+      c_evictions_stale_.Increment();
     } else {
       ++it;
     }
@@ -245,13 +248,29 @@ size_t SessionCache::size() const {
 }
 
 SessionCacheStats SessionCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  SessionCacheStats s = stats_;
-  s.arena_builds = arena_counters_.builds.load(std::memory_order_relaxed);
-  s.arena_spec_reuses =
-      arena_counters_.spec_reuses.load(std::memory_order_relaxed);
-  s.arena_bytes = arena_counters_.bytes.load(std::memory_order_relaxed);
+  SessionCacheStats s;
+  s.hits = c_hits_.value();
+  s.misses = c_misses_.value();
+  s.busy_misses = c_busy_misses_.value();
+  s.shared_joins = c_shared_joins_.value();
+  s.evictions_lru = c_evictions_lru_.value();
+  s.evictions_stale = c_evictions_stale_.value();
+  s.arena_builds = arena_counters_.builds.value();
+  s.arena_spec_reuses = arena_counters_.spec_reuses.value();
+  s.arena_bytes = arena_counters_.bytes.value();
   return s;
+}
+
+void SessionCache::RegisterMetrics(MetricRegistry* registry) const {
+  registry->RegisterCounter("cache_hits", &c_hits_);
+  registry->RegisterCounter("cache_misses", &c_misses_);
+  registry->RegisterCounter("cache_busy_misses", &c_busy_misses_);
+  registry->RegisterCounter("cache_shared_joins", &c_shared_joins_);
+  registry->RegisterCounter("cache_evictions_lru", &c_evictions_lru_);
+  registry->RegisterCounter("cache_evictions_stale", &c_evictions_stale_);
+  registry->RegisterCounter("arena_builds", &arena_counters_.builds);
+  registry->RegisterCounter("arena_spec_reuses", &arena_counters_.spec_reuses);
+  registry->RegisterCounter("arena_bytes", &arena_counters_.bytes);
 }
 
 }  // namespace ust

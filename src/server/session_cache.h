@@ -49,6 +49,7 @@
 
 #include "index/ust_tree.h"
 #include "query/session.h"
+#include "util/metrics.h"
 
 namespace ust {
 
@@ -173,6 +174,11 @@ class SessionCache {
   size_t capacity() const { return capacity_; }
   SessionCacheStats stats() const;
 
+  /// Register this cache's instruments (cache_* and the injected arena_*
+  /// tallies) with `registry`; the cache must outlive it. How the serving
+  /// tier folds cache activity into its self-enumerating stats dump.
+  void RegisterMetrics(MetricRegistry* registry) const;
+
  private:
   friend class Lease;
   friend class SharedLease;
@@ -227,7 +233,14 @@ class SessionCache {
   /// so a flat list beats a map.
   std::list<std::pair<uint64_t, TimeInterval>> leased_;
   uint64_t min_live_version_ = 0;  ///< floor set by EvictStale
-  SessionCacheStats stats_;
+  // Instruments, not plain fields (DESIGN.md section 9): stats() snapshots
+  // them into SessionCacheStats; RegisterMetrics plugs them into a registry.
+  Counter c_hits_;
+  Counter c_misses_;
+  Counter c_busy_misses_;
+  Counter c_shared_joins_;
+  Counter c_evictions_lru_;
+  Counter c_evictions_stale_;
 };
 
 }  // namespace ust

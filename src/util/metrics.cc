@@ -1,0 +1,132 @@
+#include "util/metrics.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace ust {
+
+void MetricRegistry::AddEntry(Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& existing : entries_) {
+    UST_DCHECK(existing.name != entry.name);
+    (void)existing;
+  }
+  entries_.push_back(std::move(entry));
+}
+
+Counter* MetricRegistry::NewCounter(std::string name) {
+  Counter* counter;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.emplace_back();
+    counter = &counters_.back();
+  }
+  AddEntry(Entry{std::move(name), MetricSample::Kind::kCounter, counter,
+                 nullptr, nullptr});
+  return counter;
+}
+
+Gauge* MetricRegistry::NewGauge(std::string name) {
+  Gauge* gauge;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    gauges_.emplace_back();
+    gauge = &gauges_.back();
+  }
+  AddEntry(Entry{std::move(name), MetricSample::Kind::kGauge, nullptr, gauge,
+                 nullptr});
+  return gauge;
+}
+
+HistogramMetric* MetricRegistry::NewHistogram(std::string name) {
+  HistogramMetric* histogram;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    histograms_.emplace_back();
+    histogram = &histograms_.back();
+  }
+  AddEntry(Entry{std::move(name), MetricSample::Kind::kHistogram, nullptr,
+                 nullptr, histogram});
+  return histogram;
+}
+
+void MetricRegistry::RegisterCounter(std::string name,
+                                     const Counter* counter) {
+  UST_DCHECK(counter != nullptr);
+  AddEntry(Entry{std::move(name), MetricSample::Kind::kCounter, counter,
+                 nullptr, nullptr});
+}
+
+void MetricRegistry::RegisterGauge(std::string name, const Gauge* gauge) {
+  UST_DCHECK(gauge != nullptr);
+  AddEntry(Entry{std::move(name), MetricSample::Kind::kGauge, nullptr, gauge,
+                 nullptr});
+}
+
+void MetricRegistry::RegisterHistogram(std::string name,
+                                       const HistogramMetric* histogram) {
+  UST_DCHECK(histogram != nullptr);
+  AddEntry(Entry{std::move(name), MetricSample::Kind::kHistogram, nullptr,
+                 nullptr, histogram});
+}
+
+std::vector<MetricSample> MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> samples;
+  samples.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    MetricSample sample;
+    sample.name = entry.name;
+    sample.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricSample::Kind::kCounter:
+        sample.counter = entry.counter->value();
+        break;
+      case MetricSample::Kind::kGauge:
+        sample.gauge = entry.gauge->value();
+        break;
+      case MetricSample::Kind::kHistogram:
+        sample.histogram = entry.histogram->Snapshot();
+        break;
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+std::string MetricRegistry::ToJson() const {
+  JsonWriter w;
+  for (const MetricSample& sample : Snapshot()) {
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter:
+        w.Uint(sample.name, sample.counter);
+        break;
+      case MetricSample::Kind::kGauge:
+        w.Int(sample.name, sample.gauge);
+        break;
+      case MetricSample::Kind::kHistogram:
+        w.Raw(sample.name, sample.histogram.ToJson());
+        break;
+    }
+  }
+  return w.Render();
+}
+
+uint64_t MetricRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& entry : entries_) {
+    if (entry.name == name &&
+        entry.kind == MetricSample::Kind::kCounter) {
+      return entry.counter->value();
+    }
+  }
+  return 0;
+}
+
+size_t MetricRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace ust

@@ -1,0 +1,142 @@
+// Unified metrics registry (DESIGN.md section 9): typed, named instruments
+// — monotonic Counters, settable Gauges, thread-safe Histograms — that
+// self-enumerate into JSON in registration order. The serving tier's rule:
+// new subsystems register instruments here instead of growing hand-rolled
+// atomic fields, so every new knob lands with a signal that appears in
+// ServerStats::ToJson (and any other registry dump) without touching the
+// serialization code.
+//
+// Instruments are standalone value types (an atomic plus convenience
+// methods), so a component can own its counters and either register them
+// with a caller's registry (SessionCache::RegisterMetrics) or stay
+// registry-free (unit tests, library embedding). The registry stores
+// non-owning pointers for those and owns the instruments it creates itself;
+// either way the instrument must outlive the registry's last Snapshot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace ust {
+
+/// \brief Monotonic counter (relaxed atomic: totals, not ordering).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-write-wins gauge (queue depths, high-water marks).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  /// Raise to `v` if higher (CAS loop; peaks under concurrent writers).
+  void MaxWith(int64_t v) {
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Thread-safe wrapper over the log-bucket LatencyHistogram: Record
+/// takes a short lock (the histogram's bucket increment is a few cache
+/// lines, far below the serving tier's per-request work).
+class HistogramMetric {
+ public:
+  void Record(double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Record(value);
+  }
+  LatencyHistogram Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  LatencyHistogram hist_;
+};
+
+/// \brief One instrument's value at Snapshot() time.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  uint64_t counter = 0;       ///< kCounter
+  int64_t gauge = 0;          ///< kGauge
+  LatencyHistogram histogram; ///< kHistogram
+};
+
+/// \brief Ordered, thread-safe registry of named instruments.
+///
+/// Names must be unique (UST_DCHECKed); registration order is enumeration
+/// order, so JSON output stays stable across snapshots.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Create and register an owned instrument. Pointers stay valid for the
+  /// registry's lifetime.
+  Counter* NewCounter(std::string name);
+  Gauge* NewGauge(std::string name);
+  HistogramMetric* NewHistogram(std::string name);
+
+  /// Register an externally-owned instrument (must outlive the registry's
+  /// last Snapshot) — how components that own their counters plug in.
+  void RegisterCounter(std::string name, const Counter* counter);
+  void RegisterGauge(std::string name, const Gauge* gauge);
+  void RegisterHistogram(std::string name, const HistogramMetric* histogram);
+
+  /// Values of every instrument, in registration order.
+  std::vector<MetricSample> Snapshot() const;
+
+  /// Flat JSON object: counters/gauges as integers, histograms as the
+  /// LatencyHistogram summary object — the self-enumerating dump.
+  std::string ToJson() const;
+
+  /// Counter value by name; 0 when absent (test convenience).
+  uint64_t CounterValue(const std::string& name) const;
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricSample::Kind kind;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const HistogramMetric* histogram = nullptr;
+  };
+
+  void AddEntry(Entry entry);
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  // Owned instruments: deques never relocate elements, so handed-out
+  // pointers survive any number of later registrations.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<HistogramMetric> histograms_;
+};
+
+}  // namespace ust

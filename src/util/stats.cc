@@ -118,6 +118,82 @@ double PearsonCorrelation(const std::vector<double>& a,
   return sab / std::sqrt(saa * sbb);
 }
 
+void JsonWriter::Uint(const std::string& key, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  fields_.push_back({key, buf});
+}
+
+void JsonWriter::Int(const std::string& key, int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  fields_.push_back({key, buf});
+}
+
+void JsonWriter::Double(const std::string& key, double value,
+                        const char* fmt) {
+  char buf[64];
+  if (!std::isfinite(value)) {
+    // JSON has no inf/nan literal; null keeps the document parseable.
+    std::snprintf(buf, sizeof(buf), "null");
+  } else {
+    std::snprintf(buf, sizeof(buf), fmt, value);
+  }
+  fields_.push_back({key, buf});
+}
+
+void JsonWriter::String(const std::string& key, const std::string& value) {
+  fields_.push_back({key, "\"" + Escape(value) + "\""});
+}
+
+void JsonWriter::Raw(const std::string& key, const std::string& rendered) {
+  fields_.push_back({key, rendered});
+}
+
+std::string JsonWriter::Render(bool pretty) const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ",";
+    if (pretty) out += "\n  ";
+    out += "\"" + Escape(fields_[i].first) + "\":";
+    if (pretty) out += " ";
+    out += fields_[i].second;
+  }
+  if (pretty) out += "\n";
+  out += "}";
+  if (pretty) out += "\n";
+  return out;
+}
+
+std::string JsonWriter::Array(const std::vector<std::string>& rendered_items) {
+  std::string out = "[";
+  for (size_t i = 0; i < rendered_items.size(); ++i) {
+    if (i > 0) out += ",";
+    out += rendered_items[i];
+  }
+  out += "]";
+  return out;
+}
+
+std::string JsonWriter::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 double LatencyHistogram::BucketLow(size_t i) {
   return std::exp2(static_cast<double>(i) * 0.25);
 }
@@ -169,13 +245,14 @@ double LatencyHistogram::Quantile(double q) const {
 }
 
 std::string LatencyHistogram::ToJson() const {
-  char buf[192];
-  std::snprintf(buf, sizeof(buf),
-                "{\"count\":%zu,\"mean\":%.3f,\"p50\":%.3f,\"p90\":%.3f,"
-                "\"p99\":%.3f,\"max\":%.3f}",
-                count(), mean(), Quantile(0.50), Quantile(0.90),
-                Quantile(0.99), max());
-  return std::string(buf);
+  JsonWriter w;
+  w.Uint("count", count());
+  w.Double("mean", mean(), "%.3f");
+  w.Double("p50", Quantile(0.50), "%.3f");
+  w.Double("p90", Quantile(0.90), "%.3f");
+  w.Double("p99", Quantile(0.99), "%.3f");
+  w.Double("max", max(), "%.3f");
+  return w.Render();
 }
 
 void LatencyHistogram::Merge(const LatencyHistogram& other) {

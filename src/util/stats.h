@@ -50,6 +50,39 @@ double NormalQuantile(double p);
 /// successes = 0 or n (where Wald intervals degenerate).
 Interval WilsonInterval(size_t successes, size_t n, double delta);
 
+/// \brief Minimal JSON object builder shared by every hand-rolled exporter
+/// in the tree — ServerStats::ToJson, LatencyHistogram::ToJson, the metrics
+/// registry, and (via bench/bench_json.h) the BENCH_*.json artifacts. One
+/// code path means one place that gets escaping, empty arrays and trailing
+/// commas right: an empty field list renders "{}", an empty Array() "[]",
+/// never a malformed fragment.
+class JsonWriter {
+ public:
+  void Uint(const std::string& key, uint64_t value);
+  void Int(const std::string& key, int64_t value);
+  /// `fmt` is the printf format for the value (default "%.9g").
+  void Double(const std::string& key, double value, const char* fmt = "%.9g");
+  /// String value, escaped.
+  void String(const std::string& key, const std::string& value);
+  /// Pre-rendered JSON value (nested object/array) emitted verbatim.
+  void Raw(const std::string& key, const std::string& rendered);
+
+  /// Render the object. `pretty` emits one field per line indented two
+  /// spaces (the BENCH_*.json house style); compact emits a single line.
+  std::string Render(bool pretty = false) const;
+
+  /// JSON array of pre-rendered values; empty input renders "[]".
+  static std::string Array(const std::vector<std::string>& rendered_items);
+
+  /// Backslash-escape quotes/backslashes/control characters.
+  static std::string Escape(const std::string& s);
+
+  size_t size() const { return fields_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
 /// \brief Fixed-footprint log-scale histogram for latency tracking (the
 /// serving tier's p50/p99 source). Buckets grow geometrically by ratio
 /// 2^(1/4) from 1 unit upward (~19% relative resolution, 128 buckets cover

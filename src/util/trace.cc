@@ -1,0 +1,277 @@
+#include "util/trace.h"
+
+#include <cstdio>
+
+#if !defined(UST_TRACE_DISABLED)
+#include <deque>
+#include <memory>
+#include <mutex>
+#endif
+
+namespace ust::trace {
+
+#if !defined(UST_TRACE_DISABLED)
+
+namespace internal {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+/// One thread's ring: written only by its owner, read by the exporter after
+/// writers quiesce. `head` counts every emit ever; slot (head % capacity)
+/// is overwritten on wrap, so the newest `capacity` events survive and
+/// `head - capacity` is the dropped-oldest tally.
+struct ThreadBuffer {
+  std::vector<TraceEvent> slots;
+  std::atomic<uint64_t> head{0};
+  uint32_t tid = 0;
+};
+
+struct SessionState {
+  std::mutex mu;
+  /// Owned per-thread rings; never shrunk (thread-local pointers into it
+  /// stay valid for the process lifetime, surviving thread exit).
+  std::deque<std::unique_ptr<ThreadBuffer>> buffers;
+  size_t capacity = 1 << 16;
+  std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+};
+
+SessionState& State() {
+  static SessionState* state = new SessionState();  // leaked: no exit-order
+  return *state;
+}
+
+thread_local ThreadBuffer* tls_buffer = nullptr;
+
+ThreadBuffer* BufferForThisThread() {
+  if (tls_buffer != nullptr) return tls_buffer;
+  SessionState& state = State();
+  // Allocate (and first-touch) the ring outside the lock: zeroing the slots
+  // is the expensive part of registration and must not serialize other
+  // threads' first probes behind the registry mutex.
+  auto buffer = std::make_unique<ThreadBuffer>();
+  size_t capacity;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    capacity = state.capacity;
+  }
+  buffer->slots.resize(capacity);
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.capacity != buffer->slots.size()) {
+      // Enable() changed the capacity between our two critical sections
+      // (outside the documented contract, but cheap to stay correct about).
+      buffer->slots.assign(state.capacity, TraceEvent{});
+    }
+    buffer->tid = static_cast<uint32_t>(state.buffers.size());
+    tls_buffer = buffer.get();
+    state.buffers.push_back(std::move(buffer));
+  }
+  return tls_buffer;
+}
+
+void Emit(const TraceEvent& event) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  const uint64_t head = buffer->head.load(std::memory_order_relaxed);
+  buffer->slots[head % buffer->slots.size()] = event;
+  // Release: an exporter acquiring `head` sees the slot fully written.
+  buffer->head.store(head + 1, std::memory_order_release);
+}
+
+void AppendJsonEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+      *out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      *out += c;
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t NowNs() { return ToNs(std::chrono::steady_clock::now()); }
+
+uint64_t ToNs(std::chrono::steady_clock::time_point tp) {
+  const auto delta = tp - State().origin;
+  if (delta.count() <= 0) return 0;  // predates Enable(): clamp
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(delta).count());
+}
+
+void EmitComplete(const char* name, uint64_t ts_ns, uint64_t dur_ns,
+                  uint64_t arg, const char* arg_name, const char* tag) {
+  TraceEvent event;
+  event.name = name;
+  event.arg_name = arg_name;
+  event.tag = tag;
+  event.ts_ns = ts_ns;
+  event.dur_ns = dur_ns;
+  event.arg = arg;
+  event.phase = 'X';
+  Emit(event);
+}
+
+void EmitInstant(const char* name, uint64_t arg, const char* arg_name,
+                 const char* tag) {
+  TraceEvent event;
+  event.name = name;
+  event.arg_name = arg_name;
+  event.tag = tag;
+  event.ts_ns = NowNs();
+  event.arg = arg;
+  event.phase = 'i';
+  Emit(event);
+}
+
+}  // namespace internal
+
+void PrepareThisThread() {
+  if (internal::g_enabled.load(std::memory_order_relaxed)) {
+    internal::BufferForThisThread();
+  }
+}
+
+void Enable(size_t events_per_thread) {
+  using internal::State;
+  auto& state = State();
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.capacity = events_per_thread < 16 ? 16 : events_per_thread;
+    for (auto& buffer : state.buffers) {
+      buffer->slots.assign(state.capacity, TraceEvent{});
+      buffer->head.store(0, std::memory_order_relaxed);
+    }
+    state.origin = std::chrono::steady_clock::now();
+  }
+  internal::g_enabled.store(true, std::memory_order_release);
+}
+
+void Disable() {
+  internal::g_enabled.store(false, std::memory_order_release);
+}
+
+void Reset() {
+  auto& state = internal::State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (auto& buffer : state.buffers) {
+    buffer->head.store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t RecordedCount() {
+  auto& state = internal::State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  uint64_t total = 0;
+  for (const auto& buffer : state.buffers) {
+    const uint64_t head = buffer->head.load(std::memory_order_acquire);
+    total += head < buffer->slots.size() ? head : buffer->slots.size();
+  }
+  return total;
+}
+
+uint64_t DroppedCount() {
+  auto& state = internal::State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  uint64_t total = 0;
+  for (const auto& buffer : state.buffers) {
+    const uint64_t head = buffer->head.load(std::memory_order_acquire);
+    if (head > buffer->slots.size()) total += head - buffer->slots.size();
+  }
+  return total;
+}
+
+std::vector<TraceEvent> Snapshot() {
+  auto& state = internal::State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : state.buffers) {
+    const uint64_t head = buffer->head.load(std::memory_order_acquire);
+    const uint64_t capacity = buffer->slots.size();
+    // Oldest surviving event first: wrap drops the front of the stream.
+    const uint64_t first = head > capacity ? head - capacity : 0;
+    for (uint64_t i = first; i < head; ++i) {
+      TraceEvent event = buffer->slots[i % capacity];
+      event.tid = buffer->tid;
+      events.push_back(event);
+    }
+  }
+  return events;
+}
+
+std::string ToJson() {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[160];
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    internal::AppendJsonEscaped(&out, event.name);
+    // Chrome's ts/dur are microseconds; sub-µs resolution survives as the
+    // fractional part.
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"ust\",\"ph\":\"%c\",\"ts\":%.3f", event.phase,
+                  static_cast<double>(event.ts_ns) / 1000.0);
+    out += buf;
+    if (event.phase == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f",
+                    static_cast<double>(event.dur_ns) / 1000.0);
+      out += buf;
+    } else {
+      out += ",\"s\":\"t\"";  // instant scope: thread
+    }
+    std::snprintf(buf, sizeof(buf), ",\"pid\":1,\"tid\":%u", event.tid);
+    out += buf;
+    out += ",\"args\":{";
+    bool first_arg = true;
+    if (event.arg_name != nullptr) {
+      out += "\"";
+      internal::AppendJsonEscaped(&out, event.arg_name);
+      std::snprintf(buf, sizeof(buf), "\":%llu",
+                    static_cast<unsigned long long>(event.arg));
+      out += buf;
+      first_arg = false;
+    }
+    if (event.tag != nullptr) {
+      if (!first_arg) out += ",";
+      out += "\"tag\":\"";
+      internal::AppendJsonEscaped(&out, event.tag);
+      out += "\"";
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool DumpJson(const std::string& path) {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  return std::fclose(f) == 0 && written == json.size();
+}
+
+#else  // UST_TRACE_DISABLED
+
+bool DumpJson(const std::string& path) {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  return std::fclose(f) == 0 && written == json.size();
+}
+
+#endif  // UST_TRACE_DISABLED
+
+}  // namespace ust::trace

@@ -20,6 +20,7 @@
 #include "server/query_server.h"
 #include "server/session_cache.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace ust {
 namespace {
@@ -640,6 +641,45 @@ TEST_F(ServerTest, ZeroBatchSizeIsClampedNotStarved) {
   EXPECT_TRUE(future.get().status.ok());
 }
 
+// With ServerOptions::trace on, one request must be followable
+// admission-to-finalize: at least six distinct span names carry its id
+// (the ISSUE acceptance bar, checked here without the bench harness).
+TEST_F(ServerTest, TraceFollowsRequestAcrossLifecycle) {
+  const std::vector<QuerySpec> specs = MakeSpecs(6);
+  ServerOptions options;
+  options.trace = true;
+  {
+    QueryServer server(db(), index_.get(), options);
+    std::vector<std::future<QueryOutcome>> futures;
+    for (const QuerySpec& spec : specs) futures.push_back(server.Submit(spec));
+    for (auto& f : futures) EXPECT_TRUE(f.get().status.ok());
+    server.Stop();  // joins lanes and disables tracing
+  }
+  const std::vector<trace::TraceEvent> events = trace::Snapshot();
+  ASSERT_FALSE(events.empty());
+  std::vector<std::string> names_for_req1;
+  for (const trace::TraceEvent& event : events) {
+    if (event.arg_name == nullptr || std::string(event.arg_name) != "req") {
+      continue;
+    }
+    if (event.arg != 1) continue;
+    const std::string name = event.name;
+    if (std::find(names_for_req1.begin(), names_for_req1.end(), name) ==
+        names_for_req1.end()) {
+      names_for_req1.push_back(name);
+    }
+  }
+  EXPECT_GE(names_for_req1.size(), 6u)
+      << "request 1 spans: " << names_for_req1.size();
+  for (const char* required : {"admit", "queue", "finalize"}) {
+    EXPECT_NE(std::find(names_for_req1.begin(), names_for_req1.end(),
+                        std::string(required)),
+              names_for_req1.end())
+        << "missing span " << required;
+  }
+  trace::Reset();
+}
+
 TEST_F(ServerTest, StatsRenderAsJson) {
   const std::vector<QuerySpec> specs = MakeSpecs(5);
   QueryServer server(db(), index_.get(), ServerOptions{});
@@ -656,8 +696,9 @@ TEST_F(ServerTest, StatsRenderAsJson) {
         "\"lane_queue_peak\":", "\"lane_steals\":", "\"morsels_executed\":",
         "\"arena_builds\":", "\"arena_spec_reuses\":", "\"arena_bytes\":",
         "\"early_stops\":", "\"worlds_saved\":", "\"worlds_sampled\":",
+        "\"trace_dropped\":", "\"lane_idle_us\":",
         "\"lanes\":[{", "\"exec_us\":", "\"morsels\":", "\"steals\":",
-        "\"arena_hits\":"}) {
+        "\"arena_hits\":", "\"idle_us\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << json << "\nmissing " << key;
   }
 }

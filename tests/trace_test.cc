@@ -1,0 +1,371 @@
+// Tests for the event tracer (util/trace.h) and the metrics registry
+// (util/metrics.h): concurrent recording stays balanced and per-thread
+// monotonic, ring wrap drops oldest-first and is counted, disabled probes
+// record nothing, and every JSON export parses (validated by the minimal
+// JSON checker below, so a malformed dump fails here before it fails in
+// chrome://tracing).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace ust {
+namespace {
+
+// ------------------------------------------------- minimal JSON checker ---
+// Recursive-descent validator for the JSON we emit (objects, arrays,
+// strings with escapes, numbers, true/false/null). Returns true iff `s` is
+// one complete JSON value.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+bool IsValidJson(const std::string& s) { return JsonChecker(s).Valid(); }
+
+TEST(JsonCheckerTest, AcceptsAndRejects) {
+  EXPECT_TRUE(IsValidJson("{}"));
+  EXPECT_TRUE(IsValidJson("{\"a\":1,\"b\":[{\"c\":\"d\\\"e\"},-2.5e3,null]}"));
+  EXPECT_FALSE(IsValidJson("{\"a\":1,}"));
+  EXPECT_FALSE(IsValidJson("{\"a\":}"));
+  EXPECT_FALSE(IsValidJson("[1,2"));
+  EXPECT_FALSE(IsValidJson("{\"a\":01x}"));
+}
+
+// ------------------------------------------------------------- trace -------
+
+TEST(TraceTest, DisabledRecordsNothing) {
+  trace::Disable();
+  trace::Reset();
+  ASSERT_FALSE(trace::Enabled());
+  { UST_TRACE_SCOPE("disabled_span", 1); }
+  trace::Instant("disabled_instant", 2);
+  trace::Complete("disabled_complete", std::chrono::steady_clock::now(),
+                  std::chrono::steady_clock::now(), 3);
+  EXPECT_EQ(trace::RecordedCount(), 0u);
+  EXPECT_EQ(trace::DroppedCount(), 0u);
+  EXPECT_TRUE(trace::Snapshot().empty());
+}
+
+TEST(TraceTest, ConcurrentSpansBalancedAndMonotonic) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 100;
+  trace::Disable();
+  trace::Enable(1 << 12);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        const uint64_t req = static_cast<uint64_t>(t * 1000 + i);
+        { UST_TRACE_SCOPE("work", req); }
+        trace::Instant("tick", req);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  trace::Disable();
+
+  const std::vector<trace::TraceEvent> events = trace::Snapshot();
+  ASSERT_EQ(events.size(),
+            static_cast<size_t>(kThreads) * 2 * kSpansPerThread);
+  EXPECT_EQ(trace::DroppedCount(), 0u);
+
+  // Per recording thread: balanced phases and non-decreasing timestamps
+  // (each ring is written in emission order; the emitting loop is
+  // sequential, so time never runs backwards within a tid).
+  std::vector<size_t> complete_count, instant_count;
+  std::vector<uint64_t> last_ts;
+  for (const trace::TraceEvent& event : events) {
+    if (event.tid >= last_ts.size()) {
+      complete_count.resize(event.tid + 1, 0);
+      instant_count.resize(event.tid + 1, 0);
+      last_ts.resize(event.tid + 1, 0);
+    }
+    if (event.phase == 'X') {
+      ++complete_count[event.tid];
+      EXPECT_STREQ(event.name, "work");
+    } else {
+      ASSERT_EQ(event.phase, 'i');
+      ++instant_count[event.tid];
+      EXPECT_STREQ(event.name, "tick");
+    }
+    EXPECT_GE(event.ts_ns, last_ts[event.tid]);
+    last_ts[event.tid] = event.ts_ns;
+  }
+  size_t active_tids = 0;
+  for (size_t tid = 0; tid < last_ts.size(); ++tid) {
+    if (complete_count[tid] + instant_count[tid] == 0) continue;
+    ++active_tids;
+    EXPECT_EQ(complete_count[tid], static_cast<size_t>(kSpansPerThread));
+    EXPECT_EQ(instant_count[tid], static_cast<size_t>(kSpansPerThread));
+  }
+  EXPECT_EQ(active_tids, static_cast<size_t>(kThreads));
+}
+
+TEST(TraceTest, RingWrapDropsOldestAndCounts) {
+  constexpr uint64_t kCapacity = 16;  // Enable clamps below 16 up to 16
+  constexpr uint64_t kEmitted = 50;
+  trace::Disable();
+  trace::Enable(kCapacity);
+  for (uint64_t i = 0; i < kEmitted; ++i) {
+    trace::Instant("wrap", i);
+  }
+  trace::Disable();
+  EXPECT_EQ(trace::RecordedCount(), kCapacity);
+  EXPECT_EQ(trace::DroppedCount(), kEmitted - kCapacity);
+  const std::vector<trace::TraceEvent> events = trace::Snapshot();
+  ASSERT_EQ(events.size(), kCapacity);
+  // The survivors are exactly the newest kCapacity events, oldest first.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].arg, kEmitted - kCapacity + i);
+  }
+}
+
+TEST(TraceTest, ExportedJsonParsesAndCarriesSpans) {
+  trace::Disable();
+  trace::Enable(1 << 10);
+  {
+    UST_TRACE_SCOPE("outer", 7);
+    trace::Instant("marker", 7, trace::kReqArg, "hot");
+  }
+  {
+    trace::Span span("tagged", 8);
+    span.set_tag("monte_carlo");
+  }
+  trace::Disable();
+  const std::string json = trace::ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"marker\""), std::string::npos);
+  EXPECT_NE(json.find("\"req\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"tag\":\"monte_carlo\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(TraceTest, EnableResetsPriorRecording) {
+  trace::Disable();
+  trace::Enable(64);
+  trace::Instant("before", 1);
+  trace::Disable();
+  ASSERT_EQ(trace::RecordedCount(), 1u);
+  trace::Enable(64);
+  trace::Disable();
+  EXPECT_EQ(trace::RecordedCount(), 0u);
+  EXPECT_EQ(trace::DroppedCount(), 0u);
+}
+
+// ------------------------------------------------------------ metrics ------
+
+TEST(MetricsTest, InstrumentsReadBack) {
+  Counter counter;
+  counter.Increment();
+  counter.Increment(4);
+  EXPECT_EQ(counter.value(), 5u);
+
+  Gauge gauge;
+  gauge.Set(7);
+  gauge.Add(-2);
+  EXPECT_EQ(gauge.value(), 5);
+  gauge.MaxWith(3);
+  EXPECT_EQ(gauge.value(), 5);
+  gauge.MaxWith(11);
+  EXPECT_EQ(gauge.value(), 11);
+
+  HistogramMetric histogram;
+  histogram.Record(10.0);
+  histogram.Record(20.0);
+  EXPECT_EQ(histogram.Snapshot().count(), 2u);
+}
+
+TEST(MetricsTest, RegistryEnumeratesInRegistrationOrder) {
+  MetricRegistry registry;
+  Counter* a = registry.NewCounter("alpha");
+  Gauge* b = registry.NewGauge("beta");
+  HistogramMetric* c = registry.NewHistogram("gamma");
+  a->Increment(3);
+  b->Set(-4);
+  c->Record(2.5);
+
+  const std::vector<MetricSample> samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "alpha");
+  EXPECT_EQ(samples[0].kind, MetricSample::Kind::kCounter);
+  EXPECT_EQ(samples[0].counter, 3u);
+  EXPECT_EQ(samples[1].name, "beta");
+  EXPECT_EQ(samples[1].gauge, -4);
+  EXPECT_EQ(samples[2].name, "gamma");
+  EXPECT_EQ(samples[2].histogram.count(), 1u);
+  EXPECT_EQ(registry.CounterValue("alpha"), 3u);
+  EXPECT_EQ(registry.CounterValue("absent"), 0u);
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(MetricsTest, ExternallyOwnedInstrumentsRegister) {
+  Counter external;
+  MetricRegistry registry;
+  registry.RegisterCounter("external", &external);
+  external.Increment(9);
+  EXPECT_EQ(registry.CounterValue("external"), 9u);
+}
+
+TEST(MetricsTest, RegistryJsonParses) {
+  MetricRegistry registry;
+  registry.NewCounter("hits")->Increment(2);
+  registry.NewGauge("depth")->Set(-1);
+  registry.NewHistogram("lat_us")->Record(123.0);
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"hits\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":-1"), std::string::npos);
+  EXPECT_NE(json.find("\"lat_us\":{"), std::string::npos);
+}
+
+TEST(MetricsTest, ConcurrentCountersSumExactly) {
+  MetricRegistry registry;
+  Counter* counter = registry.NewCounter("total");
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kIncrements; ++i) counter->Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter->value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+}  // namespace
+}  // namespace ust

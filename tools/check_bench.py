@@ -94,6 +94,13 @@ CHECKS = {
         "qps_adaptive_off": ("down", ABSOLUTE_BAND),
         "adaptive_speedup": ("down", RATIO_BAND),
         "mean_worlds_used": ("up", RATIO_BAND),
+        # Request tracing (PR 8): trace_overhead = qps tracing-off /
+        # qps tracing-on on the same stream — a within-run ratio that must
+        # stay near 1.0, so it gets a tight 10% rise band (tracing must be
+        # cheap enough to turn on against a live serving problem). The
+        # traced run's absolute qps keeps the catastrophic-collapse check.
+        "qps_trace_on": ("down", ABSOLUTE_BAND),
+        "trace_overhead": ("up", 0.10),
     },
 }
 

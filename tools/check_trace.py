@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON dump from util/trace (DESIGN.md §9).
+
+Usage:
+    tools/check_trace.py trace_server.json [--min-span-names N]
+
+Checks, in order:
+
+1. The file parses as JSON and has the Chrome trace shape:
+   {"displayTimeUnit": "ms", "traceEvents": [...]} with well-formed events
+   (name/ph/ts/pid/tid; complete 'X' events carry dur).
+2. At least one request is followable admission-to-finalize: some
+   args.req id appears on >= N distinct span names (default 6), including
+   both `admit` and `finalize` — the serving tier's lifecycle contract.
+
+Exit status: 0 ok, 1 validation failure, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace_event JSON file")
+    parser.add_argument("--min-span-names", type=int, default=6,
+                        help="distinct span names one request id must span")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_trace: cannot read {args.trace}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("not a Chrome trace object (missing traceEvents)")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents is empty — was tracing enabled?")
+
+    names_by_req = defaultdict(set)
+    all_names = set()
+    for i, event in enumerate(events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                fail(f"event {i} missing {key!r}: {event}")
+        if event["ph"] not in ("X", "i"):
+            fail(f"event {i} has unexpected phase {event['ph']!r}")
+        if event["ph"] == "X" and "dur" not in event:
+            fail(f"complete event {i} missing dur: {event}")
+        all_names.add(event["name"])
+        req = event.get("args", {}).get("req")
+        if req is not None:
+            names_by_req[req].add(event["name"])
+
+    best_req, best_names = None, set()
+    for req, names in names_by_req.items():
+        if len(names) > len(best_names):
+            best_req, best_names = req, names
+    if len(best_names) < args.min_span_names:
+        fail(f"no request id spans >= {args.min_span_names} distinct span "
+             f"names (best: req={best_req} with {sorted(best_names)})")
+    for required in ("admit", "finalize"):
+        if required not in best_names:
+            fail(f"request {best_req} has no {required!r} span "
+                 f"(got {sorted(best_names)}) — lifecycle not covered "
+                 f"admission-to-finalize")
+
+    print(f"check_trace: ok — {len(events)} events, "
+          f"{len(all_names)} span names, request {best_req} spans "
+          f"{len(best_names)}: {sorted(best_names)}")
+
+
+if __name__ == "__main__":
+    main()
