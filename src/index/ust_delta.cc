@@ -1,0 +1,36 @@
+#include "index/ust_delta.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ust {
+
+Result<UstDelta> UstDelta::Build(const DbSnapshot& db, uint64_t base_version) {
+  UstDelta delta;
+  delta.base_version_ = base_version;
+  delta.version_ = db.version();
+  std::vector<ObjectId> ids = db.ChangedSince(base_version);
+  delta.objects_.reserve(ids.size());
+  SupportGraphCache graphs;
+  for (ObjectId id : ids) {
+    const UncertainObject& obj = db.object(id);
+    DeltaObject d;
+    d.object = id;
+    d.first_tic = obj.first_tic();
+    d.last_tic = obj.last_tic();
+    UST_RETURN_NOT_OK(AppendObjectSegments(db, obj, &graphs, &d.entries));
+    delta.objects_.push_back(std::move(d));
+  }
+  return delta;
+}
+
+bool UstDelta::Contains(ObjectId id) const {
+  auto it = std::lower_bound(
+      objects_.begin(), objects_.end(), id,
+      [](const DeltaObject& d, ObjectId v) { return d.object < v; });
+  return it != objects_.end() && it->object == id;
+}
+
+}  // namespace ust

@@ -17,6 +17,7 @@
 #include <map>
 #include <vector>
 
+#include "graph/csr_graph.h"
 #include "index/rstar_tree.h"
 #include "model/trajectory_database.h"
 #include "query/query.h"
@@ -24,10 +25,22 @@
 
 namespace ust {
 
+class UstDelta;
+
 /// \brief Pruning output: result candidates and influence objects.
 struct PruneResult {
   std::vector<ObjectId> candidates;   ///< may satisfy the query predicate
   std::vector<ObjectId> influencers;  ///< may affect others' probabilities
+};
+
+/// \brief Forward/reversed support-graph pair per transition matrix, shared
+/// between objects using the same matrix while building segment entries
+/// (computing the pair dominates build cost for shared-matrix databases).
+struct SupportGraphCache {
+  const std::pair<CsrGraph, CsrGraph>& For(const TransitionMatrix& matrix);
+
+ private:
+  std::map<const TransitionMatrix*, std::pair<CsrGraph, CsrGraph>> graphs_;
 };
 
 /// \brief The UST-tree index over an uncertain trajectory database.
@@ -71,12 +84,18 @@ class UstTree {
 
   /// Candidates and influencers for P∀(k)NN queries. When `slab` is given it
   /// must have been built for the same T; the traversal is then skipped.
+  /// When `delta` is given (an UstDelta over this tree's epoch), its objects
+  /// are probed alongside the base slab — delta segment entries replace the
+  /// base entries of rewritten objects, so the result is bit-identical to
+  /// pruning with a tree rebuilt at the delta's epoch.
   PruneResult PruneForall(const QueryTrajectory& q, const TimeInterval& T,
-                          int k = 1, const TimeSlab* slab = nullptr) const;
+                          int k = 1, const TimeSlab* slab = nullptr,
+                          const UstDelta* delta = nullptr) const;
 
   /// Candidates (== influencers) for P∃(k)NN queries.
   PruneResult PruneExists(const QueryTrajectory& q, const TimeInterval& T,
-                          int k = 1, const TimeSlab* slab = nullptr) const;
+                          int k = 1, const TimeSlab* slab = nullptr,
+                          const UstDelta* delta = nullptr) const;
 
   const std::vector<SegmentEntry>& entries() const { return entries_; }
   const RStarTree& rtree() const { return rtree_; }
@@ -94,13 +113,24 @@ class UstTree {
 
   std::vector<DistanceProfile> BuildProfiles(const QueryTrajectory& q,
                                              const TimeInterval& T,
-                                             const TimeSlab* slab) const;
+                                             const TimeSlab* slab,
+                                             const UstDelta* delta) const;
 
   std::vector<SegmentEntry> entries_;
   RStarTree rtree_;
   Rect2 space_bounds_;
   /// The indexed epoch (snapshots are cheap: two shared_ptrs + a version).
+  /// Stored WithoutIndex(): a compacted tree must not transitively pin the
+  /// base tree (and change log) of the snapshot it was built from.
   DbSnapshot db_;
 };
+
+/// \brief Append the segment entries (diamond MBRs, plus the forward cone for
+/// a lifetime extension) of one object to `out`, in the same order
+/// UstTree::Build produces them. Shared between full builds and the delta
+/// layer so a delta's rectangles are bit-identical to a rebuilt tree's.
+Status AppendObjectSegments(const DbSnapshot& db, const UncertainObject& obj,
+                            SupportGraphCache* graphs,
+                            std::vector<UstTree::SegmentEntry>* out);
 
 }  // namespace ust

@@ -30,12 +30,23 @@ namespace ust {
 
 class ThreadPool;
 class TrajectoryDatabase;
+class UstTree;
+
+/// \brief One entry of the database's write log: object `id` was written
+/// (added, or lifetime-extended) by the write that produced epoch `epoch`.
+/// The delta index layer (index/ust_delta.h) replays these against a base
+/// UstTree built at an earlier epoch instead of dropping the index.
+struct DbChange {
+  uint64_t epoch;
+  ObjectId id;
+};
 
 /// \brief Immutable view of one database epoch.
 class DbSnapshot {
  public:
   /// The shared, frozen object table of one epoch.
   using ObjectTable = std::vector<std::shared_ptr<const UncertainObject>>;
+  using ChangeLog = std::vector<DbChange>;
 
   DbSnapshot() = default;
 
@@ -48,6 +59,14 @@ class DbSnapshot {
              std::shared_ptr<const ObjectTable> objects, uint64_t version)
       : space_(std::move(space)), objects_(std::move(objects)),
         version_(version) {}
+
+  DbSnapshot(std::shared_ptr<const StateSpace> space,
+             std::shared_ptr<const ObjectTable> objects, uint64_t version,
+             std::shared_ptr<const ChangeLog> changes,
+             std::shared_ptr<const UstTree> base_index, uint64_t delta_floor)
+      : space_(std::move(space)), objects_(std::move(objects)),
+        version_(version), changes_(std::move(changes)),
+        base_index_(std::move(base_index)), delta_floor_(delta_floor) {}
 
   /// Epoch this view is pinned to (bumped by every database write).
   uint64_t version() const { return version_; }
@@ -75,10 +94,41 @@ class DbSnapshot {
   /// worker; identical result, first failure in object order reported).
   Status EnsureAllPosteriors(ThreadPool* pool = nullptr) const;
 
+  /// Latest compacted base UstTree published for this database, or nullptr if
+  /// none was published yet. Its built_version() is <= version(); the gap is
+  /// covered by ChangedSince(built_version()).
+  const std::shared_ptr<const UstTree>& base_index() const {
+    return base_index_;
+  }
+
+  /// Oldest base epoch the carried change log can still bridge from. Index
+  /// publication trims log entries at or below the published tree's epoch, so
+  /// a base older than this floor cannot be patched with a delta anymore.
+  uint64_t delta_floor() const { return delta_floor_; }
+
+  /// Ids of objects written (added or lifetime-extended) after epoch
+  /// `base_version`, ascending and deduplicated. Requires
+  /// base_version >= delta_floor() (debug-checked): older bases predate the
+  /// retained change log.
+  std::vector<ObjectId> ChangedSince(uint64_t base_version) const;
+
+  /// Number of distinct objects a delta over `base_version` would carry.
+  /// Returns size() when the base predates delta_floor() (everything would
+  /// have to be treated as changed).
+  size_t DeltaDepth(uint64_t base_version) const;
+
+  /// Copy of this snapshot without the change log / published base index.
+  /// UstTree::Build pins its input snapshot; stripping the index state there
+  /// keeps a compacted tree from transitively pinning its predecessor.
+  DbSnapshot WithoutIndex() const;
+
  private:
   std::shared_ptr<const StateSpace> space_;
   std::shared_ptr<const ObjectTable> objects_;
   uint64_t version_ = 0;
+  std::shared_ptr<const ChangeLog> changes_;
+  std::shared_ptr<const UstTree> base_index_;
+  uint64_t delta_floor_ = 0;
 };
 
 }  // namespace ust

@@ -1,5 +1,8 @@
 #include "model/trajectory_database.h"
 
+#include <algorithm>
+
+#include "index/ust_tree.h"
 #include "markov/propagate_workspace.h"
 #include "util/thread_pool.h"
 
@@ -12,6 +15,7 @@ ObjectId TrajectoryDatabase::AddObject(ObservationSeq observations,
   objects_.push_back(std::make_shared<UncertainObject>(
       id, std::move(observations), std::move(matrix)));
   ++version_;
+  change_log_.push_back({version_, id});
   return id;
 }
 
@@ -23,6 +27,7 @@ ObjectId TrajectoryDatabase::AddObject(ObservationSeq observations,
   objects_.push_back(std::make_shared<UncertainObject>(
       id, std::move(observations), std::move(matrix), end_tic));
   ++version_;
+  change_log_.push_back({version_, id});
   return id;
 }
 
@@ -46,6 +51,7 @@ Status TrajectoryDatabase::ExtendLifetime(ObjectId id, Tic end_tic) {
   objects_[id] = std::make_shared<UncertainObject>(
       old.id(), old.observations(), old.matrix_ptr(), end_tic);
   ++version_;
+  change_log_.push_back({version_, id});
   return Status::OK();
 }
 
@@ -59,9 +65,33 @@ DbSnapshot TrajectoryDatabase::Snapshot() const {
   if (snapshot_table_ == nullptr || snapshot_version_ != version_) {
     snapshot_table_ =
         std::make_shared<const DbSnapshot::ObjectTable>(objects_);
+    snapshot_changes_ =
+        std::make_shared<const DbSnapshot::ChangeLog>(change_log_);
     snapshot_version_ = version_;
   }
-  return DbSnapshot(space_, snapshot_table_, version_);
+  return DbSnapshot(space_, snapshot_table_, version_, snapshot_changes_,
+                    base_index_, delta_floor_);
+}
+
+void TrajectoryDatabase::PublishIndex(
+    std::shared_ptr<const UstTree> base) const {
+  if (base == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t built = base->built_version();
+  if (base_index_ != nullptr && built <= base_index_->built_version()) return;
+  base_index_ = std::move(base);
+  delta_floor_ = built;
+  change_log_.erase(
+      std::remove_if(change_log_.begin(), change_log_.end(),
+                     [built](const DbChange& c) { return c.epoch <= built; }),
+      change_log_.end());
+  // Publication does not bump the epoch, so refresh the cached snapshot log
+  // here: the next Snapshot() at this same version must see the trimmed log
+  // (and the new base) rather than the pre-publication cache.
+  if (snapshot_version_ == version_ && snapshot_table_ != nullptr) {
+    snapshot_changes_ =
+        std::make_shared<const DbSnapshot::ChangeLog>(change_log_);
+  }
 }
 
 std::vector<ObjectId> TrajectoryDatabase::AliveThroughout(Tic ts,
@@ -101,6 +131,28 @@ void TrajectoryDatabase::InvalidatePosteriors() const {
 }
 
 DbSnapshot::DbSnapshot(const TrajectoryDatabase& db) : DbSnapshot(db.Snapshot()) {}
+
+std::vector<ObjectId> DbSnapshot::ChangedSince(uint64_t base_version) const {
+  UST_DCHECK(base_version >= delta_floor_);
+  std::vector<ObjectId> ids;
+  if (changes_ != nullptr) {
+    for (const DbChange& c : *changes_) {
+      if (c.epoch > base_version) ids.push_back(c.id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+size_t DbSnapshot::DeltaDepth(uint64_t base_version) const {
+  if (base_version < delta_floor_) return size();
+  return ChangedSince(base_version).size();
+}
+
+DbSnapshot DbSnapshot::WithoutIndex() const {
+  return DbSnapshot(space_, objects_, version_);
+}
 
 std::vector<ObjectId> DbSnapshot::AliveThroughout(Tic ts, Tic te) const {
   std::vector<ObjectId> ids;

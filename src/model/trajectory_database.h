@@ -37,8 +37,11 @@ class TrajectoryDatabase {
   /// Snapshot() instead.
   TrajectoryDatabase(TrajectoryDatabase&& other) noexcept
       : space_(std::move(other.space_)), objects_(std::move(other.objects_)),
-        version_(other.version_),
+        version_(other.version_), change_log_(std::move(other.change_log_)),
+        base_index_(std::move(other.base_index_)),
+        delta_floor_(other.delta_floor_),
         snapshot_table_(std::move(other.snapshot_table_)),
+        snapshot_changes_(std::move(other.snapshot_changes_)),
         snapshot_version_(other.snapshot_version_) {}
   TrajectoryDatabase(const TrajectoryDatabase&) = delete;
   TrajectoryDatabase& operator=(const TrajectoryDatabase&) = delete;
@@ -98,16 +101,33 @@ class TrajectoryDatabase {
   /// resolving posteriors on this database's objects (or its snapshots).
   void InvalidatePosteriors() const;
 
+  /// Publish `base` as the compacted base index for this database. Does NOT
+  /// bump the epoch — the index is a cache, never state: queries at any epoch
+  /// return the same bits with or without it. Trims change-log entries at or
+  /// below base->built_version() (the new tree already covers those writes)
+  /// and raises delta_floor() accordingly. A base older than the currently
+  /// published one is ignored (concurrent compactors may finish out of
+  /// order). Thread-safe; const because it only touches cache state.
+  void PublishIndex(std::shared_ptr<const UstTree> base) const;
+
  private:
   std::shared_ptr<const StateSpace> space_;
   /// Live object table. Slots are shared with snapshots; a slot's pointee is
   /// never mutated after publication (ExtendLifetime swaps the pointer).
   std::vector<std::shared_ptr<const UncertainObject>> objects_;
   uint64_t version_ = 0;
+  /// Write log since delta_floor_: one {epoch, id} record per write, appended
+  /// under mu_ and trimmed by PublishIndex (mutable for that reason: index
+  /// publication is cache maintenance, not a database mutation).
+  mutable std::vector<DbChange> change_log_;
+  /// Latest compacted base tree, carried by snapshots for sessions to adopt.
+  mutable std::shared_ptr<const UstTree> base_index_;
+  mutable uint64_t delta_floor_ = 0;
 
   /// Serializes writers and guards the snapshot cache.
   mutable std::mutex mu_;
   mutable std::shared_ptr<const DbSnapshot::ObjectTable> snapshot_table_;
+  mutable std::shared_ptr<const DbSnapshot::ChangeLog> snapshot_changes_;
   mutable uint64_t snapshot_version_ = 0;
 };
 

@@ -26,10 +26,28 @@ QuerySession::QuerySession(DbSnapshot db, const UstTree* index,
     : db_(std::move(db)), index_(index), options_(options),
       pool_(options.threads),
       scratch_(static_cast<size_t>(pool_.num_threads())) {
-  // An index over another epoch prunes against the wrong object set; drop it
-  // rather than serve wrong results (alive-time filtering stays correct).
+  // An index over another epoch prunes against the wrong object set. Patch
+  // the gap with a delta over the change log when possible; otherwise drop
+  // the index rather than serve wrong results (alive-time filtering stays
+  // correct) — and make the drop observable.
   if (index_ != nullptr && index_->built_version() != db_.version()) {
-    index_ = nullptr;
+    bool patched = false;
+    if (options_.delta_index && index_->built_version() < db_.version() &&
+        db_.delta_floor() <= index_->built_version()) {
+      auto delta = UstDelta::Build(db_, index_->built_version());
+      if (delta.ok()) {
+        delta_ = delta.MoveValue();
+        patched = true;
+      }
+    }
+    if (!patched) {
+      index_ = nullptr;
+      dropped_stale_index_ = true;
+      trace::Instant("stale_index_drop", db_.version(), "epoch", "dropped");
+      if (options_.stale_index_drops != nullptr) {
+        options_.stale_index_drops->Increment();
+      }
+    }
   }
 }
 
@@ -52,6 +70,11 @@ PruneResult QuerySession::Prune(const QueryTrajectory& q, const TimeInterval& T,
                                 int k, bool forall,
                                 const UstTree::TimeSlab* slab) const {
   if (index_ != nullptr) {
+    if (!delta_.empty()) {
+      UST_TRACE_SCOPE("delta_probe", delta_.depth(), "objects");
+      return forall ? index_->PruneForall(q, T, k, slab, &delta_)
+                    : index_->PruneExists(q, T, k, slab, &delta_);
+    }
     return forall ? index_->PruneForall(q, T, k, slab)
                   : index_->PruneExists(q, T, k, slab);
   }

@@ -22,6 +22,7 @@
 #include <mutex>
 #include <vector>
 
+#include "index/ust_delta.h"
 #include "index/ust_tree.h"
 #include "model/trajectory_database.h"
 #include "query/executor.h"
@@ -133,6 +134,13 @@ struct SessionOptions {
   /// shared across its sessions); may be nullptr. The session also keeps
   /// its own ArenaStats either way.
   ArenaCounters* arena_counters = nullptr;
+  /// Patch a stale index with an UstDelta over the change log instead of
+  /// dropping it (bit-identical outcomes either way). false pins the legacy
+  /// drop-to-fallback behavior.
+  bool delta_index = true;
+  /// Optional tally of stale indexes this session had to drop (no delta
+  /// possible or delta build failed); may be nullptr.
+  Counter* stale_index_drops = nullptr;
 };
 
 /// \brief Long-lived query façade over one database epoch + UST-tree.
@@ -140,8 +148,11 @@ struct SessionOptions {
 /// The session pins a DbSnapshot at construction (a live TrajectoryDatabase
 /// converts to its current epoch): every query it ever runs reads exactly
 /// that epoch, bit-identically, regardless of concurrent writes to the live
-/// database. An `index` built over a *different* epoch would prune against
-/// the wrong object set, so it is silently dropped (pruning degenerates to
+/// database. An `index` built over an *older* epoch is patched with an
+/// UstDelta covering the objects written since (probed alongside the base
+/// tree, bit-identical to a rebuild); when that is impossible — delta layer
+/// disabled, the change log was trimmed past the base, or the delta build
+/// failed — the index is dropped and counted (pruning degenerates to
 /// alive-time filtering, which is always correct).
 ///
 /// Not safe for concurrent external use (one session = one request lane);
@@ -209,6 +220,12 @@ class QuerySession {
 
   /// Snapshot of this session's own arena activity (thread-safe).
   ArenaStats arena_stats() const;
+
+  /// Objects the attached delta carries (0 = probing the base alone).
+  size_t delta_depth() const { return delta_.depth(); }
+
+  /// A stale index was passed at construction and had to be dropped.
+  bool dropped_stale_index() const { return dropped_stale_index_; }
 
  private:
   /// Pruning (filter step), via the index slab when one is cached for T;
@@ -282,6 +299,10 @@ class QuerySession {
 
   DbSnapshot db_;
   const UstTree* index_;
+  /// Patch for a base index older than db_'s epoch; empty when the index is
+  /// current (or absent). Probed by Prune alongside the base tree.
+  UstDelta delta_;
+  bool dropped_stale_index_ = false;
   SessionOptions options_;
   ThreadPool pool_;
   std::vector<ExecScratch> scratch_;  // one per worker

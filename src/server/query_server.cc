@@ -22,6 +22,7 @@ SessionOptions MakeSessionOptions(const ServerOptions& options) {
   session_options.threads = options.threads;
   session_options.planner = options.planner;
   session_options.arena_min_uses = options.arena_min_uses;
+  session_options.delta_index = options.delta_index;
   return session_options;
 }
 
@@ -73,6 +74,10 @@ std::vector<MetricSample> SamplesFromFields(const ServerStats& stats) {
                  static_cast<int64_t>(stats.lane_queue_peak));
   AddGaugeSample(&samples, "trace_dropped",
                  static_cast<int64_t>(stats.trace_dropped));
+  AddCounterSample(&samples, "compactions", stats.compactions);
+  AddCounterSample(&samples, "compaction_failures", stats.compaction_failures);
+  AddGaugeSample(&samples, "delta_depth",
+                 static_cast<int64_t>(stats.delta_depth));
   AddCounterSample(&samples, "cache_hits", stats.cache.hits);
   AddCounterSample(&samples, "cache_misses", stats.cache.misses);
   AddCounterSample(&samples, "cache_busy_misses", stats.cache.busy_misses);
@@ -84,6 +89,8 @@ std::vector<MetricSample> SamplesFromFields(const ServerStats& stats) {
   AddCounterSample(&samples, "arena_spec_reuses",
                    stats.cache.arena_spec_reuses);
   AddCounterSample(&samples, "arena_bytes", stats.cache.arena_bytes);
+  AddCounterSample(&samples, "stale_index_drops",
+                   stats.cache.stale_index_drops);
   AddHistogramSample(&samples, "latency_us", stats.latency_micros);
   AddHistogramSample(&samples, "queue_us", stats.queue_micros);
   return samples;
@@ -195,6 +202,9 @@ QueryServer::QueryServer(const TrajectoryDatabase& db, const UstTree* index,
   c_worlds_saved_ = metrics_.NewCounter("worlds_saved");
   g_lane_queue_peak_ = metrics_.NewGauge("lane_queue_peak");
   g_trace_dropped_ = metrics_.NewGauge("trace_dropped");
+  c_compactions_ = metrics_.NewCounter("compactions");
+  c_compaction_failures_ = metrics_.NewCounter("compaction_failures");
+  g_delta_depth_ = metrics_.NewGauge("delta_depth");
   cache_.RegisterMetrics(&metrics_);
   h_latency_ = metrics_.NewHistogram("latency_us");
   h_queue_ = metrics_.NewHistogram("queue_us");
@@ -207,6 +217,9 @@ QueryServer::QueryServer(const TrajectoryDatabase& db, const UstTree* index,
     lanes_.emplace_back([this, lane] { LaneLoop(lane); });
   }
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
+  if (options_.compaction) {
+    compactor_ = std::thread([this] { CompactionLoop(); });
+  }
 }
 
 QueryServer::~QueryServer() { Stop(); }
@@ -271,7 +284,15 @@ void QueryServer::Stop() {
   // racing the destructor) all block here until the pipeline has fully
   // drained, and exactly one of them performs each join.
   std::lock_guard<std::mutex> join_lock(join_mu_);
-  // Dispatcher first: it drains the admission queue into lane jobs, so only
+  // The compactor can go at any point (it only rebuilds a cache); stopping
+  // it first keeps tree builds from competing with the drain.
+  {
+    std::lock_guard<std::mutex> lock(compact_mu_);
+    compact_stop_ = true;
+  }
+  compact_cv_.notify_all();
+  if (compactor_.joinable()) compactor_.join();
+  // Dispatcher next: it drains the admission queue into lane jobs, so only
   // after it exits is the lane queue complete...
   if (dispatcher_.joinable()) dispatcher_.join();
   {
@@ -317,6 +338,9 @@ ServerStats QueryServer::Stats() const {
   stats.worlds_saved = c_worlds_saved_->value();
   stats.lane_queue_peak = static_cast<size_t>(g_lane_queue_peak_->value());
   stats.trace_dropped = static_cast<uint64_t>(g_trace_dropped_->value());
+  stats.compactions = c_compactions_->value();
+  stats.compaction_failures = c_compaction_failures_->value();
+  stats.delta_depth = static_cast<size_t>(g_delta_depth_->value());
   stats.latency_micros = h_latency_->Snapshot();
   stats.queue_micros = h_queue_->Snapshot();
   stats.cache = cache_.stats();
@@ -672,6 +696,52 @@ void QueryServer::ExecuteGroupExclusive(
     }
   }
   FinalizeGroup(group.get());
+}
+
+void QueryServer::CompactionLoop() {
+  trace::PrepareThisThread();
+  const auto period = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(std::chrono::duration<double,
+                                                                 std::milli>(
+      std::max(0.1, options_.compaction_interval_ms)));
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(compact_mu_);
+      if (compact_cv_.wait_for(lock, period, [&] { return compact_stop_; })) {
+        return;
+      }
+    }
+    // Outside the lock: a rebuild can be long, and Stop() must not wait for
+    // more than the pass in flight.
+    CompactOnce();
+  }
+}
+
+void QueryServer::CompactOnce() {
+  DbSnapshot snapshot = db_->Snapshot();
+  // The freshest base wins: a previously compacted tree published through
+  // the snapshot supersedes the seed tree the server was constructed with.
+  const UstTree* base = snapshot.base_index() != nullptr
+                            ? snapshot.base_index().get()
+                            : index_;
+  const size_t depth = base == nullptr
+                           ? snapshot.size()
+                           : snapshot.DeltaDepth(base->built_version());
+  g_delta_depth_->Set(static_cast<int64_t>(depth));
+  if (depth < options_.compaction_min_depth) return;
+  if (base != nullptr && base->built_version() == snapshot.version()) return;
+  UST_TRACE_SCOPE("compact", depth, "objects");
+  auto tree = UstTree::Build(snapshot);
+  if (!tree.ok()) {
+    // The previous base stays published; sessions keep patching it with
+    // deltas (or fall back) exactly as before this attempt.
+    c_compaction_failures_->Increment();
+    return;
+  }
+  db_->PublishIndex(std::make_shared<const UstTree>(tree.MoveValue()));
+  c_compactions_->Increment();
+  g_delta_depth_->Set(
+      static_cast<int64_t>(db_->Snapshot().DeltaDepth(snapshot.version())));
 }
 
 void QueryServer::FinalizeGroup(GroupTask* group) {

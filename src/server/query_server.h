@@ -105,6 +105,21 @@ struct ServerOptions {
   size_t trace_events_per_thread = 1 << 16;
   /// Planner knobs handed to every session.
   PlannerOptions planner;
+  /// Patch stale indexes with a per-epoch delta (see
+  /// SessionOptions::delta_index) instead of dropping them. false restores
+  /// the pre-delta behavior: post-write epochs serve unindexed.
+  bool delta_index = true;
+  /// Run the background compaction thread: periodically rebuild the base
+  /// UstTree at the current epoch and publish it through the database
+  /// (TrajectoryDatabase::PublishIndex), so session deltas stay shallow
+  /// under sustained writes. Publication never bumps the epoch — outcomes
+  /// are bit-identical whether a query lands before or after it.
+  bool compaction = false;
+  /// Compaction poll period. Each wake-up rebuilds only if the delta depth
+  /// over the freshest base reached compaction_min_depth.
+  double compaction_interval_ms = 10.0;
+  /// Rewritten-object count that triggers a rebuild at the next poll.
+  size_t compaction_min_depth = 1;
 };
 
 /// \brief Per-lane execution counters and timing.
@@ -151,6 +166,14 @@ struct ServerStats {
   /// Trace events overwritten by ring wrap since tracing was enabled
   /// (0 when tracing is off — see util/trace.h).
   uint64_t trace_dropped = 0;
+  /// Base-tree rebuilds the compaction thread published.
+  uint64_t compactions = 0;
+  /// Rebuild attempts that failed (e.g. contradicting observations); the
+  /// previous base stays published.
+  uint64_t compaction_failures = 0;
+  /// Gauge: rewritten objects not yet folded into the freshest base, as of
+  /// the compactor's last look (0 with compaction off).
+  size_t delta_depth = 0;
   SessionCacheStats cache;
   /// Every registered instrument in registration order — what ToJson
   /// enumerates, so an instrument added anywhere in the serving tier
@@ -311,12 +334,24 @@ class QueryServer {
   Counter* c_worlds_saved_;
   Gauge* g_lane_queue_peak_;
   Gauge* g_trace_dropped_;
+  Counter* c_compactions_;
+  Counter* c_compaction_failures_;
+  Gauge* g_delta_depth_;
   HistogramMetric* h_latency_;
   HistogramMetric* h_queue_;
   bool owns_trace_ = false;  ///< this server enabled the global tracer
 
+  /// One compaction pass: rebuild the base tree at the current epoch and
+  /// publish it, when the delta depth warrants it.
+  void CompactOnce();
+  void CompactionLoop();
+  std::mutex compact_mu_;
+  std::condition_variable compact_cv_;
+  bool compact_stop_ = false;
+
   std::mutex join_mu_;  ///< serializes Stop()'s joins
   std::thread dispatcher_;
+  std::thread compactor_;
   std::vector<std::thread> lanes_;
 };
 

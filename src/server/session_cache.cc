@@ -59,6 +59,7 @@ SessionCache::SessionCache(size_t capacity, SessionOptions session_options)
   // Every session built by this cache tallies its arena activity here, so
   // stats() reports group sharing across session churn and eviction.
   session_options_.arena_counters = &arena_counters_;
+  session_options_.stale_index_drops = &c_stale_index_drops_;
 }
 
 std::shared_ptr<QuerySession> SessionCache::BuildSession(
@@ -67,8 +68,14 @@ std::shared_ptr<QuerySession> SessionCache::BuildSession(
   // needs the warm lock: session construction and the R*-tree slab build
   // touch nothing shared, so they proceed concurrently across lanes.
   UST_TRACE_SCOPE("session_build", snapshot.version(), "epoch");
-  if (index != nullptr && index->built_version() != snapshot.version()) {
-    index = nullptr;
+  // A compacted base published through the snapshot supersedes the caller's
+  // (older) tree; the session pins the snapshot, which keeps the raw pointer
+  // alive for its whole life. Whatever base is chosen, the session itself
+  // patches any remaining epoch gap with a delta — or counts the drop.
+  if (snapshot.base_index() != nullptr &&
+      (index == nullptr ||
+       snapshot.base_index()->built_version() > index->built_version())) {
+    index = snapshot.base_index().get();
   }
   auto session =
       std::make_shared<QuerySession>(snapshot, index, session_options_);
@@ -258,6 +265,7 @@ SessionCacheStats SessionCache::stats() const {
   s.arena_builds = arena_counters_.builds.value();
   s.arena_spec_reuses = arena_counters_.spec_reuses.value();
   s.arena_bytes = arena_counters_.bytes.value();
+  s.stale_index_drops = c_stale_index_drops_.value();
   return s;
 }
 
@@ -271,6 +279,7 @@ void SessionCache::RegisterMetrics(MetricRegistry* registry) const {
   registry->RegisterCounter("arena_builds", &arena_counters_.builds);
   registry->RegisterCounter("arena_spec_reuses", &arena_counters_.spec_reuses);
   registry->RegisterCounter("arena_bytes", &arena_counters_.bytes);
+  registry->RegisterCounter("stale_index_drops", &c_stale_index_drops_);
 }
 
 }  // namespace ust

@@ -68,6 +68,8 @@ struct SessionCacheStats {
   uint64_t arena_builds = 0;       ///< arenas materialized
   uint64_t arena_spec_reuses = 0;  ///< specs evaluated against an arena
   uint64_t arena_bytes = 0;        ///< slab bytes across built arenas
+  uint64_t stale_index_drops = 0;  ///< sessions that had to drop a stale
+                                   ///< index (no delta patch possible)
 };
 
 /// \brief Thread-safe LRU cache of warmed QuerySessions keyed by
@@ -150,10 +152,11 @@ class SessionCache {
 
   /// Exclusive lease on a session for (snapshot.version(), T): a cached idle
   /// one, or a fresh one built over `snapshot`, prepared (posteriors +
-  /// samplers warmed) and with the `T` slab pre-built. `index` is attached
-  /// only when it was built over the same epoch (a stale index would prune
-  /// wrongly; the session would drop it anyway). No other lane can obtain
-  /// this session until the lease dies.
+  /// samplers warmed) and with the `T` slab pre-built. The freshest base
+  /// tree wins: a compacted base published through the snapshot supersedes
+  /// `index`, and the session patches any remaining epoch gap with a delta
+  /// (or drops the index, counted in stale_index_drops). No other lane can
+  /// obtain this session until the lease dies.
   Lease Checkout(const DbSnapshot& snapshot, const TimeInterval& T,
                  const UstTree* index);
 
@@ -241,6 +244,7 @@ class SessionCache {
   Counter c_shared_joins_;
   Counter c_evictions_lru_;
   Counter c_evictions_stale_;
+  Counter c_stale_index_drops_;
 };
 
 }  // namespace ust

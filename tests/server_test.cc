@@ -179,8 +179,16 @@ TEST_F(ServerTest, ExtendLifetimeIsCopyOnWrite) {
 TEST_F(ServerTest, StaleIndexIsDroppedNotTrusted) {
   const std::vector<QuerySpec> specs = MakeSpecs(4);
   AddObjectAt(T_.start, T_.end);  // index_ is now one epoch behind
-  QuerySession with_stale_index(db().Snapshot(), index_.get());
+  // Pin the legacy drop path: with the delta layer disabled, a stale index
+  // must be discarded (and the drop counted), never trusted.
+  SessionOptions no_delta;
+  no_delta.delta_index = false;
+  Counter drops;
+  no_delta.stale_index_drops = &drops;
+  QuerySession with_stale_index(db().Snapshot(), index_.get(), no_delta);
   QuerySession without_index(db().Snapshot(), nullptr);
+  EXPECT_TRUE(with_stale_index.dropped_stale_index());
+  EXPECT_EQ(drops.value(), 1u);
   const auto a = with_stale_index.RunAll(specs);
   const auto b = without_index.RunAll(specs);
   for (size_t i = 0; i < specs.size(); ++i) {

@@ -29,6 +29,7 @@ Exit status: 0 all checks pass, 1 regression or config mismatch, 2 usage.
 import argparse
 import json
 import math
+import os
 import sys
 
 # Direction of badness: "down" fails when fresh < baseline * (1 - band),
@@ -102,6 +103,20 @@ CHECKS = {
         "qps_trace_on": ("down", ABSOLUTE_BAND),
         "trace_overhead": ("up", 0.10),
     },
+    "micro_ingest": {
+        # Online index maintenance (PR 9). delta_speedup — the qps ratio of
+        # the base ∪ delta probe over the stale-index drop fallback at the
+        # same post-write epoch — is a within-run ratio, so it gets the
+        # machine-portable band; with the committed baseline >= 2x the band
+        # floor keeps the tentpole claim (delta beats rebuild-or-drop)
+        # gated on every run. The open-loop churn numbers (queries served
+        # while a writer and the background compactor run) are absolute.
+        "delta_speedup": ("down", RATIO_BAND),
+        "qps_delta": ("down", ABSOLUTE_BAND),
+        "qps_fallback": ("down", ABSOLUTE_BAND),
+        "qps_ingest": ("down", ABSOLUTE_BAND),
+        "p99_ingest_ms": ("up", ABSOLUTE_BAND),
+    },
 }
 
 # Workload identity: these must be byte-equal or the comparison is void.
@@ -111,7 +126,38 @@ CONFIG_KEYS = [
     "lanes", "clients", "max_batch_size", "executor", "arena", "skew",
     "morsel_specs", "adaptive", "adaptive_worlds",
     "markov_objects", "markov_queries", "exact_objects", "exact_queries",
+    "writes", "write_interval_us", "compaction_interval_ms",
 ]
+
+
+def write_step_summary(name, fresh_path, rows, failures):
+    """Mirror the verdict into $GITHUB_STEP_SUMMARY (when set) so a failing
+    gate is actionable from the run page: the offending key, committed vs
+    measured value, and the allowed band — without digging through logs."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = [f"### check_bench: `{name}` ({fresh_path})", ""]
+    if rows:
+        lines += ["| key | committed | measured | allowed | verdict |",
+                  "|---|---|---|---|---|"]
+        for key, base, now, allowed, ok in rows:
+            verdict = "ok" if ok else "**FAIL**"
+            lines.append(f"| `{key}` | {base:.4g} | {now:.4g} "
+                         f"| {allowed} | {verdict} |")
+        lines.append("")
+    config_failures = [f for f in failures if f.startswith("config mismatch")]
+    for failure in config_failures:
+        lines.append(f"- {failure}")
+    lines.append("")
+    lines.append(f"**{len(failures)} failure(s)**" if failures
+                 else "All checks passed.")
+    lines.append("")
+    try:
+        with open(path, "a", encoding="utf-8") as f:
+            f.write("\n".join(lines))
+    except OSError as e:
+        print(f"check_bench: cannot write step summary: {e}", file=sys.stderr)
 
 
 def load(path):
@@ -143,6 +189,7 @@ def main():
         sys.exit(2)
 
     failures = []
+    rows = []  # (key, committed, measured, allowed, ok) for the summary
 
     for key in CONFIG_KEYS:
         if key in baseline and key in fresh and baseline[key] != fresh[key]:
@@ -174,12 +221,14 @@ def main():
         status = "ok   " if ok else "FAIL "
         print(f"  {status} {key:<28} baseline={base:<12.4g} "
               f"fresh={now:<12.4g} (need {verdict})")
+        rows.append((key, base, now, verdict, ok))
         if not ok:
             failures.append(
                 f"{key}: {now:.4g} vs baseline {base:.4g} breaches the "
                 f"{eff_band:.0%} {'drop' if direction == 'down' else 'rise'} "
                 f"band")
 
+    write_step_summary(name, args.fresh, rows, failures)
     if failures:
         print(f"\ncheck_bench: {len(failures)} failure(s):", file=sys.stderr)
         for failure in failures:
