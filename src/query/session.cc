@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/fault.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
@@ -211,6 +212,11 @@ std::shared_ptr<const WorldArena> QuerySession::ArenaFor(
     const TimeInterval& T, uint64_t seed, size_t num_worlds,
     ThreadPool* pool) const {
   if (options_.arena_min_uses <= 0 || !T.valid() || num_worlds == 0) {
+    return nullptr;
+  }
+  if (fault::ShouldFail("alloc_limit")) {
+    // Injected allocation refusal: behave as if the slab could not be
+    // materialized — specs sample live, bit-identically, just unamortized.
     return nullptr;
   }
   size_t build_worlds = 0;

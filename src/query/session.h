@@ -95,6 +95,15 @@ struct QuerySpec {
   PrecisionTarget precision;
   /// Explicit executor override; kAuto defers to the planner.
   ExecutorKind backend = ExecutorKind::kAuto;
+  /// Latency budget relative to serving-tier admission, milliseconds; 0 = no
+  /// deadline. The session itself ignores it — only the serving tier sheds
+  /// expired specs, and only at request/morsel boundaries, so a spec that
+  /// does execute is bit-identical at any deadline (DESIGN.md section 11).
+  double deadline_ms = 0.0;
+  /// Load-shedding class: under overload the serving tier rejects requests
+  /// at or below its priority floor first. Does not affect execution order
+  /// or results of admitted requests.
+  int priority = 0;
 };
 
 /// \brief Per-query outcome. `status` isolates failures: one malformed query

@@ -4,6 +4,7 @@
 #include <map>
 #include <utility>
 
+#include "util/fault.h"
 #include "util/trace.h"
 
 namespace ust {
@@ -59,11 +60,17 @@ void AddHistogramSample(std::vector<MetricSample>* samples, const char* name,
 /// the QueryServer constructor.
 std::vector<MetricSample> SamplesFromFields(const ServerStats& stats) {
   std::vector<MetricSample> samples;
-  samples.reserve(24);
+  samples.reserve(36);
   AddCounterSample(&samples, "submitted", stats.submitted);
   AddCounterSample(&samples, "admitted", stats.admitted);
   AddCounterSample(&samples, "rejected", stats.rejected);
+  AddCounterSample(&samples, "rejected_queue_full", stats.rejected_queue_full);
+  AddCounterSample(&samples, "rejected_shed", stats.rejected_shed);
+  AddCounterSample(&samples, "rejected_draining", stats.rejected_draining);
   AddCounterSample(&samples, "completed", stats.completed);
+  AddCounterSample(&samples, "expired_in_queue", stats.expired_in_queue);
+  AddCounterSample(&samples, "expired_on_lane", stats.expired_on_lane);
+  AddCounterSample(&samples, "degraded_requests", stats.degraded_requests);
   AddCounterSample(&samples, "batches", stats.batches);
   AddCounterSample(&samples, "flush_full", stats.flush_full);
   AddCounterSample(&samples, "flush_deadline", stats.flush_deadline);
@@ -72,6 +79,8 @@ std::vector<MetricSample> SamplesFromFields(const ServerStats& stats) {
   AddCounterSample(&samples, "worlds_saved", stats.worlds_saved);
   AddGaugeSample(&samples, "lane_queue_peak",
                  static_cast<int64_t>(stats.lane_queue_peak));
+  AddGaugeSample(&samples, "overload_regime",
+                 static_cast<int64_t>(stats.overload_regime));
   AddGaugeSample(&samples, "trace_dropped",
                  static_cast<int64_t>(stats.trace_dropped));
   AddCounterSample(&samples, "compactions", stats.compactions);
@@ -91,6 +100,8 @@ std::vector<MetricSample> SamplesFromFields(const ServerStats& stats) {
   AddCounterSample(&samples, "arena_bytes", stats.cache.arena_bytes);
   AddCounterSample(&samples, "stale_index_drops",
                    stats.cache.stale_index_drops);
+  AddCounterSample(&samples, "session_build_failures",
+                   stats.cache.build_failures);
   AddHistogramSample(&samples, "latency_us", stats.latency_micros);
   AddHistogramSample(&samples, "queue_us", stats.queue_micros);
   return samples;
@@ -178,7 +189,8 @@ std::string ServerStats::ToJson() const {
 QueryServer::QueryServer(const TrajectoryDatabase& db, const UstTree* index,
                          ServerOptions options)
     : db_(&db), index_(index), options_(options),
-      cache_(options.session_cache_capacity, MakeSessionOptions(options)) {
+      cache_(options.session_cache_capacity, MakeSessionOptions(options)),
+      overload_(options.overload) {
   // A zero batch size would dispatch empty batches forever while admitted
   // requests starve, a zero queue capacity would bounce all traffic, and a
   // zero-lane pool would stage jobs nobody executes; a server always admits,
@@ -193,7 +205,13 @@ QueryServer::QueryServer(const TrajectoryDatabase& db, const UstTree* index,
   c_submitted_ = metrics_.NewCounter("submitted");
   c_admitted_ = metrics_.NewCounter("admitted");
   c_rejected_ = metrics_.NewCounter("rejected");
+  c_rejected_queue_full_ = metrics_.NewCounter("rejected_queue_full");
+  c_rejected_shed_ = metrics_.NewCounter("rejected_shed");
+  c_rejected_draining_ = metrics_.NewCounter("rejected_draining");
   c_completed_ = metrics_.NewCounter("completed");
+  c_expired_in_queue_ = metrics_.NewCounter("expired_in_queue");
+  c_expired_on_lane_ = metrics_.NewCounter("expired_on_lane");
+  c_degraded_ = metrics_.NewCounter("degraded_requests");
   c_batches_ = metrics_.NewCounter("batches");
   c_flush_full_ = metrics_.NewCounter("flush_full");
   c_flush_deadline_ = metrics_.NewCounter("flush_deadline");
@@ -201,6 +219,7 @@ QueryServer::QueryServer(const TrajectoryDatabase& db, const UstTree* index,
   c_early_stops_ = metrics_.NewCounter("early_stops");
   c_worlds_saved_ = metrics_.NewCounter("worlds_saved");
   g_lane_queue_peak_ = metrics_.NewGauge("lane_queue_peak");
+  g_overload_regime_ = metrics_.NewGauge("overload_regime");
   g_trace_dropped_ = metrics_.NewGauge("trace_dropped");
   c_compactions_ = metrics_.NewCounter("compactions");
   c_compaction_failures_ = metrics_.NewCounter("compaction_failures");
@@ -232,10 +251,14 @@ std::future<QueryOutcome> QueryServer::Submit(QuerySpec spec) {
     std::lock_guard<std::mutex> lock(mu_);
     c_submitted_->Increment();
     if (stopping_) {
+      // Deterministic drain contract: every Submit racing (or following)
+      // Stop() resolves immediately with the same tagged backpressure
+      // status a full queue produces — retryable, never ambiguous.
       c_rejected_->Increment();
+      c_rejected_draining_->Increment();
       admit_span.set_tag("rejected");
       promise.set_value(RejectedOutcome(
-          Status::InvalidArgument("query server is stopped"), spec.kind));
+          Status::ResourceLimit("query server is draining"), spec.kind));
       return future;
     }
     if (in_flight_ >= options_.queue_capacity) {
@@ -245,17 +268,59 @@ std::future<QueryOutcome> QueryServer::Submit(QuerySpec spec) {
       // the bound meaningful now that flushed batches wait in the lane
       // queue: execution backlog is still backlog.
       c_rejected_->Increment();
+      c_rejected_queue_full_->Increment();
       admit_span.set_tag("rejected");
       promise.set_value(RejectedOutcome(
           Status::ResourceLimit("admission queue full"), spec.kind));
       return future;
     }
+    // Overload control (DESIGN.md section 11), well before the hard bound:
+    // the regime is re-evaluated on every admission from the in-flight
+    // utilization (the queue-delay EWMA side is fed by the dispatcher).
+    const OverloadRegime regime =
+        overload_.Update(in_flight_, options_.queue_capacity);
+    g_overload_regime_->Set(static_cast<int64_t>(regime));
+    if (regime == OverloadRegime::kShed &&
+        spec.priority <= overload_.options().shed_max_priority) {
+      // Shed the lowest class early: cheaper for everyone than letting it
+      // queue up, expire, and still cost a dispatcher pass.
+      c_rejected_->Increment();
+      c_rejected_shed_->Increment();
+      admit_span.set_tag("shed");
+      promise.set_value(RejectedOutcome(
+          Status::ResourceLimit("shed under overload"), spec.kind));
+      return future;
+    }
+    if (regime != OverloadRegime::kNormal && Degradable(spec)) {
+      // Graceful degradation: coarsen the *implicit* precision default to
+      // the server's overload epsilon. Epsilon-mode early stopping is
+      // deterministic per spec, so the degraded spec is itself a perfectly
+      // reproducible query — just a cheaper one than the client's default.
+      spec.precision.mode = PrecisionMode::kEpsilon;
+      spec.precision.epsilon = overload_.options().degrade_epsilon;
+      spec.precision.delta = overload_.options().degrade_delta;
+      c_degraded_->Increment();
+    }
     c_admitted_->Increment();
     ++in_flight_;
     const uint64_t id = ++next_request_id_;
     admit_span.set_arg(id);
-    queue_.push_back(Request{std::move(spec), std::move(promise),
-                             std::chrono::steady_clock::now(), id});
+    Request request;
+    request.spec = std::move(spec);
+    request.promise = std::move(promise);
+    request.submitted_at = std::chrono::steady_clock::now();
+    request.id = id;
+    if (request.spec.deadline_ms > 0.0) {
+      // The budget starts at admission and covers queueing + staging +
+      // execution wait: propagation, not a per-stage timer.
+      request.has_deadline = true;
+      request.deadline_at =
+          request.submitted_at +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(
+                  request.spec.deadline_ms));
+    }
+    queue_.push_back(std::move(request));
   }
   cv_.notify_all();
   return future;
@@ -329,7 +394,14 @@ ServerStats QueryServer::Stats() const {
   stats.submitted = c_submitted_->value();
   stats.admitted = c_admitted_->value();
   stats.rejected = c_rejected_->value();
+  stats.rejected_queue_full = c_rejected_queue_full_->value();
+  stats.rejected_shed = c_rejected_shed_->value();
+  stats.rejected_draining = c_rejected_draining_->value();
   stats.completed = c_completed_->value();
+  stats.expired_in_queue = c_expired_in_queue_->value();
+  stats.expired_on_lane = c_expired_on_lane_->value();
+  stats.degraded_requests = c_degraded_->value();
+  stats.overload_regime = static_cast<size_t>(g_overload_regime_->value());
   stats.batches = c_batches_->value();
   stats.flush_full = c_flush_full_->value();
   stats.flush_deadline = c_flush_deadline_->value();
@@ -405,7 +477,68 @@ void QueryServer::DispatcherLoop() {
   }
 }
 
+std::chrono::steady_clock::time_point QueryServer::DeadlineNow() {
+  return std::chrono::steady_clock::now() +
+         std::chrono::nanoseconds(fault::SkewNs("deadline_skew"));
+}
+
+bool QueryServer::Degradable(const QuerySpec& spec) {
+  return spec.kind != QueryKind::kContinuous &&
+         spec.precision.mode == PrecisionMode::kFixedWorlds;
+}
+
 void QueryServer::StageBatch(std::vector<Request>* batch) {
+  // Queue-side deadline shed: a request already past its budget resolves
+  // here, before it costs a snapshot pin, a group slot or any lane time.
+  // One clock read governs the whole pass.
+  std::vector<Request> expired;
+  {
+    const auto now = DeadlineNow();
+    size_t kept = 0;
+    for (size_t i = 0; i < batch->size(); ++i) {
+      Request& request = (*batch)[i];
+      if (request.has_deadline && now >= request.deadline_at) {
+        expired.push_back(std::move(request));
+      } else {
+        if (kept != i) (*batch)[kept] = std::move(request);
+        ++kept;
+      }
+    }
+    batch->resize(kept);
+  }
+  if (!expired.empty()) {
+    const auto done = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_ -= expired.size();
+      for (const Request& request : expired) {
+        // Their queue phase ended here too — and an expiring queue is
+        // exactly the delay signal the overload controller must see.
+        const double queue_us =
+            std::chrono::duration<double, std::micro>(done -
+                                                      request.submitted_at)
+                .count();
+        h_queue_->Record(queue_us);
+        overload_.NoteQueueDelay(queue_us);
+      }
+    }
+    for (Request& request : expired) {
+      // Expired requests still resolve and still count as completed: every
+      // admitted request delivers exactly one outcome (the reconciliation
+      // invariant the chaos test pins).
+      c_expired_in_queue_->Increment();
+      c_completed_->Increment();
+      h_latency_->Record(std::chrono::duration<double, std::micro>(
+                             done - request.submitted_at)
+                             .count());
+      trace::Instant("expire_queue", request.id);
+      request.promise.set_value(RejectedOutcome(
+          Status::DeadlineExceeded("deadline expired in admission queue"),
+          request.spec.kind));
+    }
+    if (batch->empty()) return;
+  }
+
   // Admission point: the whole batch reads the epoch current at dispatch —
   // a concurrent writer's new epoch becomes visible only to later batches.
   // The snapshot rides inside each GroupTask, so the pin survives any
@@ -453,10 +586,12 @@ void QueryServer::StageBatch(std::vector<Request>* batch) {
         // Submit-to-flush latency: how long admission held the request.
         // Recorded at handoff, so it never includes execution time — the
         // whole point of the lane tier.
-        h_queue_->Record(
+        const double queue_us =
             std::chrono::duration<double, std::micro>(now -
                                                       request.submitted_at)
-                .count());
+                .count();
+        h_queue_->Record(queue_us);
+        overload_.NoteQueueDelay(queue_us);
         trace::Complete("queue", request.submitted_at, now, request.id);
       }
       groups_.push_back(std::move(group));
@@ -561,6 +696,15 @@ void QueryServer::LaneLoop(int lane) {
         group->session = cache_.CheckoutShared(group->snapshot, group->T,
                                                index_);
       }
+      if (!group->session) {
+        // Build failed (injected or real). The deque was never opened to
+        // thieves (session_ready stays false), so this lane owns every
+        // spec: resolve the whole group with the error — promises must
+        // never leak on a failure path.
+        FailGroup(group, Status::Internal(
+                             "session build failed for interval group"));
+        continue;
+      }
       {
         std::lock_guard<std::mutex> lock(mu_);
         group->session_ready = true;
@@ -586,9 +730,39 @@ void QueryServer::ExecuteMorsel(const std::shared_ptr<GroupTask>& group,
                                 size_t begin, size_t end, int lane,
                                 ThreadPool* world_pool,
                                 QuerySession::ExecScratch* scratch) {
+  fault::MaybeStall("lane_stall");
   const auto exec_start = std::chrono::steady_clock::now();
-  group->session->RunMorsel(group->specs, begin, end,
-                            group->outcomes.data(), world_pool, scratch);
+  // Morsel-boundary deadline check: ONE clock read governs every spec of
+  // this morsel — expiry never interrupts a running spec, so any spec that
+  // does execute is bit-identical to the deadline-free run at any schedule.
+  // Expired slots get their outcome written directly; the survivors run as
+  // contiguous sub-ranges (RunMorsel is per-spec pure, so splitting the
+  // range changes nothing).
+  uint64_t expired_here = 0;
+  {
+    const auto now = DeadlineNow();
+    size_t run_start = begin;
+    for (size_t i = begin; i <= end; ++i) {
+      const bool expired = i < end && group->requests[i].has_deadline &&
+                           now >= group->requests[i].deadline_at;
+      if (i < end && !expired) continue;
+      if (i > run_start) {
+        group->session->RunMorsel(group->specs, run_start, i,
+                                  group->outcomes.data(), world_pool,
+                                  scratch);
+      }
+      if (i < end) {
+        QueryOutcome& out = group->outcomes[i];
+        out.status = Status::DeadlineExceeded(
+            "deadline expired before lane execution");
+        out.kind = group->specs[i].kind;
+        trace::Instant("expire_lane", group->requests[i].id);
+        ++expired_here;
+      }
+      run_start = i + 1;
+    }
+  }
+  c_expired_on_lane_->Increment(expired_here);
   const auto exec_end = std::chrono::steady_clock::now();
   const double exec_micros =
       std::chrono::duration<double, std::micro>(exec_end - exec_start)
@@ -643,7 +817,9 @@ void QueryServer::ExecuteMorsel(const std::shared_ptr<GroupTask>& group,
 
 void QueryServer::ExecuteGroupExclusive(
     const std::shared_ptr<GroupTask>& group, int lane) {
+  fault::MaybeStall("lane_stall");
   const auto exec_start = std::chrono::steady_clock::now();
+  uint64_t expired_here = 0;
   {
     // Exclusive checkout: this lane owns the session (and its scratch)
     // until the lease dies at the end of this scope. A concurrent lane on
@@ -653,8 +829,44 @@ void QueryServer::ExecuteGroupExclusive(
       UST_TRACE_SCOPE("session_checkout", group->requests.front().id);
       return cache_.Checkout(group->snapshot, group->T, index_);
     }();
-    group->outcomes = session->RunAll(group->specs);
+    if (!session) {
+      FailGroup(group, Status::Internal(
+                           "session build failed for interval group"));
+      return;
+    }
+    // Group-boundary deadline check (the whole group is this scheduler's
+    // morsel): expired slots resolve directly, survivors run through
+    // RunAll — outcome[i] is bit-identical to the full-batch run because
+    // RunAll is per-spec pure.
+    const auto now = DeadlineNow();
+    std::vector<size_t> live;
+    live.reserve(group->specs.size());
+    for (size_t i = 0; i < group->specs.size(); ++i) {
+      if (group->requests[i].has_deadline &&
+          now >= group->requests[i].deadline_at) {
+        QueryOutcome& out = group->outcomes[i];
+        out.status = Status::DeadlineExceeded(
+            "deadline expired before lane execution");
+        out.kind = group->specs[i].kind;
+        trace::Instant("expire_lane", group->requests[i].id);
+        ++expired_here;
+      } else {
+        live.push_back(i);
+      }
+    }
+    if (expired_here == 0) {
+      group->outcomes = session->RunAll(group->specs);
+    } else if (!live.empty()) {
+      std::vector<QuerySpec> survivors;
+      survivors.reserve(live.size());
+      for (size_t i : live) survivors.push_back(group->specs[i]);
+      std::vector<QueryOutcome> outcomes = session->RunAll(survivors);
+      for (size_t j = 0; j < live.size(); ++j) {
+        group->outcomes[live[j]] = std::move(outcomes[j]);
+      }
+    }
   }
+  c_expired_on_lane_->Increment(expired_here);
   const auto exec_end = std::chrono::steady_clock::now();
   const double exec_micros =
       std::chrono::duration<double, std::micro>(exec_end - exec_start)
@@ -731,6 +943,12 @@ void QueryServer::CompactOnce() {
   if (depth < options_.compaction_min_depth) return;
   if (base != nullptr && base->built_version() == snapshot.version()) return;
   UST_TRACE_SCOPE("compact", depth, "objects");
+  if (fault::ShouldFail("compaction")) {
+    // Injected rebuild failure, taken exactly like a real one: the
+    // previous base stays published and serving continues on deltas.
+    c_compaction_failures_->Increment();
+    return;
+  }
   auto tree = UstTree::Build(snapshot);
   if (!tree.ok()) {
     // The previous base stays published; sessions keep patching it with
@@ -742,6 +960,26 @@ void QueryServer::CompactOnce() {
   c_compactions_->Increment();
   g_delta_depth_->Set(
       static_cast<int64_t>(db_->Snapshot().DeltaDepth(snapshot.version())));
+}
+
+void QueryServer::FailGroup(const std::shared_ptr<GroupTask>& group,
+                            Status status) {
+  for (size_t i = 0; i < group->specs.size(); ++i) {
+    QueryOutcome& out = group->outcomes[i];
+    out.status = status;
+    out.kind = group->specs[i].kind;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    group->completed = group->specs.size();
+    for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+      if (it->get() == group.get()) {
+        groups_.erase(it);
+        break;
+      }
+    }
+  }
+  FinalizeGroup(group.get());
 }
 
 void QueryServer::FinalizeGroup(GroupTask* group) {

@@ -52,6 +52,7 @@
 #include <condition_variable>
 
 #include "model/trajectory_database.h"
+#include "server/overload.h"
 #include "server/session_cache.h"
 #include "util/metrics.h"
 #include "util/stats.h"
@@ -120,6 +121,11 @@ struct ServerOptions {
   double compaction_interval_ms = 10.0;
   /// Rewritten-object count that triggers a rebuild at the next poll.
   size_t compaction_min_depth = 1;
+  /// Overload controller thresholds and degradation policy (DESIGN.md
+  /// section 11): watermarks on in-flight utilization and queue-delay EWMA
+  /// drive normal -> degrade -> shed. The defaults keep a server under the
+  /// admission bound in kNormal — existing workloads see no behavior change.
+  OverloadOptions overload;
 };
 
 /// \brief Per-lane execution counters and timing.
@@ -150,8 +156,25 @@ struct LaneStats {
 struct ServerStats {
   uint64_t submitted = 0;  ///< all Submit calls
   uint64_t admitted = 0;   ///< entered the queue
-  uint64_t rejected = 0;   ///< bounced (in-flight bound / server stopped)
-  uint64_t completed = 0;  ///< outcomes delivered
+  uint64_t rejected = 0;   ///< bounced — always the sum of the split below
+  /// The rejection reasons, split (DESIGN.md section 11): the admission
+  /// bound, the overload controller's shed regime, and the drain window.
+  uint64_t rejected_queue_full = 0;
+  uint64_t rejected_shed = 0;
+  uint64_t rejected_draining = 0;
+  uint64_t completed = 0;  ///< outcomes delivered (deadline misses included)
+  /// Admitted requests whose deadline expired while still queued: the
+  /// dispatcher resolved them kDeadlineExceeded without staging a lane job.
+  uint64_t expired_in_queue = 0;
+  /// Staged specs whose deadline expired before their morsel ran: the lane
+  /// resolved them kDeadlineExceeded at the morsel boundary, unexecuted.
+  uint64_t expired_on_lane = 0;
+  /// Specs the degrade regime switched from implicit fixed-worlds precision
+  /// to the server-default epsilon target.
+  uint64_t degraded_requests = 0;
+  /// Gauge: OverloadRegime at the last admission (0 normal / 1 degrade /
+  /// 2 shed).
+  size_t overload_regime = 0;
   uint64_t batches = 0;    ///< micro-batches dispatched
   uint64_t flush_full = 0;      ///< flushed because the batch filled
   uint64_t flush_deadline = 0;  ///< flushed by the latency deadline
@@ -224,9 +247,13 @@ class QueryServer {
   QueryServer(const QueryServer&) = delete;
   QueryServer& operator=(const QueryServer&) = delete;
 
-  /// Enqueue one query. The future resolves with the outcome — or, when the
-  /// in-flight bound is hit (kResourceLimit) or the server is stopped
-  /// (kInvalidArgument), resolves immediately with that rejection status.
+  /// Enqueue one query. The future resolves with the outcome — or resolves
+  /// immediately with kResourceLimit when the request is bounced: in-flight
+  /// bound hit, shed by the overload controller, or the server is draining
+  /// after Stop(). A spec with deadline_ms > 0 may instead resolve
+  /// kDeadlineExceeded when its budget expires before execution (checked
+  /// only in the queue and at morsel boundaries — an executed spec is
+  /// always bit-identical to the deadline-free run).
   std::future<QueryOutcome> Submit(QuerySpec spec);
 
   /// Hold dispatching (submits keep queueing up to the admission bound;
@@ -259,6 +286,11 @@ class QueryServer {
     /// Admission-ordered id carried by every span of this request's
     /// lifecycle (args {"req": id} — the join key across threads).
     uint64_t id = 0;
+    /// Absolute expiry (admission time + spec.deadline_ms), valid only when
+    /// has_deadline. Fixed at admission so queueing time counts against the
+    /// budget — deadline propagation, not per-stage timeouts.
+    std::chrono::steady_clock::time_point deadline_at;
+    bool has_deadline = false;
   };
 
   /// One interval group of one flushed batch, published as a deque of
@@ -296,6 +328,16 @@ class QueryServer {
   /// Deliver outcomes to the promises, record completion stats, release the
   /// shared session lease.
   void FinalizeGroup(GroupTask* group);
+  /// Resolve every spec of `group` with `status` without executing any
+  /// (session build failed), then finalize it — promises never leak.
+  void FailGroup(const std::shared_ptr<GroupTask>& group, Status status);
+  /// The expiry clock: now, plus any injected "deadline_skew" fault offset.
+  /// Read once per decision point (queue shed pass, morsel boundary).
+  static std::chrono::steady_clock::time_point DeadlineNow();
+  /// True when the degrade regime may coarsen this spec: a non-continuous
+  /// query on the implicit fixed-worlds default (an explicit precision ask
+  /// is a client contract the server honors even under overload).
+  static bool Degradable(const QuerySpec& spec);
 
   const TrajectoryDatabase* db_;
   const UstTree* index_;
@@ -316,6 +358,9 @@ class QueryServer {
   uint64_t in_flight_ = 0;         ///< admitted, not yet completed
   uint64_t next_request_id_ = 0;   ///< guarded by mu_
   std::vector<LaneStats> lane_stats_;  ///< guarded by mu_
+  /// Regime state machine (DESIGN.md section 11); guarded by mu_ — Submit
+  /// feeds it utilization, the dispatcher feeds it queue delays.
+  OverloadController overload_;
 
   /// The server's instruments (DESIGN.md section 9). Lifecycle counters and
   /// histograms live here instead of ad-hoc struct fields; the cache and
@@ -325,7 +370,13 @@ class QueryServer {
   Counter* c_submitted_;
   Counter* c_admitted_;
   Counter* c_rejected_;
+  Counter* c_rejected_queue_full_;
+  Counter* c_rejected_shed_;
+  Counter* c_rejected_draining_;
   Counter* c_completed_;
+  Counter* c_expired_in_queue_;
+  Counter* c_expired_on_lane_;
+  Counter* c_degraded_;
   Counter* c_batches_;
   Counter* c_flush_full_;
   Counter* c_flush_deadline_;
@@ -333,6 +384,7 @@ class QueryServer {
   Counter* c_early_stops_;
   Counter* c_worlds_saved_;
   Gauge* g_lane_queue_peak_;
+  Gauge* g_overload_regime_;
   Gauge* g_trace_dropped_;
   Counter* c_compactions_;
   Counter* c_compaction_failures_;

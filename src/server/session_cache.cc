@@ -5,6 +5,7 @@
 
 #include "markov/propagate_workspace.h"
 #include "model/posterior_model.h"
+#include "util/fault.h"
 #include "util/trace.h"
 
 namespace ust {
@@ -68,6 +69,11 @@ std::shared_ptr<QuerySession> SessionCache::BuildSession(
   // needs the warm lock: session construction and the R*-tree slab build
   // touch nothing shared, so they proceed concurrently across lanes.
   UST_TRACE_SCOPE("session_build", snapshot.version(), "epoch");
+  if (fault::ShouldFail("session_build")) {
+    // Injected build failure: the caller gets an empty lease and must
+    // resolve its whole group with an error instead of leaking promises.
+    return nullptr;
+  }
   // A compacted base published through the snapshot supersedes the caller's
   // (older) tree; the session pins the snapshot, which keeps the raw pointer
   // alive for its whole life. Whatever base is chosen, the session itself
@@ -145,7 +151,17 @@ SessionCache::Lease SessionCache::Checkout(const DbSnapshot& snapshot,
     if (busy) c_busy_misses_.Increment();
     leased_.emplace_back(version, T);
   }
-  return Lease(this, BuildSession(snapshot, T, index), version, T);
+  std::shared_ptr<QuerySession> session = BuildSession(snapshot, T, index);
+  if (session == nullptr) {
+    // Build failed: retire the busy marker ourselves — a null lease's
+    // Release() never calls back, so leaving it would pin the key busy
+    // forever — and hand back an empty lease for the caller to surface.
+    std::lock_guard<std::mutex> lock(mu_);
+    RemoveLeasedMarkerLocked(version, T);
+    c_build_failures_.Increment();
+    return Lease();
+  }
+  return Lease(this, std::move(session), version, T);
 }
 
 SessionCache::SharedLease SessionCache::CheckoutShared(
@@ -187,14 +203,23 @@ SessionCache::SharedLease SessionCache::CheckoutShared(
   std::shared_ptr<QuerySession> session = BuildSession(snapshot, T, index);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto it = leased_.begin(); it != leased_.end(); ++it) {
-      if (it->first == version && it->second == T) {
-        leased_.erase(it);
-        break;
-      }
+    RemoveLeasedMarkerLocked(version, T);
+    if (session == nullptr) {
+      c_build_failures_.Increment();
+      return SharedLease();  // caller surfaces the error; marker retired
     }
     shared_.push_back(SharedEntry{version, T, std::move(session), 1});
     return SharedLease(this, &shared_.back(), shared_.back().session);
+  }
+}
+
+void SessionCache::RemoveLeasedMarkerLocked(uint64_t version,
+                                            const TimeInterval& T) {
+  for (auto it = leased_.begin(); it != leased_.end(); ++it) {
+    if (it->first == version && it->second == T) {
+      leased_.erase(it);
+      return;
+    }
   }
 }
 
@@ -215,12 +240,7 @@ void SessionCache::InsertIdleLocked(std::shared_ptr<QuerySession> session,
 void SessionCache::ReturnSession(std::shared_ptr<QuerySession> session,
                                  uint64_t version, const TimeInterval& T) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = leased_.begin(); it != leased_.end(); ++it) {
-    if (it->first == version && it->second == T) {
-      leased_.erase(it);
-      break;
-    }
-  }
+  RemoveLeasedMarkerLocked(version, T);
   InsertIdleLocked(std::move(session), version, T);
 }
 
@@ -266,6 +286,7 @@ SessionCacheStats SessionCache::stats() const {
   s.arena_spec_reuses = arena_counters_.spec_reuses.value();
   s.arena_bytes = arena_counters_.bytes.value();
   s.stale_index_drops = c_stale_index_drops_.value();
+  s.build_failures = c_build_failures_.value();
   return s;
 }
 
@@ -280,6 +301,7 @@ void SessionCache::RegisterMetrics(MetricRegistry* registry) const {
   registry->RegisterCounter("arena_spec_reuses", &arena_counters_.spec_reuses);
   registry->RegisterCounter("arena_bytes", &arena_counters_.bytes);
   registry->RegisterCounter("stale_index_drops", &c_stale_index_drops_);
+  registry->RegisterCounter("session_build_failures", &c_build_failures_);
 }
 
 }  // namespace ust

@@ -70,6 +70,8 @@ struct SessionCacheStats {
   uint64_t arena_bytes = 0;        ///< slab bytes across built arenas
   uint64_t stale_index_drops = 0;  ///< sessions that had to drop a stale
                                    ///< index (no delta patch possible)
+  uint64_t build_failures = 0;     ///< session builds that failed outright
+                                   ///< (empty lease handed back)
 };
 
 /// \brief Thread-safe LRU cache of warmed QuerySessions keyed by
@@ -219,6 +221,10 @@ class SessionCache {
   /// Shared-lease return path: unref; the last holder reinserts or drops.
   void ReleaseShared(SharedEntry* entry);
 
+  /// Retire one busy marker for the key. Caller must hold mu_. Build
+  /// failures must call this themselves: an empty lease never releases.
+  void RemoveLeasedMarkerLocked(uint64_t version, const TimeInterval& T);
+
   const size_t capacity_;
   /// Not const: the constructor points its arena_counters at the cache's
   /// own tally below, so every session built here reports into it.
@@ -245,6 +251,7 @@ class SessionCache {
   Counter c_evictions_lru_;
   Counter c_evictions_stale_;
   Counter c_stale_index_drops_;
+  Counter c_build_failures_;
 };
 
 }  // namespace ust

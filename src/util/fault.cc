@@ -1,0 +1,138 @@
+#include "util/fault.h"
+
+#if !defined(UST_FAULT_DISABLED)
+
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ust::fault {
+
+namespace internal {
+std::atomic<int> g_armed{0};
+}  // namespace internal
+
+namespace {
+
+struct PointState {
+  std::string name;
+  FaultSpec spec;
+  bool armed = false;
+  uint64_t probes = 0;  ///< probe hits while armed
+  uint64_t fires = 0;   ///< probes that actually fired
+};
+
+std::mutex& Mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<PointState>& Points() {
+  static std::vector<PointState> points;
+  return points;
+}
+
+PointState* FindLocked(const char* point) {
+  for (PointState& state : Points()) {
+    if (state.name == point) return &state;
+  }
+  return nullptr;
+}
+
+/// Probe bookkeeping under the registry mutex: counts the hit and decides
+/// whether this one fires (deterministic window: probes in
+/// (skip_first, skip_first + max_fires] fire).
+bool ProbeFires(const char* point, FaultSpec* spec_out) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  PointState* state = FindLocked(point);
+  if (state == nullptr || !state->armed) return false;
+  ++state->probes;
+  if (state->probes <= state->spec.skip_first) return false;
+  if (state->fires >= state->spec.max_fires) return false;
+  ++state->fires;
+  if (spec_out != nullptr) *spec_out = state->spec;
+  return true;
+}
+
+}  // namespace
+
+namespace internal {
+
+bool FireSlow(const char* point) { return ProbeFires(point, nullptr); }
+
+void StallSlow(const char* point) {
+  FaultSpec spec;
+  if (!ProbeFires(point, &spec) || spec.stall_ms <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(spec.stall_ms));
+}
+
+int64_t SkewSlow(const char* point) {
+  FaultSpec spec;
+  if (!ProbeFires(point, &spec)) return 0;
+  return spec.skew_ns;
+}
+
+}  // namespace internal
+
+void Arm(const char* point, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  PointState* state = FindLocked(point);
+  if (state == nullptr) {
+    Points().push_back(PointState{});
+    state = &Points().back();
+    state->name = point;
+  }
+  if (!state->armed) {
+    internal::g_armed.fetch_add(1, std::memory_order_relaxed);
+  }
+  state->armed = true;
+  state->spec = spec;
+  state->probes = 0;
+  state->fires = 0;
+}
+
+void Disarm(const char* point) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  PointState* state = FindLocked(point);
+  if (state == nullptr || !state->armed) return;
+  state->armed = false;
+  internal::g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void ClearAll() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  int armed = 0;
+  for (const PointState& state : Points()) {
+    if (state.armed) ++armed;
+  }
+  Points().clear();
+  internal::g_armed.fetch_sub(armed, std::memory_order_relaxed);
+}
+
+uint64_t FireCount(const char* point) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  const PointState* state = FindLocked(point);
+  return state == nullptr ? 0 : state->fires;
+}
+
+uint64_t ProbeCount(const char* point) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  const PointState* state = FindLocked(point);
+  return state == nullptr ? 0 : state->probes;
+}
+
+std::vector<std::string> ArmedPoints() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  std::vector<std::string> names;
+  for (const PointState& state : Points()) {
+    if (state.armed) names.push_back(state.name);
+  }
+  return names;
+}
+
+}  // namespace ust::fault
+
+#endif  // !UST_FAULT_DISABLED

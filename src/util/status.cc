@@ -11,6 +11,7 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kOutOfRange: return "OutOfRange";
     case StatusCode::kContradiction: return "Contradiction";
     case StatusCode::kResourceLimit: return "ResourceLimit";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
     case StatusCode::kInternal: return "Internal";
   }
   return "Unknown";

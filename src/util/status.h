@@ -17,6 +17,7 @@ enum class StatusCode {
   kOutOfRange,
   kContradiction,   ///< observations incompatible with the motion model
   kResourceLimit,   ///< explicit enumeration/size cap exceeded
+  kDeadlineExceeded, ///< the request's latency budget expired before execution
   kInternal,
 };
 
@@ -41,6 +42,9 @@ class Status {
   }
   static Status ResourceLimit(std::string msg) {
     return Status(StatusCode::kResourceLimit, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

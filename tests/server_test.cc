@@ -586,11 +586,23 @@ TEST_F(ServerTest, ServerRejectsWhenAdmissionQueueIsFull) {
   EXPECT_EQ(stats.submitted, 8u);
   EXPECT_EQ(stats.admitted, 3u);
   EXPECT_EQ(stats.rejected, 5u);
+  // Every rejection lands in exactly one split bucket (none were draining —
+  // the server was live throughout the burst).
+  EXPECT_EQ(stats.rejected,
+            stats.rejected_queue_full + stats.rejected_shed);
+  EXPECT_EQ(stats.rejected_draining, 0u);
   EXPECT_EQ(stats.completed, 3u);
 
-  // After Stop, submits bounce with kInvalidArgument.
+  // After Stop, submits bounce with kResourceLimit — the same backpressure
+  // code clients already retry on, not a client-bug code like
+  // kInvalidArgument (a draining server is an operational condition).
   auto late = server.Submit(specs[0]);
-  EXPECT_EQ(late.get().status.code(), StatusCode::kInvalidArgument);
+  ASSERT_EQ(late.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(late.get().status.code(), StatusCode::kResourceLimit);
+  const ServerStats after = server.Stats();
+  EXPECT_EQ(after.rejected_draining, 1u);
+  EXPECT_EQ(after.rejected, 6u);
 }
 
 TEST_F(ServerTest, ConcurrentWritesNeverTearServedQueries) {
@@ -697,7 +709,11 @@ TEST_F(ServerTest, StatsRenderAsJson) {
   server.Stop();
   const std::string json = server.Stats().ToJson();
   for (const char* key :
-       {"\"submitted\":5", "\"completed\":5", "\"rejected\":0", "\"batches\":",
+       {"\"submitted\":5", "\"completed\":5", "\"rejected\":0",
+        "\"rejected_queue_full\":0", "\"rejected_shed\":0",
+        "\"rejected_draining\":0", "\"expired_in_queue\":0",
+        "\"expired_on_lane\":0", "\"degraded_requests\":0",
+        "\"overload_regime\":", "\"session_build_failures\":0", "\"batches\":",
         "\"cache_misses\":", "\"cache_busy_misses\":",
         "\"cache_shared_joins\":", "\"latency_us\":",
         "\"queue_us\":", "\"p50\":", "\"p99\":", "\"lane_queue_depth\":",

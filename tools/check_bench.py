@@ -103,6 +103,20 @@ CHECKS = {
         "qps_trace_on": ("down", ABSOLUTE_BAND),
         "trace_overhead": ("up", 0.10),
     },
+    "micro_overload": {
+        # Overload robustness (PR 10). goodput_saturated_ratio — goodput at
+        # the highest offered multiple (~2x saturation) over the sweep's
+        # peak — is the headline flatness claim: deadline shedding plus
+        # graceful degradation keep it near 1.0, while an unprotected
+        # server collapses toward 0. A within-run ratio, so it gets the
+        # machine-portable band (the binary additionally gates it at
+        # --min_ratio). The throughput/latency curve points are absolute.
+        "goodput_saturated_ratio": ("down", RATIO_BAND),
+        "saturation_qps": ("down", ABSOLUTE_BAND),
+        "peak_goodput_qps": ("down", ABSOLUTE_BAND),
+        "goodput_saturated_qps": ("down", ABSOLUTE_BAND),
+        "p99_overload_ms": ("up", ABSOLUTE_BAND),
+    },
     "micro_ingest": {
         # Online index maintenance (PR 9). delta_speedup — the qps ratio of
         # the base ∪ delta probe over the stale-index drop fallback at the
@@ -127,6 +141,8 @@ CONFIG_KEYS = [
     "morsel_specs", "adaptive", "adaptive_worlds",
     "markov_objects", "markov_queries", "exact_objects", "exact_queries",
     "writes", "write_interval_us", "compaction_interval_ms",
+    "pool", "queue_capacity", "deadline_ms", "seconds_per_point",
+    "num_multiples", "max_multiple", "max_batch_delay_ms",
 ]
 
 
